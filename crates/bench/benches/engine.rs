@@ -1,0 +1,59 @@
+//! End-to-end benchmarks of the deterministic meta-engine: how fast the
+//! simulator simulates, per workload shape and synchronization policy.
+//!
+//! These are the numbers that matter for figure regeneration time: a
+//! ground-truth (1 µs quantum) run is barrier-dominated; an adaptive run is
+//! event-dominated.
+
+use aqs_cluster::{run_workload, ClusterConfig};
+use aqs_core::SyncConfig;
+use aqs_workloads::{burst, nas, ping_pong, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn cfg(sync: SyncConfig) -> ClusterConfig {
+    ClusterConfig::new(sync).with_seed(42)
+}
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let spec = ping_pong(2, 50, 9000);
+    let mut g = c.benchmark_group("engine/ping_pong_50");
+    g.bench_function("ground_truth", |b| {
+        b.iter(|| black_box(run_workload(&spec, &cfg(SyncConfig::ground_truth()))))
+    });
+    g.bench_function("fixed_100us", |b| {
+        b.iter(|| black_box(run_workload(&spec, &cfg(SyncConfig::fixed_micros(100)))))
+    });
+    g.bench_function("adaptive_dyn1", |b| {
+        b.iter(|| black_box(run_workload(&spec, &cfg(SyncConfig::paper_dyn1()))))
+    });
+    g.finish();
+}
+
+fn bench_burst(c: &mut Criterion) {
+    let spec = burst(8, 100_000, 2048);
+    let mut g = c.benchmark_group("engine/burst_8n");
+    g.bench_function("ground_truth", |b| {
+        b.iter(|| black_box(run_workload(&spec, &cfg(SyncConfig::ground_truth()))))
+    });
+    g.bench_function("adaptive_dyn1", |b| {
+        b.iter(|| black_box(run_workload(&spec, &cfg(SyncConfig::paper_dyn1()))))
+    });
+    g.finish();
+}
+
+fn bench_nas_tiny(c: &mut Criterion) {
+    let spec = nas::is(4, Scale::Tiny);
+    let mut g = c.benchmark_group("engine/nas_is_tiny");
+    g.sample_size(20);
+    g.bench_function("ground_truth", |b| {
+        b.iter(|| black_box(run_workload(&spec, &cfg(SyncConfig::ground_truth()))))
+    });
+    g.bench_function("adaptive_dyn2", |b| {
+        b.iter(|| black_box(run_workload(&spec, &cfg(SyncConfig::paper_dyn2()))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ping_pong, bench_burst, bench_nas_tiny);
+criterion_main!(benches);

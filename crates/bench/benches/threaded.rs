@@ -1,0 +1,36 @@
+//! Wall-clock benchmarks of the threaded engine: the adaptive quantum's
+//! savings measured on real threads with real barriers (machine-dependent,
+//! unlike the deterministic engine's modelled figures).
+
+use aqs_cluster::parallel::{run_parallel, ParallelConfig};
+use aqs_core::SyncConfig;
+use aqs_workloads::burst;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_threaded(c: &mut Criterion) {
+    let n = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).clamp(2, 4);
+    let spec = burst(n, 100_000, 2048);
+    let mut g = c.benchmark_group("threaded/burst");
+    g.sample_size(10);
+    g.bench_function("ground_truth", |b| {
+        b.iter(|| {
+            black_box(run_parallel(
+                spec.programs.clone(),
+                &ParallelConfig::new(SyncConfig::ground_truth()),
+            ))
+        })
+    });
+    g.bench_function("adaptive_dyn1", |b| {
+        b.iter(|| {
+            black_box(run_parallel(
+                spec.programs.clone(),
+                &ParallelConfig::new(SyncConfig::paper_dyn1()),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_threaded);
+criterion_main!(benches);

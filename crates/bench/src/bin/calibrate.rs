@@ -1,0 +1,39 @@
+//! Quick calibration probe: one workload, one node count, paper sweep.
+
+use aqs_bench::print_experiment;
+use aqs_cluster::{paper_sweep, ClusterConfig, Experiment};
+use aqs_core::SyncConfig;
+use aqs_node::CpuModel;
+use aqs_time::SimDuration;
+use aqs_workloads::{namd, nas, with_background_traffic, Scale};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("ep");
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let scale = match args.get(3).map(String::as_str) {
+        Some("tiny") => Scale::Tiny,
+        Some("full") => Scale::Full,
+        _ => Scale::Mini,
+    };
+    let spec = match which {
+        "ep" => nas::ep(n, scale),
+        "is" => nas::is(n, scale),
+        "cg" => nas::cg(n, scale),
+        "mg" => nas::mg(n, scale),
+        "lu" => nas::lu(n, scale),
+        "namd" => namd::namd(n, scale),
+        other => panic!("unknown workload {other}"),
+    };
+    let spec = if args.iter().any(|a| a == "bg") {
+        with_background_traffic(spec, SimDuration::from_millis(80), 90, &CpuModel::default())
+    } else {
+        spec
+    };
+    let base = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(42);
+    let t0 = Instant::now();
+    let result = Experiment::new(spec, base, paper_sweep()).run();
+    print_experiment(&result);
+    eprintln!("(wall: {:.1?})", t0.elapsed());
+}

@@ -1,0 +1,67 @@
+//! Figure 5 — the slowdown quantum synchronization itself introduces.
+//!
+//! Two nodes run pure computation (no packets at all) at deterministic,
+//! different speeds: node 1's simulator is 30 % slower than node 0's. The
+//! figure's two messages fall out of the host-time accounting:
+//!
+//! * the **slowest node sets the pace** — node 0 idles at every barrier
+//!   waiting for node 1, so the cluster runs at node 1's speed;
+//! * **each barrier costs host time**, so small quanta multiply that cost
+//!   by orders of magnitude.
+//!
+//! Usage: `sync_overhead`.
+
+use aqs_cluster::{run_workload, ClusterConfig};
+use aqs_core::SyncConfig;
+use aqs_metrics::render_table;
+use aqs_node::HostModel;
+use aqs_time::HostDuration;
+use aqs_workloads::uniform_compute;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let spec = uniform_compute(2, 26_000_000, 0.0); // 10 ms of guest compute per node
+
+    // Deterministic speeds: node 0 at 30 host-ns/sim-ns, node 1 at 39.
+    let fast = HostModel::uniform(30.0, 0.02);
+    let slow = HostModel::uniform(39.0, 0.02);
+    let base = ClusterConfig::new(SyncConfig::ground_truth())
+        .with_seed(8)
+        .with_host(fast)
+        .with_node_host(1, slow);
+
+    // Free-running node 0 would take 10 ms × 30 = 300 ms of host time; the
+    // cluster can never beat free-running node 1: 10 ms × 39 = 390 ms.
+    let fast_alone = HostDuration::from_millis(300);
+    let slow_alone = HostDuration::from_millis(390);
+
+    println!("=== Figure 5 — synchronization overhead (2 nodes, compute only) ===\n");
+    println!("node 0 alone would need {fast_alone}; node 1 alone {slow_alone}.\n");
+
+    let mut rows = Vec::new();
+    for q in [1u64, 10, 100, 1000] {
+        let r = run_workload(&spec, &base.clone().with_sync(SyncConfig::fixed_micros(q)));
+        let idle = 1.0 - fast_alone.as_secs_f64() / r.host_elapsed.as_secs_f64();
+        let overhead = r.host_elapsed.as_secs_f64() / slow_alone.as_secs_f64();
+        rows.push(vec![
+            format!("{q}"),
+            format!("{}", r.host_elapsed),
+            format!("{}", r.total_quanta),
+            format!("{:.0}%", idle * 100.0),
+            format!("{overhead:.2}x"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["quantum (µs)", "host time", "barriers", "node-0 idle", "vs. slowest free-run"],
+            &rows
+        )
+    );
+    println!("the cluster always runs at the slowest simulator's pace (node 0 idles");
+    println!("~23 % no matter what), and each barrier adds fixed host cost on top —");
+    println!("at 1 µs quanta the barrier bill is the dominant term. This is the gap");
+    println!("the adaptive quantum recovers during packet-free phases.");
+    eprintln!("(wall: {:.1?})", t0.elapsed());
+}

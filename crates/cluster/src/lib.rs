@@ -1,0 +1,58 @@
+//! The cluster simulator: node simulators + network controller + quantum
+//! synchronization, exactly as assembled in the ISPASS 2008 paper.
+//!
+//! # Two engines
+//!
+//! * [`engine`] — the **deterministic meta-engine**. It is a discrete-event
+//!   simulation *of the parallel simulation itself*, running on a modelled
+//!   host clock: every node simulator advances its simulated time at a
+//!   seeded, drifting rate; packets cross a central network controller;
+//!   quantum barriers cost host time; stragglers are detected and delivered
+//!   late precisely as §3 of the paper describes. Because the host clock is
+//!   modelled, **speedup numbers are exactly reproducible** — same seed,
+//!   same figure.
+//! * [`parallel`] — the **threaded engine**: each node simulator runs on a
+//!   real OS thread, synchronizes through real barriers, and wall-clock is
+//!   measured with a real clock. It demonstrates that the technique works
+//!   as an actual parallel program; its timings are machine-dependent.
+//!
+//! # Quick start
+//!
+//! ```
+//! use aqs_cluster::{run_cluster, ClusterConfig};
+//! use aqs_core::SyncConfig;
+//! use aqs_node::{ProgramBuilder, Rank, Tag};
+//!
+//! // A 1-packet ping-pong between two nodes.
+//! let ping = ProgramBuilder::new(Rank::new(0))
+//!     .send(Rank::new(1), 64, Tag::new(0))
+//!     .recv(Some(Rank::new(1)), Tag::new(0))
+//!     .build();
+//! let pong = ProgramBuilder::new(Rank::new(1))
+//!     .recv(Some(Rank::new(0)), Tag::new(0))
+//!     .send(Rank::new(0), 64, Tag::new(0))
+//!     .build();
+//!
+//! let config = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(1);
+//! let result = aqs_cluster::run_cluster(vec![ping, pong], &config);
+//! assert_eq!(result.stragglers.count(), 0); // Q ≤ T is straggler-free
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod engine;
+mod experiment;
+pub mod optimistic;
+pub mod parallel;
+mod progress;
+mod result;
+
+pub use config::{BarrierCostModel, ClusterConfig};
+pub use engine::{run_cluster, run_cluster_with_switch};
+pub use experiment::{
+    app_metric, paper_sweep, run_workload, AppMetric, ConfigOutcome, Experiment, ExperimentResult,
+};
+pub use progress::ProgressRecorder;
+pub use result::{NodeResult, RunResult};

@@ -1,0 +1,583 @@
+//! An optimistic (checkpoint/rollback) cluster engine — the §3 alternative.
+//!
+//! The paper rejects optimistic PDES for full-system cluster simulation on
+//! cost grounds: checkpointing a node means saving gigabytes of guest
+//! memory and disk journal, "easily … 30-40 seconds" per cycle. This module
+//! implements a window-based optimistic engine so that claim can be
+//! *measured* instead of asserted:
+//!
+//! * time is cut into **windows**; at each window start every node
+//!   checkpoints (a configurable host cost — the paper's 30 s, or zero to
+//!   study the algorithm in isolation);
+//! * within a window all nodes **free-run** with whatever messages they
+//!   know about, with no synchronization at all;
+//! * at the window end the controller compares what each node *should*
+//!   have received against what it executed with; any node whose inbound
+//!   set changed **rolls back** (restore cost) and re-executes, repeatedly,
+//!   until the window reaches a fixed point.
+//!
+//! The payoff of optimism is exactness: messages are always re-delivered
+//! at their true arrival times, so the committed simulated timeline is
+//! *identical* to the conservative ground truth's (tested). The price is
+//! the checkpoint/rollback bill, which the `ablation_optimistic` benchmark
+//! compares against quantum synchronization.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqs_cluster::optimistic::{run_optimistic, OptimisticConfig};
+//! use aqs_cluster::ClusterConfig;
+//! use aqs_core::SyncConfig;
+//! use aqs_time::{HostDuration, SimDuration};
+//! use aqs_workloads::ping_pong;
+//!
+//! let spec = ping_pong(2, 3, 64);
+//! let cfg = OptimisticConfig::new(ClusterConfig::new(SyncConfig::ground_truth()))
+//!     .with_window(SimDuration::from_micros(50))
+//!     .with_costs(HostDuration::ZERO, HostDuration::ZERO);
+//! let result = run_optimistic(spec.programs, &cfg);
+//! assert_eq!(result.per_node[0].messages_received, 3);
+//! assert!(result.rollbacks > 0, "a ping-pong forces rollbacks");
+//! ```
+
+use crate::config::ClusterConfig;
+use crate::result::NodeResult;
+use aqs_node::{
+    Action, HostSpeed, MessageId, MessageMeta, NodeExecutor, Program, Rank, SendTarget,
+};
+use aqs_rng::Rng;
+use aqs_time::{HostDuration, HostTime, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of an optimistic run.
+#[derive(Clone, Debug)]
+pub struct OptimisticConfig {
+    /// Node/NIC/CPU/host models (the `sync` field is ignored — there is no
+    /// quantum).
+    pub base: ClusterConfig,
+    /// Free-run window length.
+    pub window: SimDuration,
+    /// Host cost of taking one checkpoint (per node, per window).
+    pub checkpoint_cost: HostDuration,
+    /// Host cost of restoring one checkpoint (per rollback).
+    pub rollback_cost: HostDuration,
+    /// Host cost of the end-of-window consistency exchange (per window).
+    pub gvt_cost: HostDuration,
+    /// Fixed-point iteration cap per window.
+    pub max_iterations: u32,
+}
+
+impl OptimisticConfig {
+    /// Creates a configuration with the paper's measured full-system costs
+    /// (30 s per checkpoint and per restore) and a 1 ms window.
+    pub fn new(base: ClusterConfig) -> Self {
+        Self {
+            base,
+            window: SimDuration::from_millis(1),
+            checkpoint_cost: HostDuration::from_secs(30),
+            rollback_cost: HostDuration::from_secs(30),
+            gvt_cost: HostDuration::from_micros(500),
+            max_iterations: 256,
+        }
+    }
+
+    /// Sets the window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(mut self, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// Sets checkpoint and rollback costs (e.g. zero, to study the
+    /// algorithm without the full-system state penalty).
+    pub fn with_costs(mut self, checkpoint: HostDuration, rollback: HostDuration) -> Self {
+        self.checkpoint_cost = checkpoint;
+        self.rollback_cost = rollback;
+        self
+    }
+}
+
+/// Outcome of an optimistic run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OptimisticRunResult {
+    /// Modelled host wall-clock of the whole run.
+    pub host_elapsed: HostDuration,
+    /// Simulated completion time — exact, equal to the conservative ground
+    /// truth's.
+    pub sim_end: SimTime,
+    /// Windows executed.
+    pub windows: u64,
+    /// Checkpoints taken (nodes × windows).
+    pub checkpoints: u64,
+    /// Rollbacks executed (node re-executions of a window).
+    pub rollbacks: u64,
+    /// Total simulated time re-executed due to rollbacks.
+    pub wasted_sim: SimDuration,
+    /// Per-node outcomes.
+    pub per_node: Vec<NodeResult>,
+}
+
+/// One fragment known to be heading to a node.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Inbound {
+    arrival: SimTime,
+    meta_id: MessageId,
+    frag_index: u32,
+    meta: MessageMetaOrd,
+}
+
+/// `MessageMeta` with a total order (for canonical inbound-set comparison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct MessageMetaOrd {
+    src: u32,
+    seq: u64,
+    tag: u32,
+    bytes: u64,
+    frag_count: u32,
+}
+
+impl From<MessageMeta> for MessageMetaOrd {
+    fn from(m: MessageMeta) -> Self {
+        Self {
+            src: m.id.src.as_u32(),
+            seq: m.id.seq,
+            tag: m.tag.as_u32(),
+            bytes: m.bytes,
+            frag_count: m.frag_count,
+        }
+    }
+}
+
+impl MessageMetaOrd {
+    fn to_meta(self) -> MessageMeta {
+        MessageMeta {
+            id: MessageId { src: Rank::new(self.src), seq: self.seq },
+            tag: aqs_node::Tag::new(self.tag),
+            bytes: self.bytes,
+            frag_count: self.frag_count,
+        }
+    }
+}
+
+/// A fragment sent during a window, before routing.
+#[derive(Clone, Debug)]
+struct SentFrag {
+    src: usize,
+    dst: SendTarget,
+    departure: SimTime,
+    meta: MessageMeta,
+    frag_index: u32,
+}
+
+/// Persistent per-node execution state (what a checkpoint captures).
+#[derive(Clone)]
+struct NodeState {
+    exec: NodeExecutor,
+    sim: SimTime,
+    pending: Option<(SimDuration, bool)>,
+    outgoing: VecDeque<(SimTime, SendTarget, MessageMeta, u32)>,
+    msg_seq: u64,
+    done: bool,
+}
+
+/// Guest-time execution profile of one window run.
+#[derive(Clone, Copy, Debug, Default)]
+struct WindowProfile {
+    active: SimDuration,
+    idle: SimDuration,
+}
+
+/// Runs `programs` under the optimistic scheme.
+///
+/// # Panics
+///
+/// Panics if fewer than two programs are given, if program *i* is not for
+/// rank *i*, if a window fails to converge within the iteration cap, or if
+/// the workload deadlocks (no node can make progress).
+pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> OptimisticRunResult {
+    assert!(programs.len() >= 2, "a cluster needs at least 2 nodes");
+    for (i, p) in programs.iter().enumerate() {
+        assert_eq!(p.rank().index(), i, "program {i} is for {}", p.rank());
+    }
+    let n = programs.len();
+    let nic = cfg.base.nic;
+    let mut speeds: Vec<HostSpeed> = (0..n)
+        .map(|i| HostSpeed::new(cfg.base.host_for(i), Rng::substream(cfg.base.seed, i as u64)))
+        .collect();
+    let mut nodes: Vec<NodeState> = programs
+        .into_iter()
+        .map(|p| NodeState {
+            exec: NodeExecutor::new(p, cfg.base.cpu),
+            sim: SimTime::ZERO,
+            pending: None,
+            outgoing: VecDeque::new(),
+            msg_seq: 0,
+            done: false,
+        })
+        .collect();
+    // Fragments already known to arrive at [node] beyond previous windows.
+    let mut carried: Vec<Vec<Inbound>> = vec![Vec::new(); n];
+    let mut host = HostTime::ZERO;
+    let mut windows = 0u64;
+    let mut checkpoints = 0u64;
+    let mut rollbacks = 0u64;
+    let mut wasted_sim = SimDuration::ZERO;
+    let mut finish_host: Vec<Option<HostTime>> = vec![None; n];
+
+    let mut window_start = SimTime::ZERO;
+    while nodes.iter().any(|s| !s.done) {
+        let window_end = window_start + cfg.window;
+        windows += 1;
+        for speed in &mut speeds {
+            speed.resample();
+        }
+        // Checkpoint every node.
+        let snapshot: Vec<NodeState> = nodes.clone();
+        checkpoints += n as u64;
+
+        // Round 0: run with only the carried-over fragments.
+        let mut inbound_used: Vec<Vec<Inbound>> = (0..n)
+            .map(|i| {
+                let mut v: Vec<Inbound> =
+                    carried[i].iter().filter(|f| f.arrival < window_end).cloned().collect();
+                v.sort();
+                v
+            })
+            .collect();
+        let mut profiles: Vec<WindowProfile> = vec![WindowProfile::default(); n];
+        let mut sends: Vec<Vec<SentFrag>> = vec![Vec::new(); n];
+        let mut reexec_cost: Vec<u32> = vec![1; n]; // executions of this window
+        for i in 0..n {
+            let (profile, out) =
+                run_window(&mut nodes[i], &inbound_used[i], window_start, window_end, &nic, i);
+            profiles[i] = profile;
+            sends[i] = out;
+        }
+
+        // Fixed-point iteration: recompute inbound sets from the sends and
+        // roll back whoever saw a different set.
+        let mut iterations = 0u32;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= cfg.max_iterations,
+                "optimistic window at {window_start} failed to converge \
+                 within {} iterations (window too long for this traffic?)",
+                cfg.max_iterations
+            );
+            let inbound_now =
+                compute_inbound(&sends, &carried, n, window_end, nic.min_latency());
+            let mut changed = false;
+            for i in 0..n {
+                if inbound_now[i] != inbound_used[i] {
+                    changed = true;
+                    rollbacks += 1;
+                    wasted_sim += nodes[i].sim.saturating_duration_since(window_start);
+                    // Restore the checkpoint and re-execute with the richer
+                    // message set.
+                    nodes[i] = snapshot[i].clone();
+                    reexec_cost[i] += 1;
+                    inbound_used[i] = inbound_now[i].clone();
+                    let (profile, out) = run_window(
+                        &mut nodes[i],
+                        &inbound_used[i],
+                        window_start,
+                        window_end,
+                        &nic,
+                        i,
+                    );
+                    profiles[i] = profile;
+                    sends[i] = out;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Commit: carry forward fragments arriving beyond this window.
+        let mut future: Vec<Vec<Inbound>> = vec![Vec::new(); n];
+        for frags in &sends {
+            for f in frags {
+                for (dst, inb) in route_targets(f, n, nic.min_latency()) {
+                    if inb.arrival >= window_end {
+                        future[dst].push(inb);
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            carried[i].retain(|f| f.arrival >= window_end);
+            carried[i].append(&mut future[i]);
+        }
+
+        // Host accounting: nodes ran in parallel; each paid its checkpoint,
+        // its executions (first + re-executions) and its restores.
+        let mut window_wall = HostDuration::ZERO;
+        for i in 0..n {
+            let one_exec = speeds[i].host_cost(profiles[i].active, false)
+                + speeds[i].host_cost(profiles[i].idle, true);
+            let execs = reexec_cost[i];
+            let node_cost = cfg.checkpoint_cost
+                + one_exec * execs as u64
+                + cfg.rollback_cost * (execs - 1) as u64;
+            window_wall = window_wall.max(node_cost);
+        }
+        host += window_wall + cfg.gvt_cost;
+        for i in 0..n {
+            if nodes[i].done && finish_host[i].is_none() {
+                finish_host[i] = Some(host);
+            }
+        }
+        window_start = window_end;
+    }
+
+    let per_node: Vec<NodeResult> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| NodeResult {
+            rank: s.exec.rank(),
+            finish_sim: s.exec.finish_time().expect("all programs finished"),
+            finish_host: finish_host[i].expect("finish host recorded"),
+            ops: s.exec.ops_executed(),
+            messages_received: s.exec.messages_received(),
+            regions: s.exec.regions().to_vec(),
+        })
+        .collect();
+    let sim_end = per_node.iter().map(|p| p.finish_sim).max().expect("two nodes");
+    OptimisticRunResult {
+        host_elapsed: host - HostTime::ZERO,
+        sim_end,
+        windows,
+        checkpoints,
+        rollbacks,
+        wasted_sim,
+        per_node,
+    }
+}
+
+/// Routes one sent fragment to its receiver(s) with exact arrival times.
+fn route_targets(f: &SentFrag, n: usize, latency: SimDuration) -> Vec<(usize, Inbound)> {
+    let arrival = f.departure + latency;
+    let mk = || Inbound {
+        arrival,
+        meta_id: f.meta.id,
+        frag_index: f.frag_index,
+        meta: f.meta.into(),
+    };
+    match f.dst {
+        SendTarget::Rank(r) => vec![(r.index(), mk())],
+        SendTarget::All => (0..n).filter(|&d| d != f.src).map(|d| (d, mk())).collect(),
+    }
+}
+
+/// Recomputes every node's inbound set (fragments arriving inside the
+/// window) from the current round's sends plus the carried backlog.
+fn compute_inbound(
+    sends: &[Vec<SentFrag>],
+    carried: &[Vec<Inbound>],
+    n: usize,
+    window_end: SimTime,
+    latency: SimDuration,
+) -> Vec<Vec<Inbound>> {
+    let mut inbound: Vec<Vec<Inbound>> = (0..n)
+        .map(|i| carried[i].iter().filter(|f| f.arrival < window_end).cloned().collect())
+        .collect();
+    for frags in sends {
+        for f in frags {
+            for (dst, inb) in route_targets(f, n, latency) {
+                if inb.arrival < window_end {
+                    inbound[dst].push(inb);
+                }
+            }
+        }
+    }
+    for v in &mut inbound {
+        v.sort();
+    }
+    inbound
+}
+
+/// Free-runs one node from its current position to the window end with the
+/// given inbound fragments, returning its guest-time profile and sends.
+fn run_window(
+    node: &mut NodeState,
+    inbound: &[Inbound],
+    window_start: SimTime,
+    window_end: SimTime,
+    nic: &aqs_net::NicModel,
+    node_index: usize,
+) -> (WindowProfile, Vec<SentFrag>) {
+    debug_assert!(node.sim == window_start || node.done, "node out of step with window");
+    for f in inbound {
+        node.exec.deliver_fragment(f.meta.to_meta(), f.frag_index, f.arrival);
+    }
+    let mut profile = WindowProfile::default();
+    let mut sends = Vec::new();
+    while node.sim < window_end {
+        // Drain any pending multi-window op first.
+        if let Some((remaining, idle)) = node.pending.take() {
+            let step = remaining.min(window_end - node.sim);
+            node.sim += step;
+            if idle {
+                profile.idle += step;
+            } else {
+                profile.active += step;
+            }
+            // Fragments depart as their serialization completes — including
+            // the part of a multi-window send that fits in this window.
+            while let Some(&(dep, dst, meta, k)) = node.outgoing.front() {
+                if dep > node.sim {
+                    break;
+                }
+                node.outgoing.pop_front();
+                sends.push(SentFrag {
+                    src: node_index,
+                    dst,
+                    departure: dep,
+                    meta,
+                    frag_index: k,
+                });
+            }
+            if step < remaining {
+                node.pending = Some((remaining - step, idle));
+                break;
+            }
+            continue;
+        }
+        match node.exec.next_action(node.sim) {
+            Action::Advance { dur, ops: _, idle } => {
+                node.pending = Some((dur, idle));
+            }
+            Action::Send { dst, bytes, tag } => {
+                let sizes = nic.fragment_sizes(bytes);
+                let meta = MessageMeta {
+                    id: MessageId { src: node.exec.rank(), seq: node.msg_seq },
+                    tag,
+                    bytes,
+                    frag_count: sizes.len() as u32,
+                };
+                node.msg_seq += 1;
+                let mut t = node.sim;
+                let mut total = SimDuration::ZERO;
+                for (k, sz) in sizes.into_iter().enumerate() {
+                    let ser = nic.serialization_delay(sz);
+                    t += ser;
+                    total += ser;
+                    node.outgoing.push_back((t, dst, meta, k as u32));
+                }
+                node.pending = Some((total, false));
+            }
+            Action::WaitUntil(t) => {
+                let target = t.min(window_end);
+                profile.idle += target - node.sim;
+                node.sim = target;
+                if t >= window_end {
+                    break;
+                }
+            }
+            Action::Blocked => {
+                profile.idle += window_end - node.sim;
+                node.sim = window_end;
+                break;
+            }
+            Action::Finished => {
+                node.done = true;
+                profile.idle += window_end - node.sim;
+                node.sim = window_end;
+                break;
+            }
+        }
+    }
+    node.sim = node.sim.max(window_end);
+    (profile, sends)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_cluster;
+    use aqs_core::SyncConfig;
+    use aqs_workloads::{burst, ping_pong};
+
+    fn base() -> ClusterConfig {
+        ClusterConfig::new(SyncConfig::ground_truth()).with_seed(4)
+    }
+
+    fn free_costs(window_us: u64) -> OptimisticConfig {
+        OptimisticConfig::new(base())
+            .with_window(SimDuration::from_micros(window_us))
+            .with_costs(HostDuration::ZERO, HostDuration::ZERO)
+    }
+
+    #[test]
+    fn optimistic_timeline_equals_conservative_ground_truth() {
+        let spec = burst(4, 100_000, 2048);
+        let conservative = run_cluster(spec.programs.clone(), &base());
+        let optimistic = run_optimistic(spec.programs, &free_costs(20));
+        assert_eq!(optimistic.sim_end, conservative.sim_end, "optimism must be exact");
+        for (o, c) in optimistic.per_node.iter().zip(&conservative.per_node) {
+            assert_eq!(o.finish_sim, c.finish_sim);
+            assert_eq!(o.messages_received, c.messages_received);
+            assert_eq!(o.regions, c.regions);
+        }
+    }
+
+    #[test]
+    fn ping_pong_rolls_back() {
+        let spec = ping_pong(2, 5, 64);
+        let r = run_optimistic(spec.programs, &free_costs(50));
+        assert_eq!(r.per_node[0].messages_received, 5);
+        assert!(r.rollbacks > 0, "in-window chains must cause rollbacks");
+        assert!(r.wasted_sim > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn compute_only_never_rolls_back() {
+        let programs = vec![
+            aqs_node::ProgramBuilder::new(Rank::new(0)).compute(500_000).build(),
+            aqs_node::ProgramBuilder::new(Rank::new(1)).compute(800_000).build(),
+        ];
+        let r = run_optimistic(programs, &free_costs(100));
+        assert_eq!(r.rollbacks, 0);
+        assert_eq!(r.checkpoints, 2 * r.windows);
+    }
+
+    #[test]
+    fn checkpoint_costs_dominate_with_paper_numbers() {
+        let spec = burst(4, 100_000, 2048);
+        let cheap = run_optimistic(spec.programs.clone(), &free_costs(20));
+        let paper = run_optimistic(
+            spec.programs,
+            &OptimisticConfig::new(base()).with_window(SimDuration::from_micros(20)),
+        );
+        assert!(paper.host_elapsed > cheap.host_elapsed * 100);
+    }
+
+    #[test]
+    fn smaller_windows_converge_faster_but_checkpoint_more() {
+        let spec = ping_pong(2, 10, 64);
+        let small = run_optimistic(spec.programs.clone(), &free_costs(10));
+        let large = run_optimistic(spec.programs, &free_costs(200));
+        assert!(small.windows > large.windows);
+        assert_eq!(
+            small.per_node[0].messages_received,
+            large.per_node[0].messages_received
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "failed to converge")]
+    fn runaway_window_hits_iteration_cap() {
+        // A deep in-window chain with a tiny iteration budget.
+        let spec = ping_pong(2, 50, 64);
+        let mut cfg = free_costs(1000);
+        cfg.max_iterations = 3;
+        let _ = run_optimistic(spec.programs, &cfg);
+    }
+}

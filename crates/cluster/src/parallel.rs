@@ -1,0 +1,540 @@
+//! The threaded parallel engine: one OS thread per node simulator.
+//!
+//! Where [`engine`](crate::engine) *models* the parallel simulation on a
+//! deterministic host clock, this module *is* one: every node simulator
+//! runs on its own thread, packets cross a shared network controller,
+//! quantum boundaries are real [`std::sync::Barrier`]s, and wall-clock is
+//! measured with [`std::time::Instant`]. It demonstrates the paper's
+//! architecture as an actual parallel program and powers the wall-clock
+//! benchmarks.
+//!
+//! Two things follow from using real time:
+//!
+//! * **Timing results are machine-dependent** (that is the point).
+//! * **Functional results remain exact under the safe quantum**: with
+//!   `Q ≤ T` a packet sent in quantum *k* cannot arrive before quantum
+//!   *k + 1* starts, so no thread interleaving can create a straggler, and
+//!   the simulated timeline equals the deterministic engine's bit for bit.
+//!   With larger quanta, straggler timing depends on the actual race — as
+//!   it does in the real system.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqs_cluster::parallel::{run_parallel, ParallelConfig};
+//! use aqs_core::SyncConfig;
+//! use aqs_node::{ProgramBuilder, Rank, Tag};
+//!
+//! let a = ProgramBuilder::new(Rank::new(0)).send(Rank::new(1), 64, Tag::new(0)).build();
+//! let b = ProgramBuilder::new(Rank::new(1)).recv(Some(Rank::new(0)), Tag::new(0)).build();
+//! let cfg = ParallelConfig::new(SyncConfig::ground_truth());
+//! let result = run_parallel(vec![a, b], &cfg);
+//! assert_eq!(result.stragglers.count(), 0);
+//! assert_eq!(result.messages_received_total(), 1);
+//! ```
+
+use aqs_core::SyncConfig;
+use aqs_net::{Destination, NicModel, StragglerStats};
+use aqs_node::{
+    Action, CpuModel, MessageId, MessageMeta, NodeExecutor, Program, Rank, RegionRecord,
+    SendTarget,
+};
+use aqs_time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Configuration of a threaded run.
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Synchronization policy.
+    pub sync: SyncConfig,
+    /// NIC timing model.
+    pub nic: NicModel,
+    /// CPU timing model.
+    pub cpu: CpuModel,
+    /// Real host nanoseconds of busy-work burned per simulated operation —
+    /// emulates the execution cost of the node simulator itself. Zero runs
+    /// the functional simulation at full speed.
+    pub host_work_per_op: f64,
+    /// Hard cap on quanta (guards against deadlocked workloads, which the
+    /// threaded engine cannot otherwise detect). `u64::MAX` by default.
+    pub max_quanta: u64,
+}
+
+impl ParallelConfig {
+    /// Creates a configuration with the paper-default NIC/CPU models and no
+    /// busy-work.
+    pub fn new(sync: SyncConfig) -> Self {
+        Self {
+            sync,
+            nic: NicModel::paper_default(),
+            cpu: CpuModel::default(),
+            host_work_per_op: 0.0,
+            max_quanta: u64::MAX,
+        }
+    }
+
+    /// Sets the busy-work factor (host ns per simulated op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn with_host_work_per_op(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "factor must be >= 0, got {factor}");
+        self.host_work_per_op = factor;
+        self
+    }
+
+    /// Sets the quantum cap.
+    pub fn with_max_quanta(mut self, max: u64) -> Self {
+        self.max_quanta = max;
+        self
+    }
+}
+
+/// Per-node outcome of a threaded run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParallelNodeResult {
+    /// Rank.
+    pub rank: Rank,
+    /// Simulated completion time.
+    pub finish_sim: SimTime,
+    /// Operations retired.
+    pub ops: u64,
+    /// Messages fully received.
+    pub messages_received: u64,
+    /// Closed timed regions.
+    #[serde(skip)]
+    pub regions: Vec<RegionRecord>,
+}
+
+/// Outcome of a threaded run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParallelRunResult {
+    /// Real wall-clock the run took.
+    pub wall: Duration,
+    /// Simulated completion time (max across nodes).
+    pub sim_end: SimTime,
+    /// Quanta executed.
+    pub total_quanta: u64,
+    /// Packets routed.
+    pub total_packets: u64,
+    /// Straggler statistics.
+    pub stragglers: StragglerStats,
+    /// Per-node results.
+    pub per_node: Vec<ParallelNodeResult>,
+}
+
+impl ParallelRunResult {
+    /// Total messages received across nodes.
+    pub fn messages_received_total(&self) -> u64 {
+        self.per_node.iter().map(|n| n.messages_received).sum()
+    }
+
+    /// Wall-clock speedup of this run relative to `baseline`.
+    pub fn speedup_vs(&self, baseline: &ParallelRunResult) -> f64 {
+        baseline.wall.as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A fragment in flight to one receiver.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    meta: MessageMeta,
+    frag_index: u32,
+    arrival: SimTime,
+}
+
+/// Shared state across node threads.
+struct Shared {
+    nic: NicModel,
+    /// Per-node published simulated position (ns), for straggler checks.
+    sim_pos: Vec<AtomicU64>,
+    /// Per-node incoming fragment queues.
+    mailboxes: Vec<Mutex<Vec<InFlight>>>,
+    /// Packets routed in the current quantum (`np`).
+    np: AtomicU64,
+    total_packets: AtomicU64,
+    stragglers: Mutex<StragglerStats>,
+    /// End of the current quantum, in sim ns.
+    q_end: AtomicU64,
+    /// Number of nodes whose program has finished.
+    done: AtomicU64,
+    stop: AtomicBool,
+    barrier: Barrier,
+}
+
+impl Shared {
+    /// Routes one fragment from `src`, delivering into mailboxes and doing
+    /// straggler accounting against the receivers' published positions.
+    fn route(&self, src: usize, dst: Destination, bytes: u32, departure: SimTime, meta: MessageMeta, frag_index: u32) {
+        let arrival = self.nic.earliest_arrival(departure);
+        let targets: Vec<usize> = match dst {
+            Destination::Unicast(d) => vec![d.index()],
+            Destination::Broadcast => {
+                (0..self.sim_pos.len()).filter(|&i| i != src).collect()
+            }
+        };
+        let _ = bytes;
+        for t in targets {
+            self.np.fetch_add(1, Ordering::Relaxed);
+            self.total_packets.fetch_add(1, Ordering::Relaxed);
+            let pos = SimTime::from_nanos(self.sim_pos[t].load(Ordering::Acquire));
+            let eff = arrival.max(pos);
+            if eff > arrival {
+                self.stragglers.lock().record(eff - arrival);
+            }
+            self.mailboxes[t].lock().push(InFlight { meta, frag_index, arrival: eff });
+        }
+    }
+}
+
+/// Runs `programs` on real threads under `config` and measures wall-clock.
+///
+/// # Panics
+///
+/// Panics if fewer than two programs are given, program *i* is not for rank
+/// *i*, or the quantum cap is exceeded (deadlock guard).
+pub fn run_parallel(programs: Vec<Program>, config: &ParallelConfig) -> ParallelRunResult {
+    assert!(programs.len() >= 2, "a cluster needs at least 2 nodes");
+    for (i, p) in programs.iter().enumerate() {
+        assert_eq!(p.rank().index(), i, "program {i} is for {}", p.rank());
+    }
+    let n = programs.len();
+    let policy = Mutex::new(config.sync.build());
+    let q0 = policy.lock().initial_quantum();
+    let shared = Shared {
+        nic: config.nic,
+        sim_pos: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        mailboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        np: AtomicU64::new(0),
+        total_packets: AtomicU64::new(0),
+        stragglers: Mutex::new(StragglerStats::default()),
+        q_end: AtomicU64::new(q0.as_nanos()),
+        done: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        barrier: Barrier::new(n),
+    };
+    let quanta = AtomicU64::new(0);
+    let overflow = AtomicBool::new(false);
+    let start = Instant::now();
+    let results: Vec<ParallelNodeResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, program)| {
+                let shared = &shared;
+                let policy = &policy;
+                let quanta = &quanta;
+                let overflow = &overflow;
+                scope.spawn(move || {
+                    node_thread(i, program, config, shared, policy, quanta, overflow)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
+    });
+    assert!(
+        !overflow.load(Ordering::Acquire),
+        "quantum cap exceeded: workload deadlock?"
+    );
+    let wall = start.elapsed();
+    let sim_end = results.iter().map(|r| r.finish_sim).max().expect("at least two nodes");
+    let stragglers = *shared.stragglers.lock();
+    ParallelRunResult {
+        wall,
+        sim_end,
+        total_quanta: quanta.load(Ordering::Relaxed),
+        total_packets: shared.total_packets.load(Ordering::Relaxed),
+        stragglers,
+        per_node: results,
+    }
+}
+
+/// Burns approximately `ns` nanoseconds of real CPU time.
+fn busy_work(ns: f64) {
+    if ns < 1.0 {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_nanos(ns as u64);
+    let mut x = 0x9E3779B97F4A7C15u64;
+    while Instant::now() < deadline {
+        // A few hundred cheap iterations between clock reads.
+        for _ in 0..256 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        std::hint::black_box(x);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_thread(
+    i: usize,
+    program: Program,
+    config: &ParallelConfig,
+    shared: &Shared,
+    policy: &Mutex<Box<dyn aqs_core::QuantumPolicy>>,
+    quanta: &AtomicU64,
+    overflow: &AtomicBool,
+) -> ParallelNodeResult {
+    let mut exec = NodeExecutor::new(program, config.cpu);
+    let mut sim = SimTime::ZERO;
+    let mut msg_seq = 0u64;
+    let mut done_reported = false;
+    /// An op that did not fit in the previous quantum.
+    struct Pending {
+        remaining: SimDuration,
+    }
+    let mut pending: Option<Pending> = None;
+    let publish = |t: SimTime| shared.sim_pos[i].store(t.as_nanos(), Ordering::Release);
+    let mut q_end = SimTime::from_nanos(shared.q_end.load(Ordering::Acquire));
+    loop {
+        // Run this node up to the quantum boundary.
+        while sim < q_end {
+            if let Some(p) = pending.take() {
+                let step = p.remaining.min(q_end - sim);
+                sim += step;
+                publish(sim);
+                if step < p.remaining {
+                    pending = Some(Pending { remaining: p.remaining - step });
+                    break; // quantum boundary reached mid-op
+                }
+                continue;
+            }
+            drain_mailbox(&mut exec, &shared.mailboxes[i]);
+            match exec.next_action(sim) {
+                Action::Advance { dur, ops, idle } => {
+                    // The executor consumed the op; the host work for it is
+                    // burned up front, the simulated duration is spread over
+                    // as many quanta as it needs via `pending`.
+                    if !idle && config.host_work_per_op > 0.0 && ops > 0 {
+                        busy_work(ops as f64 * config.host_work_per_op);
+                    }
+                    pending = Some(Pending { remaining: dur });
+                }
+                Action::Send { dst, bytes, tag } => {
+                    let dest = match dst {
+                        SendTarget::Rank(r) => {
+                            Destination::Unicast(aqs_net::NodeId::new(r.as_u32()))
+                        }
+                        SendTarget::All => Destination::Broadcast,
+                    };
+                    let sizes = shared.nic.fragment_sizes(bytes);
+                    let meta = MessageMeta {
+                        id: MessageId { src: exec.rank(), seq: msg_seq },
+                        tag,
+                        bytes,
+                        frag_count: sizes.len() as u32,
+                    };
+                    msg_seq += 1;
+                    for (k, sz) in sizes.into_iter().enumerate() {
+                        let ser = shared.nic.serialization_delay(sz);
+                        sim += ser;
+                        publish(sim);
+                        shared.route(i, dest, sz, sim, meta, k as u32);
+                    }
+                }
+                Action::WaitUntil(t) => {
+                    sim = t.min(q_end);
+                    publish(sim);
+                    if t >= q_end {
+                        break;
+                    }
+                }
+                Action::Blocked => {
+                    // Nothing deliverable yet: idle to the quantum boundary
+                    // (the OS idle loop) and meet the barrier; deliveries
+                    // land in the mailbox meanwhile.
+                    sim = q_end;
+                    publish(sim);
+                    break;
+                }
+                Action::Finished => {
+                    if !done_reported {
+                        done_reported = true;
+                        shared.done.fetch_add(1, Ordering::AcqRel);
+                    }
+                    sim = q_end;
+                    publish(sim);
+                    break;
+                }
+            }
+        }
+        sim = sim.max(q_end);
+        publish(sim);
+        match next_quantum(shared, policy, quanta, config, overflow) {
+            Some(qe) => q_end = qe,
+            None => break,
+        }
+    }
+    ParallelNodeResult {
+        rank: exec.rank(),
+        finish_sim: exec.finish_time().unwrap_or(sim),
+        ops: exec.ops_executed(),
+        messages_received: exec.messages_received(),
+        regions: exec.regions().to_vec(),
+    }
+}
+
+/// Meets the quantum barrier; the leader advances the policy. Returns the
+/// new quantum end, or `None` when the run is over (all programs done, or
+/// the deadlock guard tripped).
+fn next_quantum(
+    shared: &Shared,
+    policy: &Mutex<Box<dyn aqs_core::QuantumPolicy>>,
+    quanta: &AtomicU64,
+    config: &ParallelConfig,
+    overflow: &AtomicBool,
+) -> Option<SimTime> {
+    let wait = shared.barrier.wait();
+    if wait.is_leader() {
+        let q = quanta.fetch_add(1, Ordering::AcqRel) + 1;
+        let np = shared.np.swap(0, Ordering::AcqRel);
+        if shared.done.load(Ordering::Acquire) as usize == shared.sim_pos.len() {
+            shared.stop.store(true, Ordering::Release);
+        } else if q > config.max_quanta {
+            // Cannot panic while peers wait on the barrier — flag and stop.
+            overflow.store(true, Ordering::Release);
+            shared.stop.store(true, Ordering::Release);
+        } else {
+            let next = policy.lock().next_quantum(np);
+            let end = shared.q_end.load(Ordering::Acquire) + next.as_nanos();
+            shared.q_end.store(end, Ordering::Release);
+        }
+    }
+    shared.barrier.wait();
+    if shared.stop.load(Ordering::Acquire) {
+        None
+    } else {
+        Some(SimTime::from_nanos(shared.q_end.load(Ordering::Acquire)))
+    }
+}
+
+fn drain_mailbox(exec: &mut NodeExecutor, mailbox: &Mutex<Vec<InFlight>>) {
+    let drained: Vec<InFlight> = {
+        let mut mb = mailbox.lock();
+        std::mem::take(&mut *mb)
+    };
+    for f in drained {
+        exec.deliver_fragment(f.meta, f.frag_index, f.arrival);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::engine::run_cluster;
+    use aqs_node::{ProgramBuilder, RegionId, Tag};
+    use aqs_workloads::{burst, ping_pong};
+
+    fn cfg(sync: SyncConfig) -> ParallelConfig {
+        ParallelConfig::new(sync).with_max_quanta(20_000_000)
+    }
+
+    #[test]
+    fn ping_pong_completes() {
+        let spec = ping_pong(2, 5, 64);
+        let r = run_parallel(spec.programs, &cfg(SyncConfig::ground_truth()));
+        assert_eq!(r.messages_received_total(), 10);
+        assert_eq!(r.stragglers.count(), 0, "safe quantum must be race-free");
+        assert_eq!(r.total_packets, 10);
+        assert!(r.sim_end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn safe_quantum_matches_deterministic_engine_functionally() {
+        // Under Q <= T both engines must produce the identical simulated
+        // timeline (no stragglers → no race-dependent timing).
+        let spec = burst(4, 50_000, 1024);
+        let det = run_cluster(
+            spec.programs.clone(),
+            &ClusterConfig::new(SyncConfig::ground_truth()).with_seed(1),
+        );
+        let par = run_parallel(spec.programs, &cfg(SyncConfig::ground_truth()));
+        assert_eq!(par.sim_end, det.sim_end, "simulated timelines must agree");
+        assert_eq!(
+            par.messages_received_total(),
+            det.per_node.iter().map(|n| n.messages_received).sum::<u64>()
+        );
+        assert_eq!(par.total_packets, det.total_packets);
+    }
+
+    #[test]
+    fn adaptive_policy_reduces_quanta() {
+        let mk = |r: u32| {
+            let peer = 1 - r;
+            let mut b = ProgramBuilder::new(Rank::new(r)).compute(2_000_000);
+            if r == 0 {
+                b = b.send(Rank::new(peer), 64, Tag::new(0));
+            } else {
+                b = b.recv(Some(Rank::new(peer)), Tag::new(0));
+            }
+            b.compute(2_000_000).build()
+        };
+        let programs = vec![mk(0), mk(1)];
+        let truth = run_parallel(programs.clone(), &cfg(SyncConfig::ground_truth()));
+        let dynr = run_parallel(programs, &cfg(SyncConfig::paper_dyn1()));
+        assert!(
+            dynr.total_quanta < truth.total_quanta / 5,
+            "adaptive should need far fewer quanta: {} vs {}",
+            dynr.total_quanta,
+            truth.total_quanta
+        );
+    }
+
+    #[test]
+    fn large_quantum_creates_stragglers_in_real_races() {
+        let spec = ping_pong(2, 50, 64);
+        let r = run_parallel(spec.programs, &cfg(SyncConfig::fixed_micros(1000)));
+        assert!(r.stragglers.count() > 0, "latency-bound ping-pong must straggle");
+        assert_eq!(r.messages_received_total(), 100, "stragglers must not lose packets");
+    }
+
+    #[test]
+    fn many_nodes_threads_complete() {
+        let spec = burst(16, 10_000, 512);
+        let r = run_parallel(spec.programs, &cfg(SyncConfig::paper_dyn2()));
+        assert_eq!(r.per_node.len(), 16);
+        assert!(r.per_node.iter().all(|n| n.finish_sim > SimTime::ZERO));
+    }
+
+    #[test]
+    fn busy_work_slows_wall_clock() {
+        let spec = burst(2, 2_000_000, 512);
+        let fast = run_parallel(spec.programs.clone(), &cfg(SyncConfig::fixed_micros(1000)));
+        let slow = run_parallel(
+            spec.programs,
+            &cfg(SyncConfig::fixed_micros(1000)).with_host_work_per_op(50.0),
+        );
+        assert!(
+            slow.wall > fast.wall,
+            "busy work should cost wall time: {:?} vs {:?}",
+            slow.wall,
+            fast.wall
+        );
+    }
+
+    #[test]
+    fn regions_are_captured() {
+        let spec = ping_pong(2, 3, 64);
+        let r = run_parallel(spec.programs, &cfg(SyncConfig::ground_truth()));
+        assert!(r.per_node[0].regions.iter().any(|reg| reg.region == RegionId::KERNEL));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn quantum_cap_catches_deadlock() {
+        let p0 = ProgramBuilder::new(Rank::new(0)).recv(Some(Rank::new(1)), Tag::new(0)).build();
+        let p1 = ProgramBuilder::new(Rank::new(1)).compute(10).build();
+        let _ = run_parallel(
+            vec![p0, p1],
+            &ParallelConfig::new(SyncConfig::fixed_micros(1000)).with_max_quanta(500),
+        );
+    }
+}

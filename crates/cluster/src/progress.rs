@@ -1,0 +1,126 @@
+//! Bounded-memory (host, sim) progress checkpoints.
+
+use aqs_time::{HostTime, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Records `(host_time, sim_time)` checkpoints with bounded memory.
+///
+/// A ground-truth run executes hundreds of thousands of quanta; storing one
+/// checkpoint per quantum would dwarf the rest of the result. The recorder
+/// keeps at most `capacity` points: when full, it drops every other stored
+/// point and doubles its sampling stride, preserving an even coverage of
+/// the whole run.
+///
+/// # Examples
+///
+/// ```
+/// use aqs_cluster::ProgressRecorder;
+/// use aqs_time::{HostTime, SimTime};
+///
+/// let mut r = ProgressRecorder::new(64);
+/// for i in 0..10_000u64 {
+///     r.record(HostTime::from_nanos(i * 100), SimTime::from_nanos(i));
+/// }
+/// assert!(r.points().len() <= 64);
+/// // Coverage spans the whole run:
+/// assert!(r.points().last().unwrap().1 >= SimTime::from_nanos(9_000));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProgressRecorder {
+    capacity: usize,
+    stride: u64,
+    seen: u64,
+    points: Vec<(HostTime, SimTime)>,
+}
+
+impl ProgressRecorder {
+    /// Creates a recorder keeping at most `capacity` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 4`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 4, "capacity must be at least 4");
+        Self { capacity, stride: 1, seen: 0, points: Vec::new() }
+    }
+
+    /// A disabled recorder that stores nothing.
+    pub fn disabled() -> Self {
+        Self { capacity: 0, stride: 1, seen: 0, points: Vec::new() }
+    }
+
+    /// Offers one checkpoint; it is stored if it falls on the current
+    /// sampling stride.
+    pub fn record(&mut self, host: HostTime, sim: SimTime) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.seen.is_multiple_of(self.stride) {
+            if self.points.len() == self.capacity {
+                // Halve resolution: keep even indices, double the stride.
+                let kept: Vec<_> = self.points.iter().copied().step_by(2).collect();
+                self.points = kept;
+                self.stride *= 2;
+                // The current sample may no longer be on-stride.
+                if self.seen.is_multiple_of(self.stride) {
+                    self.points.push((host, sim));
+                }
+            } else {
+                self.points.push((host, sim));
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// Stored checkpoints, in order.
+    pub fn points(&self) -> &[(HostTime, SimTime)] {
+        &self.points
+    }
+
+    /// Total checkpoints offered (stored or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_everything_under_capacity() {
+        let mut r = ProgressRecorder::new(16);
+        for i in 0..10u64 {
+            r.record(HostTime::from_nanos(i), SimTime::from_nanos(i));
+        }
+        assert_eq!(r.points().len(), 10);
+        assert_eq!(r.seen(), 10);
+    }
+
+    #[test]
+    fn decimates_when_full() {
+        let mut r = ProgressRecorder::new(8);
+        for i in 0..1000u64 {
+            r.record(HostTime::from_nanos(i), SimTime::from_nanos(i));
+        }
+        assert!(r.points().len() <= 8);
+        // Points remain sorted and span the run.
+        let pts = r.points();
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(pts[0].0 <= HostTime::from_nanos(10));
+        assert!(pts.last().unwrap().0 >= HostTime::from_nanos(800));
+    }
+
+    #[test]
+    fn disabled_stores_nothing() {
+        let mut r = ProgressRecorder::disabled();
+        r.record(HostTime::ZERO, SimTime::ZERO);
+        assert!(r.points().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_capacity_rejected() {
+        let _ = ProgressRecorder::new(2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Run results.
+
+use aqs_core::QuantumTrace;
+use aqs_net::{StragglerStats, TrafficTrace};
+use aqs_node::{RegionRecord, RegionId, Rank};
+use aqs_time::{HostDuration, HostTime, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-node outcome of a run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeResult {
+    /// The rank this node ran.
+    pub rank: Rank,
+    /// Simulated time at which its program completed.
+    pub finish_sim: SimTime,
+    /// Host time at which its program completed.
+    pub finish_host: HostTime,
+    /// Abstract operations it retired.
+    pub ops: u64,
+    /// Messages it fully received.
+    pub messages_received: u64,
+    /// Closed timed-region instances.
+    #[serde(skip)]
+    pub regions: Vec<RegionRecord>,
+}
+
+impl NodeResult {
+    /// Total duration of all instances of `region` on this node.
+    pub fn region_duration(&self, region: RegionId) -> SimDuration {
+        self.regions.iter().filter(|r| r.region == region).map(RegionRecord::duration).sum()
+    }
+}
+
+/// The complete outcome of one cluster simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Label of the synchronization policy that produced this run.
+    pub sync_label: String,
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Simulated completion time (max across nodes).
+    pub sim_end: SimTime,
+    /// Host wall-clock the whole simulation took (to the last node's
+    /// program completion).
+    pub host_elapsed: HostDuration,
+    /// Per-node details, indexed by rank.
+    pub per_node: Vec<NodeResult>,
+    /// Straggler statistics for the run.
+    pub stragglers: StragglerStats,
+    /// Total packets routed by the controller.
+    pub total_packets: u64,
+    /// Number of quanta executed.
+    pub total_quanta: u64,
+    /// Quantum-by-quantum trace (records only when enabled).
+    pub quanta: QuantumTrace,
+    /// Packet trace (records only when enabled).
+    pub traffic: TrafficTrace,
+    /// (host, sim) progress checkpoints (empty unless enabled).
+    pub progress: Vec<(HostTime, SimTime)>,
+}
+
+impl RunResult {
+    /// Total operations retired across all nodes.
+    pub fn total_ops(&self) -> u64 {
+        self.per_node.iter().map(|n| n.ops).sum()
+    }
+
+    /// Wall-clock span of `region` across the cluster: from the earliest
+    /// start to the latest end over all nodes and instances. `None` if no
+    /// node closed the region.
+    ///
+    /// This is what a benchmark's own timer reports: rank 0 starts the
+    /// clock when it enters the kernel and stops it when the last result is
+    /// in.
+    pub fn region_span(&self, region: RegionId) -> Option<SimDuration> {
+        let mut start: Option<SimTime> = None;
+        let mut end: Option<SimTime> = None;
+        for node in &self.per_node {
+            for r in node.regions.iter().filter(|r| r.region == region) {
+                start = Some(start.map_or(r.start, |s| s.min(r.start)));
+                end = Some(end.map_or(r.end, |e| e.max(r.end)));
+            }
+        }
+        Some(end? - start?)
+    }
+
+    /// Host-time speedup of this run relative to `baseline` (the paper's
+    /// "acceleration vs. 1 µs").
+    ///
+    /// # Panics
+    ///
+    /// Panics if this run took zero host time.
+    pub fn speedup_vs(&self, baseline: &RunResult) -> f64 {
+        baseline.host_elapsed.ratio(self.host_elapsed)
+    }
+
+    /// Ratio of simulated completion times vs. `baseline` (the paper's
+    /// "simulated execution ratio" for IS).
+    pub fn sim_ratio_vs(&self, baseline: &RunResult) -> f64 {
+        (self.sim_end.as_nanos() as f64) / (baseline.sim_end.as_nanos() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqs_net::StragglerStats;
+
+    fn node(rank: u32, regions: Vec<RegionRecord>) -> NodeResult {
+        NodeResult {
+            rank: Rank::new(rank),
+            finish_sim: SimTime::from_micros(100),
+            finish_host: HostTime::from_micros(100),
+            ops: 1000,
+            messages_received: 2,
+            regions,
+        }
+    }
+
+    fn run(per_node: Vec<NodeResult>, host_us: u64, sim_us: u64) -> RunResult {
+        RunResult {
+            sync_label: "test".into(),
+            n_nodes: per_node.len(),
+            sim_end: SimTime::from_micros(sim_us),
+            host_elapsed: HostDuration::from_micros(host_us),
+            per_node,
+            stragglers: StragglerStats::default(),
+            total_packets: 0,
+            total_quanta: 1,
+            quanta: QuantumTrace::disabled(),
+            traffic: TrafficTrace::disabled(),
+            progress: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn region_span_across_nodes() {
+        let r0 = RegionRecord {
+            region: RegionId::KERNEL,
+            start: SimTime::from_micros(10),
+            end: SimTime::from_micros(50),
+        };
+        let r1 = RegionRecord {
+            region: RegionId::KERNEL,
+            start: SimTime::from_micros(20),
+            end: SimTime::from_micros(80),
+        };
+        let result = run(vec![node(0, vec![r0]), node(1, vec![r1])], 100, 100);
+        assert_eq!(result.region_span(RegionId::KERNEL), Some(SimDuration::from_micros(70)));
+        assert_eq!(result.region_span(RegionId::new(9)), None);
+    }
+
+    #[test]
+    fn speedup_and_sim_ratio() {
+        let base = run(vec![node(0, vec![])], 2600, 100);
+        let fast = run(vec![node(0, vec![])], 100, 150);
+        assert!((fast.speedup_vs(&base) - 26.0).abs() < 1e-12);
+        assert!((fast.sim_ratio_vs(&base) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_ops_sums_nodes() {
+        let result = run(vec![node(0, vec![]), node(1, vec![])], 1, 1);
+        assert_eq!(result.total_ops(), 2000);
+    }
+}

@@ -1,0 +1,251 @@
+//! Extension policies used by the ablation benchmarks.
+//!
+//! The paper (§7) frames its algorithm as "representative of a broader kind
+//! of adaptive techniques". These two variants probe the design space around
+//! Algorithm 1:
+//!
+//! * [`ThresholdAdaptive`] — tolerate up to `threshold` packets per quantum
+//!   before braking. Tests whether the paper's hair-trigger (`np > 0`)
+//!   reaction is necessary.
+//! * [`EwmaAdaptive`] — react to an exponentially weighted moving average
+//!   of the packet rate instead of the instantaneous count. Tests whether
+//!   smoothing the signal helps or merely delays the brake.
+
+use crate::adaptive::AdaptiveConfig;
+use crate::policy::QuantumPolicy;
+use aqs_time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Algorithm 1 with a tolerance: shrink only when `np > threshold`.
+///
+/// With `threshold = 0` this is exactly the paper's algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use aqs_core::{AdaptiveConfig, QuantumPolicy, ThresholdAdaptive};
+///
+/// let mut p = ThresholdAdaptive::new(AdaptiveConfig::paper_dyn1(), 2);
+/// let q0 = p.next_quantum(2); // tolerated: still grows
+/// let q1 = p.next_quantum(3); // over threshold: brakes
+/// assert!(q1 < q0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdAdaptive {
+    config: AdaptiveConfig,
+    threshold: u64,
+    current_ns: f64,
+}
+
+impl ThresholdAdaptive {
+    /// Creates the policy.
+    pub fn new(config: AdaptiveConfig, threshold: u64) -> Self {
+        Self { config, threshold, current_ns: config.min_quantum.as_nanos() as f64 }
+    }
+
+    /// The tolerance.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Current quantum value.
+    pub fn current(&self) -> SimDuration {
+        SimDuration::from_nanos(self.current_ns.round() as u64)
+    }
+}
+
+impl QuantumPolicy for ThresholdAdaptive {
+    fn initial_quantum(&self) -> SimDuration {
+        self.config.min_quantum
+    }
+
+    fn next_quantum(&mut self, np: u64) -> SimDuration {
+        if np <= self.threshold {
+            self.current_ns *= self.config.inc;
+        } else {
+            self.current_ns *= self.config.dec;
+        }
+        let min = self.config.min_quantum.as_nanos() as f64;
+        let max = self.config.max_quantum.as_nanos() as f64;
+        self.current_ns = self.current_ns.clamp(min, max);
+        self.current()
+    }
+
+    fn label(&self) -> String {
+        format!("thr{} {:.2}:{:.2}", self.threshold, self.config.inc, self.config.dec)
+    }
+
+    fn reset(&mut self) {
+        self.current_ns = self.config.min_quantum.as_nanos() as f64;
+    }
+}
+
+/// Adaptive quantum driven by an EWMA of the packet count.
+///
+/// The smoothed signal `s ← α·np + (1−α)·s` replaces `np` in Algorithm 1's
+/// branch (`s < 0.5` counts as quiet). Large `α` approaches the paper's
+/// behaviour; small `α` keeps the quantum low long after a burst.
+///
+/// # Examples
+///
+/// ```
+/// use aqs_core::{AdaptiveConfig, EwmaAdaptive, QuantumPolicy};
+///
+/// let mut p = EwmaAdaptive::new(AdaptiveConfig::paper_dyn1(), 0.5);
+/// p.next_quantum(10); // burst
+/// // The memory of the burst keeps braking for a while:
+/// let q1 = p.next_quantum(0);
+/// let q2 = p.next_quantum(0);
+/// assert!(q2 >= q1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EwmaAdaptive {
+    config: AdaptiveConfig,
+    alpha: f64,
+    ewma: f64,
+    current_ns: f64,
+}
+
+impl EwmaAdaptive {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(config: AdaptiveConfig, alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Self { config, alpha, ewma: 0.0, current_ns: config.min_quantum.as_nanos() as f64 }
+    }
+
+    /// Current smoothed packet signal.
+    pub fn signal(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Current quantum value.
+    pub fn current(&self) -> SimDuration {
+        SimDuration::from_nanos(self.current_ns.round() as u64)
+    }
+}
+
+impl QuantumPolicy for EwmaAdaptive {
+    fn initial_quantum(&self) -> SimDuration {
+        self.config.min_quantum
+    }
+
+    fn next_quantum(&mut self, np: u64) -> SimDuration {
+        self.ewma = self.alpha * np as f64 + (1.0 - self.alpha) * self.ewma;
+        if self.ewma < 0.5 {
+            self.current_ns *= self.config.inc;
+        } else {
+            self.current_ns *= self.config.dec;
+        }
+        let min = self.config.min_quantum.as_nanos() as f64;
+        let max = self.config.max_quantum.as_nanos() as f64;
+        self.current_ns = self.current_ns.clamp(min, max);
+        self.current()
+    }
+
+    fn label(&self) -> String {
+        format!("ewma{:.2} {:.2}:{:.2}", self.alpha, self.config.inc, self.config.dec)
+    }
+
+    fn reset(&mut self) {
+        self.ewma = 0.0;
+        self.current_ns = self.config.min_quantum.as_nanos() as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdaptiveConfig {
+        AdaptiveConfig::paper_dyn1()
+    }
+
+    #[test]
+    fn threshold_zero_matches_paper_algorithm() {
+        use crate::adaptive::AdaptiveQuantum;
+        let mut a = ThresholdAdaptive::new(cfg(), 0);
+        let mut b = AdaptiveQuantum::new(cfg());
+        for np in [0, 0, 3, 0, 1, 0, 0, 9, 0] {
+            assert_eq!(a.next_quantum(np), b.next_quantum(np));
+        }
+    }
+
+    #[test]
+    fn threshold_tolerates_light_traffic() {
+        let mut p = ThresholdAdaptive::new(cfg(), 5);
+        let q1 = p.next_quantum(5);
+        let q2 = p.next_quantum(5);
+        assert!(q2 > q1 || q2 == p.config.max_quantum);
+    }
+
+    #[test]
+    fn threshold_reset() {
+        let mut p = ThresholdAdaptive::new(cfg(), 1);
+        for _ in 0..100 {
+            p.next_quantum(0);
+        }
+        p.reset();
+        assert_eq!(p.current(), cfg().min_quantum);
+        assert_eq!(p.threshold(), 1);
+    }
+
+    #[test]
+    fn ewma_decays_after_burst() {
+        let mut p = EwmaAdaptive::new(cfg(), 0.25);
+        p.next_quantum(100);
+        let high = p.signal();
+        for _ in 0..20 {
+            p.next_quantum(0);
+        }
+        assert!(p.signal() < high * 0.01);
+    }
+
+    #[test]
+    fn ewma_alpha_one_tracks_np() {
+        let mut p = EwmaAdaptive::new(cfg(), 1.0);
+        p.next_quantum(7);
+        assert!((p.signal() - 7.0).abs() < 1e-12);
+        p.next_quantum(0);
+        assert!(p.signal().abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_bounds_hold() {
+        let mut p = EwmaAdaptive::new(cfg(), 0.5);
+        for i in 0..5000u64 {
+            let q = p.next_quantum(i % 11);
+            assert!(q >= cfg().min_quantum && q <= cfg().max_quantum);
+        }
+    }
+
+    #[test]
+    fn ewma_reset() {
+        let mut p = EwmaAdaptive::new(cfg(), 0.5);
+        p.next_quantum(50);
+        p.reset();
+        assert_eq!(p.signal(), 0.0);
+        assert_eq!(p.current(), cfg().min_quantum);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        let _ = EwmaAdaptive::new(cfg(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let t = ThresholdAdaptive::new(cfg(), 3);
+        let e = EwmaAdaptive::new(cfg(), 0.5);
+        assert_ne!(t.label(), e.label());
+        assert!(t.label().contains("thr3"));
+        assert!(e.label().contains("ewma0.50"));
+    }
+}

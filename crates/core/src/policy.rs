@@ -1,0 +1,173 @@
+//! The policy trait and the serializable configuration enum.
+
+use crate::adaptive::{AdaptiveConfig, AdaptiveQuantum};
+use crate::ext::{EwmaAdaptive, ThresholdAdaptive};
+use crate::fixed::FixedQuantum;
+use crate::predictive::{PredictiveConfig, PredictiveQuantum};
+use aqs_time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Decides the length of each synchronization quantum.
+///
+/// The network controller calls [`next_quantum`](Self::next_quantum) at
+/// every barrier with `np`, the number of packets routed during the quantum
+/// that just ended; the returned duration is the length of the next quantum.
+///
+/// Implementations must be deterministic: the next quantum may depend only
+/// on the policy's own state and the observed `np` sequence.
+pub trait QuantumPolicy: fmt::Debug + Send {
+    /// Length of the very first quantum.
+    fn initial_quantum(&self) -> SimDuration;
+
+    /// Observes the packet count of the quantum that just ended and returns
+    /// the next quantum length.
+    fn next_quantum(&mut self, np: u64) -> SimDuration;
+
+    /// Short human label for tables and charts (e.g. `"100"` for a fixed
+    /// 100 µs quantum, `"dyn 1.03:0.02"` for the paper's first adaptive
+    /// configuration).
+    fn label(&self) -> String;
+
+    /// Restores the initial state, so one policy value can drive several
+    /// runs.
+    fn reset(&mut self);
+}
+
+/// Serializable description of a synchronization policy.
+///
+/// Experiment configurations carry a `SyncConfig`; the engine builds the
+/// stateful [`QuantumPolicy`] from it at run start, so repeated runs never
+/// share mutable state.
+///
+/// # Examples
+///
+/// ```
+/// use aqs_core::SyncConfig;
+/// use aqs_time::SimDuration;
+///
+/// let cfg = SyncConfig::fixed_micros(100);
+/// let policy = cfg.build();
+/// assert_eq!(policy.initial_quantum(), SimDuration::from_micros(100));
+/// assert_eq!(policy.label(), "100");
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SyncConfig {
+    /// Fixed quantum (the paper's baselines: 1, 10, 100, 1000 µs).
+    Fixed(SimDuration),
+    /// The paper's Algorithm 1.
+    Adaptive(AdaptiveConfig),
+    /// Shrink only when `np` exceeds a threshold (ablation).
+    Threshold {
+        /// Underlying adaptive parameters.
+        config: AdaptiveConfig,
+        /// Minimum packet count that triggers a shrink.
+        threshold: u64,
+    },
+    /// EWMA-smoothed packet signal (ablation).
+    Ewma {
+        /// Underlying adaptive parameters.
+        config: AdaptiveConfig,
+        /// Smoothing factor in `(0, 1]`.
+        alpha: f64,
+    },
+    /// Phase-predicting lookahead estimation (extension; see
+    /// [`PredictiveQuantum`]).
+    Predictive(PredictiveConfig),
+}
+
+impl SyncConfig {
+    /// Fixed quantum of `us` microseconds.
+    pub fn fixed_micros(us: u64) -> Self {
+        SyncConfig::Fixed(SimDuration::from_micros(us))
+    }
+
+    /// The paper's ground-truth configuration: fixed 1 µs (safe bound for
+    /// the paper's 1 µs minimum network latency).
+    pub fn ground_truth() -> Self {
+        Self::fixed_micros(1)
+    }
+
+    /// The paper's `dyn 1` configuration (3 % growth).
+    pub fn paper_dyn1() -> Self {
+        SyncConfig::Adaptive(AdaptiveConfig::paper_dyn1())
+    }
+
+    /// The paper's `dyn 2` configuration (5 % growth).
+    pub fn paper_dyn2() -> Self {
+        SyncConfig::Adaptive(AdaptiveConfig::paper_dyn2())
+    }
+
+    /// Builds the stateful policy.
+    pub fn build(&self) -> Box<dyn QuantumPolicy> {
+        match self {
+            SyncConfig::Fixed(q) => Box::new(FixedQuantum::new(*q)),
+            SyncConfig::Adaptive(cfg) => Box::new(AdaptiveQuantum::new(*cfg)),
+            SyncConfig::Threshold { config, threshold } => {
+                Box::new(ThresholdAdaptive::new(*config, *threshold))
+            }
+            SyncConfig::Ewma { config, alpha } => Box::new(EwmaAdaptive::new(*config, *alpha)),
+            SyncConfig::Predictive(cfg) => Box::new(PredictiveQuantum::new(*cfg)),
+        }
+    }
+
+    /// The label the built policy will report.
+    pub fn label(&self) -> String {
+        self.build().label()
+    }
+}
+
+impl fmt::Display for SyncConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_fixed() {
+        let p = SyncConfig::fixed_micros(10).build();
+        assert_eq!(p.initial_quantum(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn ground_truth_is_one_micro() {
+        assert_eq!(
+            SyncConfig::ground_truth().build().initial_quantum(),
+            SimDuration::from_micros(1)
+        );
+    }
+
+    #[test]
+    fn build_paper_dyns() {
+        let p1 = SyncConfig::paper_dyn1().build();
+        let p2 = SyncConfig::paper_dyn2().build();
+        assert_eq!(p1.initial_quantum(), SimDuration::from_micros(1));
+        assert_eq!(p2.initial_quantum(), SimDuration::from_micros(1));
+        assert_ne!(p1.label(), p2.label());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        let cfg = SyncConfig::paper_dyn1();
+        assert_eq!(cfg.to_string(), cfg.label());
+    }
+
+    #[test]
+    fn build_predictive() {
+        let p = SyncConfig::Predictive(PredictiveConfig::default_1_1000()).build();
+        assert_eq!(p.initial_quantum(), SimDuration::from_micros(1));
+        assert!(p.label().starts_with("pred"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = SyncConfig::paper_dyn2();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SyncConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,210 @@
+//! Quantum trace: what the synchronizer did over the course of a run.
+
+use aqs_time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One completed quantum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantumRecord {
+    /// Quantum index (0-based).
+    pub index: u64,
+    /// Simulated start time.
+    pub start: SimTime,
+    /// Quantum length.
+    pub length: SimDuration,
+    /// Packets the controller routed during this quantum (`np`).
+    pub packets: u64,
+}
+
+impl QuantumRecord {
+    /// Simulated end time of the quantum.
+    pub fn end(&self) -> SimTime {
+        self.start + self.length
+    }
+}
+
+/// Append-only record of every quantum in a run.
+///
+/// Used for the "quantum length over time" diagnostics and to verify that
+/// the adaptive policy tracked traffic the way the paper describes (long
+/// quanta in compute phases, floor-length quanta in communication phases).
+///
+/// # Examples
+///
+/// ```
+/// use aqs_core::QuantumTrace;
+/// use aqs_time::{SimDuration, SimTime};
+///
+/// let mut t = QuantumTrace::enabled();
+/// t.record(SimTime::ZERO, SimDuration::from_micros(1), 0);
+/// t.record(SimTime::from_micros(1), SimDuration::from_micros(2), 3);
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.total_quanta(), 2);
+/// assert!((t.mean_length().unwrap().as_micros_f64() - 1.5).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct QuantumTrace {
+    enabled: bool,
+    records: Vec<QuantumRecord>,
+    total_quanta: u64,
+    total_length: SimDuration,
+}
+
+impl QuantumTrace {
+    /// A trace that only keeps counters (no per-quantum records).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A trace that stores every quantum.
+    pub fn enabled() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+
+    /// Records one completed quantum.
+    pub fn record(&mut self, start: SimTime, length: SimDuration, packets: u64) {
+        let index = self.total_quanta;
+        self.total_quanta += 1;
+        self.total_length = self.total_length.saturating_add(length);
+        if self.enabled {
+            self.records.push(QuantumRecord { index, start, length, packets });
+        }
+    }
+
+    /// Stored records (empty when disabled).
+    pub fn records(&self) -> &[QuantumRecord] {
+        &self.records
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total quanta executed (counted even when disabled).
+    pub fn total_quanta(&self) -> u64 {
+        self.total_quanta
+    }
+
+    /// Mean quantum length, or `None` before the first quantum.
+    pub fn mean_length(&self) -> Option<SimDuration> {
+        if self.total_quanta == 0 {
+            None
+        } else {
+            Some(self.total_length / self.total_quanta)
+        }
+    }
+
+    /// Time-weighted mean quantum length (`Σ len² / Σ len`): the quantum a
+    /// randomly chosen *instant* of simulated time lives in. For a sawtooth
+    /// adaptive run this is much larger than [`mean_length`](Self::mean_length),
+    /// because most *time* passes inside the few long quanta even though
+    /// most *quanta* are short. Requires stored records.
+    pub fn time_weighted_mean_length(&self) -> Option<SimDuration> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.records.iter().map(|r| r.length.as_nanos() as f64).sum();
+        let sum_sq: f64 =
+            self.records.iter().map(|r| (r.length.as_nanos() as f64).powi(2)).sum();
+        Some(SimDuration::from_nanos((sum_sq / sum).round() as u64))
+    }
+
+    /// Fraction of recorded quanta no longer than `floor` — how often the
+    /// policy was braking. Requires stored records.
+    pub fn fraction_at_floor(&self, floor: SimDuration) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let at = self.records.iter().filter(|r| r.length <= floor).count();
+        Some(at as f64 / self.records.len() as f64)
+    }
+
+    /// Fraction of recorded quanta that saw at least one packet. Requires
+    /// stored records.
+    pub fn busy_fraction(&self) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let busy = self.records.iter().filter(|r| r.packets > 0).count();
+        Some(busy as f64 / self.records.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_end_time() {
+        let r = QuantumRecord {
+            index: 0,
+            start: SimTime::from_micros(10),
+            length: SimDuration::from_micros(5),
+            packets: 2,
+        };
+        assert_eq!(r.end(), SimTime::from_micros(15));
+    }
+
+    #[test]
+    fn disabled_counts_only() {
+        let mut t = QuantumTrace::disabled();
+        t.record(SimTime::ZERO, SimDuration::from_micros(1), 0);
+        assert_eq!(t.total_quanta(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.mean_length(), Some(SimDuration::from_micros(1)));
+    }
+
+    #[test]
+    fn enabled_stores_indexed_records() {
+        let mut t = QuantumTrace::enabled();
+        t.record(SimTime::ZERO, SimDuration::from_micros(1), 0);
+        t.record(SimTime::from_micros(1), SimDuration::from_micros(3), 7);
+        assert_eq!(t.records()[1].index, 1);
+        assert_eq!(t.records()[1].packets, 7);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace_has_no_mean() {
+        assert_eq!(QuantumTrace::disabled().mean_length(), None);
+        assert_eq!(QuantumTrace::enabled().time_weighted_mean_length(), None);
+        assert_eq!(QuantumTrace::enabled().busy_fraction(), None);
+        assert_eq!(
+            QuantumTrace::enabled().fraction_at_floor(SimDuration::from_micros(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn time_weighted_mean_favours_long_quanta() {
+        let mut t = QuantumTrace::enabled();
+        // 9 short quanta + 1 long one covering most of the time.
+        let mut at = SimTime::ZERO;
+        for _ in 0..9 {
+            t.record(at, SimDuration::from_micros(1), 1);
+            at += SimDuration::from_micros(1);
+        }
+        t.record(at, SimDuration::from_micros(991), 0);
+        let plain = t.mean_length().unwrap();
+        let weighted = t.time_weighted_mean_length().unwrap();
+        assert_eq!(plain, SimDuration::from_micros(100));
+        assert!(weighted > SimDuration::from_micros(900), "weighted was {weighted}");
+    }
+
+    #[test]
+    fn floor_and_busy_fractions() {
+        let mut t = QuantumTrace::enabled();
+        t.record(SimTime::ZERO, SimDuration::from_micros(1), 2);
+        t.record(SimTime::from_micros(1), SimDuration::from_micros(1), 0);
+        t.record(SimTime::from_micros(2), SimDuration::from_micros(50), 0);
+        t.record(SimTime::from_micros(52), SimDuration::from_micros(500), 3);
+        assert_eq!(t.fraction_at_floor(SimDuration::from_micros(1)), Some(0.5));
+        assert_eq!(t.busy_fraction(), Some(0.5));
+    }
+}

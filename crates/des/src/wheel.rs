@@ -1,0 +1,387 @@
+//! A hierarchical timer wheel — the classic alternative to a binary heap
+//! for discrete-event simulators with bounded time horizons.
+//!
+//! The cluster engine's event pattern is heap-friendly (few pending events,
+//! wildly varying deltas), but DES kernels facing millions of near-future
+//! timers traditionally use timing wheels (Varghese & Lauck, SOSP '87) for
+//! O(1) schedule/expire. [`WheelQueue`] implements a 4-level hierarchical
+//! wheel over `u64` nanoseconds with the same deterministic FIFO-within-
+//! timestamp contract as [`EventQueue`](crate::EventQueue); the `primitives`
+//! Criterion bench compares the two, and a property test pins down their
+//! behavioural equivalence.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqs_des::WheelQueue;
+//! use aqs_time::HostTime;
+//!
+//! let mut w: WheelQueue<&str> = WheelQueue::new();
+//! w.schedule(HostTime::from_nanos(300), "b");
+//! w.schedule(HostTime::from_nanos(5), "a");
+//! assert_eq!(w.pop(), Some((HostTime::from_nanos(5), "a")));
+//! assert_eq!(w.pop(), Some((HostTime::from_nanos(300), "b")));
+//! assert_eq!(w.pop(), None);
+//! ```
+
+use aqs_time::HostTime;
+use std::collections::VecDeque;
+
+/// Slots per wheel level (must be a power of two).
+const SLOTS: usize = 256;
+/// Bits per level.
+const BITS: u32 = 8;
+/// Number of levels; covers 2^(8·4) = 2^32 ns ≈ 4.3 s of horizon per
+/// cascade cycle, with overflow handled by re-cascading.
+const LEVELS: usize = 4;
+
+#[derive(Clone, Debug)]
+struct Entry<E> {
+    time: u64,
+    seq: u64,
+    payload: E,
+}
+
+/// A deterministic hierarchical timing wheel keyed by [`HostTime`].
+///
+/// Semantics match [`EventQueue`](crate::EventQueue) minus cancellation:
+/// `pop` returns events in time order, FIFO within equal timestamps, and
+/// scheduling into the past (before the last popped event) is rejected —
+/// wheels, unlike heaps, cannot rewind their cursor.
+#[derive(Clone, Debug)]
+pub struct WheelQueue<E> {
+    /// `levels[l][slot]`: events whose expiry shares the cursor's prefix
+    /// above level `l`.
+    levels: Vec<Vec<VecDeque<Entry<E>>>>,
+    /// Events beyond the wheel horizon, kept unsorted until they cascade.
+    overflow: Vec<Entry<E>>,
+    /// Smallest timestamp parked above level 0 (levels 1+ or overflow).
+    /// `pop` must cascade before delivering any level-0 event at or past
+    /// this time, or an equal-timestamp event with a smaller sequence
+    /// number could be overtaken.
+    min_upper: Option<u64>,
+    /// Current time cursor (everything below is already delivered).
+    cursor: u64,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<E> Default for WheelQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> WheelQueue<E> {
+    /// Creates an empty wheel at time zero.
+    pub fn new() -> Self {
+        Self {
+            levels: (0..LEVELS).map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect()).collect(),
+            overflow: Vec::new(),
+            min_upper: None,
+            cursor: 0,
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wheel's current time cursor (time of the last popped event).
+    pub fn now(&self) -> HostTime {
+        HostTime::from_nanos(self.cursor)
+    }
+
+    fn slot_for(&self, time: u64) -> Option<(usize, usize)> {
+        let delta = time - self.cursor;
+        for level in 0..LEVELS {
+            let span = 1u64 << (BITS * (level as u32 + 1));
+            if delta < span {
+                let shift = BITS * level as u32;
+                let slot = ((time >> shift) as usize) & (SLOTS - 1);
+                return Some((level, slot));
+            }
+        }
+        None
+    }
+
+    /// Schedules `payload` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before the wheel's cursor (the past).
+    pub fn schedule(&mut self, time: HostTime, payload: E) {
+        let t = time.as_nanos();
+        assert!(t >= self.cursor, "cannot schedule into the past ({t} < {})", self.cursor);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        let entry = Entry { time: t, seq, payload };
+        match self.slot_for(t) {
+            Some((0, slot)) => self.levels[0][slot].push_back(entry),
+            Some((level, slot)) => {
+                self.min_upper = Some(self.min_upper.map_or(t, |m| m.min(t)));
+                self.levels[level][slot].push_back(entry);
+            }
+            None => {
+                self.min_upper = Some(self.min_upper.map_or(t, |m| m.min(t)));
+                self.overflow.push(entry);
+            }
+        }
+    }
+
+    /// Re-files every event of a higher-level slot (or the overflow list)
+    /// into finer wheels, preserving FIFO order via sequence numbers.
+    fn cascade(&mut self, entries: Vec<Entry<E>>) {
+        for entry in entries {
+            match self.slot_for(entry.time) {
+                Some((level, slot)) => {
+                    if level > 0 {
+                        self.min_upper =
+                            Some(self.min_upper.map_or(entry.time, |m| m.min(entry.time)));
+                    }
+                    // Keep each slot queue ordered by (time, seq): entries
+                    // cascade in insertion order, so pushing back suffices
+                    // only within one cascade; merge-insert keeps the
+                    // invariant across cascades.
+                    let q = &mut self.levels[level][slot];
+                    let pos = q
+                        .iter()
+                        .position(|e| (e.time, e.seq) > (entry.time, entry.seq))
+                        .unwrap_or(q.len());
+                    q.insert(pos, entry);
+                }
+                None => {
+                    self.min_upper =
+                        Some(self.min_upper.map_or(entry.time, |m| m.min(entry.time)));
+                    self.overflow.push(entry);
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(HostTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Every level-0 entry lies in [cursor, cursor + 256): deltas
+            // were < 256 at insert time and the cursor only advances. Walk
+            // the window in time order — the slot for `cursor + offset`
+            // wraps around the array, which is exactly the hashed-wheel
+            // property.
+            let mut cascaded = false;
+            for offset in 0..SLOTS as u64 {
+                let t = self.cursor + offset;
+                let slot = (t as usize) & (SLOTS - 1);
+                if self.levels[0][slot].front().is_some() {
+                    // An equal-or-earlier event parked above level 0 must
+                    // come down first, or FIFO-within-timestamp breaks.
+                    if self.min_upper.is_some_and(|m| m <= t) {
+                        assert!(self.cascade_next(), "min_upper points at nothing");
+                        cascaded = true;
+                        break;
+                    }
+                    let entry = self.levels[0][slot].pop_front().expect("front exists");
+                    debug_assert_eq!(entry.time, t, "level-0 invariant violated");
+                    self.cursor = entry.time;
+                    self.len -= 1;
+                    return Some((HostTime::from_nanos(entry.time), entry.payload));
+                }
+            }
+            if cascaded {
+                continue;
+            }
+            // Level 0 is empty: pull the next populated region down.
+            if !self.cascade_next() {
+                // Nothing anywhere but len > 0 is impossible.
+                unreachable!("wheel lost events");
+            }
+        }
+    }
+
+    /// Moves the cursor to the next populated region and cascades it down.
+    /// Returns `false` only if the wheel is completely empty.
+    fn cascade_next(&mut self) -> bool {
+        // Find the earliest event anywhere above level 0 (including
+        // overflow); O(slots · levels) scan — amortized fine because each
+        // cascade delivers many events.
+        let mut best: Option<u64> = None;
+        for level in 1..LEVELS {
+            for slot in 0..SLOTS {
+                if let Some(t) = self.levels[level][slot].iter().map(|e| e.time).min() {
+                    best = Some(best.map_or(t, |b: u64| b.min(t)));
+                }
+            }
+        }
+        if let Some(t) = self.overflow.iter().map(|e| e.time).min() {
+            best = Some(best.map_or(t, |b| b.min(t)));
+        }
+        let Some(target) = best else {
+            return false;
+        };
+        debug_assert_eq!(Some(target), self.min_upper, "min_upper out of sync");
+        self.min_upper = None;
+        // Jump the cursor to the start of the target's level-0 window (but
+        // never backwards) and re-file everything that now fits lower.
+        self.cursor = self.cursor.max(target & !((1u64 << BITS) - 1));
+        let mut moved = Vec::new();
+        for level in 1..LEVELS {
+            for slot in 0..SLOTS {
+                let mut keep = VecDeque::new();
+                while let Some(e) = self.levels[level][slot].pop_front() {
+                    // Everything re-files; slot_for decides where it lands.
+                    if e.time >= self.cursor {
+                        moved.push(e);
+                    } else {
+                        keep.push_back(e);
+                    }
+                }
+                debug_assert!(keep.is_empty(), "events behind the cursor");
+                self.levels[level][slot] = keep;
+            }
+        }
+        let overflow = std::mem::take(&mut self.overflow);
+        moved.extend(overflow);
+        moved.sort_by_key(|e| (e.time, e.seq));
+        self.cascade(moved);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventQueue;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w: WheelQueue<u32> = WheelQueue::new();
+        for &t in &[700u64, 3, 90_000, 12, 1_000_000_000, 12] {
+            w.schedule(HostTime::from_nanos(t), t as u32);
+        }
+        let mut last = 0;
+        let mut n = 0;
+        while let Some((t, _)) = w.pop() {
+            assert!(t.as_nanos() >= last);
+            last = t.as_nanos();
+            n += 1;
+        }
+        assert_eq!(n, 6);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn fifo_within_equal_times() {
+        let mut w: WheelQueue<u32> = WheelQueue::new();
+        for i in 0..50 {
+            w.schedule(HostTime::from_nanos(1_000_000), i);
+        }
+        for i in 0..50 {
+            assert_eq!(w.pop(), Some((HostTime::from_nanos(1_000_000), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut w: WheelQueue<&str> = WheelQueue::new();
+        w.schedule(HostTime::from_nanos(10), "a");
+        assert_eq!(w.pop(), Some((HostTime::from_nanos(10), "a")));
+        // Scheduling after the cursor moved forward works…
+        w.schedule(HostTime::from_nanos(10), "b");
+        w.schedule(HostTime::from_nanos(2_000_000_000), "c");
+        assert_eq!(w.pop(), Some((HostTime::from_nanos(10), "b")));
+        assert_eq!(w.pop(), Some((HostTime::from_nanos(2_000_000_000), "c")));
+    }
+
+    /// Regression: a delta under 256 ns whose slot index wraps below the
+    /// cursor's slot must still be found by the window scan.
+    #[test]
+    fn window_wrap_within_level_zero() {
+        let mut w: WheelQueue<u8> = WheelQueue::new();
+        w.schedule(HostTime::from_nanos(200), 0);
+        assert_eq!(w.pop(), Some((HostTime::from_nanos(200), 0)));
+        // cursor = 200; 300 & 255 = 44 < 200: the wrapped case.
+        w.schedule(HostTime::from_nanos(300), 1);
+        assert_eq!(w.pop(), Some((HostTime::from_nanos(300), 1)));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut w: WheelQueue<()> = WheelQueue::new();
+        w.schedule(HostTime::from_nanos(100), ());
+        let _ = w.pop();
+        w.schedule(HostTime::from_nanos(50), ());
+    }
+
+    #[test]
+    fn beyond_horizon_overflow_works() {
+        let mut w: WheelQueue<u8> = WheelQueue::new();
+        // Far beyond the 2^32 ns horizon.
+        w.schedule(HostTime::from_nanos(1 << 40), 1);
+        w.schedule(HostTime::from_nanos(5), 0);
+        assert_eq!(w.pop(), Some((HostTime::from_nanos(5), 0)));
+        assert_eq!(w.pop(), Some((HostTime::from_nanos(1 << 40), 1)));
+    }
+
+    proptest! {
+        /// The wheel and the heap deliver identical sequences for any
+        /// monotone interleaving of schedules and pops.
+        #[test]
+        fn equivalent_to_event_queue(
+            batches in prop::collection::vec(
+                prop::collection::vec(
+                    // Half tiny deltas (stressing the wrap-around window),
+                    // half spanning several cascade levels.
+                    prop_oneof![0u64..512, 0u64..5_000_000_000],
+                    1..20,
+                ),
+                1..8,
+            )
+        ) {
+            let mut wheel: WheelQueue<usize> = WheelQueue::new();
+            let mut heap: EventQueue<HostTime, usize> = EventQueue::new();
+            let mut cursor = 0u64;
+            let mut idx = 0usize;
+            for batch in &batches {
+                for &dt in batch {
+                    let t = cursor + dt;
+                    wheel.schedule(HostTime::from_nanos(t), idx);
+                    heap.schedule(HostTime::from_nanos(t), idx);
+                    idx += 1;
+                }
+                // Drain half of what is pending, keeping cursors in step.
+                let drain = wheel.len() / 2;
+                for _ in 0..drain {
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(a, b);
+                    if let Some((t, _)) = a {
+                        cursor = t.as_nanos();
+                    }
+                }
+            }
+            // Drain the rest.
+            loop {
+                let a = wheel.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Time series with bucketing, for the "over time" panels of Figure 9.
+
+use serde::{Deserialize, Serialize};
+
+/// An (x, y) series with helpers for windowed aggregation.
+///
+/// # Examples
+///
+/// ```
+/// use aqs_metrics::TimeSeries;
+///
+/// let mut s = TimeSeries::new();
+/// for i in 0..100 {
+///     s.push(i as f64, (i % 10) as f64);
+/// }
+/// let buckets = s.bucket_mean(10);
+/// assert_eq!(buckets.len(), 10);
+/// // Every bucket averages one full 0..10 ramp:
+/// assert!((buckets[0].1 - 4.5).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a series from points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if x values are not non-decreasing or any coordinate is NaN.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Self {
+        let mut s = Self::new();
+        for (x, y) in points {
+            s.push(x, y);
+        }
+        s
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is smaller than the previous x, or if either value is
+    /// NaN.
+    pub fn push(&mut self, x: f64, y: f64) {
+        assert!(!x.is_nan() && !y.is_nan(), "NaN point");
+        if let Some(&(last_x, _)) = self.points.last() {
+            assert!(x >= last_x, "x must be non-decreasing ({x} after {last_x})");
+        }
+        self.points.push((x, y));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// x-range `(min, max)`, or `None` when empty.
+    pub fn x_range(&self) -> Option<(f64, f64)> {
+        Some((self.points.first()?.0, self.points.last()?.0))
+    }
+
+    /// Splits the x-range into `n` equal windows and returns
+    /// `(window_center, mean_y)` for every non-empty window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn bucket_mean(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n > 0, "need at least one bucket");
+        let Some((lo, hi)) = self.x_range() else {
+            return Vec::new();
+        };
+        let width = ((hi - lo) / n as f64).max(f64::MIN_POSITIVE);
+        let mut sums = vec![(0.0f64, 0usize); n];
+        for &(x, y) in &self.points {
+            let idx = (((x - lo) / width) as usize).min(n - 1);
+            sums[idx].0 += y;
+            sums[idx].1 += 1;
+        }
+        sums.iter()
+            .enumerate()
+            .filter(|(_, (_, c))| *c > 0)
+            .map(|(i, (sum, c))| (lo + (i as f64 + 0.5) * width, sum / *c as f64))
+            .collect()
+    }
+
+    /// Splits the x-range into `n` equal windows and returns
+    /// `(window_center, count)` for every window (including empty ones) —
+    /// the packet-density view used for the Figure 9 traffic charts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn bucket_count(&self, n: usize) -> Vec<(f64, usize)> {
+        assert!(n > 0, "need at least one bucket");
+        let Some((lo, hi)) = self.x_range() else {
+            return Vec::new();
+        };
+        let width = ((hi - lo) / n as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0usize; n];
+        for &(x, _) in &self.points {
+            let idx = (((x - lo) / width) as usize).min(n - 1);
+            counts[idx] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (lo + (i as f64 + 0.5) * width, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_behaviour() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.x_range(), None);
+        assert!(s.bucket_mean(4).is_empty());
+        assert!(s.bucket_count(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_backwards_x() {
+        let mut s = TimeSeries::new();
+        s.push(2.0, 0.0);
+        s.push(1.0, 0.0);
+    }
+
+    #[test]
+    fn bucket_mean_averages() {
+        let s = TimeSeries::from_points(vec![(0.0, 2.0), (1.0, 4.0), (9.0, 10.0), (10.0, 20.0)]);
+        let b = s.bucket_mean(2);
+        assert_eq!(b.len(), 2);
+        assert!((b[0].1 - 3.0).abs() < 1e-9); // (2+4)/2
+        assert!((b[1].1 - 15.0).abs() < 1e-9); // (10+20)/2
+    }
+
+    #[test]
+    fn bucket_count_includes_empty_windows() {
+        let s = TimeSeries::from_points(vec![(0.0, 1.0), (0.1, 1.0), (10.0, 1.0)]);
+        let b = s.bucket_count(5);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b[0].1, 2);
+        assert_eq!(b[1].1, 0);
+        assert_eq!(b[4].1, 1);
+    }
+
+    #[test]
+    fn single_point_series() {
+        let s = TimeSeries::from_points(vec![(5.0, 7.0)]);
+        let b = s.bucket_mean(3);
+        assert_eq!(b.len(), 1);
+        assert!((b[0].1 - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_x_values_allowed() {
+        let s = TimeSeries::from_points(vec![(1.0, 1.0), (1.0, 3.0)]);
+        let b = s.bucket_mean(1);
+        assert!((b[0].1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! Link-layer (MAC) bridging: the functional half of the network
+//! controller.
+//!
+//! The paper describes the controller as behaving "like a perfect
+//! link-layer (MAC-to-MAC) network switch". [`LearningBridge`] implements
+//! that behaviour the way a real L2 switch does: it learns which port each
+//! source MAC lives behind, forwards known unicasts to exactly one port,
+//! and floods unknown destinations and broadcasts to every other port.
+//!
+//! The cluster engine itself routes by [`NodeId`] (ids and MACs are
+//! bijective via [`NodeId::mac`]), but the bridge is what a packet-level
+//! frontend — e.g. a real emulator's NIC tap — would connect through, and
+//! the controller uses it when asked to resolve raw frames.
+
+use crate::packet::{MacAddr, NodeId};
+use std::collections::HashMap;
+
+/// Where a bridge decided to send a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BridgeDecision {
+    /// Forward to exactly one known port.
+    Forward(NodeId),
+    /// Flood to every port except the ingress (unknown unicast or
+    /// broadcast).
+    Flood,
+}
+
+/// A self-learning link-layer switch table.
+///
+/// # Examples
+///
+/// ```
+/// use aqs_net::{BridgeDecision, LearningBridge, NodeId};
+///
+/// let mut bridge = LearningBridge::new(4);
+/// let (a, b) = (NodeId::new(0), NodeId::new(2));
+/// // First frame to an unlearned MAC floods…
+/// assert_eq!(bridge.decide(a, a.mac(), b.mac()), BridgeDecision::Flood);
+/// // …but b's reply teaches the bridge both locations.
+/// assert_eq!(bridge.decide(b, b.mac(), a.mac()), BridgeDecision::Forward(a));
+/// assert_eq!(bridge.decide(a, a.mac(), b.mac()), BridgeDecision::Forward(b));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LearningBridge {
+    n_ports: usize,
+    table: HashMap<MacAddr, NodeId>,
+    lookups: u64,
+    floods: u64,
+}
+
+impl LearningBridge {
+    /// Creates a bridge with `n_ports` ports and an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_ports < 2`.
+    pub fn new(n_ports: usize) -> Self {
+        assert!(n_ports >= 2, "a bridge needs at least 2 ports");
+        Self { n_ports, table: HashMap::new(), lookups: 0, floods: 0 }
+    }
+
+    /// Number of ports.
+    pub fn n_ports(&self) -> usize {
+        self.n_ports
+    }
+
+    /// Processes one frame: learns the source, decides the egress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ingress` is out of range.
+    pub fn decide(&mut self, ingress: NodeId, src: MacAddr, dst: MacAddr) -> BridgeDecision {
+        assert!(ingress.index() < self.n_ports, "ingress {ingress} out of range");
+        self.lookups += 1;
+        // Learn (or migrate) the source address.
+        if !src.is_broadcast() {
+            self.table.insert(src, ingress);
+        }
+        if dst.is_broadcast() {
+            self.floods += 1;
+            return BridgeDecision::Flood;
+        }
+        match self.table.get(&dst) {
+            // A frame whose destination is behind its own ingress port is
+            // filtered by a real switch; modelling it as a flood would
+            // duplicate traffic, so forward-to-self is reported as-is and
+            // left to the caller to drop.
+            Some(&port) => BridgeDecision::Forward(port),
+            None => {
+                self.floods += 1;
+                BridgeDecision::Flood
+            }
+        }
+    }
+
+    /// Looks up a MAC without learning anything.
+    pub fn port_of(&self, mac: MacAddr) -> Option<NodeId> {
+        self.table.get(&mac).copied()
+    }
+
+    /// Number of learned addresses.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Frames processed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Frames flooded (unknown destination or broadcast).
+    pub fn floods(&self) -> u64 {
+        self.floods
+    }
+
+    /// Forgets everything (e.g. on topology change).
+    pub fn clear(&mut self) {
+        self.table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floods_until_learned_then_forwards() {
+        let mut b = LearningBridge::new(3);
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        assert_eq!(b.decide(n0, n0.mac(), n1.mac()), BridgeDecision::Flood);
+        assert_eq!(b.table_len(), 1);
+        assert_eq!(b.decide(n1, n1.mac(), n0.mac()), BridgeDecision::Forward(n0));
+        assert_eq!(b.decide(n0, n0.mac(), n1.mac()), BridgeDecision::Forward(n1));
+        assert_eq!(b.floods(), 1);
+        assert_eq!(b.lookups(), 3);
+    }
+
+    #[test]
+    fn broadcast_always_floods() {
+        let mut b = LearningBridge::new(2);
+        let n0 = NodeId::new(0);
+        for _ in 0..3 {
+            assert_eq!(b.decide(n0, n0.mac(), MacAddr::BROADCAST), BridgeDecision::Flood);
+        }
+        assert_eq!(b.floods(), 3);
+    }
+
+    #[test]
+    fn source_can_migrate_ports() {
+        // A MAC moving to another port (VM migration) must be re-learned.
+        let mut b = LearningBridge::new(3);
+        let roaming = NodeId::new(2).mac();
+        b.decide(NodeId::new(0), roaming, MacAddr::BROADCAST);
+        assert_eq!(b.port_of(roaming), Some(NodeId::new(0)));
+        b.decide(NodeId::new(1), roaming, MacAddr::BROADCAST);
+        assert_eq!(b.port_of(roaming), Some(NodeId::new(1)));
+        assert_eq!(b.table_len(), 1);
+    }
+
+    #[test]
+    fn broadcast_source_is_never_learned() {
+        let mut b = LearningBridge::new(2);
+        b.decide(NodeId::new(0), MacAddr::BROADCAST, NodeId::new(1).mac());
+        assert_eq!(b.table_len(), 0);
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let mut b = LearningBridge::new(2);
+        let n0 = NodeId::new(0);
+        b.decide(n0, n0.mac(), MacAddr::BROADCAST);
+        assert_eq!(b.table_len(), 1);
+        b.clear();
+        assert_eq!(b.table_len(), 0);
+        assert_eq!(b.port_of(n0.mac()), None);
+    }
+
+    #[test]
+    fn full_mesh_converges_to_zero_floods() {
+        let n = 8;
+        let mut b = LearningBridge::new(n);
+        // Everyone broadcasts once (ARP): the table fills.
+        for i in 0..n as u32 {
+            b.decide(NodeId::new(i), NodeId::new(i).mac(), MacAddr::BROADCAST);
+        }
+        let floods_after_arp = b.floods();
+        // Now every unicast pair forwards without flooding.
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                if i != j {
+                    let d = b.decide(NodeId::new(i), NodeId::new(i).mac(), NodeId::new(j).mac());
+                    assert_eq!(d, BridgeDecision::Forward(NodeId::new(j)));
+                }
+            }
+        }
+        assert_eq!(b.floods(), floods_after_arp);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_ingress_rejected() {
+        let mut b = LearningBridge::new(2);
+        b.decide(NodeId::new(5), NodeId::new(5).mac(), MacAddr::BROADCAST);
+    }
+}

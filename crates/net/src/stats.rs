@@ -1,0 +1,207 @@
+//! Straggler accounting and traffic traces.
+
+use crate::packet::NodeId;
+use aqs_time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Accumulated straggler statistics.
+///
+/// A *straggler* is a packet whose computed arrival time lies in the
+/// receiver's simulated past, so it must be delivered late. The paper's
+/// accuracy losses are entirely a function of "the quantity of stragglers
+/// and their total delay time" (§3), so both are tracked.
+///
+/// # Examples
+///
+/// ```
+/// use aqs_net::StragglerStats;
+/// use aqs_time::SimDuration;
+///
+/// let mut s = StragglerStats::default();
+/// s.record(SimDuration::from_micros(3));
+/// s.record(SimDuration::from_micros(1));
+/// assert_eq!(s.count(), 2);
+/// assert_eq!(s.total_delay(), SimDuration::from_micros(4));
+/// assert_eq!(s.max_delay(), SimDuration::from_micros(3));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StragglerStats {
+    count: u64,
+    total_delay: SimDuration,
+    max_delay: SimDuration,
+}
+
+impl StragglerStats {
+    /// Records one straggler delivered `delay` after its ideal arrival.
+    pub fn record(&mut self, delay: SimDuration) {
+        self.count += 1;
+        self.total_delay = self.total_delay.saturating_add(delay);
+        self.max_delay = self.max_delay.max(delay);
+    }
+
+    /// Number of stragglers seen.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all delivery delays.
+    #[inline]
+    pub fn total_delay(&self) -> SimDuration {
+        self.total_delay
+    }
+
+    /// Largest single delivery delay.
+    #[inline]
+    pub fn max_delay(&self) -> SimDuration {
+        self.max_delay
+    }
+
+    /// Mean delivery delay, or zero if no stragglers occurred.
+    pub fn mean_delay(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_delay / self.count
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &StragglerStats) {
+        self.count += other.count;
+        self.total_delay = self.total_delay.saturating_add(other.total_delay);
+        self.max_delay = self.max_delay.max(other.max_delay);
+    }
+}
+
+/// One routed packet, as recorded for the Figure 9 traffic charts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Departure simulated time.
+    pub time: SimTime,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node (after broadcast expansion).
+    pub dst: NodeId,
+    /// Frame size in bytes.
+    pub bytes: u32,
+}
+
+/// An append-only record of routed packets.
+///
+/// Recording is optional (it costs memory on long runs); the controller
+/// only appends when the trace is enabled.
+///
+/// # Examples
+///
+/// ```
+/// use aqs_net::{NodeId, TrafficTrace};
+/// use aqs_time::SimTime;
+///
+/// let mut trace = TrafficTrace::enabled();
+/// trace.record(SimTime::ZERO, NodeId::new(0), NodeId::new(1), 9000);
+/// assert_eq!(trace.entries().len(), 1);
+/// assert_eq!(trace.total_bytes(), 9000);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrafficTrace {
+    enabled: bool,
+    entries: Vec<TraceEntry>,
+    total_packets: u64,
+    total_bytes: u64,
+}
+
+impl TrafficTrace {
+    /// Creates a disabled trace: counters tick, entries are not stored.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Creates an enabled trace that stores every entry.
+    pub fn enabled() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+
+    /// Returns `true` if entries are being stored.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one routed packet.
+    pub fn record(&mut self, time: SimTime, src: NodeId, dst: NodeId, bytes: u32) {
+        self.total_packets += 1;
+        self.total_bytes += bytes as u64;
+        if self.enabled {
+            self.entries.push(TraceEntry { time, src, dst, bytes });
+        }
+    }
+
+    /// Stored entries (empty when disabled).
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Total packets routed (counted even when disabled).
+    #[inline]
+    pub fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+
+    /// Total bytes routed (counted even when disabled).
+    #[inline]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straggler_stats_accumulate() {
+        let mut s = StragglerStats::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean_delay(), SimDuration::ZERO);
+        s.record(SimDuration::from_micros(2));
+        s.record(SimDuration::from_micros(4));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.total_delay(), SimDuration::from_micros(6));
+        assert_eq!(s.max_delay(), SimDuration::from_micros(4));
+        assert_eq!(s.mean_delay(), SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn straggler_stats_merge() {
+        let mut a = StragglerStats::default();
+        a.record(SimDuration::from_micros(1));
+        let mut b = StragglerStats::default();
+        b.record(SimDuration::from_micros(5));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.total_delay(), SimDuration::from_micros(6));
+        assert_eq!(a.max_delay(), SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn disabled_trace_counts_without_storing() {
+        let mut t = TrafficTrace::disabled();
+        t.record(SimTime::ZERO, NodeId::new(0), NodeId::new(1), 100);
+        assert!(!t.is_enabled());
+        assert_eq!(t.total_packets(), 1);
+        assert_eq!(t.total_bytes(), 100);
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_stores_entries_in_order() {
+        let mut t = TrafficTrace::enabled();
+        t.record(SimTime::from_nanos(10), NodeId::new(0), NodeId::new(1), 100);
+        t.record(SimTime::from_nanos(20), NodeId::new(1), NodeId::new(0), 200);
+        let e = t.entries();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].time, SimTime::from_nanos(10));
+        assert_eq!(e[1].bytes, 200);
+    }
+}

@@ -1,0 +1,317 @@
+//! Receiver-side message reassembly and MPI-style matching.
+
+use crate::program::{Rank, Tag};
+use aqs_time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Globally unique message identity: sender rank + per-sender sequence
+/// number (assigned in send order, which encodes MPI's non-overtaking rule).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct MessageId {
+    /// Sending rank.
+    pub src: Rank,
+    /// Sequence number within the sender's stream.
+    pub seq: u64,
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.src, self.seq)
+    }
+}
+
+/// Message-level metadata carried by every fragment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct MessageMeta {
+    /// Identity.
+    pub id: MessageId,
+    /// Matching tag.
+    pub tag: Tag,
+    /// Total payload size in bytes.
+    pub bytes: u64,
+    /// Number of link-layer fragments the message was split into.
+    pub frag_count: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Assembling {
+    meta: MessageMeta,
+    received_mask: Vec<bool>,
+    received: u32,
+    latest_arrival: SimTime,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Ready {
+    meta: MessageMeta,
+    ready_at: SimTime,
+}
+
+/// Result of a matching attempt at a given simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// A message matched and was consumed; contains its metadata and the
+    /// time it became available (≤ the polling time).
+    Matched(MessageMeta, SimTime),
+    /// A matching message exists but only becomes available at this future
+    /// simulated time; nothing was consumed.
+    ReadyAt(SimTime),
+    /// No matching message has (even partially) completed yet.
+    NoMatch,
+}
+
+/// A node's receive-side state: in-flight reassembly plus completed
+/// messages awaiting a matching `Recv`.
+///
+/// Matching follows MPI semantics: within one `(src, tag)` channel messages
+/// match in send order (non-overtaking); a wildcard-source receive takes the
+/// earliest-available candidate, breaking ties by source rank then sequence
+/// number, so matching is fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use aqs_node::{Mailbox, MessageId, MessageMeta, Rank, Tag};
+/// use aqs_time::SimTime;
+///
+/// let mut mb = Mailbox::new();
+/// let meta = MessageMeta {
+///     id: MessageId { src: Rank::new(1), seq: 0 },
+///     tag: Tag::new(5),
+///     bytes: 100,
+///     frag_count: 1,
+/// };
+/// let ready = mb.deliver_fragment(meta, 0, SimTime::from_micros(3));
+/// assert_eq!(ready, Some(SimTime::from_micros(3)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Mailbox {
+    assembling: HashMap<MessageId, Assembling>,
+    ready: Vec<Ready>,
+    completed_total: u64,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Delivers one fragment that becomes visible at `arrival`.
+    ///
+    /// Returns `Some(ready_time)` when this fragment completes its message
+    /// (the ready time is the latest fragment arrival), `None` while the
+    /// message is still partial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fragment index is out of range, if the same fragment is
+    /// delivered twice, or if the same message id is re-delivered with
+    /// conflicting metadata. (The caller must not redeliver fragments of a
+    /// message that already completed.)
+    pub fn deliver_fragment(
+        &mut self,
+        meta: MessageMeta,
+        frag_index: u32,
+        arrival: SimTime,
+    ) -> Option<SimTime> {
+        assert!(frag_index < meta.frag_count, "fragment index {frag_index} out of range");
+        let slot = self.assembling.entry(meta.id).or_insert(Assembling {
+            meta,
+            received_mask: vec![false; meta.frag_count as usize],
+            received: 0,
+            latest_arrival: SimTime::ZERO,
+        });
+        assert_eq!(slot.meta, meta, "conflicting metadata for {}", meta.id);
+        assert!(
+            !slot.received_mask[frag_index as usize],
+            "duplicate fragment {frag_index} for {}",
+            meta.id
+        );
+        slot.received_mask[frag_index as usize] = true;
+        slot.received += 1;
+        slot.latest_arrival = slot.latest_arrival.max(arrival);
+        if slot.received == meta.frag_count {
+            let done = self.assembling.remove(&meta.id).expect("slot vanished");
+            self.completed_total += 1;
+            self.ready.push(Ready { meta: done.meta, ready_at: done.latest_arrival });
+            Some(done.latest_arrival)
+        } else {
+            None
+        }
+    }
+
+    /// Attempts to match a receive posted at simulated time `now`.
+    ///
+    /// See [`MatchOutcome`] for the three possible results. Only a
+    /// [`MatchOutcome::Matched`] consumes the message.
+    pub fn match_recv(&mut self, src: Option<Rank>, tag: Tag, now: SimTime) -> MatchOutcome {
+        // Per (src, tag) channel the earliest-seq ready message is the only
+        // legal match (non-overtaking); collect one candidate per source.
+        let mut best: Option<(usize, Ready)> = None;
+        for (i, r) in self.ready.iter().enumerate() {
+            if r.meta.tag != tag {
+                continue;
+            }
+            if let Some(want) = src {
+                if r.meta.id.src != want {
+                    continue;
+                }
+            }
+            let replace = match &best {
+                None => true,
+                Some((_, b)) => {
+                    if r.meta.id.src == b.meta.id.src {
+                        // Same channel: lower seq wins regardless of time.
+                        r.meta.id.seq < b.meta.id.seq
+                    } else {
+                        // Different sources: earliest availability wins;
+                        // deterministic tie-break by (src, seq).
+                        (r.ready_at, r.meta.id.src, r.meta.id.seq)
+                            < (b.ready_at, b.meta.id.src, b.meta.id.seq)
+                    }
+                }
+            };
+            if replace {
+                best = Some((i, *r));
+            }
+        }
+        match best {
+            None => MatchOutcome::NoMatch,
+            Some((i, r)) if r.ready_at <= now => {
+                self.ready.swap_remove(i);
+                MatchOutcome::Matched(r.meta, r.ready_at)
+            }
+            Some((_, r)) => MatchOutcome::ReadyAt(r.ready_at),
+        }
+    }
+
+    /// Number of fully reassembled messages not yet consumed.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Number of messages still missing fragments.
+    pub fn assembling_len(&self) -> usize {
+        self.assembling.len()
+    }
+
+    /// Total messages completed over the mailbox's lifetime.
+    pub fn completed_total(&self) -> u64 {
+        self.completed_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(src: u32, seq: u64, tag: u32, frags: u32) -> MessageMeta {
+        MessageMeta {
+            id: MessageId { src: Rank::new(src), seq },
+            tag: Tag::new(tag),
+            bytes: 9000 * frags as u64,
+            frag_count: frags,
+        }
+    }
+
+    #[test]
+    fn single_fragment_completes_immediately() {
+        let mut mb = Mailbox::new();
+        let t = SimTime::from_micros(2);
+        assert_eq!(mb.deliver_fragment(meta(1, 0, 0, 1), 0, t), Some(t));
+        assert_eq!(mb.ready_len(), 1);
+        assert_eq!(mb.completed_total(), 1);
+    }
+
+    #[test]
+    fn multi_fragment_ready_at_last_arrival() {
+        let mut mb = Mailbox::new();
+        let m = meta(1, 0, 0, 3);
+        assert_eq!(mb.deliver_fragment(m, 0, SimTime::from_micros(1)), None);
+        assert_eq!(mb.deliver_fragment(m, 2, SimTime::from_micros(9)), None);
+        assert_eq!(mb.assembling_len(), 1);
+        assert_eq!(mb.deliver_fragment(m, 1, SimTime::from_micros(5)), Some(SimTime::from_micros(9)));
+        assert_eq!(mb.assembling_len(), 0);
+    }
+
+    #[test]
+    fn matched_consumes() {
+        let mut mb = Mailbox::new();
+        mb.deliver_fragment(meta(1, 0, 7, 1), 0, SimTime::from_micros(1));
+        let out = mb.match_recv(Some(Rank::new(1)), Tag::new(7), SimTime::from_micros(2));
+        assert!(matches!(out, MatchOutcome::Matched(m, t)
+            if m.id.seq == 0 && t == SimTime::from_micros(1)));
+        assert_eq!(mb.ready_len(), 0);
+        assert_eq!(
+            mb.match_recv(Some(Rank::new(1)), Tag::new(7), SimTime::from_micros(2)),
+            MatchOutcome::NoMatch
+        );
+    }
+
+    #[test]
+    fn future_ready_reported_not_consumed() {
+        let mut mb = Mailbox::new();
+        mb.deliver_fragment(meta(1, 0, 7, 1), 0, SimTime::from_micros(10));
+        let out = mb.match_recv(Some(Rank::new(1)), Tag::new(7), SimTime::from_micros(2));
+        assert_eq!(out, MatchOutcome::ReadyAt(SimTime::from_micros(10)));
+        assert_eq!(mb.ready_len(), 1);
+    }
+
+    #[test]
+    fn tag_mismatch_is_no_match() {
+        let mut mb = Mailbox::new();
+        mb.deliver_fragment(meta(1, 0, 7, 1), 0, SimTime::ZERO);
+        assert_eq!(mb.match_recv(Some(Rank::new(1)), Tag::new(8), SimTime::MAX), MatchOutcome::NoMatch);
+    }
+
+    #[test]
+    fn non_overtaking_within_channel() {
+        let mut mb = Mailbox::new();
+        // seq 1 becomes ready *earlier* than seq 0 (engineered reorder).
+        mb.deliver_fragment(meta(1, 1, 0, 1), 0, SimTime::from_micros(1));
+        mb.deliver_fragment(meta(1, 0, 0, 1), 0, SimTime::from_micros(5));
+        let out = mb.match_recv(Some(Rank::new(1)), Tag::new(0), SimTime::from_micros(10));
+        // Must match seq 0 first despite its later ready time.
+        assert!(matches!(out, MatchOutcome::Matched(m, _) if m.id.seq == 0));
+        let out2 = mb.match_recv(Some(Rank::new(1)), Tag::new(0), SimTime::from_micros(10));
+        assert!(matches!(out2, MatchOutcome::Matched(m, _) if m.id.seq == 1));
+    }
+
+    #[test]
+    fn wildcard_takes_earliest_across_sources() {
+        let mut mb = Mailbox::new();
+        mb.deliver_fragment(meta(2, 0, 0, 1), 0, SimTime::from_micros(4));
+        mb.deliver_fragment(meta(1, 0, 0, 1), 0, SimTime::from_micros(9));
+        let out = mb.match_recv(None, Tag::new(0), SimTime::from_micros(20));
+        assert!(matches!(out, MatchOutcome::Matched(m, _) if m.id.src == Rank::new(2)));
+    }
+
+    #[test]
+    fn wildcard_tie_breaks_by_source_rank() {
+        let mut mb = Mailbox::new();
+        let t = SimTime::from_micros(4);
+        mb.deliver_fragment(meta(3, 0, 0, 1), 0, t);
+        mb.deliver_fragment(meta(1, 0, 0, 1), 0, t);
+        let out = mb.match_recv(None, Tag::new(0), SimTime::MAX);
+        assert!(matches!(out, MatchOutcome::Matched(m, _) if m.id.src == Rank::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate fragment")]
+    fn duplicate_fragment_panics() {
+        let mut mb = Mailbox::new();
+        let m = meta(1, 0, 0, 2);
+        mb.deliver_fragment(m, 0, SimTime::ZERO);
+        mb.deliver_fragment(m, 0, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_fragment_index_panics() {
+        let mut mb = Mailbox::new();
+        mb.deliver_fragment(meta(1, 0, 0, 2), 5, SimTime::ZERO);
+    }
+}

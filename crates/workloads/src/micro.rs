@@ -1,0 +1,104 @@
+//! Microbenchmarks: the minimal workloads used by tests, examples and the
+//! Figure 3/4/5 scenario demonstrations.
+
+use crate::mpi::MpiBuilder;
+use crate::spec::{MetricKind, WorkloadSpec};
+use aqs_node::RegionId;
+
+/// A `rounds`-deep ping-pong between ranks 0 and 1 of an `n`-rank cluster
+/// (other ranks idle-compute) — the paper's Figure 2/3 "what a ping would
+/// do" scenario. Metric: kernel wall-clock (round-trip time × rounds).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `rounds == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let spec = aqs_workloads::ping_pong(2, 10, 64);
+/// assert_eq!(spec.programs[0].send_count(), 10);
+/// ```
+pub fn ping_pong(n: usize, rounds: usize, bytes: u64) -> WorkloadSpec {
+    assert!(rounds > 0, "need at least one round");
+    let mut m = MpiBuilder::new(n);
+    m.region_start_all(RegionId::KERNEL);
+    for _ in 0..rounds {
+        m.p2p(0, 1, bytes);
+        m.p2p(1, 0, bytes);
+    }
+    m.region_end_all(RegionId::KERNEL);
+    WorkloadSpec::new("ping-pong", m.build(), MetricKind::KernelTime)
+}
+
+/// A communication burst: every rank exchanges `bytes` with every other
+/// rank, sandwiched between two compute phases — exercises the adaptive
+/// quantum's brake/accelerate cycle exactly once.
+///
+/// # Examples
+///
+/// ```
+/// let spec = aqs_workloads::burst(4, 100_000, 1024);
+/// assert_eq!(spec.n_ranks(), 4);
+/// ```
+pub fn burst(n: usize, compute_ops: u64, bytes: u64) -> WorkloadSpec {
+    let mut m = MpiBuilder::new(n);
+    m.region_start_all(RegionId::KERNEL);
+    m.compute_all(compute_ops);
+    m.alltoall(bytes);
+    m.compute_all(compute_ops);
+    m.region_end_all(RegionId::KERNEL);
+    WorkloadSpec::new("burst", m.build(), MetricKind::KernelTime)
+}
+
+/// Pure computation with a deterministic ±`spread` per-rank imbalance and
+/// no communication at all — isolates synchronization overhead (Figure 5).
+///
+/// # Examples
+///
+/// ```
+/// let spec = aqs_workloads::uniform_compute(2, 1_000_000, 0.1);
+/// assert!(spec.total_ops() >= 1_800_000);
+/// ```
+pub fn uniform_compute(n: usize, ops_per_rank: u64, spread: f64) -> WorkloadSpec {
+    let mut m = MpiBuilder::new(n);
+    m.region_start_all(RegionId::KERNEL);
+    m.compute_all_imbalanced(ops_per_rank, spread, 1);
+    m.region_end_all(RegionId::KERNEL);
+    WorkloadSpec::new("compute", m.build(), MetricKind::Mops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_structure() {
+        let spec = ping_pong(4, 3, 64);
+        assert_eq!(spec.n_ranks(), 4);
+        assert_eq!(spec.programs[0].send_count(), 3);
+        assert_eq!(spec.programs[1].send_count(), 3);
+        assert_eq!(spec.programs[2].send_count(), 0);
+        assert_eq!(spec.metric, MetricKind::KernelTime);
+    }
+
+    #[test]
+    fn burst_has_two_compute_phases() {
+        let spec = burst(4, 1000, 64);
+        assert_eq!(spec.total_ops(), 2 * 4 * 1000);
+        assert_eq!(spec.programs[0].send_count(), 3);
+    }
+
+    #[test]
+    fn uniform_compute_has_no_messages() {
+        let spec = uniform_compute(3, 1000, 0.0);
+        assert!(spec.programs.iter().all(|p| p.send_count() == 0 && p.recv_count() == 0));
+        assert_eq!(spec.total_ops(), 3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let _ = ping_pong(2, 0, 64);
+    }
+}

@@ -1,0 +1,131 @@
+//! NAMD-like molecular-dynamics workload.
+//!
+//! NAMD (apoa1) is the paper's worst-case *speed* benchmark: "there is no
+//! visible interval where the application is not exchanging data over the
+//! network" (§6), which keeps the adaptive quantum pinned near the safe
+//! floor and caps the achievable speedup around the best fixed quantum.
+//!
+//! The generator models Charm++-style spatial-decomposition MD with
+//! communication/computation overlap:
+//!
+//! * force computation is split into *chunks*, and a patch-boundary message
+//!   leaves after every chunk — so packets flow throughout the step, not
+//!   just at its end (this is what denies the adaptive quantum its quiet
+//!   phases);
+//! * the neighbour data for the next step is consumed at the step
+//!   boundary, followed by an energy `allreduce` — a latency-bound chain;
+//! * every fourth step runs a PME-style small `alltoall` (the FFT
+//!   transpose), whose `n − 1` round dependency chain is what dilates
+//!   simulated time badly under long quanta.
+//!
+//! NAMD reports wall-clock time, so the metric is
+//! [`MetricKind::KernelTime`].
+
+use crate::mpi::MpiBuilder;
+use crate::spec::{MetricKind, Scale, WorkloadSpec};
+use aqs_node::RegionId;
+
+/// Builds the NAMD-like workload for `n` ranks.
+///
+/// # Examples
+///
+/// ```
+/// let spec = aqs_workloads::namd::namd(8, aqs_workloads::Scale::Tiny);
+/// assert_eq!(spec.name, "NAMD");
+/// assert_eq!(spec.metric, aqs_workloads::MetricKind::KernelTime);
+/// ```
+pub fn namd(n: usize, scale: Scale) -> WorkloadSpec {
+    let mut m = MpiBuilder::new(n);
+    let steps = scale.iters(16);
+    // apoa1-like: fixed molecule, work splits across ranks.
+    let step_ops = (scale.ops(416_000_000) / n as u64).max(8);
+    let patch_bytes = (scale.ops(96_000) / n as u64).max(512);
+    let pme_bytes = (scale.ops(512_000) / (n as u64 * n as u64)).max(128);
+    // Chunked force computation: one patch message per chunk. The chunk
+    // count grows with the rank count (Charm++ overdecomposition keeps the
+    // *global* message count per step roughly proportional to the number
+    // of patches): small clusters see quiet intra-step gaps, large ones see
+    // continuous traffic — exactly the paper's 8-node vs 64-node contrast.
+    let chunks = (n as u64 / 4).clamp(2, 16);
+    // Molecule distribution (untimed setup).
+    m.bcast(0, 65_536);
+    m.region_start_all(RegionId::KERNEL);
+    for s in 0..steps {
+        // Overlapped force computation: a patch message leaves after every
+        // chunk, alternating direction so both ring neighbours stay fed.
+        for c in 0..chunks {
+            // Per-chunk imbalance: atom density varies per patch and step.
+            m.compute_all_imbalanced(step_ops / chunks, 0.04, 500 + (s as u64) * chunks + c);
+            let dist = if c % 2 == 0 || n <= 4 { 1 } else { 2usize.min(n - 1) };
+            m.neighbor_exchange(&[dist], patch_bytes);
+        }
+        // Energy reduction: a log2(n)-deep latency chain every step.
+        m.allreduce(64, 100);
+        // PME long-range electrostatics: FFT transpose every 4th step.
+        if s % 4 == 0 {
+            m.alltoall(pme_bytes);
+        }
+    }
+    m.region_end_all(RegionId::KERNEL);
+    WorkloadSpec::new("NAMD", m.build(), MetricKind::KernelTime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_for_paper_node_counts() {
+        for n in [2usize, 4, 8, 64] {
+            let spec = namd(n, Scale::Tiny);
+            assert_eq!(spec.n_ranks(), n);
+            assert!(spec.total_ops() > 0);
+        }
+    }
+
+    #[test]
+    fn traffic_is_dense() {
+        // NAMD must send far more often per unit compute than EP.
+        let nm = namd(8, Scale::Mini);
+        let ep = crate::nas::ep(8, Scale::Mini);
+        let density = |s: &WorkloadSpec| {
+            let sends: usize = s.programs.iter().map(|p| p.send_count()).sum();
+            sends as f64 / s.total_ops() as f64
+        };
+        assert!(density(&nm) > 5.0 * density(&ep));
+    }
+
+    #[test]
+    fn messages_flow_within_steps_not_only_at_boundaries() {
+        // Between any two consecutive sends there must never be more than
+        // ~1/8 of a step's compute — the overlap property.
+        let spec = namd(8, Scale::Mini);
+        let p = &spec.programs[0];
+        let step_ops = Scale::Mini.ops(416_000_000) / 8;
+        let chunks = 2; // n = 8 → 2 chunks
+        let mut since_send = 0u64;
+        let mut max_gap = 0u64;
+        for op in p.ops() {
+            match op {
+                aqs_node::Op::Compute { ops } => since_send += ops,
+                aqs_node::Op::Send { .. } => {
+                    max_gap = max_gap.max(since_send);
+                    since_send = 0;
+                }
+                _ => {}
+            }
+        }
+        // Allow the ±4 % per-chunk imbalance on top of the chunk size.
+        assert!(
+            max_gap <= step_ops / chunks + step_ops / 20,
+            "compute gap {max_gap} exceeds a chunk ({})",
+            step_ops / chunks
+        );
+    }
+
+    #[test]
+    fn small_clusters_use_single_distance() {
+        let spec = namd(2, Scale::Tiny);
+        assert!(spec.programs[0].send_count() > 0);
+    }
+}

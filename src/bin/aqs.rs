@@ -1,0 +1,261 @@
+//! `aqs` — command-line front end to the cluster simulator.
+//!
+//! ```text
+//! aqs run   --workload cg --nodes 8 --policy dyn1 [--seed N] [--scale tiny|mini|full]
+//! aqs sweep --workload is --nodes 8 [--seed N] [--scale …]    # the paper's 5-config sweep
+//! aqs optimistic --workload cg --nodes 4 [--window-us W]      # checkpoint/rollback engine
+//! aqs export-spec --workload is --nodes 8 --out spec.json     # dump a workload as JSON
+//! aqs run-spec --file spec.json [--policy p] [--seed N]       # run a JSON workload
+//! aqs policies                                                # list built-in policies
+//! ```
+
+use aqs::cluster::optimistic::{run_optimistic, OptimisticConfig};
+use aqs::cluster::{app_metric, paper_sweep, run_workload, ClusterConfig, Experiment};
+use aqs::core::{PredictiveConfig, SyncConfig};
+use aqs::metrics::render_table;
+use aqs::time::SimDuration;
+use aqs::workloads::{namd, nas, ping_pong, Scale, WorkloadSpec};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         aqs run   --workload <ep|is|cg|mg|lu|ft|namd|pingpong> --nodes <n> --policy <p> \
+         [--seed N] [--scale tiny|mini|full]\n  \
+         aqs sweep --workload <…> --nodes <n> [--seed N] [--scale …]\n  \
+         aqs optimistic --workload <…> --nodes <n> [--window-us W] [--seed N] [--scale …]\n  \
+         aqs export-spec --workload <…> --nodes <n> --out <file> [--scale …]\n  \
+         aqs run-spec --file <file> [--policy <p>] [--seed N]\n  \
+         aqs policies\n\n\
+         policies: truth | fixed:<µs> | dyn1 | dyn2 | dyn:<min_µs>:<max_µs>:<inc>:<dec> | pred"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument: {a}");
+            usage();
+        };
+        let Some(value) = it.next() else {
+            eprintln!("flag --{key} needs a value");
+            usage();
+        };
+        flags.insert(key.to_string(), value.clone());
+    }
+    flags
+}
+
+fn parse_scale(flags: &HashMap<String, String>) -> Scale {
+    match flags.get("scale").map(String::as_str) {
+        None | Some("mini") => Scale::Mini,
+        Some("tiny") => Scale::Tiny,
+        Some("full") => Scale::Full,
+        Some(other) => {
+            eprintln!("unknown scale: {other}");
+            usage();
+        }
+    }
+}
+
+fn parse_workload(flags: &HashMap<String, String>, n: usize, scale: Scale) -> WorkloadSpec {
+    match flags.get("workload").map(String::as_str) {
+        Some("ep") => nas::ep(n, scale),
+        Some("is") => nas::is(n, scale),
+        Some("cg") => nas::cg(n, scale),
+        Some("mg") => nas::mg(n, scale),
+        Some("lu") => nas::lu(n, scale),
+        Some("ft") => nas::ft(n, scale),
+        Some("namd") => namd::namd(n, scale),
+        Some("pingpong") => ping_pong(n, 20, 9000),
+        Some(other) => {
+            eprintln!("unknown workload: {other}");
+            usage();
+        }
+        None => {
+            eprintln!("--workload is required");
+            usage();
+        }
+    }
+}
+
+fn parse_policy(spec: &str) -> SyncConfig {
+    match spec {
+        "truth" => SyncConfig::ground_truth(),
+        "dyn1" => SyncConfig::paper_dyn1(),
+        "dyn2" => SyncConfig::paper_dyn2(),
+        "pred" => SyncConfig::Predictive(PredictiveConfig::default_1_1000()),
+        other => {
+            let parts: Vec<&str> = other.split(':').collect();
+            match parts.as_slice() {
+                ["fixed", us] => {
+                    let us: u64 = us.parse().unwrap_or_else(|_| usage());
+                    SyncConfig::fixed_micros(us)
+                }
+                ["dyn", min, max, inc, dec] => {
+                    let min: u64 = min.parse().unwrap_or_else(|_| usage());
+                    let max: u64 = max.parse().unwrap_or_else(|_| usage());
+                    let inc: f64 = inc.parse().unwrap_or_else(|_| usage());
+                    let dec: f64 = dec.parse().unwrap_or_else(|_| usage());
+                    SyncConfig::Adaptive(aqs::core::AdaptiveConfig::new(
+                        SimDuration::from_micros(min),
+                        SimDuration::from_micros(max),
+                        inc,
+                        dec,
+                    ))
+                }
+                _ => {
+                    eprintln!("unknown policy: {other}");
+                    usage();
+                }
+            }
+        }
+    }
+}
+
+fn nodes_and_seed(flags: &HashMap<String, String>) -> (usize, u64) {
+    let n: usize = flags
+        .get("nodes")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(8);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(42);
+    (n, seed)
+}
+
+fn cmd_run(flags: HashMap<String, String>) {
+    let (n, seed) = nodes_and_seed(&flags);
+    let scale = parse_scale(&flags);
+    let spec = parse_workload(&flags, n, scale);
+    let policy = parse_policy(flags.get("policy").map(String::as_str).unwrap_or("dyn1"));
+    let base = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(seed);
+    let truth = run_workload(&spec, &base);
+    let run = run_workload(&spec, &base.clone().with_sync(policy));
+    let m = app_metric(&run, spec.metric);
+    let m0 = app_metric(&truth, spec.metric);
+    println!("{} on {n} nodes, policy {}", spec.name, run.sync_label);
+    println!("  simulated time : {}", run.sim_end);
+    println!("  host time      : {}  ({:.1}x vs 1µs ground truth)", run.host_elapsed,
+        run.speedup_vs(&truth));
+    println!("  metric         : {m}  (truth {m0}, error {:.2}%)", m.error_vs(&m0) * 100.0);
+    println!("  quanta         : {}   stragglers: {} (total delay {})",
+        run.total_quanta, run.stragglers.count(), run.stragglers.total_delay());
+}
+
+fn cmd_sweep(flags: HashMap<String, String>) {
+    let (n, seed) = nodes_and_seed(&flags);
+    let scale = parse_scale(&flags);
+    let spec = parse_workload(&flags, n, scale);
+    let base = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(seed);
+    let result = Experiment::new(spec, base, paper_sweep()).run();
+    println!(
+        "{} on {n} nodes — ground truth {} in {}",
+        result.name, result.baseline_metric, result.baseline.host_elapsed
+    );
+    let rows: Vec<Vec<String>> = result
+        .outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.label.clone(),
+                format!("{:.1}x", o.speedup),
+                format!("{:.2}%", o.accuracy_error * 100.0),
+                format!("{}", o.result.stragglers.count()),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["config", "speedup", "error", "stragglers"], &rows));
+}
+
+fn cmd_optimistic(flags: HashMap<String, String>) {
+    let (n, seed) = nodes_and_seed(&flags);
+    let scale = parse_scale(&flags);
+    let spec = parse_workload(&flags, n, scale);
+    let window: u64 = flags
+        .get("window-us")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(500);
+    let base = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(seed);
+    let truth = run_workload(&spec, &base);
+    let cfg = OptimisticConfig::new(base).with_window(SimDuration::from_micros(window));
+    let r = run_optimistic(spec.programs.clone(), &cfg);
+    println!("{} on {n} nodes, optimistic engine (window {}µs)", spec.name, window);
+    println!("  simulated time : {} (exact: matches ground truth {})", r.sim_end, truth.sim_end);
+    println!("  host time      : {} with the paper's 30s checkpoints", r.host_elapsed);
+    println!("  windows        : {}   checkpoints: {}   rollbacks: {}   wasted sim: {}",
+        r.windows, r.checkpoints, r.rollbacks, r.wasted_sim);
+    println!("  vs ground truth: {:.3}x",
+        truth.host_elapsed.as_secs_f64() / r.host_elapsed.as_secs_f64());
+}
+
+fn cmd_export_spec(flags: HashMap<String, String>) {
+    let (n, _) = nodes_and_seed(&flags);
+    let scale = parse_scale(&flags);
+    let spec = parse_workload(&flags, n, scale);
+    let Some(out) = flags.get("out") else {
+        eprintln!("--out <file> is required");
+        usage();
+    };
+    let json = serde_json::to_string_pretty(&spec).expect("spec serializes");
+    std::fs::write(out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!("wrote {} ({} ranks, {} ops)", out, spec.n_ranks(), spec.total_ops());
+}
+
+fn cmd_run_spec(flags: HashMap<String, String>) {
+    let Some(file) = flags.get("file") else {
+        eprintln!("--file <file> is required");
+        usage();
+    };
+    let json = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        exit(1);
+    });
+    let spec: WorkloadSpec = serde_json::from_str(&json).unwrap_or_else(|e| {
+        eprintln!("invalid workload spec: {e}");
+        exit(1);
+    });
+    let (_, seed) = nodes_and_seed(&flags);
+    let policy = parse_policy(flags.get("policy").map(String::as_str).unwrap_or("dyn1"));
+    let base = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(seed);
+    let truth = run_workload(&spec, &base);
+    let run = run_workload(&spec, &base.clone().with_sync(policy));
+    let m = app_metric(&run, spec.metric);
+    let m0 = app_metric(&truth, spec.metric);
+    println!("{} ({} ranks) from {file}, policy {}", spec.name, spec.n_ranks(), run.sync_label);
+    println!("  host time : {} ({:.1}x vs ground truth)", run.host_elapsed, run.speedup_vs(&truth));
+    println!("  metric    : {m} (truth {m0}, error {:.2}%)", m.error_vs(&m0) * 100.0);
+}
+
+fn cmd_policies() {
+    println!("built-in synchronization policies:");
+    println!("  truth                          fixed 1µs quantum (safe bound, ground truth)");
+    println!("  fixed:<µs>                     fixed quantum, e.g. fixed:100");
+    println!("  dyn1                           paper Algorithm 1, 1-1000µs, +3%/x0.02");
+    println!("  dyn2                           paper Algorithm 1, 1-1000µs, +5%/x0.02");
+    println!("  dyn:<min>:<max>:<inc>:<dec>    custom Algorithm 1, e.g. dyn:1:100:1.03:0.02");
+    println!("  pred                           gap-predicting lookahead estimation (extension)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "run" => cmd_run(flags),
+        "sweep" => cmd_sweep(flags),
+        "optimistic" => cmd_optimistic(flags),
+        "export-spec" => cmd_export_spec(flags),
+        "run-spec" => cmd_run_spec(flags),
+        "policies" => cmd_policies(),
+        _ => usage(),
+    }
+}

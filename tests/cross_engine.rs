@@ -1,0 +1,72 @@
+//! Deterministic engine vs. threaded engine: under the safe quantum the two
+//! must agree exactly on the simulated timeline, because no thread
+//! interleaving can create a straggler.
+
+use aqs::cluster::parallel::{run_parallel, ParallelConfig};
+use aqs::cluster::{run_cluster, ClusterConfig};
+use aqs::core::SyncConfig;
+use aqs::workloads::{burst, nas, ping_pong, Scale, WorkloadSpec};
+
+fn check_equivalence(spec: WorkloadSpec) {
+    let det = run_cluster(
+        spec.programs.clone(),
+        &ClusterConfig::new(SyncConfig::ground_truth()).with_seed(1),
+    );
+    let par = run_parallel(
+        spec.programs.clone(),
+        &ParallelConfig::new(SyncConfig::ground_truth()).with_max_quanta(50_000_000),
+    );
+    assert_eq!(par.sim_end, det.sim_end, "{}: simulated end times differ", spec.name);
+    assert_eq!(par.total_packets, det.total_packets, "{}: packet counts differ", spec.name);
+    assert_eq!(par.stragglers.count(), 0, "{}: safe quantum straggled", spec.name);
+    for (p, d) in par.per_node.iter().zip(&det.per_node) {
+        assert_eq!(p.rank, d.rank);
+        assert_eq!(p.finish_sim, d.finish_sim, "{}: {} finish times differ", spec.name, p.rank);
+        assert_eq!(p.ops, d.ops);
+        assert_eq!(p.messages_received, d.messages_received);
+        assert_eq!(p.regions, d.regions, "{}: {} regions differ", spec.name, p.rank);
+    }
+}
+
+#[test]
+fn ping_pong_engines_agree() {
+    check_equivalence(ping_pong(2, 8, 64));
+}
+
+#[test]
+fn multi_fragment_engines_agree() {
+    check_equivalence(ping_pong(2, 3, 30_000));
+}
+
+#[test]
+fn burst_engines_agree() {
+    check_equivalence(burst(4, 200_000, 2048));
+}
+
+#[test]
+fn is_kernel_engines_agree() {
+    check_equivalence(nas::is(4, Scale::Tiny));
+}
+
+#[test]
+fn lu_wavefront_engines_agree() {
+    check_equivalence(nas::lu(4, Scale::Tiny));
+}
+
+/// With a long quantum the threaded engine's stragglers depend on real
+/// races, but functional delivery must still be complete.
+#[test]
+fn long_quantum_keeps_functional_integrity() {
+    let spec = burst(4, 100_000, 2048);
+    let det = run_cluster(
+        spec.programs.clone(),
+        &ClusterConfig::new(SyncConfig::fixed_micros(1000)).with_seed(1),
+    );
+    let par = run_parallel(
+        spec.programs,
+        &ParallelConfig::new(SyncConfig::fixed_micros(1000)).with_max_quanta(50_000_000),
+    );
+    let det_msgs: u64 = det.per_node.iter().map(|n| n.messages_received).sum();
+    assert_eq!(par.messages_received_total(), det_msgs);
+    assert_eq!(par.total_packets, det.total_packets);
+}

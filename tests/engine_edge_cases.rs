@@ -1,0 +1,144 @@
+//! Integration tests of engine features beyond the happy path: custom
+//! switch fabrics, heterogeneous hosts, sampling, and the optimistic
+//! engine's exactness on random workloads.
+
+use aqs::cluster::engine::run_cluster_with_switch;
+use aqs::cluster::optimistic::{run_optimistic, OptimisticConfig};
+use aqs::cluster::{run_cluster, run_workload, BarrierCostModel, ClusterConfig};
+use aqs::core::SyncConfig;
+use aqs::net::{LatencyMatrixSwitch, StoreAndForwardSwitch};
+use aqs::node::{HostModel, SamplingModel};
+use aqs::time::{HostDuration, SimDuration};
+use aqs::workloads::{burst, ping_pong, uniform_compute, MpiBuilder};
+use proptest::prelude::*;
+
+fn base(seed: u64) -> ClusterConfig {
+    ClusterConfig::new(SyncConfig::ground_truth()).with_seed(seed)
+}
+
+#[test]
+fn latency_matrix_inflates_cross_rack_roundtrip() {
+    let spec = ping_pong(2, 5, 64);
+    let flat = run_cluster(spec.programs.clone(), &base(1));
+    let racked = run_cluster_with_switch(
+        spec.programs,
+        &base(1),
+        LatencyMatrixSwitch::uniform(2, SimDuration::from_micros(10)),
+    );
+    // Each hop gains 10 µs; 10 hops total.
+    let delta = racked.sim_end - flat.sim_end;
+    assert_eq!(delta, SimDuration::from_micros(100));
+    assert_eq!(racked.stragglers.count(), 0, "higher latency only helps safety");
+}
+
+#[test]
+fn store_and_forward_congestion_slows_bursts() {
+    let spec = burst(4, 10_000, 60_000); // 60 kB to every peer at once
+    let perfect = run_cluster(spec.programs.clone(), &base(2));
+    let congested = run_cluster_with_switch(
+        spec.programs,
+        &base(2),
+        StoreAndForwardSwitch::new(SimDuration::from_micros(1), 1_000_000_000), // 1 Gb/s ports
+    );
+    assert!(
+        congested.sim_end > perfect.sim_end,
+        "finite port bandwidth must delay the exchange: {} vs {}",
+        congested.sim_end,
+        perfect.sim_end
+    );
+}
+
+#[test]
+fn slower_node_override_slows_the_cluster() {
+    // Pure compute + a free barrier isolates execution cost, where the
+    // 4x-slower node 1 must set the pace. (No packets → no straggler
+    // timing to disturb, so simulated time must be identical too.)
+    let spec = uniform_compute(2, 1_000_000, 0.0);
+    let even = base(3)
+        .with_host(HostModel::uniform(30.0, 0.02))
+        .with_barrier(BarrierCostModel::free());
+    let skewed = even.clone().with_node_host(1, HostModel::uniform(120.0, 0.02));
+    let fast = run_cluster(spec.programs.clone(), &even);
+    let slow = run_cluster(spec.programs, &skewed);
+    assert!(
+        slow.host_elapsed > fast.host_elapsed * 2,
+        "{} !> 2 x {}",
+        slow.host_elapsed,
+        fast.host_elapsed
+    );
+    // Simulated results are unaffected by host speed.
+    assert_eq!(slow.sim_end, fast.sim_end);
+}
+
+#[test]
+fn sampling_composes_with_every_policy() {
+    let spec = burst(4, 500_000, 1024);
+    let sampling = SamplingModel::new(SimDuration::from_micros(100), 0.25, 10.0, 0.0);
+    for sync in [SyncConfig::ground_truth(), SyncConfig::fixed_micros(100), SyncConfig::paper_dyn1()]
+    {
+        let plain = run_workload(&spec, &base(4).with_sync(sync.clone()));
+        let sampled = run_workload(&spec, &base(4).with_sync(sync.clone()).with_sampling(sampling));
+        // Functional behaviour never changes.
+        assert_eq!(sampled.total_packets, plain.total_packets, "under {sync}");
+        assert_eq!(sampled.total_ops(), plain.total_ops(), "under {sync}");
+    }
+    // Under the straggler-free ground truth, zero-sigma sampling leaves the
+    // simulated timeline untouched and only cuts host cost. (Under lossy
+    // quanta, cheaper host execution shifts straggler deliveries, so the
+    // timelines legitimately diverge.)
+    let plain = run_workload(&spec, &base(4));
+    let sampled = run_workload(&spec, &base(4).with_sampling(sampling));
+    assert_eq!(sampled.sim_end, plain.sim_end);
+    assert!(
+        sampled.host_elapsed < plain.host_elapsed,
+        "{} !< {}",
+        sampled.host_elapsed,
+        plain.host_elapsed
+    );
+}
+
+/// Same random-workload generator as `random_programs.rs`, reused here to
+/// pit the optimistic engine against the conservative ground truth.
+fn random_workload(n: usize, phases: &[(u8, u32, u32)]) -> Vec<aqs::node::Program> {
+    let mut m = MpiBuilder::new(n);
+    for &(sel, kops, bytes) in phases {
+        m.compute_all_imbalanced(kops as u64 * 1000 + 1, 0.1, sel as u64 + kops as u64);
+        let bytes = bytes as u64 + 1;
+        match sel % 5 {
+            0 => m.barrier(),
+            1 => m.allreduce(bytes, 50),
+            2 => m.alltoall(bytes),
+            3 => m.bcast(sel as usize % n, bytes),
+            _ => {
+                let dist = 1 + (sel as usize % (n - 1));
+                m.neighbor_exchange(&[dist], bytes);
+            }
+        }
+    }
+    m.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Optimism is exact: for arbitrary collective workloads the committed
+    /// optimistic timeline equals the conservative ground truth's.
+    #[test]
+    fn optimistic_equals_conservative_on_random_workloads(
+        n in prop::sample::select(vec![2usize, 3, 4]),
+        phases in prop::collection::vec((any::<u8>(), 0u32..60, 0u32..8_000), 1..4),
+    ) {
+        let programs = random_workload(n, &phases);
+        let conservative = run_cluster(programs.clone(), &base(7));
+        let cfg = OptimisticConfig::new(base(7))
+            .with_window(SimDuration::from_micros(40))
+            .with_costs(HostDuration::ZERO, HostDuration::ZERO);
+        let optimistic = run_optimistic(programs, &cfg);
+        prop_assert_eq!(optimistic.sim_end, conservative.sim_end);
+        for (o, c) in optimistic.per_node.iter().zip(&conservative.per_node) {
+            prop_assert_eq!(o.finish_sim, c.finish_sim);
+            prop_assert_eq!(o.messages_received, c.messages_received);
+            prop_assert_eq!(o.ops, c.ops);
+        }
+    }
+}

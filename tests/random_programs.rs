@@ -1,0 +1,105 @@
+//! Property-based integration tests: randomly generated (but well-formed)
+//! communication patterns must complete, conserve messages, and respect the
+//! safety condition under every policy.
+
+use aqs::cluster::{run_cluster, ClusterConfig};
+use aqs::core::{AdaptiveConfig, SyncConfig};
+use aqs::time::SimDuration;
+use aqs::workloads::MpiBuilder;
+use proptest::prelude::*;
+
+/// A random but deadlock-free multi-rank program: a sequence of collective
+/// phases, each preceded by random compute.
+fn random_workload(
+    n: usize,
+    phases: &[(u8, u32, u32)], // (collective selector, compute kilo-ops, bytes)
+) -> Vec<aqs::node::Program> {
+    let mut m = MpiBuilder::new(n);
+    for &(sel, kops, bytes) in phases {
+        m.compute_all_imbalanced(kops as u64 * 1000 + 1, 0.1, sel as u64 + kops as u64);
+        let bytes = bytes as u64 + 1;
+        match sel % 5 {
+            0 => m.barrier(),
+            1 => m.allreduce(bytes, 50),
+            2 => m.alltoall(bytes),
+            3 => m.bcast(sel as usize % n, bytes),
+            _ => {
+                let dist = 1 + (sel as usize % (n - 1));
+                m.neighbor_exchange(&[dist], bytes);
+            }
+        }
+    }
+    m.build()
+}
+
+fn policies() -> Vec<SyncConfig> {
+    vec![
+        SyncConfig::ground_truth(),
+        SyncConfig::fixed_micros(37),
+        SyncConfig::fixed_micros(1000),
+        SyncConfig::paper_dyn1(),
+        SyncConfig::Adaptive(AdaptiveConfig::new(
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(64),
+            1.2,
+            0.3,
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every random workload completes under every policy, with identical
+    /// functional outcomes (messages received per rank).
+    #[test]
+    fn random_collectives_complete_under_all_policies(
+        n in prop::sample::select(vec![2usize, 3, 4, 5, 8]),
+        phases in prop::collection::vec((any::<u8>(), 0u32..200, 0u32..20_000), 1..5),
+    ) {
+        let programs = random_workload(n, &phases);
+        let mut reference: Option<Vec<u64>> = None;
+        for sync in policies() {
+            let cfg = ClusterConfig::new(sync).with_seed(99);
+            let result = run_cluster(programs.clone(), &cfg);
+            let msgs: Vec<u64> = result.per_node.iter().map(|r| r.messages_received).collect();
+            match &reference {
+                None => reference = Some(msgs),
+                Some(expected) => prop_assert_eq!(&msgs, expected),
+            }
+        }
+    }
+
+    /// The safety condition holds for arbitrary workloads: the ground-truth
+    /// quantum never produces stragglers.
+    #[test]
+    fn safe_quantum_never_straggles(
+        n in prop::sample::select(vec![2usize, 4, 6]),
+        phases in prop::collection::vec((any::<u8>(), 0u32..100, 0u32..40_000), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let programs = random_workload(n, &phases);
+        let cfg = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(seed);
+        let result = run_cluster(programs, &cfg);
+        prop_assert_eq!(result.stragglers.count(), 0);
+    }
+
+    /// Host time strictly exceeds zero and sim time dilation is bounded
+    /// below by 1 for any quantum.
+    #[test]
+    fn dilation_is_never_contraction(
+        phases in prop::collection::vec((any::<u8>(), 0u32..100, 0u32..10_000), 1..4),
+        q_us in prop::sample::select(vec![5u64, 50, 500]),
+    ) {
+        let programs = random_workload(4, &phases);
+        let truth = run_cluster(
+            programs.clone(),
+            &ClusterConfig::new(SyncConfig::ground_truth()).with_seed(1),
+        );
+        let loose = run_cluster(
+            programs,
+            &ClusterConfig::new(SyncConfig::fixed_micros(q_us)).with_seed(1),
+        );
+        prop_assert!(loose.sim_end >= truth.sim_end);
+    }
+}

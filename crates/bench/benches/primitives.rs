@@ -16,7 +16,9 @@ fn bench_event_queue(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut rng = Rng::seed_from_u64(1);
-                (0..1000).map(|_| rng.range_u64(0..1_000_000)).collect::<Vec<u64>>()
+                (0..1000)
+                    .map(|_| rng.range_u64(0..1_000_000))
+                    .collect::<Vec<u64>>()
             },
             |times| {
                 let mut q: EventQueue<HostTime, u32> = EventQueue::with_capacity(1024);
@@ -53,7 +55,9 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_wheel_vs_heap(c: &mut Criterion) {
     let mk_times = || {
         let mut rng = Rng::seed_from_u64(9);
-        (0..1000).map(|_| rng.range_u64(0..1_000_000)).collect::<Vec<u64>>()
+        (0..1000)
+            .map(|_| rng.range_u64(0..1_000_000))
+            .collect::<Vec<u64>>()
     };
     c.bench_function("wheel_queue/push_pop_1k", |b| {
         b.iter_batched(
@@ -105,7 +109,10 @@ fn bench_mailbox(c: &mut Criterion) {
             let mut mb = Mailbox::new();
             for seq in 0..64u64 {
                 let meta = MessageMeta {
-                    id: MessageId { src: Rank::new((seq % 8) as u32), seq },
+                    id: MessageId {
+                        src: Rank::new((seq % 8) as u32),
+                        seq,
+                    },
                     tag: Tag::new((seq % 4) as u32),
                     bytes: 1000,
                     frag_count: 1,

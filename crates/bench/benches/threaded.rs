@@ -9,7 +9,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_threaded(c: &mut Criterion) {
-    let n = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2).clamp(2, 4);
+    let n = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .clamp(2, 4);
     let spec = burst(n, 100_000, 2048);
     let mut g = c.benchmark_group("threaded/burst");
     g.sample_size(10);

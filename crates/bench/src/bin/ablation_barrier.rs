@@ -44,14 +44,17 @@ fn main() {
         // Logarithmic: tree barrier, cost = base + per_node * log2(n).
         // Expressed through the linear model with an equivalent per-node
         // charge so the comparison stays apples-to-apples at this n.
-        let log_per_node = HostDuration::from_nanos(
-            (250_000.0 * (n as f64).log2() / n as f64).round() as u64,
-        );
-        let log = standard_config(42)
-            .with_barrier(BarrierCostModel::new(HostDuration::from_micros(300), log_per_node));
+        let log_per_node =
+            HostDuration::from_nanos((250_000.0 * (n as f64).log2() / n as f64).round() as u64);
+        let log = standard_config(42).with_barrier(BarrierCostModel::new(
+            HostDuration::from_micros(300),
+            log_per_node,
+        ));
         // Constant: infinitely scalable hardware barrier.
-        let constant = standard_config(42)
-            .with_barrier(BarrierCostModel::new(HostDuration::from_millis(2), HostDuration::ZERO));
+        let constant = standard_config(42).with_barrier(BarrierCostModel::new(
+            HostDuration::from_millis(2),
+            HostDuration::ZERO,
+        ));
 
         for (name, cfg) in [("linear", linear), ("log2", log), ("constant", constant)] {
             let (_, s) = speedups(cfg, &spec);
@@ -66,7 +69,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["nodes", "barrier model", "Q=10µs", "Q=100µs", "Q=1000µs"], &rows)
+        render_table(
+            &["nodes", "barrier model", "Q=10µs", "Q=100µs", "Q=1000µs"],
+            &rows
+        )
     );
     println!("the *relative* ordering of quanta is robust to the barrier model;");
     println!("the absolute speedups (and the paper's ~70x at 64 nodes) require the");

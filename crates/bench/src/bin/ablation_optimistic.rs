@@ -45,10 +45,30 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, window_us, ckpt, rb) in [
-        ("free state (idealized)", 500u64, HostDuration::ZERO, HostDuration::ZERO),
-        ("1 s checkpoints", 500, HostDuration::from_secs(1), HostDuration::from_secs(1)),
-        ("paper: 30 s checkpoints", 500, HostDuration::from_secs(30), HostDuration::from_secs(30)),
-        ("paper, longer windows", 2000, HostDuration::from_secs(30), HostDuration::from_secs(30)),
+        (
+            "free state (idealized)",
+            500u64,
+            HostDuration::ZERO,
+            HostDuration::ZERO,
+        ),
+        (
+            "1 s checkpoints",
+            500,
+            HostDuration::from_secs(1),
+            HostDuration::from_secs(1),
+        ),
+        (
+            "paper: 30 s checkpoints",
+            500,
+            HostDuration::from_secs(30),
+            HostDuration::from_secs(30),
+        ),
+        (
+            "paper, longer windows",
+            2000,
+            HostDuration::from_secs(30),
+            HostDuration::from_secs(30),
+        ),
     ] {
         let cfg = OptimisticConfig::new(base.clone())
             .with_window(SimDuration::from_micros(window_us))
@@ -59,7 +79,10 @@ fn main() {
             label.to_string(),
             format!("{window_us}"),
             format!("{}", r.host_elapsed),
-            format!("{:.2}x", truth.host_elapsed.as_secs_f64() / r.host_elapsed.as_secs_f64()),
+            format!(
+                "{:.2}x",
+                truth.host_elapsed.as_secs_f64() / r.host_elapsed.as_secs_f64()
+            ),
             format!("{}", r.windows),
             format!("{}", r.rollbacks),
             format!("{}", r.wasted_sim),

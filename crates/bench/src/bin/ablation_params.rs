@@ -56,7 +56,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["config", "speedup", "error", "stragglers", "quanta"], &rows)
+        render_table(
+            &["config", "speedup", "error", "stragglers", "quanta"],
+            &rows
+        )
     );
 
     // The paper's claim distilled: among configurations of similar speed,
@@ -78,10 +81,22 @@ fn main() {
     let cfg = AdaptiveConfig::paper_dyn1();
     let ext = vec![
         SyncConfig::Adaptive(cfg),
-        SyncConfig::Threshold { config: cfg, threshold: 2 },
-        SyncConfig::Threshold { config: cfg, threshold: 16 },
-        SyncConfig::Ewma { config: cfg, alpha: 0.5 },
-        SyncConfig::Ewma { config: cfg, alpha: 0.125 },
+        SyncConfig::Threshold {
+            config: cfg,
+            threshold: 2,
+        },
+        SyncConfig::Threshold {
+            config: cfg,
+            threshold: 16,
+        },
+        SyncConfig::Ewma {
+            config: cfg,
+            alpha: 0.5,
+        },
+        SyncConfig::Ewma {
+            config: cfg,
+            alpha: 0.125,
+        },
     ];
     let result = run_sweep(spec, 42, ext);
     let _ = run_workload; // (re-exported for other bins)
@@ -97,6 +112,9 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["policy", "speedup", "error", "stragglers"], &rows));
+    println!(
+        "{}",
+        render_table(&["policy", "speedup", "error", "stragglers"], &rows)
+    );
     eprintln!("(ablation wall: {:.1?})", t0.elapsed());
 }

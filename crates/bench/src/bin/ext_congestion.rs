@@ -20,31 +20,35 @@ use aqs_time::SimDuration;
 use aqs_workloads::{nas, Scale, WorkloadSpec};
 use std::time::Instant;
 
-fn sweep<S: SwitchModel + Clone>(
-    name: &str,
-    spec: &WorkloadSpec,
-    switch: S,
-) -> Vec<Vec<String>> {
+fn sweep<S: SwitchModel + Clone>(name: &str, spec: &WorkloadSpec, switch: S) -> Vec<Vec<String>> {
     let base = standard_config(42);
     let run = |sync: SyncConfig| -> RunResult {
-        run_cluster_with_switch(spec.programs.clone(), &base.clone().with_sync(sync), switch.clone())
+        run_cluster_with_switch(
+            spec.programs.clone(),
+            &base.clone().with_sync(sync),
+            switch.clone(),
+        )
     };
     let truth = run(SyncConfig::ground_truth());
     let m0 = app_metric(&truth, spec.metric);
-    [SyncConfig::fixed_micros(100), SyncConfig::fixed_micros(1000), SyncConfig::paper_dyn1()]
-        .into_iter()
-        .map(|sync| {
-            let r = run(sync);
-            let m = app_metric(&r, spec.metric);
-            vec![
-                name.to_string(),
-                r.sync_label.clone(),
-                format!("{:.1}x", r.speedup_vs(&truth)),
-                format!("{:.2}%", m.error_vs(&m0) * 100.0),
-                format!("{}", r.stragglers.count()),
-            ]
-        })
-        .collect()
+    [
+        SyncConfig::fixed_micros(100),
+        SyncConfig::fixed_micros(1000),
+        SyncConfig::paper_dyn1(),
+    ]
+    .into_iter()
+    .map(|sync| {
+        let r = run(sync);
+        let m = app_metric(&r, spec.metric);
+        vec![
+            name.to_string(),
+            r.sync_label.clone(),
+            format!("{:.1}x", r.speedup_vs(&truth)),
+            format!("{:.2}%", m.error_vs(&m0) * 100.0),
+            format!("{}", r.stragglers.count()),
+        ]
+    })
+    .collect()
 }
 
 fn main() {
@@ -77,7 +81,10 @@ fn main() {
     println!("=== IS, 8 nodes, across switch fabrics ===\n");
     println!(
         "{}",
-        render_table(&["fabric", "config", "speedup", "error", "stragglers"], &rows)
+        render_table(
+            &["fabric", "config", "speedup", "error", "stragglers"],
+            &rows
+        )
     );
     println!("the adaptive configuration keeps its near-zero error on every fabric;");
     println!("with real (higher) network latencies the fixed quanta get *more*");

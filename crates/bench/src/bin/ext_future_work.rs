@@ -21,12 +21,7 @@ use aqs_node::SamplingModel;
 use aqs_workloads::{nas, Scale, WorkloadSpec};
 use std::time::Instant;
 
-fn row(
-    label: &str,
-    r: &RunResult,
-    truth: &RunResult,
-    spec: &WorkloadSpec,
-) -> Vec<String> {
+fn row(label: &str, r: &RunResult, truth: &RunResult, spec: &WorkloadSpec) -> Vec<String> {
     let m = app_metric(r, spec.metric);
     let m0 = app_metric(truth, spec.metric);
     vec![
@@ -50,15 +45,24 @@ fn main() {
 
     let truth = run_workload(&spec, &base);
     let configs: Vec<(&str, ClusterConfig)> = vec![
-        ("quantum: dyn 1.03:0.02", base.clone().with_sync(SyncConfig::paper_dyn1())),
-        ("sampling only (Q=1µs)", base.clone().with_sampling(sampling)),
+        (
+            "quantum: dyn 1.03:0.02",
+            base.clone().with_sync(SyncConfig::paper_dyn1()),
+        ),
+        (
+            "sampling only (Q=1µs)",
+            base.clone().with_sampling(sampling),
+        ),
         (
             "dyn + sampling (combined)",
-            base.clone().with_sync(SyncConfig::paper_dyn1()).with_sampling(sampling),
+            base.clone()
+                .with_sync(SyncConfig::paper_dyn1())
+                .with_sampling(sampling),
         ),
         (
             "predictive lookahead",
-            base.clone().with_sync(SyncConfig::Predictive(PredictiveConfig::default_1_1000())),
+            base.clone()
+                .with_sync(SyncConfig::Predictive(PredictiveConfig::default_1_1000())),
         ),
         (
             "predictive + sampling",
@@ -75,7 +79,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["configuration", "speedup", "error", "stragglers", "quanta"], &rows)
+        render_table(
+            &["configuration", "speedup", "error", "stragglers", "quanta"],
+            &rows
+        )
     );
     println!("reading: sampling alone buys nothing at a 1µs quantum — barriers are");
     println!("~98% of the cost — and only modest gains under the paper's adaptive");

@@ -22,20 +22,30 @@ fn main() {
     };
     let t0 = Instant::now();
     let node_counts = [2usize, 4, 8];
-    let aggregates: Vec<_> =
-        node_counts.iter().map(|&n| nas_aggregate(n, scale, 42, paper_sweep())).collect();
+    let aggregates: Vec<_> = node_counts
+        .iter()
+        .map(|&n| nas_aggregate(n, scale, 42, paper_sweep()))
+        .collect();
 
     println!("=== Figure 6 — NAS accuracy (left) ===\n");
     let labels: Vec<&str> = aggregates[0].labels.iter().map(String::as_str).collect();
     let group_labels: Vec<String> = node_counts.iter().map(|n| n.to_string()).collect();
     let groups: Vec<&str> = group_labels.iter().map(String::as_str).collect();
-    let error_bars: Vec<Vec<f64>> =
-        aggregates.iter().map(|a| a.errors.iter().map(|e| e * 100.0).collect()).collect();
-    println!("{}", render_bar_chart(&groups, &labels, &error_bars, 50, "%"));
+    let error_bars: Vec<Vec<f64>> = aggregates
+        .iter()
+        .map(|a| a.errors.iter().map(|e| e * 100.0).collect())
+        .collect();
+    println!(
+        "{}",
+        render_bar_chart(&groups, &labels, &error_bars, 50, "%")
+    );
 
     println!("=== Figure 6 — NAS speedup (right) ===\n");
     let speed_bars: Vec<Vec<f64>> = aggregates.iter().map(|a| a.speedups.clone()).collect();
-    println!("{}", render_bar_chart(&groups, &labels, &speed_bars, 50, "x"));
+    println!(
+        "{}",
+        render_bar_chart(&groups, &labels, &speed_bars, 50, "x")
+    );
 
     let mut rows = Vec::new();
     for a in &aggregates {

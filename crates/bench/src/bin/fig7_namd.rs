@@ -23,7 +23,11 @@ fn main() {
         .map(|&n| run_sweep(namd::namd(n, scale), 42, paper_sweep()))
         .collect();
 
-    let labels: Vec<String> = results[0].outcomes.iter().map(|o| o.label.clone()).collect();
+    let labels: Vec<String> = results[0]
+        .outcomes
+        .iter()
+        .map(|o| o.label.clone())
+        .collect();
     let labels: Vec<&str> = labels.iter().map(String::as_str).collect();
     let group_labels: Vec<String> = node_counts.iter().map(|n| n.to_string()).collect();
     let groups: Vec<&str> = group_labels.iter().map(String::as_str).collect();
@@ -31,14 +35,27 @@ fn main() {
     println!("=== Figure 7 — NAMD accuracy (left) ===\n");
     let error_bars: Vec<Vec<f64>> = results
         .iter()
-        .map(|r| r.outcomes.iter().map(|o| o.accuracy_error * 100.0).collect())
+        .map(|r| {
+            r.outcomes
+                .iter()
+                .map(|o| o.accuracy_error * 100.0)
+                .collect()
+        })
         .collect();
-    println!("{}", render_bar_chart(&groups, &labels, &error_bars, 50, "%"));
+    println!(
+        "{}",
+        render_bar_chart(&groups, &labels, &error_bars, 50, "%")
+    );
 
     println!("=== Figure 7 — NAMD speedup (right) ===\n");
-    let speed_bars: Vec<Vec<f64>> =
-        results.iter().map(|r| r.outcomes.iter().map(|o| o.speedup).collect()).collect();
-    println!("{}", render_bar_chart(&groups, &labels, &speed_bars, 50, "x"));
+    let speed_bars: Vec<Vec<f64>> = results
+        .iter()
+        .map(|r| r.outcomes.iter().map(|o| o.speedup).collect())
+        .collect();
+    println!(
+        "{}",
+        render_bar_chart(&groups, &labels, &speed_bars, 50, "x")
+    );
 
     let mut rows = Vec::new();
     for r in &results {

@@ -47,7 +47,10 @@ fn main() {
         .collect();
 
     println!("=== Figure 8 — Pareto optimality curves (8 nodes) ===\n");
-    for (family, points) in [("NAS (squares)", &nas_points), ("NAMD (circles)", &namd_points)] {
+    for (family, points) in [
+        ("NAS (squares)", &nas_points),
+        ("NAMD (circles)", &namd_points),
+    ] {
         println!("--- {family} ---");
         println!("{}", render_scatter_log_y(points, 72, 14));
     }
@@ -74,7 +77,11 @@ fn main() {
         .iter()
         .chain(&namd_points)
         .map(|p| {
-            vec![p.label.clone(), format!("{:.4}", p.error), format!("{:.2}", p.speedup)]
+            vec![
+                p.label.clone(),
+                format!("{:.4}", p.error),
+                format!("{:.2}", p.speedup),
+            ]
         })
         .collect();
     write_tsv("fig8_pareto", &["label", "error", "speedup"], &rows);

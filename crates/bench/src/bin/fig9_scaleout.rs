@@ -13,7 +13,9 @@
 //!
 //! Usage: `fig9_scaleout [tiny|full]` (full is the figure scale).
 
-use aqs_bench::{render_log_series, speedup_over_time, standard_config, with_housekeeping, write_tsv};
+use aqs_bench::{
+    render_log_series, speedup_over_time, standard_config, with_housekeeping, write_tsv,
+};
 use aqs_cluster::{app_metric, run_workload, ClusterConfig, RunResult};
 use aqs_core::{AdaptiveConfig, SyncConfig};
 use aqs_metrics::{render_table, render_traffic_density};
@@ -51,12 +53,20 @@ fn scaleout(
     let name = spec.name.clone();
     let metric_kind = spec.metric;
     let spec = with_housekeeping(spec);
-    let base_cfg = standard_config(42).with_traffic_trace(true).with_progress(true);
+    let base_cfg = standard_config(42)
+        .with_traffic_trace(true)
+        .with_progress(true);
     let t0 = Instant::now();
     let baseline = run(&spec, &base_cfg);
     let quiet = standard_config(42).with_progress(true);
-    let f100 = run(&spec, &quiet.clone().with_sync(SyncConfig::fixed_micros(100)));
-    let f10 = run(&spec, &quiet.clone().with_sync(SyncConfig::fixed_micros(10)));
+    let f100 = run(
+        &spec,
+        &quiet.clone().with_sync(SyncConfig::fixed_micros(100)),
+    );
+    let f10 = run(
+        &spec,
+        &quiet.clone().with_sync(SyncConfig::fixed_micros(10)),
+    );
     let fdyn = run(&spec, &quiet.with_sync(dyn_cfg));
 
     println!("\n###### {name} — 64 nodes ######\n");
@@ -75,16 +85,22 @@ fn scaleout(
     // Right panels: speedup over time, one per configuration (the paper
     // plots the fixed quanta alongside the adaptive one).
     let mut tsv_rows: Vec<Vec<String>> = Vec::new();
-    for (label, run_ref) in
-        [("Q=100µs", &f100), ("Q=10µs", &f10), (dyn_label, &fdyn)]
-    {
+    for (label, run_ref) in [("Q=100µs", &f100), ("Q=10µs", &f10), (dyn_label, &fdyn)] {
         let series = speedup_over_time(&baseline.progress, &run_ref.progress, 72);
         println!(
             "{}",
-            render_log_series(&series, 8, &format!("--- {label} speedup vs 1µs over time ---"))
+            render_log_series(
+                &series,
+                8,
+                &format!("--- {label} speedup vs 1µs over time ---")
+            )
         );
         for (x, y) in &series {
-            tsv_rows.push(vec![label.to_string(), format!("{x:.4}"), format!("{y:.3}")]);
+            tsv_rows.push(vec![
+                label.to_string(),
+                format!("{x:.4}"),
+                format!("{y:.3}"),
+            ]);
         }
     }
     write_tsv(
@@ -135,8 +151,14 @@ fn scaleout(
     println!(
         "{}",
         render_table(
-            &["quantum (µs)", "accel (measured)", "accel (paper)", "accuracy (measured)",
-              "accuracy (paper)", "stragglers"],
+            &[
+                "quantum (µs)",
+                "accel (measured)",
+                "accel (paper)",
+                "accuracy (measured)",
+                "accuracy (paper)",
+                "stragglers"
+            ],
             &table
         )
     );
@@ -156,9 +178,18 @@ fn main() {
         dyn_config(1, 100, 1.03),
         "dyn 1:100",
         &[
-            PaperRow { accel: 72.7, accuracy: "0.10%" },
-            PaperRow { accel: 7.9, accuracy: "0.01%" },
-            PaperRow { accel: 12.9, accuracy: "0.58%" },
+            PaperRow {
+                accel: 72.7,
+                accuracy: "0.10%",
+            },
+            PaperRow {
+                accel: 7.9,
+                accuracy: "0.01%",
+            },
+            PaperRow {
+                accel: 12.9,
+                accuracy: "0.58%",
+            },
         ],
         |r, b| {
             let m = app_metric(r, MetricKind::Mops);
@@ -174,9 +205,18 @@ fn main() {
         dyn_config(1, 100, 1.03),
         "dyn 1:100",
         &[
-            PaperRow { accel: 84.0, accuracy: "150x" },
-            PaperRow { accel: 9.8, accuracy: "22x" },
-            PaperRow { accel: 27.0, accuracy: "1.57x" },
+            PaperRow {
+                accel: 84.0,
+                accuracy: "150x",
+            },
+            PaperRow {
+                accel: 9.8,
+                accuracy: "22x",
+            },
+            PaperRow {
+                accel: 27.0,
+                accuracy: "1.57x",
+            },
         ],
         |r, b| {
             let m = app_metric(r, MetricKind::Mops).value();
@@ -191,9 +231,18 @@ fn main() {
         dyn_config(2, 100, 1.05),
         "dyn 2:100",
         &[
-            PaperRow { accel: 77.2, accuracy: "104%" },
-            PaperRow { accel: 9.1, accuracy: "1.01%" },
-            PaperRow { accel: 6.5, accuracy: "0.79%" },
+            PaperRow {
+                accel: 77.2,
+                accuracy: "104%",
+            },
+            PaperRow {
+                accel: 9.1,
+                accuracy: "1.01%",
+            },
+            PaperRow {
+                accel: 6.5,
+                accuracy: "0.79%",
+            },
         ],
         |r, b| {
             let m = app_metric(r, MetricKind::KernelTime);

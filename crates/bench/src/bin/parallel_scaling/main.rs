@@ -1,0 +1,164 @@
+//! Threaded-engine scaling sweep: node count × synchronization policy.
+//!
+//! Runs the burst workload (`host_work_per_op = 0`, so wall-clock is pure
+//! engine overhead) on the current lock-free threaded engine AND on an
+//! embedded replica of the seed implementation (std `Barrier` + mutexed
+//! mailboxes + a global straggler-stats lock acquired per packet), measured
+//! back to back on the same machine. Writes `BENCH_parallel.json` at the
+//! repo root so every future PR can track the trajectory; the schema is
+//! documented in EXPERIMENTS.md.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p aqs-bench --bin parallel_scaling
+//! ```
+
+use aqs_cluster::parallel::{run_parallel, ParallelConfig, ParallelRunResult};
+use aqs_core::SyncConfig;
+use aqs_node::Program;
+use aqs_workloads::burst;
+use serde_json::Value;
+
+mod seed_baseline;
+
+const COMPUTE_OPS: u64 = 200_000;
+const BYTES: u64 = 1024;
+const ITERATIONS: u32 = 3;
+const NODE_COUNTS: [usize; 4] = [2, 4, 8, 16];
+
+fn policies() -> Vec<(&'static str, SyncConfig)> {
+    vec![
+        ("ground-truth", SyncConfig::ground_truth()),
+        ("fixed-1000us", SyncConfig::fixed_micros(1000)),
+        ("dyn1", SyncConfig::paper_dyn1()),
+        ("dyn2", SyncConfig::paper_dyn2()),
+    ]
+}
+
+/// Minimum wall over `ITERATIONS` runs (min is the noise-robust estimator
+/// for a deterministic workload), plus the last run's simulated outcome.
+fn measure<R>(mut run: impl FnMut() -> R, wall_of: impl Fn(&R) -> f64) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = run();
+    best = best.min(wall_of(&last));
+    for _ in 1..ITERATIONS {
+        last = run();
+        best = best.min(wall_of(&last));
+    }
+    (best, last)
+}
+
+fn engine_obj(wall: f64, quanta: u64, packets: u64, stragglers: u64, sim_end: u64) -> Value {
+    Value::Object(vec![
+        ("wall_secs".into(), Value::F64(wall)),
+        ("total_quanta".into(), Value::U64(quanta)),
+        ("total_packets".into(), Value::U64(packets)),
+        ("stragglers".into(), Value::U64(stragglers)),
+        ("sim_end_ns".into(), Value::U64(sim_end)),
+    ])
+}
+
+fn main() {
+    let mut configs = Vec::new();
+    let mut burst16_speedup = None;
+    for &n in &NODE_COUNTS {
+        let spec = burst(n, COMPUTE_OPS, BYTES);
+        for (label, sync) in policies() {
+            let programs: Vec<Program> = spec.programs.clone();
+            let cfg = ParallelConfig::new(sync.clone()).with_max_quanta(50_000_000);
+
+            let (cur_wall, cur): (f64, ParallelRunResult) = {
+                let programs = programs.clone();
+                measure(
+                    || run_parallel(programs.clone(), &cfg),
+                    |r| r.wall.as_secs_f64(),
+                )
+            };
+            let (seed_wall, seed) = {
+                let programs = programs.clone();
+                measure(
+                    || seed_baseline::run_seed_parallel(programs.clone(), &cfg),
+                    |r| r.wall.as_secs_f64(),
+                )
+            };
+
+            let speedup = seed_wall / cur_wall.max(1e-12);
+            // Under the safe quantum both engines must produce the same
+            // simulated outcome; with larger quanta straggler timing is
+            // race-dependent, so only the functional outcome must match.
+            let safe = label == "ground-truth";
+            let results_match = cur.sim_end == seed.sim_end
+                && cur.total_packets == seed.total_packets
+                && cur.messages_received_total() == seed.messages_received_total();
+            let functional_match = cur.total_packets == seed.total_packets
+                && cur.messages_received_total() == seed.messages_received_total();
+            if safe {
+                assert!(
+                    results_match,
+                    "n={n} {label}: engines disagree under the safe quantum"
+                );
+            } else {
+                assert!(
+                    functional_match,
+                    "n={n} {label}: functional outcomes disagree"
+                );
+            }
+            if n == 16 && label == "ground-truth" {
+                burst16_speedup = Some(speedup);
+            }
+            println!(
+                "n={n:>2} {label:<13} current {cur_wall:>9.4}s  seed {seed_wall:>9.4}s  speedup {speedup:>5.2}x  \
+                 quanta {q}  packets {p}  stragglers {s}",
+                q = cur.total_quanta,
+                p = cur.total_packets,
+                s = cur.stragglers.count(),
+            );
+            configs.push(Value::Object(vec![
+                ("nodes".into(), Value::U64(n as u64)),
+                ("policy".into(), Value::Str(label.into())),
+                (
+                    "current".into(),
+                    engine_obj(
+                        cur_wall,
+                        cur.total_quanta,
+                        cur.total_packets,
+                        cur.stragglers.count(),
+                        cur.sim_end.as_nanos(),
+                    ),
+                ),
+                (
+                    "seed_baseline".into(),
+                    engine_obj(
+                        seed_wall,
+                        seed.total_quanta,
+                        seed.total_packets,
+                        seed.stragglers.count(),
+                        seed.sim_end.as_nanos(),
+                    ),
+                ),
+                ("speedup".into(), Value::F64(speedup)),
+                ("results_match".into(), Value::Bool(results_match)),
+            ]));
+        }
+    }
+    let doc = Value::Object(vec![
+        ("bench".into(), Value::Str("parallel_scaling".into())),
+        (
+            "workload".into(),
+            Value::Object(vec![
+                ("kind".into(), Value::Str("burst".into())),
+                ("compute_ops".into(), Value::U64(COMPUTE_OPS)),
+                ("bytes".into(), Value::U64(BYTES)),
+                ("host_work_per_op".into(), Value::F64(0.0)),
+            ]),
+        ),
+        ("iterations".into(), Value::U64(ITERATIONS as u64)),
+        ("configs".into(), Value::Array(configs)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("render json");
+    std::fs::write("BENCH_parallel.json", json + "\n").expect("write BENCH_parallel.json");
+    let speedup = burst16_speedup.expect("16-node ground-truth config ran");
+    println!("\n16-node burst (ground truth) speedup vs seed engine: {speedup:.2}x");
+    println!("wrote BENCH_parallel.json");
+}

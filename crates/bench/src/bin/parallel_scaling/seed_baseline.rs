@@ -1,0 +1,285 @@
+//! Faithful replica of the seed threaded engine, kept solely as the
+//! comparison baseline for `parallel_scaling`.
+//!
+//! Hot-path costs reproduced from the seed:
+//!
+//! * a process-global `Mutex<StragglerStats>` acquired **per routed packet**
+//!   whenever straggling occurs;
+//! * `Mutex<Vec<_>>` mailboxes (producers and the draining consumer contend);
+//! * two `std::sync::Barrier` waits per quantum, with the policy behind its
+//!   own `Mutex`;
+//! * globally shared `np`/`total_packets` atomic counters bumped per packet.
+//!
+//! Functionally it matches the current engine under the perfect switch: the
+//! seed ignored `bytes` on the route path, which coincides with a zero
+//! transit delay. The current engine is the product code; this file is a
+//! measurement artifact and must not be depended on elsewhere.
+
+use aqs_cluster::parallel::{ParallelConfig, ParallelNodeResult, ParallelRunResult};
+use aqs_net::{Destination, StragglerStats};
+use aqs_node::{Action, MessageId, MessageMeta, NodeExecutor, Program, SendTarget};
+use aqs_time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+/// A fragment in flight to one receiver.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    meta: MessageMeta,
+    frag_index: u32,
+    arrival: SimTime,
+}
+
+struct Shared {
+    nic: aqs_net::NicModel,
+    sim_pos: Vec<AtomicU64>,
+    mailboxes: Vec<Mutex<Vec<InFlight>>>,
+    np: AtomicU64,
+    total_packets: AtomicU64,
+    straggler_stats: Mutex<StragglerStats>,
+    q_end: AtomicU64,
+    done: AtomicU64,
+    stop: AtomicBool,
+    barrier: Barrier,
+}
+
+impl Shared {
+    fn route(
+        &self,
+        src: usize,
+        dst: Destination,
+        departure: SimTime,
+        meta: MessageMeta,
+        frag_index: u32,
+    ) {
+        let arrival = self.nic.earliest_arrival(departure);
+        let targets: Vec<usize> = match dst {
+            Destination::Unicast(d) => vec![d.index()],
+            Destination::Broadcast => (0..self.sim_pos.len()).filter(|&i| i != src).collect(),
+        };
+        for t in targets {
+            self.np.fetch_add(1, Ordering::Relaxed);
+            self.total_packets.fetch_add(1, Ordering::Relaxed);
+            let pos = SimTime::from_nanos(self.sim_pos[t].load(Ordering::Acquire));
+            let eff = arrival.max(pos);
+            if eff > arrival {
+                // The seed's per-packet global lock acquisition.
+                self.straggler_stats.lock().unwrap().record(eff - arrival);
+            }
+            self.mailboxes[t].lock().unwrap().push(InFlight {
+                meta,
+                frag_index,
+                arrival: eff,
+            });
+        }
+    }
+}
+
+/// Runs `programs` exactly as the seed threaded engine did.
+pub fn run_seed_parallel(programs: Vec<Program>, config: &ParallelConfig) -> ParallelRunResult {
+    assert!(programs.len() >= 2, "a cluster needs at least 2 nodes");
+    let n = programs.len();
+    let policy = Mutex::new(config.sync.build());
+    let q0 = policy.lock().unwrap().initial_quantum();
+    let shared = Shared {
+        nic: config.nic,
+        sim_pos: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        mailboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        np: AtomicU64::new(0),
+        total_packets: AtomicU64::new(0),
+        straggler_stats: Mutex::new(StragglerStats::default()),
+        q_end: AtomicU64::new(q0.as_nanos()),
+        done: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        barrier: Barrier::new(n),
+    };
+    let quanta = AtomicU64::new(0);
+    let overflow = AtomicBool::new(false);
+    let start = Instant::now();
+    let results: Vec<ParallelNodeResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, program)| {
+                let shared = &shared;
+                let policy = &policy;
+                let quanta = &quanta;
+                let overflow = &overflow;
+                scope.spawn(move || {
+                    node_thread(i, program, config, shared, policy, quanta, overflow)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    });
+    assert!(
+        !overflow.load(Ordering::Acquire),
+        "quantum cap exceeded: workload deadlock?"
+    );
+    let wall = start.elapsed();
+    let sim_end = results
+        .iter()
+        .map(|r| r.finish_sim)
+        .max()
+        .expect("at least two nodes");
+    let stragglers = *shared.straggler_stats.lock().unwrap();
+    ParallelRunResult {
+        wall,
+        sim_end,
+        total_quanta: quanta.load(Ordering::Relaxed),
+        total_packets: shared.total_packets.load(Ordering::Relaxed),
+        stragglers,
+        per_node: results,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_thread(
+    i: usize,
+    program: Program,
+    config: &ParallelConfig,
+    shared: &Shared,
+    policy: &Mutex<Box<dyn aqs_core::QuantumPolicy>>,
+    quanta: &AtomicU64,
+    overflow: &AtomicBool,
+) -> ParallelNodeResult {
+    let mut exec = NodeExecutor::new(program, config.cpu);
+    let mut sim = SimTime::ZERO;
+    let mut msg_seq = 0u64;
+    let mut done_reported = false;
+    struct Pending {
+        remaining: SimDuration,
+    }
+    let mut pending: Option<Pending> = None;
+    let publish = |t: SimTime| shared.sim_pos[i].store(t.as_nanos(), Ordering::Release);
+    let mut q_end = SimTime::from_nanos(shared.q_end.load(Ordering::Acquire));
+    loop {
+        while sim < q_end {
+            if let Some(p) = pending.take() {
+                let step = p.remaining.min(q_end - sim);
+                sim += step;
+                publish(sim);
+                if step < p.remaining {
+                    pending = Some(Pending {
+                        remaining: p.remaining - step,
+                    });
+                    break;
+                }
+                continue;
+            }
+            drain_mailbox(&mut exec, &shared.mailboxes[i]);
+            match exec.next_action(sim) {
+                Action::Advance {
+                    dur,
+                    ops: _,
+                    idle: _,
+                } => {
+                    pending = Some(Pending { remaining: dur });
+                }
+                Action::Send { dst, bytes, tag } => {
+                    let dest = match dst {
+                        SendTarget::Rank(r) => {
+                            Destination::Unicast(aqs_net::NodeId::new(r.as_u32()))
+                        }
+                        SendTarget::All => Destination::Broadcast,
+                    };
+                    let sizes = shared.nic.fragment_sizes(bytes);
+                    let meta = MessageMeta {
+                        id: MessageId {
+                            src: exec.rank(),
+                            seq: msg_seq,
+                        },
+                        tag,
+                        bytes,
+                        frag_count: sizes.len() as u32,
+                    };
+                    msg_seq += 1;
+                    for (k, sz) in sizes.into_iter().enumerate() {
+                        let ser = shared.nic.serialization_delay(sz);
+                        sim += ser;
+                        publish(sim);
+                        shared.route(i, dest, sim, meta, k as u32);
+                    }
+                }
+                Action::WaitUntil(t) => {
+                    sim = t.min(q_end);
+                    publish(sim);
+                    if t >= q_end {
+                        break;
+                    }
+                }
+                Action::Blocked => {
+                    sim = q_end;
+                    publish(sim);
+                    break;
+                }
+                Action::Finished => {
+                    if !done_reported {
+                        done_reported = true;
+                        shared.done.fetch_add(1, Ordering::AcqRel);
+                    }
+                    sim = q_end;
+                    publish(sim);
+                    break;
+                }
+            }
+        }
+        sim = sim.max(q_end);
+        publish(sim);
+        match next_quantum(shared, policy, quanta, config, overflow) {
+            Some(qe) => q_end = qe,
+            None => break,
+        }
+    }
+    ParallelNodeResult {
+        rank: exec.rank(),
+        finish_sim: exec.finish_time().unwrap_or(sim),
+        ops: exec.ops_executed(),
+        messages_received: exec.messages_received(),
+        regions: exec.regions().to_vec(),
+    }
+}
+
+fn next_quantum(
+    shared: &Shared,
+    policy: &Mutex<Box<dyn aqs_core::QuantumPolicy>>,
+    quanta: &AtomicU64,
+    config: &ParallelConfig,
+    overflow: &AtomicBool,
+) -> Option<SimTime> {
+    let wait = shared.barrier.wait();
+    if wait.is_leader() {
+        let q = quanta.fetch_add(1, Ordering::AcqRel) + 1;
+        let np = shared.np.swap(0, Ordering::AcqRel);
+        if shared.done.load(Ordering::Acquire) as usize == shared.sim_pos.len() {
+            shared.stop.store(true, Ordering::Release);
+        } else if q > config.max_quanta {
+            overflow.store(true, Ordering::Release);
+            shared.stop.store(true, Ordering::Release);
+        } else {
+            let next = policy.lock().unwrap().next_quantum(np);
+            let end = shared.q_end.load(Ordering::Acquire) + next.as_nanos();
+            shared.q_end.store(end, Ordering::Release);
+        }
+    }
+    shared.barrier.wait();
+    if shared.stop.load(Ordering::Acquire) {
+        None
+    } else {
+        Some(SimTime::from_nanos(shared.q_end.load(Ordering::Acquire)))
+    }
+}
+
+fn drain_mailbox(exec: &mut NodeExecutor, mailbox: &Mutex<Vec<InFlight>>) {
+    let drained: Vec<InFlight> = {
+        let mut mb = mailbox.lock().unwrap();
+        std::mem::take(&mut *mb)
+    };
+    for f in drained {
+        exec.deliver_fragment(f.meta, f.frag_index, f.arrival);
+    }
+}

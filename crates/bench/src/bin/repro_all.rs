@@ -11,15 +11,33 @@ fn main() {
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");
     let bins = [
-        ("fig6_nas", "Figure 6 — NAS accuracy & speedup (2/4/8 nodes)"),
-        ("fig7_namd", "Figure 7 — NAMD accuracy & speedup (2/4/8 nodes)"),
-        ("fig8_pareto", "Figure 8 — Pareto optimality curve (8 nodes)"),
+        (
+            "fig6_nas",
+            "Figure 6 — NAS accuracy & speedup (2/4/8 nodes)",
+        ),
+        (
+            "fig7_namd",
+            "Figure 7 — NAMD accuracy & speedup (2/4/8 nodes)",
+        ),
+        (
+            "fig8_pareto",
+            "Figure 8 — Pareto optimality curve (8 nodes)",
+        ),
         ("fig9_scaleout", "Figure 9 + §6 tables — 64-node EP/IS/NAMD"),
         ("sync_overhead", "Figure 5 — synchronization overhead"),
-        ("ablation_params", "Ablation — inc/dec factors & extension policies"),
-        ("ablation_optimistic", "Ablation — optimistic PDES cost model"),
+        (
+            "ablation_params",
+            "Ablation — inc/dec factors & extension policies",
+        ),
+        (
+            "ablation_optimistic",
+            "Ablation — optimistic PDES cost model",
+        ),
         ("ablation_barrier", "Ablation — barrier cost sensitivity"),
-        ("ext_future_work", "Extensions — §7 future work (sampling, lookahead)"),
+        (
+            "ext_future_work",
+            "Extensions — §7 future work (sampling, lookahead)",
+        ),
         ("ext_congestion", "Extensions — non-perfect switch fabrics"),
     ];
     for (bin, title) in bins {
@@ -34,7 +52,9 @@ fn main() {
                 cmd.arg(scale);
             }
         }
-        let status = cmd.status().unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} failed with {status}");
     }
     println!("\nreproduction suite complete.");

@@ -55,7 +55,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["quantum (µs)", "host time", "barriers", "node-0 idle", "vs. slowest free-run"],
+            &[
+                "quantum (µs)",
+                "host time",
+                "barriers",
+                "node-0 idle",
+                "vs. slowest free-run"
+            ],
             &rows
         )
     );

@@ -44,11 +44,7 @@ pub fn experiment_table(r: &ExperimentResult) -> Vec<FigureRow> {
 pub fn print_experiment(r: &ExperimentResult) {
     println!(
         "== {} — {} nodes (baseline: {} in {}, {} quanta) ==",
-        r.name,
-        r.n_nodes,
-        r.baseline_metric,
-        r.baseline.host_elapsed,
-        r.baseline.total_quanta
+        r.name, r.n_nodes, r.baseline_metric, r.baseline.host_elapsed, r.baseline.total_quanta
     );
     let rows: Vec<Vec<String>> = experiment_table(r)
         .into_iter()
@@ -66,7 +62,14 @@ pub fn print_experiment(r: &ExperimentResult) {
     println!(
         "{}",
         render_table(
-            &["config", "speedup", "acc. error", "sim ratio", "stragglers", "quanta"],
+            &[
+                "config",
+                "speedup",
+                "acc. error",
+                "sim ratio",
+                "stragglers",
+                "quanta"
+            ],
             &rows
         )
     );
@@ -77,7 +80,12 @@ pub fn print_experiment(r: &ExperimentResult) {
 /// chatter; see DESIGN.md). This is what the paper's Figure 9(a) EP trace
 /// shows as sparse packets during compute-only phases.
 pub fn with_housekeeping(spec: WorkloadSpec) -> WorkloadSpec {
-    with_background_traffic(spec, SimDuration::from_millis(160), 90, &CpuModel::default())
+    with_background_traffic(
+        spec,
+        SimDuration::from_millis(160),
+        90,
+        &CpuModel::default(),
+    )
 }
 
 /// The harness' standard base configuration for a given experiment seed.
@@ -125,8 +133,15 @@ pub fn nas_aggregate(
         .map(|spec| run_sweep(spec, seed, sweep.clone()))
         .collect();
     let k = sweep.len();
-    let labels: Vec<String> = results[0].outcomes.iter().map(|o| o.label.clone()).collect();
-    let base_host: f64 = results.iter().map(|r| r.baseline.host_elapsed.as_secs_f64()).sum();
+    let labels: Vec<String> = results[0]
+        .outcomes
+        .iter()
+        .map(|o| o.label.clone())
+        .collect();
+    let base_host: f64 = results
+        .iter()
+        .map(|r| r.baseline.host_elapsed.as_secs_f64())
+        .sum();
     let mut errors = Vec::with_capacity(k);
     let mut speedups = Vec::with_capacity(k);
     for c in 0..k {
@@ -139,11 +154,19 @@ pub fn nas_aggregate(
             .collect();
         let hmean = harmonic_mean(&rel).expect("five benchmarks");
         errors.push(aqs_metrics::relative_error(hmean, 1.0));
-        let host: f64 =
-            results.iter().map(|r| r.outcomes[c].result.host_elapsed.as_secs_f64()).sum();
+        let host: f64 = results
+            .iter()
+            .map(|r| r.outcomes[c].result.host_elapsed.as_secs_f64())
+            .sum();
         speedups.push(base_host / host);
     }
-    NasAggregate { n_nodes: n, labels, errors, speedups, per_benchmark: results }
+    NasAggregate {
+        n_nodes: n,
+        labels,
+        errors,
+        speedups,
+        per_benchmark: results,
+    }
 }
 
 /// Windowed speedup-over-time for Figure 9's right-hand panels.
@@ -163,7 +186,10 @@ pub fn speedup_over_time(
     windows: usize,
 ) -> Vec<(f64, f64)> {
     assert!(windows > 0, "need at least one window");
-    assert!(baseline.len() >= 2 && config.len() >= 2, "progress series too short");
+    assert!(
+        baseline.len() >= 2 && config.len() >= 2,
+        "progress series too short"
+    );
     let host_at = |series: &[(HostTime, SimTime)], frac: f64| -> f64 {
         let target = series.last().expect("non-empty").1.as_nanos() as f64 * frac;
         // Linear interpolation over the (sim → host) staircase.
@@ -219,8 +245,15 @@ pub fn render_log_series(series: &[(f64, f64)], rows: usize, label: &str) -> Str
     if series.is_empty() {
         return format!("{label}: (no data)\n");
     }
-    let y_max = series.iter().map(|&(_, y)| y).fold(f64::MIN_POSITIVE, f64::max);
-    let y_min = series.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min).max(1e-3);
+    let y_max = series
+        .iter()
+        .map(|&(_, y)| y)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let y_min = series
+        .iter()
+        .map(|&(_, y)| y)
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-3);
     let (ly_min, ly_max) = (y_min.ln(), (y_max.ln()).max(y_min.ln() + 1e-9));
     let cols = series.len();
     let mut grid = vec![vec![' '; cols]; rows];
@@ -246,7 +279,9 @@ mod tests {
     use super::*;
 
     fn pts(v: &[(u64, u64)]) -> Vec<(HostTime, SimTime)> {
-        v.iter().map(|&(h, s)| (HostTime::from_nanos(h), SimTime::from_nanos(s))).collect()
+        v.iter()
+            .map(|&(h, s)| (HostTime::from_nanos(h), SimTime::from_nanos(s)))
+            .collect()
     }
 
     #[test]

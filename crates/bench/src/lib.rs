@@ -11,6 +11,5 @@ pub mod harness;
 
 pub use harness::{
     experiment_table, nas_aggregate, print_experiment, render_log_series, run_sweep,
-    speedup_over_time, standard_config, with_housekeeping, write_tsv, FigureRow,
-    NasAggregate,
+    speedup_over_time, standard_config, with_housekeeping, write_tsv, FigureRow, NasAggregate,
 };

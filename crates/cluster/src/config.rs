@@ -50,7 +50,10 @@ impl BarrierCostModel {
 impl Default for BarrierCostModel {
     /// The calibrated default from DESIGN.md §6: `0.3 ms + 0.25 ms · n`.
     fn default() -> Self {
-        Self::new(HostDuration::from_micros(300), HostDuration::from_micros(250))
+        Self::new(
+            HostDuration::from_micros(300),
+            HostDuration::from_micros(250),
+        )
     }
 }
 
@@ -197,7 +200,11 @@ impl ClusterConfig {
 
     /// The host model in effect for node `i`.
     pub fn host_for(&self, i: usize) -> HostModel {
-        self.host_overrides.get(i).copied().flatten().unwrap_or(self.host)
+        self.host_overrides
+            .get(i)
+            .copied()
+            .flatten()
+            .unwrap_or(self.host)
     }
 }
 
@@ -207,7 +214,10 @@ mod tests {
 
     #[test]
     fn barrier_cost_is_linear() {
-        let b = BarrierCostModel::new(HostDuration::from_micros(100), HostDuration::from_micros(10));
+        let b = BarrierCostModel::new(
+            HostDuration::from_micros(100),
+            HostDuration::from_micros(10),
+        );
         assert_eq!(b.cost(0), HostDuration::from_micros(100));
         assert_eq!(b.cost(8), HostDuration::from_micros(180));
         assert_eq!(b.cost(64), HostDuration::from_micros(740));

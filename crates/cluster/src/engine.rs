@@ -26,9 +26,7 @@ use crate::result::{NodeResult, RunResult};
 use aqs_core::{QuantumPolicy, QuantumTrace};
 use aqs_des::EventQueue;
 use aqs_net::{Destination, NetworkController, NodeId, PerfectSwitch, SwitchModel};
-use aqs_node::{
-    Action, HostSpeed, MessageId, MessageMeta, NodeExecutor, Program, SendTarget,
-};
+use aqs_node::{Action, HostSpeed, MessageId, MessageMeta, NodeExecutor, Program, SendTarget};
 use aqs_rng::Rng;
 use aqs_time::{HostTime, SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -189,7 +187,11 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
             q_end: SimTime::ZERO + q_len,
             barrier_arrived: 0,
             barrier_latest: HostTime::ZERO,
-            quanta: if cfg.record_quanta { QuantumTrace::enabled() } else { QuantumTrace::disabled() },
+            quanta: if cfg.record_quanta {
+                QuantumTrace::enabled()
+            } else {
+                QuantumTrace::disabled()
+            },
             progress: if cfg.record_progress {
                 ProgressRecorder::new(4096)
             } else {
@@ -257,12 +259,13 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
                     // Sampling (§7 future work): guest timing produced while
                     // fast-forwarding carries the model's estimation bias.
                     let dur = match (&self.cfg.sampling, idle) {
-                        (Some(s), false) => {
-                            dur.mul_f64(s.timing_bias_at(self.cfg.seed, i, now))
-                        }
+                        (Some(s), false) => dur.mul_f64(s.timing_bias_at(self.cfg.seed, i, now)),
                         _ => dur,
                     };
-                    self.nodes[i].pending = Some(Pending { remaining: dur, idle });
+                    self.nodes[i].pending = Some(Pending {
+                        remaining: dur,
+                        idle,
+                    });
                 }
                 Action::Send { dst, bytes, tag } => self.start_send(i, dst, bytes, tag),
                 Action::WaitUntil(t) => {
@@ -307,7 +310,10 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
         let sizes = nic.fragment_sizes(bytes);
         let node = &mut self.nodes[i];
         let meta = MessageMeta {
-            id: MessageId { src: node.exec.rank(), seq: node.msg_seq },
+            id: MessageId {
+                src: node.exec.rank(),
+                seq: node.msg_seq,
+            },
             tag,
             bytes,
             frag_count: sizes.len() as u32,
@@ -327,7 +333,10 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
                 frag_index: k as u32,
             });
         }
-        node.pending = Some(Pending { remaining: total, idle: false });
+        node.pending = Some(Pending {
+            remaining: total,
+            idle: false,
+        });
     }
 
     /// Schedules the next execution segment for node `i` (which must be
@@ -348,7 +357,13 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
         let end_host = start_host + node.speed.host_cost(len, idle).div_f64(divisor);
         node.gen += 1;
         let gen = node.gen;
-        node.seg = Some(Segment { kind, start_sim, start_host, end_sim, end_host });
+        node.seg = Some(Segment {
+            kind,
+            start_sim,
+            start_host,
+            end_sim,
+            end_host,
+        });
         // Collect the departures first: queue and node are both fields of
         // self, so the handoff happens after the node borrow ends.
         let mut departures: Vec<(HostTime, OutFrag)> = Vec::new();
@@ -360,10 +375,14 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
             let dep_host = start_host + node.speed.host_cost(frag.departure - start_sim, idle);
             departures.push((dep_host + hop, frag));
         }
-        self.queue.schedule(end_host, Ev::NodeYield { node: i, gen });
+        self.queue
+            .schedule(end_host, Ev::NodeYield { node: i, gen });
         for (at, frag) in departures {
             self.in_flight_frags += 1;
-            self.queue.schedule(at, Ev::FragAtController(Box::new(frag), NodeId::new(i as u32)));
+            self.queue.schedule(
+                at,
+                Ev::FragAtController(Box::new(frag), NodeId::new(i as u32)),
+            );
         }
     }
 
@@ -378,7 +397,10 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
         node.sim = seg.end_sim;
         node.host = now;
         if seg.kind == SegKind::Op {
-            let p = node.pending.as_mut().expect("op segment without pending work");
+            let p = node
+                .pending
+                .as_mut()
+                .expect("op segment without pending work");
             p.remaining = p.remaining.saturating_sub(advanced);
             if p.remaining.is_zero() {
                 node.pending = None;
@@ -396,7 +418,8 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
         self.barrier_latest = self.barrier_latest.max(node_host);
         if self.barrier_arrived == self.nodes.len() {
             let cost = self.cfg.barrier.cost(self.nodes.len());
-            self.queue.schedule(self.barrier_latest + cost, Ev::BarrierDone);
+            self.queue
+                .schedule(self.barrier_latest + cost, Ev::BarrierDone);
         }
     }
 
@@ -432,8 +455,7 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
             return;
         }
         let stuck = self.nodes.iter().all(|n| {
-            n.done
-                || (n.blocked_no_candidate && n.pending.is_none() && n.outgoing.is_empty())
+            n.done || (n.blocked_no_candidate && n.pending.is_none() && n.outgoing.is_empty())
         });
         if stuck && self.n_finished < self.nodes.len() {
             let blocked: Vec<String> = self
@@ -468,8 +490,13 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
 
     fn on_frag(&mut self, frag: OutFrag, src: NodeId, now: HostTime) {
         self.in_flight_frags -= 1;
-        let payload = FragInfo { meta: frag.meta, frag_index: frag.frag_index };
-        let deliveries = self.net.route(src, frag.dst, frag.bytes, frag.departure, payload);
+        let payload = FragInfo {
+            meta: frag.meta,
+            frag_index: frag.frag_index,
+        };
+        let deliveries = self
+            .net
+            .route(src, frag.dst, frag.bytes, frag.departure, payload);
         for d in deliveries {
             let j = d.packet.dst.index();
             let pos = self.node_sim_pos(j, now);
@@ -481,12 +508,18 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
             if eff > d.arrival {
                 self.net.record_straggler(eff - d.arrival);
             }
-            let completed =
-                self.nodes[j].exec.deliver_fragment(d.packet.payload.meta, d.packet.payload.frag_index, eff);
+            let completed = self.nodes[j].exec.deliver_fragment(
+                d.packet.payload.meta,
+                d.packet.payload.frag_index,
+                eff,
+            );
             if completed.is_some() && !self.nodes[j].done && !self.nodes[j].at_barrier {
                 let interrupt = matches!(
                     self.nodes[j].seg,
-                    Some(Segment { kind: SegKind::BlockedIdle, .. })
+                    Some(Segment {
+                        kind: SegKind::BlockedIdle,
+                        ..
+                    })
                 );
                 if interrupt {
                     let node = &mut self.nodes[j];
@@ -507,15 +540,21 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
             .iter()
             .map(|n| NodeResult {
                 rank: n.exec.rank(),
-                finish_sim: n.exec.finish_time().expect("run finished with unfinished node"),
+                finish_sim: n
+                    .exec
+                    .finish_time()
+                    .expect("run finished with unfinished node"),
                 finish_host: n.finish_host.expect("done node without finish host"),
                 ops: n.exec.ops_executed(),
                 messages_received: n.exec.messages_received(),
                 regions: n.exec.regions().to_vec(),
             })
             .collect();
-        let sim_end =
-            per_node.iter().map(|n| n.finish_sim).max().expect("at least two nodes");
+        let sim_end = per_node
+            .iter()
+            .map(|n| n.finish_sim)
+            .max()
+            .expect("at least two nodes");
         RunResult {
             sync_label: self.policy.label(),
             n_nodes: per_node.len(),
@@ -543,21 +582,34 @@ mod tests {
         let mut a = ProgramBuilder::new(Rank::new(0)).region_start(RegionId::KERNEL);
         let mut b = ProgramBuilder::new(Rank::new(1));
         for _ in 0..rounds {
-            a = a.send(Rank::new(1), 64, Tag::new(0)).recv(Some(Rank::new(1)), Tag::new(1));
-            b = b.recv(Some(Rank::new(0)), Tag::new(0)).send(Rank::new(0), 64, Tag::new(1));
+            a = a
+                .send(Rank::new(1), 64, Tag::new(0))
+                .recv(Some(Rank::new(1)), Tag::new(1));
+            b = b
+                .recv(Some(Rank::new(0)), Tag::new(0))
+                .send(Rank::new(0), 64, Tag::new(1));
         }
         vec![a.region_end(RegionId::KERNEL).build(), b.build()]
     }
 
     fn quick_config(sync: SyncConfig) -> ClusterConfig {
-        ClusterConfig::new(sync).with_seed(11).with_quantum_trace(true)
+        ClusterConfig::new(sync)
+            .with_seed(11)
+            .with_quantum_trace(true)
     }
 
     #[test]
     fn ping_pong_completes_under_ground_truth() {
-        let result = run_cluster(ping_pong_programs(5), &quick_config(SyncConfig::ground_truth()));
+        let result = run_cluster(
+            ping_pong_programs(5),
+            &quick_config(SyncConfig::ground_truth()),
+        );
         assert_eq!(result.n_nodes, 2);
-        assert_eq!(result.stragglers.count(), 0, "Q <= T must be straggler-free");
+        assert_eq!(
+            result.stragglers.count(),
+            0,
+            "Q <= T must be straggler-free"
+        );
         // 5 round trips = 10 unicast packets.
         assert_eq!(result.total_packets, 10);
         assert_eq!(result.per_node[0].messages_received, 5);
@@ -583,7 +635,10 @@ mod tests {
         let a = run_cluster(ping_pong_programs(3), &base.clone().with_seed(1));
         let b = run_cluster(ping_pong_programs(3), &base.with_seed(2));
         // Functional outcome identical under ground truth…
-        assert_eq!(a.per_node[0].messages_received, b.per_node[0].messages_received);
+        assert_eq!(
+            a.per_node[0].messages_received,
+            b.per_node[0].messages_received
+        );
         assert_eq!(a.sim_end, b.sim_end);
         // …but the modelled host takes different wall time.
         assert_ne!(a.host_elapsed, b.host_elapsed);
@@ -602,7 +657,10 @@ mod tests {
         );
         // Round trips snap to quantum boundaries, dilating simulated time.
         assert!(loose.sim_end > truth.sim_end);
-        assert!(loose.stragglers.count() > 0, "latency-bound ping-pong must straggle");
+        assert!(
+            loose.stragglers.count() > 0,
+            "latency-bound ping-pong must straggle"
+        );
     }
 
     #[test]
@@ -637,7 +695,10 @@ mod tests {
             "quantum should have grown during compute, max was {max_q}"
         );
         // Find the quantum that saw the packet: the next one must shrink.
-        let busy = records.iter().position(|r| r.packets > 0).expect("packet quantum");
+        let busy = records
+            .iter()
+            .position(|r| r.packets > 0)
+            .expect("packet quantum");
         if busy + 1 < records.len() {
             assert!(records[busy + 1].length < records[busy].length);
         }
@@ -650,8 +711,11 @@ mod tests {
             .send_all(64, Tag::new(9))
             .build()];
         for r in 1..n {
-            programs
-                .push(ProgramBuilder::new(Rank::new(r)).recv(Some(Rank::new(0)), Tag::new(9)).build());
+            programs.push(
+                ProgramBuilder::new(Rank::new(r))
+                    .recv(Some(Rank::new(0)), Tag::new(9))
+                    .build(),
+            );
         }
         let result = run_cluster(programs, &quick_config(SyncConfig::ground_truth()));
         assert_eq!(result.total_packets, 3);
@@ -663,8 +727,12 @@ mod tests {
     #[test]
     fn multi_fragment_message_reassembles() {
         // 25 kB = 3 jumbo frames.
-        let p0 = ProgramBuilder::new(Rank::new(0)).send(Rank::new(1), 25_000, Tag::new(0)).build();
-        let p1 = ProgramBuilder::new(Rank::new(1)).recv(Some(Rank::new(0)), Tag::new(0)).build();
+        let p0 = ProgramBuilder::new(Rank::new(0))
+            .send(Rank::new(1), 25_000, Tag::new(0))
+            .build();
+        let p1 = ProgramBuilder::new(Rank::new(1))
+            .recv(Some(Rank::new(0)), Tag::new(0))
+            .build();
         let result = run_cluster(vec![p0, p1], &quick_config(SyncConfig::ground_truth()));
         assert_eq!(result.total_packets, 3);
         assert_eq!(result.per_node[1].messages_received, 1);
@@ -673,7 +741,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "deadlock")]
     fn recv_without_send_deadlocks() {
-        let p0 = ProgramBuilder::new(Rank::new(0)).recv(Some(Rank::new(1)), Tag::new(0)).build();
+        let p0 = ProgramBuilder::new(Rank::new(0))
+            .recv(Some(Rank::new(1)), Tag::new(0))
+            .build();
         let p1 = ProgramBuilder::new(Rank::new(1)).compute(1000).build();
         let _ = run_cluster(vec![p0, p1], &quick_config(SyncConfig::fixed_micros(10)));
     }
@@ -682,7 +752,10 @@ mod tests {
     #[should_panic(expected = "program 1 is for rank0")]
     fn mismatched_ranks_rejected() {
         let p = ProgramBuilder::new(Rank::new(0)).compute(1).build();
-        let _ = run_cluster(vec![p.clone(), p], &quick_config(SyncConfig::ground_truth()));
+        let _ = run_cluster(
+            vec![p.clone(), p],
+            &quick_config(SyncConfig::ground_truth()),
+        );
     }
 
     #[test]
@@ -694,8 +767,7 @@ mod tests {
             ]
         };
         let expensive = quick_config(SyncConfig::ground_truth());
-        let free = quick_config(SyncConfig::ground_truth())
-            .with_barrier(BarrierCostModel::free());
+        let free = quick_config(SyncConfig::ground_truth()).with_barrier(BarrierCostModel::free());
         let slow = run_cluster(programs(()), &expensive);
         let fast = run_cluster(programs(()), &free);
         assert!(
@@ -719,7 +791,9 @@ mod tests {
             .compute(130_000) // 50 µs at 2.6 GHz: send mid-quantum
             .send(Rank::new(1), 64, Tag::new(0))
             .build();
-        let p1 = ProgramBuilder::new(Rank::new(1)).recv(Some(Rank::new(0)), Tag::new(0)).build();
+        let p1 = ProgramBuilder::new(Rank::new(1))
+            .recv(Some(Rank::new(0)), Tag::new(0))
+            .build();
         let cfg = ClusterConfig::new(SyncConfig::Fixed(q))
             .with_seed(2)
             .with_host(HostModel::uniform(30.0, 1.0))
@@ -755,7 +829,9 @@ mod tests {
             .send(Rank::new(1), 64, Tag::new(0))
             .compute(2_600_000)
             .build();
-        let p1 = ProgramBuilder::new(Rank::new(1)).recv(Some(Rank::new(0)), Tag::new(0)).build();
+        let p1 = ProgramBuilder::new(Rank::new(1))
+            .recv(Some(Rank::new(0)), Tag::new(0))
+            .build();
         // Identical, deterministic speeds with NO idle fast-forward: the
         // blocked receiver's virtual clock tracks the sender's, and a slow
         // controller hop (90 µs host = 3 µs of guest progress at the 30x
@@ -799,9 +875,12 @@ mod tests {
         let plain = run_cluster(programs(), &base);
         let sampled = run_cluster(
             programs(),
-            &base
-                .clone()
-                .with_sampling(SamplingModel::new(SimDuration::from_micros(200), 0.1, 20.0, 0.05)),
+            &base.clone().with_sampling(SamplingModel::new(
+                SimDuration::from_micros(200),
+                0.1,
+                20.0,
+                0.05,
+            )),
         );
         assert!(
             sampled.host_elapsed < plain.host_elapsed,
@@ -813,7 +892,10 @@ mod tests {
         assert_ne!(sampled.sim_end, plain.sim_end);
         // …but only by the modelled few percent.
         let ratio = sampled.sim_end.as_nanos() as f64 / plain.sim_end.as_nanos() as f64;
-        assert!((0.8..1.2).contains(&ratio), "timing bias too large: {ratio}");
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "timing bias too large: {ratio}"
+        );
         // Functional behaviour is untouched.
         assert_eq!(sampled.total_ops(), plain.total_ops());
     }
@@ -829,9 +911,17 @@ mod tests {
         let plain = run_cluster(programs.clone(), &base);
         let sampled = run_cluster(
             programs,
-            &base.with_sampling(SamplingModel::new(SimDuration::from_micros(200), 0.1, 20.0, 0.0)),
+            &base.with_sampling(SamplingModel::new(
+                SimDuration::from_micros(200),
+                0.1,
+                20.0,
+                0.0,
+            )),
         );
-        assert_eq!(sampled.sim_end, plain.sim_end, "zero-sigma sampling must be exact");
+        assert_eq!(
+            sampled.sim_end, plain.sim_end,
+            "zero-sigma sampling must be exact"
+        );
         assert!(sampled.host_elapsed < plain.host_elapsed);
     }
 

@@ -139,7 +139,11 @@ pub struct ExperimentResult {
 impl Experiment {
     /// Creates an experiment.
     pub fn new(workload: WorkloadSpec, base: ClusterConfig, sweep: Vec<SyncConfig>) -> Self {
-        Self { workload, base, sweep }
+        Self {
+            workload,
+            base,
+            sweep,
+        }
     }
 
     /// Runs the baseline and every sweep configuration.

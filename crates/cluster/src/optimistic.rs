@@ -156,7 +156,10 @@ impl From<MessageMeta> for MessageMetaOrd {
 impl MessageMetaOrd {
     fn to_meta(self) -> MessageMeta {
         MessageMeta {
-            id: MessageId { src: Rank::new(self.src), seq: self.seq },
+            id: MessageId {
+                src: Rank::new(self.src),
+                seq: self.seq,
+            },
             tag: aqs_node::Tag::new(self.tag),
             bytes: self.bytes,
             frag_count: self.frag_count,
@@ -207,7 +210,12 @@ pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> Optimis
     let n = programs.len();
     let nic = cfg.base.nic;
     let mut speeds: Vec<HostSpeed> = (0..n)
-        .map(|i| HostSpeed::new(cfg.base.host_for(i), Rng::substream(cfg.base.seed, i as u64)))
+        .map(|i| {
+            HostSpeed::new(
+                cfg.base.host_for(i),
+                Rng::substream(cfg.base.seed, i as u64),
+            )
+        })
         .collect();
     let mut nodes: Vec<NodeState> = programs
         .into_iter()
@@ -243,8 +251,11 @@ pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> Optimis
         // Round 0: run with only the carried-over fragments.
         let mut inbound_used: Vec<Vec<Inbound>> = (0..n)
             .map(|i| {
-                let mut v: Vec<Inbound> =
-                    carried[i].iter().filter(|f| f.arrival < window_end).cloned().collect();
+                let mut v: Vec<Inbound> = carried[i]
+                    .iter()
+                    .filter(|f| f.arrival < window_end)
+                    .cloned()
+                    .collect();
                 v.sort();
                 v
             })
@@ -253,8 +264,14 @@ pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> Optimis
         let mut sends: Vec<Vec<SentFrag>> = vec![Vec::new(); n];
         let mut reexec_cost: Vec<u32> = vec![1; n]; // executions of this window
         for i in 0..n {
-            let (profile, out) =
-                run_window(&mut nodes[i], &inbound_used[i], window_start, window_end, &nic, i);
+            let (profile, out) = run_window(
+                &mut nodes[i],
+                &inbound_used[i],
+                window_start,
+                window_end,
+                &nic,
+                i,
+            );
             profiles[i] = profile;
             sends[i] = out;
         }
@@ -270,8 +287,7 @@ pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> Optimis
                  within {} iterations (window too long for this traffic?)",
                 cfg.max_iterations
             );
-            let inbound_now =
-                compute_inbound(&sends, &carried, n, window_end, nic.min_latency());
+            let inbound_now = compute_inbound(&sends, &carried, n, window_end, nic.min_latency());
             let mut changed = false;
             for i in 0..n {
                 if inbound_now[i] != inbound_used[i] {
@@ -349,7 +365,11 @@ pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> Optimis
             regions: s.exec.regions().to_vec(),
         })
         .collect();
-    let sim_end = per_node.iter().map(|p| p.finish_sim).max().expect("two nodes");
+    let sim_end = per_node
+        .iter()
+        .map(|p| p.finish_sim)
+        .max()
+        .expect("two nodes");
     OptimisticRunResult {
         host_elapsed: host - HostTime::ZERO,
         sim_end,
@@ -386,7 +406,13 @@ fn compute_inbound(
     latency: SimDuration,
 ) -> Vec<Vec<Inbound>> {
     let mut inbound: Vec<Vec<Inbound>> = (0..n)
-        .map(|i| carried[i].iter().filter(|f| f.arrival < window_end).cloned().collect())
+        .map(|i| {
+            carried[i]
+                .iter()
+                .filter(|f| f.arrival < window_end)
+                .cloned()
+                .collect()
+        })
         .collect();
     for frags in sends {
         for f in frags {
@@ -413,9 +439,13 @@ fn run_window(
     nic: &aqs_net::NicModel,
     node_index: usize,
 ) -> (WindowProfile, Vec<SentFrag>) {
-    debug_assert!(node.sim == window_start || node.done, "node out of step with window");
+    debug_assert!(
+        node.sim == window_start || node.done,
+        "node out of step with window"
+    );
     for f in inbound {
-        node.exec.deliver_fragment(f.meta.to_meta(), f.frag_index, f.arrival);
+        node.exec
+            .deliver_fragment(f.meta.to_meta(), f.frag_index, f.arrival);
     }
     let mut profile = WindowProfile::default();
     let mut sends = Vec::new();
@@ -457,7 +487,10 @@ fn run_window(
             Action::Send { dst, bytes, tag } => {
                 let sizes = nic.fragment_sizes(bytes);
                 let meta = MessageMeta {
-                    id: MessageId { src: node.exec.rank(), seq: node.msg_seq },
+                    id: MessageId {
+                        src: node.exec.rank(),
+                        seq: node.msg_seq,
+                    },
                     tag,
                     bytes,
                     frag_count: sizes.len() as u32,
@@ -520,7 +553,10 @@ mod tests {
         let spec = burst(4, 100_000, 2048);
         let conservative = run_cluster(spec.programs.clone(), &base());
         let optimistic = run_optimistic(spec.programs, &free_costs(20));
-        assert_eq!(optimistic.sim_end, conservative.sim_end, "optimism must be exact");
+        assert_eq!(
+            optimistic.sim_end, conservative.sim_end,
+            "optimism must be exact"
+        );
         for (o, c) in optimistic.per_node.iter().zip(&conservative.per_node) {
             assert_eq!(o.finish_sim, c.finish_sim);
             assert_eq!(o.messages_received, c.messages_received);
@@ -540,8 +576,12 @@ mod tests {
     #[test]
     fn compute_only_never_rolls_back() {
         let programs = vec![
-            aqs_node::ProgramBuilder::new(Rank::new(0)).compute(500_000).build(),
-            aqs_node::ProgramBuilder::new(Rank::new(1)).compute(800_000).build(),
+            aqs_node::ProgramBuilder::new(Rank::new(0))
+                .compute(500_000)
+                .build(),
+            aqs_node::ProgramBuilder::new(Rank::new(1))
+                .compute(800_000)
+                .build(),
         ];
         let r = run_optimistic(programs, &free_costs(100));
         assert_eq!(r.rollbacks, 0);

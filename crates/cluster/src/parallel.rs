@@ -2,11 +2,28 @@
 //!
 //! Where [`engine`](crate::engine) *models* the parallel simulation on a
 //! deterministic host clock, this module *is* one: every node simulator
-//! runs on its own thread, packets cross a shared network controller,
-//! quantum boundaries are real [`std::sync::Barrier`]s, and wall-clock is
+//! runs on its own thread, packets cross lock-free mailboxes, quantum
+//! boundaries are an epoch-based [`LeaderBarrier`], and wall-clock is
 //! measured with [`std::time::Instant`]. It demonstrates the paper's
 //! architecture as an actual parallel program and powers the wall-clock
 //! benchmarks.
+//!
+//! The hot path — routing a packet and retiring simulated ops — touches no
+//! globally contended lock:
+//!
+//! * straggler statistics accumulate in a per-thread [`StragglerStats`] and
+//!   are merged into the shared tally once per quantum (only when the
+//!   quantum actually recorded one) and at run end;
+//! * mailboxes are lock-free MPSC lists ([`aqs_sync::Mailbox`]): producers
+//!   push with one CAS, the owning thread detaches the whole batch with one
+//!   swap at its next scheduling point;
+//! * packet counts (`np`, the adaptive policy's input signal) accumulate in
+//!   a per-thread cache-padded slot that the barrier leader sums;
+//! * the quantum handshake is a single epoch publication: the last thread
+//!   to arrive advances the policy (it has exclusive access to the leader
+//!   state — no policy mutex) and stores the new `q_end` before the epoch's
+//!   release store, so `(epoch, q_end, stop)` become visible atomically.
+//!   `q_end == u64::MAX` is the stop sentinel.
 //!
 //! Two things follow from using real time:
 //!
@@ -33,18 +50,48 @@
 //! assert_eq!(result.messages_received_total(), 1);
 //! ```
 
-use aqs_core::SyncConfig;
-use aqs_net::{Destination, NicModel, StragglerStats};
+use aqs_core::{QuantumPolicy, SyncConfig};
+use aqs_net::{Destination, LatencyMatrixSwitch, NicModel, NodeId, StragglerStats};
 use aqs_node::{
-    Action, CpuModel, MessageId, MessageMeta, NodeExecutor, Program, Rank, RegionRecord,
-    SendTarget,
+    Action, CpuModel, MessageId, MessageMeta, NodeExecutor, Program, Rank, RegionRecord, SendTarget,
 };
+use aqs_sync::{CachePadded, LeaderBarrier, Mailbox};
 use aqs_time::{SimDuration, SimTime};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Switch models available to the threaded engine.
+///
+/// Only stateless models are offered: their transit delay is a pure function
+/// of `(src, dst, bytes)`, so node threads can compute arrivals without
+/// sharing mutable switch state. [`aqs_net::StoreAndForwardSwitch`] is
+/// deliberately absent — its per-egress queue would re-serialize every
+/// route call behind a lock, and its result would depend on thread timing.
+#[derive(Clone, Debug, Default)]
+pub enum ParallelSwitch {
+    /// Infinite bandwidth, zero transit delay (the paper's evaluation
+    /// switch).
+    #[default]
+    Perfect,
+    /// Fixed per-(src, dst) latency, as in the deterministic engine's
+    /// [`LatencyMatrixSwitch`].
+    LatencyMatrix(LatencyMatrixSwitch),
+}
+
+impl ParallelSwitch {
+    /// Extra delay beyond NIC latency for a frame from `src` to `dst` —
+    /// mirrors [`aqs_net::SwitchModel::transit_delay`] for the stateless
+    /// models.
+    #[inline]
+    fn transit(&self, src: NodeId, dst: NodeId, _bytes: u32, _ingress: SimTime) -> SimDuration {
+        match self {
+            ParallelSwitch::Perfect => SimDuration::ZERO,
+            ParallelSwitch::LatencyMatrix(m) => m.latency(src, dst),
+        }
+    }
+}
 
 /// Configuration of a threaded run.
 #[derive(Clone, Debug)]
@@ -55,6 +102,8 @@ pub struct ParallelConfig {
     pub nic: NicModel,
     /// CPU timing model.
     pub cpu: CpuModel,
+    /// Switch timing model.
+    pub switch: ParallelSwitch,
     /// Real host nanoseconds of busy-work burned per simulated operation —
     /// emulates the execution cost of the node simulator itself. Zero runs
     /// the functional simulation at full speed.
@@ -65,13 +114,14 @@ pub struct ParallelConfig {
 }
 
 impl ParallelConfig {
-    /// Creates a configuration with the paper-default NIC/CPU models and no
-    /// busy-work.
+    /// Creates a configuration with the paper-default NIC/CPU models, the
+    /// perfect switch, and no busy-work.
     pub fn new(sync: SyncConfig) -> Self {
         Self {
             sync,
             nic: NicModel::paper_default(),
             cpu: CpuModel::default(),
+            switch: ParallelSwitch::default(),
             host_work_per_op: 0.0,
             max_quanta: u64::MAX,
         }
@@ -83,7 +133,10 @@ impl ParallelConfig {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn with_host_work_per_op(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be >= 0, got {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be >= 0, got {factor}"
+        );
         self.host_work_per_op = factor;
         self
     }
@@ -91,6 +144,12 @@ impl ParallelConfig {
     /// Sets the quantum cap.
     pub fn with_max_quanta(mut self, max: u64) -> Self {
         self.max_quanta = max;
+        self
+    }
+
+    /// Sets the switch model.
+    pub fn with_switch(mut self, switch: ParallelSwitch) -> Self {
+        self.switch = switch;
         self
     }
 }
@@ -148,47 +207,131 @@ struct InFlight {
     arrival: SimTime,
 }
 
+/// Stop sentinel published through `q_end`.
+const Q_END_STOP: u64 = u64::MAX;
+
+/// State only the barrier leader touches, via [`LeaderBarrier::arrive`] —
+/// no mutex: exclusivity comes from the barrier protocol itself.
+struct LeaderState {
+    policy: Box<dyn QuantumPolicy>,
+    /// Quanta completed (including the stop round, matching the old
+    /// centralized counter).
+    quanta: u64,
+    /// Packets routed over the whole run (sum of the per-thread slots).
+    total_packets: u64,
+    /// Current quantum end in sim ns, mirrored into `Shared::q_end`.
+    q_end_nanos: u64,
+    max_quanta: u64,
+}
+
+/// Per-thread accounting that used to live behind global locks. Merged into
+/// the shared result at quantum boundaries, never per packet.
+#[derive(Default)]
+struct ThreadCtx {
+    /// Stragglers recorded since the last quantum-boundary merge.
+    stragglers: StragglerStats,
+    /// Packets routed in the current quantum (the policy's `np` signal).
+    quantum_packets: u64,
+}
+
 /// Shared state across node threads.
 struct Shared {
     nic: NicModel,
+    switch: ParallelSwitch,
     /// Per-node published simulated position (ns), for straggler checks.
-    sim_pos: Vec<AtomicU64>,
-    /// Per-node incoming fragment queues.
-    mailboxes: Vec<Mutex<Vec<InFlight>>>,
-    /// Packets routed in the current quantum (`np`).
-    np: AtomicU64,
-    total_packets: AtomicU64,
-    stragglers: Mutex<StragglerStats>,
-    /// End of the current quantum, in sim ns.
+    sim_pos: Vec<CachePadded<AtomicU64>>,
+    /// Per-node incoming fragment queues (lock-free MPSC).
+    mailboxes: Vec<Mailbox<InFlight>>,
+    /// Per-thread packets routed this quantum; the leader sums these into
+    /// `np` for the policy and into the run total.
+    np_slots: Vec<CachePadded<AtomicU64>>,
+    /// Run-wide straggler tally. Cold path: touched at most once per thread
+    /// per quantum (and only for quanta that actually straggled), never per
+    /// packet.
+    straggler_total: Mutex<StragglerStats>,
+    /// End of the current quantum in sim ns; `Q_END_STOP` means the run is
+    /// over. Written by the leader before the epoch release-store, read by
+    /// followers after their epoch acquire-load — the epoch is the
+    /// handshake, so plain relaxed accesses suffice.
     q_end: AtomicU64,
     /// Number of nodes whose program has finished.
     done: AtomicU64,
-    stop: AtomicBool,
-    barrier: Barrier,
+    /// Deadlock-guard flag (checked after join, where panicking is safe).
+    overflow: AtomicBool,
+    barrier: LeaderBarrier<LeaderState>,
 }
 
 impl Shared {
     /// Routes one fragment from `src`, delivering into mailboxes and doing
     /// straggler accounting against the receivers' published positions.
-    fn route(&self, src: usize, dst: Destination, bytes: u32, departure: SimTime, meta: MessageMeta, frag_index: u32) {
-        let arrival = self.nic.earliest_arrival(departure);
-        let targets: Vec<usize> = match dst {
-            Destination::Unicast(d) => vec![d.index()],
+    ///
+    /// Arrival is computed exactly as the deterministic engine's
+    /// `NetworkController::route`: NIC earliest arrival plus switch transit
+    /// for this `(src, dst, bytes)`.
+    #[allow(clippy::too_many_arguments)]
+    fn route(
+        &self,
+        ctx: &mut ThreadCtx,
+        src: usize,
+        dst: Destination,
+        bytes: u32,
+        departure: SimTime,
+        meta: MessageMeta,
+        frag_index: u32,
+    ) {
+        let base = self.nic.earliest_arrival(departure);
+        match dst {
+            Destination::Unicast(d) => self.deliver(
+                ctx,
+                src,
+                d.index(),
+                bytes,
+                departure,
+                base,
+                meta,
+                frag_index,
+            ),
             Destination::Broadcast => {
-                (0..self.sim_pos.len()).filter(|&i| i != src).collect()
+                for t in 0..self.sim_pos.len() {
+                    if t != src {
+                        self.deliver(ctx, src, t, bytes, departure, base, meta, frag_index);
+                    }
+                }
             }
-        };
-        let _ = bytes;
-        for t in targets {
-            self.np.fetch_add(1, Ordering::Relaxed);
-            self.total_packets.fetch_add(1, Ordering::Relaxed);
-            let pos = SimTime::from_nanos(self.sim_pos[t].load(Ordering::Acquire));
-            let eff = arrival.max(pos);
-            if eff > arrival {
-                self.stragglers.lock().record(eff - arrival);
-            }
-            self.mailboxes[t].lock().push(InFlight { meta, frag_index, arrival: eff });
         }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn deliver(
+        &self,
+        ctx: &mut ThreadCtx,
+        src: usize,
+        t: usize,
+        bytes: u32,
+        departure: SimTime,
+        base: SimTime,
+        meta: MessageMeta,
+        frag_index: u32,
+    ) {
+        ctx.quantum_packets += 1;
+        let arrival = base
+            + self.switch.transit(
+                NodeId::new(src as u32),
+                NodeId::new(t as u32),
+                bytes,
+                departure,
+            );
+        let pos = SimTime::from_nanos(self.sim_pos[t].load(Ordering::Acquire));
+        let eff = arrival.max(pos);
+        if eff > arrival {
+            ctx.stragglers.record(eff - arrival);
+        }
+        self.mailboxes[t].push(InFlight {
+            meta,
+            frag_index,
+            arrival: eff,
+        });
     }
 }
 
@@ -204,22 +347,31 @@ pub fn run_parallel(programs: Vec<Program>, config: &ParallelConfig) -> Parallel
         assert_eq!(p.rank().index(), i, "program {i} is for {}", p.rank());
     }
     let n = programs.len();
-    let policy = Mutex::new(config.sync.build());
-    let q0 = policy.lock().initial_quantum();
+    let policy = config.sync.build();
+    let q0 = policy.initial_quantum();
+    let leader = LeaderState {
+        policy,
+        quanta: 0,
+        total_packets: 0,
+        q_end_nanos: q0.as_nanos(),
+        max_quanta: config.max_quanta,
+    };
     let shared = Shared {
         nic: config.nic,
-        sim_pos: (0..n).map(|_| AtomicU64::new(0)).collect(),
-        mailboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
-        np: AtomicU64::new(0),
-        total_packets: AtomicU64::new(0),
-        stragglers: Mutex::new(StragglerStats::default()),
+        switch: config.switch.clone(),
+        sim_pos: (0..n)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+        mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+        np_slots: (0..n)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+        straggler_total: Mutex::new(StragglerStats::default()),
         q_end: AtomicU64::new(q0.as_nanos()),
         done: AtomicU64::new(0),
-        stop: AtomicBool::new(false),
-        barrier: Barrier::new(n),
+        overflow: AtomicBool::new(false),
+        barrier: LeaderBarrier::new(n, leader),
     };
-    let quanta = AtomicU64::new(0);
-    let overflow = AtomicBool::new(false);
     let start = Instant::now();
     let results: Vec<ParallelNodeResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = programs
@@ -227,28 +379,31 @@ pub fn run_parallel(programs: Vec<Program>, config: &ParallelConfig) -> Parallel
             .enumerate()
             .map(|(i, program)| {
                 let shared = &shared;
-                let policy = &policy;
-                let quanta = &quanta;
-                let overflow = &overflow;
-                scope.spawn(move || {
-                    node_thread(i, program, config, shared, policy, quanta, overflow)
-                })
+                scope.spawn(move || node_thread(i, program, config, shared))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
     });
     assert!(
-        !overflow.load(Ordering::Acquire),
+        !shared.overflow.load(Ordering::Acquire),
         "quantum cap exceeded: workload deadlock?"
     );
     let wall = start.elapsed();
-    let sim_end = results.iter().map(|r| r.finish_sim).max().expect("at least two nodes");
-    let stragglers = *shared.stragglers.lock();
+    let sim_end = results
+        .iter()
+        .map(|r| r.finish_sim)
+        .max()
+        .expect("at least two nodes");
+    let stragglers = *shared.straggler_total.lock().expect("no poisoned thread");
+    let leader = shared.barrier.into_state();
     ParallelRunResult {
         wall,
         sim_end,
-        total_quanta: quanta.load(Ordering::Relaxed),
-        total_packets: shared.total_packets.load(Ordering::Relaxed),
+        total_quanta: leader.quanta,
+        total_packets: leader.total_packets,
         stragglers,
         per_node: results,
     }
@@ -272,17 +427,15 @@ fn busy_work(ns: f64) {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn node_thread(
     i: usize,
     program: Program,
     config: &ParallelConfig,
     shared: &Shared,
-    policy: &Mutex<Box<dyn aqs_core::QuantumPolicy>>,
-    quanta: &AtomicU64,
-    overflow: &AtomicBool,
 ) -> ParallelNodeResult {
     let mut exec = NodeExecutor::new(program, config.cpu);
+    let mut ctx = ThreadCtx::default();
+    let mut inbox: Vec<InFlight> = Vec::new();
     let mut sim = SimTime::ZERO;
     let mut msg_seq = 0u64;
     let mut done_reported = false;
@@ -301,12 +454,14 @@ fn node_thread(
                 sim += step;
                 publish(sim);
                 if step < p.remaining {
-                    pending = Some(Pending { remaining: p.remaining - step });
+                    pending = Some(Pending {
+                        remaining: p.remaining - step,
+                    });
                     break; // quantum boundary reached mid-op
                 }
                 continue;
             }
-            drain_mailbox(&mut exec, &shared.mailboxes[i]);
+            drain_mailbox(&mut exec, &shared.mailboxes[i], &mut inbox);
             match exec.next_action(sim) {
                 Action::Advance { dur, ops, idle } => {
                     // The executor consumed the op; the host work for it is
@@ -326,7 +481,10 @@ fn node_thread(
                     };
                     let sizes = shared.nic.fragment_sizes(bytes);
                     let meta = MessageMeta {
-                        id: MessageId { src: exec.rank(), seq: msg_seq },
+                        id: MessageId {
+                            src: exec.rank(),
+                            seq: msg_seq,
+                        },
                         tag,
                         bytes,
                         frag_count: sizes.len() as u32,
@@ -336,7 +494,7 @@ fn node_thread(
                         let ser = shared.nic.serialization_delay(sz);
                         sim += ser;
                         publish(sim);
-                        shared.route(i, dest, sz, sim, meta, k as u32);
+                        shared.route(&mut ctx, i, dest, sz, sim, meta, k as u32);
                     }
                 }
                 Action::WaitUntil(t) => {
@@ -367,7 +525,7 @@ fn node_thread(
         }
         sim = sim.max(q_end);
         publish(sim);
-        match next_quantum(shared, policy, quanta, config, overflow) {
+        match next_quantum(shared, &mut ctx, i) {
             Some(qe) => q_end = qe,
             None => break,
         }
@@ -381,46 +539,58 @@ fn node_thread(
     }
 }
 
-/// Meets the quantum barrier; the leader advances the policy. Returns the
-/// new quantum end, or `None` when the run is over (all programs done, or
-/// the deadlock guard tripped).
-fn next_quantum(
-    shared: &Shared,
-    policy: &Mutex<Box<dyn aqs_core::QuantumPolicy>>,
-    quanta: &AtomicU64,
-    config: &ParallelConfig,
-    overflow: &AtomicBool,
-) -> Option<SimTime> {
-    let wait = shared.barrier.wait();
-    if wait.is_leader() {
-        let q = quanta.fetch_add(1, Ordering::AcqRel) + 1;
-        let np = shared.np.swap(0, Ordering::AcqRel);
-        if shared.done.load(Ordering::Acquire) as usize == shared.sim_pos.len() {
-            shared.stop.store(true, Ordering::Release);
-        } else if q > config.max_quanta {
-            // Cannot panic while peers wait on the barrier — flag and stop.
-            overflow.store(true, Ordering::Release);
-            shared.stop.store(true, Ordering::Release);
-        } else {
-            let next = policy.lock().next_quantum(np);
-            let end = shared.q_end.load(Ordering::Acquire) + next.as_nanos();
-            shared.q_end.store(end, Ordering::Release);
-        }
+/// Meets the quantum barrier; the leader advances the policy and publishes
+/// `(q_end, stop)` through the epoch handshake. Returns the new quantum end,
+/// or `None` when the run is over (all programs done, or the deadlock guard
+/// tripped).
+fn next_quantum(shared: &Shared, ctx: &mut ThreadCtx, i: usize) -> Option<SimTime> {
+    // Publish this thread's per-quantum accounting. The barrier arrival
+    // provides the release/acquire edge to the leader, so relaxed stores
+    // suffice.
+    shared.np_slots[i].store(ctx.quantum_packets, Ordering::Relaxed);
+    ctx.quantum_packets = 0;
+    if ctx.stragglers.count() > 0 {
+        // Cold path: only quanta that actually straggled pay for the lock.
+        shared
+            .straggler_total
+            .lock()
+            .expect("no poisoned thread")
+            .merge(&ctx.stragglers);
+        ctx.stragglers = StragglerStats::default();
     }
-    shared.barrier.wait();
-    if shared.stop.load(Ordering::Acquire) {
+    shared.barrier.arrive(|leader| {
+        leader.quanta += 1;
+        let np: u64 = shared
+            .np_slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .sum();
+        leader.total_packets += np;
+        let all_done = shared.done.load(Ordering::Acquire) as usize == shared.sim_pos.len();
+        if all_done {
+            shared.q_end.store(Q_END_STOP, Ordering::Relaxed);
+        } else if leader.quanta > leader.max_quanta {
+            // Cannot panic while peers wait on the barrier — flag and stop.
+            shared.overflow.store(true, Ordering::Relaxed);
+            shared.q_end.store(Q_END_STOP, Ordering::Relaxed);
+        } else {
+            let next = leader.policy.next_quantum(np);
+            leader.q_end_nanos += next.as_nanos();
+            shared.q_end.store(leader.q_end_nanos, Ordering::Relaxed);
+        }
+    });
+    // Ordered after the leader's stores by the epoch acquire inside arrive.
+    let q_end = shared.q_end.load(Ordering::Relaxed);
+    if q_end == Q_END_STOP {
         None
     } else {
-        Some(SimTime::from_nanos(shared.q_end.load(Ordering::Acquire)))
+        Some(SimTime::from_nanos(q_end))
     }
 }
 
-fn drain_mailbox(exec: &mut NodeExecutor, mailbox: &Mutex<Vec<InFlight>>) {
-    let drained: Vec<InFlight> = {
-        let mut mb = mailbox.lock();
-        std::mem::take(&mut *mb)
-    };
-    for f in drained {
+fn drain_mailbox(exec: &mut NodeExecutor, mailbox: &Mailbox<InFlight>, inbox: &mut Vec<InFlight>) {
+    mailbox.drain_into(inbox);
+    for f in inbox.drain(..) {
         exec.deliver_fragment(f.meta, f.frag_index, f.arrival);
     }
 }
@@ -460,7 +630,10 @@ mod tests {
         assert_eq!(par.sim_end, det.sim_end, "simulated timelines must agree");
         assert_eq!(
             par.messages_received_total(),
-            det.per_node.iter().map(|n| n.messages_received).sum::<u64>()
+            det.per_node
+                .iter()
+                .map(|n| n.messages_received)
+                .sum::<u64>()
         );
         assert_eq!(par.total_packets, det.total_packets);
     }
@@ -492,8 +665,15 @@ mod tests {
     fn large_quantum_creates_stragglers_in_real_races() {
         let spec = ping_pong(2, 50, 64);
         let r = run_parallel(spec.programs, &cfg(SyncConfig::fixed_micros(1000)));
-        assert!(r.stragglers.count() > 0, "latency-bound ping-pong must straggle");
-        assert_eq!(r.messages_received_total(), 100, "stragglers must not lose packets");
+        assert!(
+            r.stragglers.count() > 0,
+            "latency-bound ping-pong must straggle"
+        );
+        assert_eq!(
+            r.messages_received_total(),
+            100,
+            "stragglers must not lose packets"
+        );
     }
 
     #[test]
@@ -524,13 +704,43 @@ mod tests {
     fn regions_are_captured() {
         let spec = ping_pong(2, 3, 64);
         let r = run_parallel(spec.programs, &cfg(SyncConfig::ground_truth()));
-        assert!(r.per_node[0].regions.iter().any(|reg| reg.region == RegionId::KERNEL));
+        assert!(r.per_node[0]
+            .regions
+            .iter()
+            .any(|reg| reg.region == RegionId::KERNEL));
+    }
+
+    #[test]
+    fn latency_matrix_switch_matches_deterministic_engine() {
+        // The bytes/switch-transit path must be identical in both engines
+        // (this is the bugfix for `route` discarding its `bytes` argument
+        // and skipping the switch model entirely).
+        use crate::engine::run_cluster_with_switch;
+        let spec = ping_pong(2, 20, 4096);
+        let matrix = LatencyMatrixSwitch::uniform(2, SimDuration::from_micros(3));
+        let det = run_cluster_with_switch(
+            spec.programs.clone(),
+            &ClusterConfig::new(SyncConfig::ground_truth()).with_seed(7),
+            matrix.clone(),
+        );
+        let par = run_parallel(
+            spec.programs,
+            &cfg(SyncConfig::ground_truth()).with_switch(ParallelSwitch::LatencyMatrix(matrix)),
+        );
+        assert_eq!(
+            par.sim_end, det.sim_end,
+            "switch transit must shift both timelines equally"
+        );
+        assert_eq!(par.total_packets, det.total_packets);
+        assert_eq!(par.stragglers.count(), 0);
     }
 
     #[test]
     #[should_panic(expected = "deadlock")]
     fn quantum_cap_catches_deadlock() {
-        let p0 = ProgramBuilder::new(Rank::new(0)).recv(Some(Rank::new(1)), Tag::new(0)).build();
+        let p0 = ProgramBuilder::new(Rank::new(0))
+            .recv(Some(Rank::new(1)), Tag::new(0))
+            .build();
         let p1 = ProgramBuilder::new(Rank::new(1)).compute(10).build();
         let _ = run_parallel(
             vec![p0, p1],

@@ -41,12 +41,22 @@ impl ProgressRecorder {
     /// Panics if `capacity < 4`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 4, "capacity must be at least 4");
-        Self { capacity, stride: 1, seen: 0, points: Vec::new() }
+        Self {
+            capacity,
+            stride: 1,
+            seen: 0,
+            points: Vec::new(),
+        }
     }
 
     /// A disabled recorder that stores nothing.
     pub fn disabled() -> Self {
-        Self { capacity: 0, stride: 1, seen: 0, points: Vec::new() }
+        Self {
+            capacity: 0,
+            stride: 1,
+            seen: 0,
+            points: Vec::new(),
+        }
     }
 
     /// Offers one checkpoint; it is stored if it falls on the current

@@ -2,7 +2,7 @@
 
 use aqs_core::QuantumTrace;
 use aqs_net::{StragglerStats, TrafficTrace};
-use aqs_node::{RegionRecord, RegionId, Rank};
+use aqs_node::{Rank, RegionId, RegionRecord};
 use aqs_time::{HostDuration, HostTime, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -27,7 +27,11 @@ pub struct NodeResult {
 impl NodeResult {
     /// Total duration of all instances of `region` on this node.
     pub fn region_duration(&self, region: RegionId) -> SimDuration {
-        self.regions.iter().filter(|r| r.region == region).map(RegionRecord::duration).sum()
+        self.regions
+            .iter()
+            .filter(|r| r.region == region)
+            .map(RegionRecord::duration)
+            .sum()
     }
 }
 
@@ -146,7 +150,10 @@ mod tests {
             end: SimTime::from_micros(80),
         };
         let result = run(vec![node(0, vec![r0]), node(1, vec![r1])], 100, 100);
-        assert_eq!(result.region_span(RegionId::KERNEL), Some(SimDuration::from_micros(70)));
+        assert_eq!(
+            result.region_span(RegionId::KERNEL),
+            Some(SimDuration::from_micros(70))
+        );
         assert_eq!(result.region_span(RegionId::new(9)), None);
     }
 

@@ -46,20 +46,41 @@ impl AdaptiveConfig {
     /// `inc ≤ 1`, or if `dec` is outside `(0, 1)`.
     pub fn new(min_quantum: SimDuration, max_quantum: SimDuration, inc: f64, dec: f64) -> Self {
         assert!(!min_quantum.is_zero(), "min_quantum must be positive");
-        assert!(min_quantum <= max_quantum, "min_quantum must not exceed max_quantum");
+        assert!(
+            min_quantum <= max_quantum,
+            "min_quantum must not exceed max_quantum"
+        );
         assert!(inc.is_finite() && inc > 1.0, "inc must be > 1, got {inc}");
-        assert!(dec.is_finite() && dec > 0.0 && dec < 1.0, "dec must be in (0,1), got {dec}");
-        Self { min_quantum, max_quantum, inc, dec }
+        assert!(
+            dec.is_finite() && dec > 0.0 && dec < 1.0,
+            "dec must be in (0,1), got {dec}"
+        );
+        Self {
+            min_quantum,
+            max_quantum,
+            inc,
+            dec,
+        }
     }
 
     /// The paper's `dyn 1`: 1–1000 µs, +3 % growth, ×0.02 shrink.
     pub fn paper_dyn1() -> Self {
-        Self::new(SimDuration::from_micros(1), SimDuration::from_micros(1000), 1.03, 0.02)
+        Self::new(
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1000),
+            1.03,
+            0.02,
+        )
     }
 
     /// The paper's `dyn 2`: 1–1000 µs, +5 % growth, ×0.02 shrink.
     pub fn paper_dyn2() -> Self {
-        Self::new(SimDuration::from_micros(1), SimDuration::from_micros(1000), 1.05, 0.02)
+        Self::new(
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1000),
+            1.05,
+            0.02,
+        )
     }
 
     /// A `dec` that reaches the floor from the ceiling in at most `steps`

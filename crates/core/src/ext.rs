@@ -40,7 +40,11 @@ pub struct ThresholdAdaptive {
 impl ThresholdAdaptive {
     /// Creates the policy.
     pub fn new(config: AdaptiveConfig, threshold: u64) -> Self {
-        Self { config, threshold, current_ns: config.min_quantum.as_nanos() as f64 }
+        Self {
+            config,
+            threshold,
+            current_ns: config.min_quantum.as_nanos() as f64,
+        }
     }
 
     /// The tolerance.
@@ -72,7 +76,10 @@ impl QuantumPolicy for ThresholdAdaptive {
     }
 
     fn label(&self) -> String {
-        format!("thr{} {:.2}:{:.2}", self.threshold, self.config.inc, self.config.dec)
+        format!(
+            "thr{} {:.2}:{:.2}",
+            self.threshold, self.config.inc, self.config.dec
+        )
     }
 
     fn reset(&mut self) {
@@ -117,7 +124,12 @@ impl EwmaAdaptive {
             alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
             "alpha must be in (0, 1], got {alpha}"
         );
-        Self { config, alpha, ewma: 0.0, current_ns: config.min_quantum.as_nanos() as f64 }
+        Self {
+            config,
+            alpha,
+            ewma: 0.0,
+            current_ns: config.min_quantum.as_nanos() as f64,
+        }
     }
 
     /// Current smoothed packet signal.
@@ -150,7 +162,10 @@ impl QuantumPolicy for EwmaAdaptive {
     }
 
     fn label(&self) -> String {
-        format!("ewma{:.2} {:.2}:{:.2}", self.alpha, self.config.inc, self.config.dec)
+        format!(
+            "ewma{:.2} {:.2}:{:.2}",
+            self.alpha, self.config.inc, self.config.dec
+        )
     }
 
     fn reset(&mut self) {

@@ -90,7 +90,10 @@ mod tests {
     fn labels() {
         assert_eq!(FixedQuantum::from_micros(1).label(), "1");
         assert_eq!(FixedQuantum::from_micros(1000).label(), "1000");
-        assert_eq!(FixedQuantum::new(SimDuration::from_nanos(1500)).label(), "1.5");
+        assert_eq!(
+            FixedQuantum::new(SimDuration::from_nanos(1500)).label(),
+            "1.5"
+        );
     }
 
     #[test]

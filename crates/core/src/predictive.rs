@@ -49,16 +49,35 @@ impl PredictiveConfig {
         alpha: f64,
     ) -> Self {
         assert!(!min_quantum.is_zero(), "min_quantum must be positive");
-        assert!(min_quantum <= max_quantum, "min_quantum must not exceed max_quantum");
-        assert!(safety > 0.0 && safety <= 1.0, "safety must be in (0,1], got {safety}");
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
-        Self { min_quantum, max_quantum, safety, alpha }
+        assert!(
+            min_quantum <= max_quantum,
+            "min_quantum must not exceed max_quantum"
+        );
+        assert!(
+            safety > 0.0 && safety <= 1.0,
+            "safety must be in (0,1], got {safety}"
+        );
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
+        Self {
+            min_quantum,
+            max_quantum,
+            safety,
+            alpha,
+        }
     }
 
     /// The defaults used by the extension benchmarks: 1–1000 µs, jump to
     /// half the predicted gap, EWMA α = 0.25.
     pub fn default_1_1000() -> Self {
-        Self::new(SimDuration::from_micros(1), SimDuration::from_micros(1000), 0.5, 0.25)
+        Self::new(
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1000),
+            0.5,
+            0.25,
+        )
     }
 }
 
@@ -109,7 +128,8 @@ impl PredictiveQuantum {
 
     /// The current gap prediction, if one has been learned.
     pub fn predicted_gap(&self) -> Option<SimDuration> {
-        self.predicted_gap_ns.map(|ns| SimDuration::from_nanos(ns.round() as u64))
+        self.predicted_gap_ns
+            .map(|ns| SimDuration::from_nanos(ns.round() as u64))
     }
 
     fn clamp(&mut self) {
@@ -197,9 +217,12 @@ mod tests {
             quiet += p.next_quantum(0);
         }
         p.next_quantum(5); // burst closes the gap
-        // The estimate lags the true gap by at most one quantum.
+                           // The estimate lags the true gap by at most one quantum.
         let learned = p.predicted_gap().expect("gap must be learned");
-        assert!(learned >= SimDuration::from_micros(150), "learned only {learned}");
+        assert!(
+            learned >= SimDuration::from_micros(150),
+            "learned only {learned}"
+        );
         // Next quiet quantum jumps to safety × prediction.
         let jump = p.next_quantum(0);
         assert!(jump >= SimDuration::from_micros(70), "jump was only {jump}");

@@ -58,7 +58,10 @@ impl QuantumTrace {
 
     /// A trace that stores every quantum.
     pub fn enabled() -> Self {
-        Self { enabled: true, ..Self::default() }
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
     }
 
     /// Records one completed quantum.
@@ -67,7 +70,12 @@ impl QuantumTrace {
         self.total_quanta += 1;
         self.total_length = self.total_length.saturating_add(length);
         if self.enabled {
-            self.records.push(QuantumRecord { index, start, length, packets });
+            self.records.push(QuantumRecord {
+                index,
+                start,
+                length,
+                packets,
+            });
         }
     }
 
@@ -109,9 +117,16 @@ impl QuantumTrace {
         if self.records.is_empty() {
             return None;
         }
-        let sum: f64 = self.records.iter().map(|r| r.length.as_nanos() as f64).sum();
-        let sum_sq: f64 =
-            self.records.iter().map(|r| (r.length.as_nanos() as f64).powi(2)).sum();
+        let sum: f64 = self
+            .records
+            .iter()
+            .map(|r| r.length.as_nanos() as f64)
+            .sum();
+        let sum_sq: f64 = self
+            .records
+            .iter()
+            .map(|r| (r.length.as_nanos() as f64).powi(2))
+            .sum();
         Some(SimDuration::from_nanos((sum_sq / sum).round() as u64))
     }
 
@@ -194,7 +209,10 @@ mod tests {
         let plain = t.mean_length().unwrap();
         let weighted = t.time_weighted_mean_length().unwrap();
         assert_eq!(plain, SimDuration::from_micros(100));
-        assert!(weighted > SimDuration::from_micros(900), "weighted was {weighted}");
+        assert!(
+            weighted > SimDuration::from_micros(900),
+            "weighted was {weighted}"
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl<T: Ord, E> Ord for Entry<T, E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to get earliest-first, and break
         // timestamp ties by schedule order for determinism.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -104,7 +107,12 @@ impl<T: Ord + Copy, E> Default for EventQueue<T, E> {
 impl<T: Ord + Copy, E> EventQueue<T, E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), live: HashSet::new(), next_seq: 0, scheduled_total: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
     }
 
     /// Creates an empty queue with capacity for `n` pending events.
@@ -253,7 +261,11 @@ impl<E> Context<'_, E> {
     ///
     /// Panics if `time` is in the past — conservative DES never rewinds.
     pub fn schedule(&mut self, time: aqs_time::SimTime, event: E) -> EventId {
-        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
         self.queue.schedule(time, event)
     }
 
@@ -277,7 +289,11 @@ impl<E> Default for Simulation<E> {
 impl<E> Simulation<E> {
     /// Creates an empty simulation at time zero.
     pub fn new() -> Self {
-        Self { queue: EventQueue::new(), now: aqs_time::SimTime::ZERO, processed: 0 }
+        Self {
+            queue: EventQueue::new(),
+            now: aqs_time::SimTime::ZERO,
+            processed: 0,
+        }
     }
 
     /// Schedules an initial event (before or between runs).
@@ -301,7 +317,10 @@ impl<E> Simulation<E> {
             debug_assert!(time >= self.now, "event queue went backwards");
             self.now = time;
             self.processed += 1;
-            let mut ctx = Context { queue: &mut self.queue, now: time };
+            let mut ctx = Context {
+                queue: &mut self.queue,
+                now: time,
+            };
             handler(&mut ctx, event);
         }
     }
@@ -320,7 +339,10 @@ impl<E> Simulation<E> {
             let (time, event) = self.queue.pop().expect("peeked event vanished");
             self.now = time;
             self.processed += 1;
-            let mut ctx = Context { queue: &mut self.queue, now: time };
+            let mut ctx = Context {
+                queue: &mut self.queue,
+                now: time,
+            };
             handler(&mut ctx, event);
         }
     }
@@ -389,7 +411,10 @@ mod tests {
         let id = q.schedule(HostTime::from_nanos(1), 1);
         q.schedule(HostTime::from_nanos(2), 2);
         assert_eq!(q.pop(), Some((HostTime::from_nanos(1), 1)));
-        assert!(!q.cancel(id), "cancelling a delivered event must report false");
+        assert!(
+            !q.cancel(id),
+            "cancelling a delivered event must report false"
+        );
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop(), Some((HostTime::from_nanos(2), 2)));
         assert_eq!(q.len(), 0);

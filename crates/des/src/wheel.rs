@@ -76,7 +76,9 @@ impl<E> WheelQueue<E> {
     /// Creates an empty wheel at time zero.
     pub fn new() -> Self {
         Self {
-            levels: (0..LEVELS).map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect()).collect(),
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| VecDeque::new()).collect())
+                .collect(),
             overflow: Vec::new(),
             min_upper: None,
             cursor: 0,
@@ -120,11 +122,19 @@ impl<E> WheelQueue<E> {
     /// Panics if `time` is before the wheel's cursor (the past).
     pub fn schedule(&mut self, time: HostTime, payload: E) {
         let t = time.as_nanos();
-        assert!(t >= self.cursor, "cannot schedule into the past ({t} < {})", self.cursor);
+        assert!(
+            t >= self.cursor,
+            "cannot schedule into the past ({t} < {})",
+            self.cursor
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.len += 1;
-        let entry = Entry { time: t, seq, payload };
+        let entry = Entry {
+            time: t,
+            seq,
+            payload,
+        };
         match self.slot_for(t) {
             Some((0, slot)) => self.levels[0][slot].push_back(entry),
             Some((level, slot)) => {
@@ -160,8 +170,7 @@ impl<E> WheelQueue<E> {
                     q.insert(pos, entry);
                 }
                 None => {
-                    self.min_upper =
-                        Some(self.min_upper.map_or(entry.time, |m| m.min(entry.time)));
+                    self.min_upper = Some(self.min_upper.map_or(entry.time, |m| m.min(entry.time)));
                     self.overflow.push(entry);
                 }
             }

@@ -18,7 +18,11 @@ pub struct ParetoPoint {
 impl ParetoPoint {
     /// Creates a point.
     pub fn new(error: f64, speedup: f64, label: impl Into<String>) -> Self {
-        Self { error, speedup, label: label.into() }
+        Self {
+            error,
+            speedup,
+            label: label.into(),
+        }
     }
 
     /// `true` if `self` dominates `other`: at least as good on both
@@ -52,18 +56,30 @@ impl ParetoPoint {
 /// ```
 pub fn pareto_front(points: &[ParetoPoint]) -> Vec<usize> {
     assert!(
-        points.iter().all(|p| !p.error.is_nan() && !p.speedup.is_nan()),
+        points
+            .iter()
+            .all(|p| !p.error.is_nan() && !p.speedup.is_nan()),
         "NaN coordinates cannot be ranked"
     );
     let mut front: Vec<usize> = (0..points.len())
-        .filter(|&i| !points.iter().enumerate().any(|(j, q)| j != i && q.dominates(&points[i])))
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, q)| j != i && q.dominates(&points[i]))
+        })
         .collect();
     front.sort_by(|&a, &b| {
         points[a]
             .error
             .partial_cmp(&points[b].error)
             .expect("NaN ruled out")
-            .then(points[a].speedup.partial_cmp(&points[b].speedup).expect("NaN ruled out"))
+            .then(
+                points[a]
+                    .speedup
+                    .partial_cmp(&points[b].speedup)
+                    .expect("NaN ruled out"),
+            )
     });
     front
 }
@@ -96,7 +112,10 @@ mod tests {
     #[test]
     fn duplicate_points_both_survive() {
         // Identical points do not dominate each other (no strict better).
-        let pts = vec![ParetoPoint::new(0.1, 10.0, "a"), ParetoPoint::new(0.1, 10.0, "b")];
+        let pts = vec![
+            ParetoPoint::new(0.1, 10.0, "a"),
+            ParetoPoint::new(0.1, 10.0, "b"),
+        ];
         assert_eq!(pareto_front(&pts).len(), 2);
     }
 

@@ -83,13 +83,29 @@ pub fn render_bar_chart(
     unit: &str,
 ) -> String {
     assert!(width > 0, "width must be positive");
-    assert_eq!(values.len(), group_labels.len(), "one value row per group required");
+    assert_eq!(
+        values.len(),
+        group_labels.len(),
+        "one value row per group required"
+    );
     for (g, row) in values.iter().enumerate() {
         assert_eq!(row.len(), series_labels.len(), "group {g} has wrong arity");
-        assert!(row.iter().all(|v| v.is_finite() && *v >= 0.0), "bar values must be >= 0");
+        assert!(
+            row.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "bar values must be >= 0"
+        );
     }
-    let max = values.iter().flatten().copied().fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
-    let label_w = series_labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+    let max = values
+        .iter()
+        .flatten()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = series_labels
+        .iter()
+        .map(|l| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     for (g, group) in group_labels.iter().enumerate() {
         out.push_str(&format!("# processors = {group}\n"));
@@ -115,22 +131,31 @@ pub fn render_bar_chart(
 pub fn render_scatter_log_y(points: &[crate::ParetoPoint], cols: usize, rows: usize) -> String {
     assert!(cols >= 10 && rows >= 4, "canvas too small");
     assert!(
-        points.iter().all(|p| p.speedup > 0.0 && p.error.is_finite()),
+        points
+            .iter()
+            .all(|p| p.speedup > 0.0 && p.error.is_finite()),
         "log-y scatter needs positive speedups"
     );
     if points.is_empty() {
         return String::from("(no points)\n");
     }
     let front = crate::pareto_front(points);
-    let x_max = points.iter().map(|p| p.error).fold(0.0f64, f64::max).max(1e-6);
-    let y_min = points.iter().map(|p| p.speedup).fold(f64::INFINITY, f64::min);
+    let x_max = points
+        .iter()
+        .map(|p| p.error)
+        .fold(0.0f64, f64::max)
+        .max(1e-6);
+    let y_min = points
+        .iter()
+        .map(|p| p.speedup)
+        .fold(f64::INFINITY, f64::min);
     let y_max = points.iter().map(|p| p.speedup).fold(0.0f64, f64::max);
     let (ly_min, ly_max) = (y_min.ln(), (y_max.ln()).max(y_min.ln() + 1e-9));
     let mut grid = vec![vec![' '; cols]; rows];
     for (i, p) in points.iter().enumerate() {
         let cx = ((p.error / x_max) * (cols - 1) as f64).round() as usize;
-        let cy = (((p.speedup.ln() - ly_min) / (ly_max - ly_min)) * (rows - 1) as f64).round()
-            as usize;
+        let cy =
+            (((p.speedup.ln() - ly_min) / (ly_max - ly_min)) * (rows - 1) as f64).round() as usize;
         let row = rows - 1 - cy;
         grid[row][cx] = if front.contains(&i) { '◆' } else { '·' };
     }
@@ -146,7 +171,11 @@ pub fn render_scatter_log_y(points: &[crate::ParetoPoint], cols: usize, rows: us
     out.push('\n');
     out.push_str(&format!("   accuracy error 0 .. {:.0}%\n", x_max * 100.0));
     for (i, p) in points.iter().enumerate() {
-        let mark = if front.contains(&i) { "◆ pareto" } else { "·       " };
+        let mark = if front.contains(&i) {
+            "◆ pareto"
+        } else {
+            "·       "
+        };
         out.push_str(&format!(
             "  {mark}  {:<16} error {:>7.2}%  speedup {:>6.2}x\n",
             p.label,
@@ -174,7 +203,10 @@ pub fn render_traffic_density(
     cols: usize,
     max_rows: usize,
 ) -> String {
-    assert!(n_nodes > 0 && cols > 0 && max_rows > 0, "dimensions must be positive");
+    assert!(
+        n_nodes > 0 && cols > 0 && max_rows > 0,
+        "dimensions must be positive"
+    );
     let rows = n_nodes.min(max_rows);
     let nodes_per_row = n_nodes.div_ceil(rows);
     let mut counts = vec![vec![0usize; cols]; rows];
@@ -190,7 +222,11 @@ pub fn render_traffic_density(
     for (r, row) in counts.iter().enumerate() {
         let lo = r * nodes_per_row;
         let hi = ((r + 1) * nodes_per_row - 1).min(n_nodes - 1);
-        let label = if lo == hi { format!("n{lo:<4}") } else { format!("n{lo}-{hi}") };
+        let label = if lo == hi {
+            format!("n{lo:<4}")
+        } else {
+            format!("n{lo}-{hi}")
+        };
         out.push_str(&format!("{label:>8} |"));
         for &c in row {
             let shade = if c == 0 {
@@ -221,7 +257,9 @@ mod tests {
         assert!(t.contains("333"));
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4); // header, separator, 2 rows
-        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
     }
 
     #[test]
@@ -265,8 +303,7 @@ mod tests {
 
     #[test]
     fn traffic_density_shapes() {
-        let events: Vec<(f64, usize)> =
-            (0..100).map(|i| (i as f64 / 100.0, i % 4)).collect();
+        let events: Vec<(f64, usize)> = (0..100).map(|i| (i as f64 / 100.0, i % 4)).collect();
         let grid = render_traffic_density(&events, 4, 20, 64);
         assert_eq!(grid.lines().count(), 4);
         assert!(grid.contains("n0"));

@@ -83,7 +83,10 @@ pub fn geometric_mean(values: &[f64]) -> Option<f64> {
 /// assert!((aqs_metrics::relative_error(20.4, 10.0) - 1.04).abs() < 1e-12);
 /// ```
 pub fn relative_error(value: f64, baseline: f64) -> f64 {
-    assert!(value.is_finite() && baseline.is_finite(), "inputs must be finite");
+    assert!(
+        value.is_finite() && baseline.is_finite(),
+        "inputs must be finite"
+    );
     assert!(baseline != 0.0, "baseline must be non-zero");
     (value - baseline).abs() / baseline.abs()
 }
@@ -123,7 +126,10 @@ impl Summary {
         if values.is_empty() {
             return None;
         }
-        assert!(values.iter().all(|v| !v.is_nan()), "summary of NaN is meaningless");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "summary of NaN is meaningless"
+        );
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN ruled out above"));
         Some(Self {

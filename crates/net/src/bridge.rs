@@ -56,7 +56,12 @@ impl LearningBridge {
     /// Panics if `n_ports < 2`.
     pub fn new(n_ports: usize) -> Self {
         assert!(n_ports >= 2, "a bridge needs at least 2 ports");
-        Self { n_ports, table: HashMap::new(), lookups: 0, floods: 0 }
+        Self {
+            n_ports,
+            table: HashMap::new(),
+            lookups: 0,
+            floods: 0,
+        }
     }
 
     /// Number of ports.
@@ -70,7 +75,10 @@ impl LearningBridge {
     ///
     /// Panics if `ingress` is out of range.
     pub fn decide(&mut self, ingress: NodeId, src: MacAddr, dst: MacAddr) -> BridgeDecision {
-        assert!(ingress.index() < self.n_ports, "ingress {ingress} out of range");
+        assert!(
+            ingress.index() < self.n_ports,
+            "ingress {ingress} out of range"
+        );
         self.lookups += 1;
         // Learn (or migrate) the source address.
         if !src.is_broadcast() {
@@ -130,8 +138,14 @@ mod tests {
         let n1 = NodeId::new(1);
         assert_eq!(b.decide(n0, n0.mac(), n1.mac()), BridgeDecision::Flood);
         assert_eq!(b.table_len(), 1);
-        assert_eq!(b.decide(n1, n1.mac(), n0.mac()), BridgeDecision::Forward(n0));
-        assert_eq!(b.decide(n0, n0.mac(), n1.mac()), BridgeDecision::Forward(n1));
+        assert_eq!(
+            b.decide(n1, n1.mac(), n0.mac()),
+            BridgeDecision::Forward(n0)
+        );
+        assert_eq!(
+            b.decide(n0, n0.mac(), n1.mac()),
+            BridgeDecision::Forward(n1)
+        );
         assert_eq!(b.floods(), 1);
         assert_eq!(b.lookups(), 3);
     }
@@ -141,7 +155,10 @@ mod tests {
         let mut b = LearningBridge::new(2);
         let n0 = NodeId::new(0);
         for _ in 0..3 {
-            assert_eq!(b.decide(n0, n0.mac(), MacAddr::BROADCAST), BridgeDecision::Flood);
+            assert_eq!(
+                b.decide(n0, n0.mac(), MacAddr::BROADCAST),
+                BridgeDecision::Flood
+            );
         }
         assert_eq!(b.floods(), 3);
     }

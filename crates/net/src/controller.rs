@@ -66,7 +66,10 @@ impl<P: Clone, S: SwitchModel> NetworkController<P, S> {
     ///
     /// Panics if `n_nodes < 2` — a cluster needs at least two nodes.
     pub fn new(n_nodes: usize, nic: NicModel, switch: S) -> Self {
-        assert!(n_nodes >= 2, "a cluster needs at least 2 nodes, got {n_nodes}");
+        assert!(
+            n_nodes >= 2,
+            "a cluster needs at least 2 nodes, got {n_nodes}"
+        );
         Self {
             n_nodes,
             nic,
@@ -145,7 +148,14 @@ impl<P: Clone, S: SwitchModel> NetworkController<P, S> {
             let arrival = self.nic.earliest_arrival(departure) + transit;
             self.trace.record(departure, src, target, bytes);
             out.push(Delivery {
-                packet: Packet { id, src, dst: target, bytes, departure, payload: payload.clone() },
+                packet: Packet {
+                    id,
+                    src,
+                    dst: target,
+                    bytes,
+                    departure,
+                    payload: payload.clone(),
+                },
                 arrival,
             });
         }
@@ -176,9 +186,13 @@ impl<P: Clone, S: SwitchModel> NetworkController<P, S> {
     ) -> Vec<Delivery<P>> {
         match self.bridge.decide(ingress, src, dst) {
             BridgeDecision::Forward(port) if port == ingress => Vec::new(), // filtered
-            BridgeDecision::Forward(port) => {
-                self.route(ingress, Destination::Unicast(port), bytes, departure, payload)
-            }
+            BridgeDecision::Forward(port) => self.route(
+                ingress,
+                Destination::Unicast(port),
+                bytes,
+                departure,
+                payload,
+            ),
             BridgeDecision::Flood => {
                 self.route(ingress, Destination::Broadcast, bytes, departure, payload)
             }
@@ -270,7 +284,13 @@ mod tests {
     fn packet_ids_are_unique_and_monotone() {
         let mut net = ctl(3);
         let a = net.route(NodeId::new(0), Destination::Broadcast, 64, SimTime::ZERO, 0);
-        let b = net.route(NodeId::new(1), Destination::Unicast(NodeId::new(0)), 64, SimTime::ZERO, 0);
+        let b = net.route(
+            NodeId::new(1),
+            Destination::Unicast(NodeId::new(0)),
+            64,
+            SimTime::ZERO,
+            0,
+        );
         let ids: Vec<u64> = a.iter().chain(b.iter()).map(|d| d.packet.id.0).collect();
         assert_eq!(ids, vec![0, 1, 2]);
     }
@@ -279,7 +299,13 @@ mod tests {
     fn quantum_counter_counts_deliveries() {
         let mut net = ctl(4);
         net.route(NodeId::new(0), Destination::Broadcast, 64, SimTime::ZERO, 0);
-        net.route(NodeId::new(1), Destination::Unicast(NodeId::new(2)), 64, SimTime::ZERO, 0);
+        net.route(
+            NodeId::new(1),
+            Destination::Unicast(NodeId::new(2)),
+            64,
+            SimTime::ZERO,
+            0,
+        );
         assert_eq!(net.packets_this_quantum(), 4);
         assert_eq!(net.end_quantum(), 4);
         assert_eq!(net.packets_this_quantum(), 0);
@@ -290,14 +316,26 @@ mod tests {
     #[should_panic(expected = "sent a frame to itself")]
     fn self_send_rejected() {
         let mut net = ctl(2);
-        net.route(NodeId::new(1), Destination::Unicast(NodeId::new(1)), 64, SimTime::ZERO, 0);
+        net.route(
+            NodeId::new(1),
+            Destination::Unicast(NodeId::new(1)),
+            64,
+            SimTime::ZERO,
+            0,
+        );
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_destination_rejected() {
         let mut net = ctl(2);
-        net.route(NodeId::new(0), Destination::Unicast(NodeId::new(9)), 64, SimTime::ZERO, 0);
+        net.route(
+            NodeId::new(0),
+            Destination::Unicast(NodeId::new(9)),
+            64,
+            SimTime::ZERO,
+            0,
+        );
     }
 
     #[test]
@@ -311,8 +349,13 @@ mod tests {
         let sw = LatencyMatrixSwitch::uniform(2, SimDuration::from_micros(3));
         let mut net: NetworkController<(), _> =
             NetworkController::new(2, NicModel::paper_default(), sw);
-        let out =
-            net.route(NodeId::new(0), Destination::Unicast(NodeId::new(1)), 64, SimTime::ZERO, ());
+        let out = net.route(
+            NodeId::new(0),
+            Destination::Unicast(NodeId::new(1)),
+            64,
+            SimTime::ZERO,
+            (),
+        );
         assert_eq!(out[0].arrival, SimTime::from_micros(4)); // 1 µs NIC + 3 µs switch
     }
 
@@ -321,9 +364,24 @@ mod tests {
         let sw = StoreAndForwardSwitch::new(SimDuration::ZERO, 10_000_000_000);
         let mut net: NetworkController<(), _> =
             NetworkController::new(3, NicModel::paper_default(), sw);
-        let a = net.route(NodeId::new(0), Destination::Unicast(NodeId::new(2)), 9000, SimTime::ZERO, ());
-        let b = net.route(NodeId::new(1), Destination::Unicast(NodeId::new(2)), 9000, SimTime::ZERO, ());
-        assert!(b[0].arrival > a[0].arrival, "second frame must queue behind the first");
+        let a = net.route(
+            NodeId::new(0),
+            Destination::Unicast(NodeId::new(2)),
+            9000,
+            SimTime::ZERO,
+            (),
+        );
+        let b = net.route(
+            NodeId::new(1),
+            Destination::Unicast(NodeId::new(2)),
+            9000,
+            SimTime::ZERO,
+            (),
+        );
+        assert!(
+            b[0].arrival > a[0].arrival,
+            "second frame must queue behind the first"
+        );
     }
 
     #[test]
@@ -364,7 +422,14 @@ mod tests {
         let a = NodeId::new(0);
         // Teach the bridge that a's MAC is on port 0, then address a frame
         // to it from its own port: a real switch filters it.
-        net.route_frame(a, a.mac(), crate::packet::MacAddr::BROADCAST, 64, SimTime::ZERO, 0);
+        net.route_frame(
+            a,
+            a.mac(),
+            crate::packet::MacAddr::BROADCAST,
+            64,
+            SimTime::ZERO,
+            0,
+        );
         let out = net.route_frame(a, a.mac(), a.mac(), 64, SimTime::ZERO, 0);
         assert!(out.is_empty());
     }
@@ -380,11 +445,23 @@ mod tests {
     #[test]
     fn trace_disabled_by_default_enabled_on_request() {
         let mut net = ctl(2);
-        net.route(NodeId::new(0), Destination::Unicast(NodeId::new(1)), 64, SimTime::ZERO, 0);
+        net.route(
+            NodeId::new(0),
+            Destination::Unicast(NodeId::new(1)),
+            64,
+            SimTime::ZERO,
+            0,
+        );
         assert!(net.trace().entries().is_empty());
         assert_eq!(net.trace().total_packets(), 1);
         net.enable_trace();
-        net.route(NodeId::new(0), Destination::Unicast(NodeId::new(1)), 64, SimTime::ZERO, 0);
+        net.route(
+            NodeId::new(0),
+            Destination::Unicast(NodeId::new(1)),
+            64,
+            SimTime::ZERO,
+            0,
+        );
         assert_eq!(net.trace().entries().len(), 1);
     }
 }

@@ -42,7 +42,11 @@ impl NicModel {
     pub fn new(bandwidth_bps: u64, min_latency: SimDuration, mtu_bytes: u32) -> Self {
         assert!(bandwidth_bps > 0, "NIC bandwidth must be positive");
         assert!(mtu_bytes > 0, "NIC MTU must be positive");
-        Self { bandwidth_bps, min_latency, mtu_bytes }
+        Self {
+            bandwidth_bps,
+            min_latency,
+            mtu_bytes,
+        }
     }
 
     /// The paper's evaluation configuration: 10 Gb/s, 1 µs minimum latency,

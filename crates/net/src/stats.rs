@@ -119,7 +119,10 @@ impl TrafficTrace {
 
     /// Creates an enabled trace that stores every entry.
     pub fn enabled() -> Self {
-        Self { enabled: true, ..Self::default() }
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
     }
 
     /// Returns `true` if entries are being stored.
@@ -133,7 +136,12 @@ impl TrafficTrace {
         self.total_packets += 1;
         self.total_bytes += bytes as u64;
         if self.enabled {
-            self.entries.push(TraceEntry { time, src, dst, bytes });
+            self.entries.push(TraceEntry {
+                time,
+                src,
+                dst,
+                bytes,
+            });
         }
     }
 

@@ -17,8 +17,13 @@ use aqs_time::{SimDuration, SimTime};
 pub trait SwitchModel {
     /// Extra delay (beyond NIC latency) for a frame of `bytes` from `src` to
     /// `dst` entering the fabric at `ingress`.
-    fn transit_delay(&mut self, src: NodeId, dst: NodeId, bytes: u32, ingress: SimTime)
-        -> SimDuration;
+    fn transit_delay(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        ingress: SimTime,
+    ) -> SimDuration;
 
     /// Resets any internal state (egress queues etc.) to the initial state.
     fn reset(&mut self) {}
@@ -86,8 +91,15 @@ impl StoreAndForwardSwitch {
     ///
     /// Panics if `port_bandwidth_bps` is zero.
     pub fn new(latency: SimDuration, port_bandwidth_bps: u64) -> Self {
-        assert!(port_bandwidth_bps > 0, "switch port bandwidth must be positive");
-        Self { latency, port_bandwidth_bps, egress_free: std::collections::HashMap::new() }
+        assert!(
+            port_bandwidth_bps > 0,
+            "switch port bandwidth must be positive"
+        );
+        Self {
+            latency,
+            port_bandwidth_bps,
+            egress_free: std::collections::HashMap::new(),
+        }
     }
 
     fn egress_serialization(&self, bytes: u32) -> SimDuration {
@@ -175,7 +187,10 @@ impl LatencyMatrixSwitch {
     ///
     /// Panics if either id is out of range.
     pub fn latency(&self, src: NodeId, dst: NodeId) -> SimDuration {
-        assert!(src.index() < self.n && dst.index() < self.n, "node id out of range");
+        assert!(
+            src.index() < self.n && dst.index() < self.n,
+            "node id out of range"
+        );
         self.latencies[src.index() * self.n + dst.index()]
     }
 }
@@ -195,7 +210,12 @@ mod tests {
         let mut sw = PerfectSwitch::new();
         for i in 0..10u32 {
             assert_eq!(
-                sw.transit_delay(NodeId::new(i), NodeId::new(i + 1), 9000, SimTime::from_nanos(i as u64)),
+                sw.transit_delay(
+                    NodeId::new(i),
+                    NodeId::new(i + 1),
+                    9000,
+                    SimTime::from_nanos(i as u64)
+                ),
                 SimDuration::ZERO
             );
         }
@@ -222,7 +242,12 @@ mod tests {
         let a = sw.transit_delay(NodeId::new(0), NodeId::new(1), 1000, SimTime::ZERO);
         assert_eq!(a, SimDuration::from_micros(1));
         // Arriving after the port drained: no queueing.
-        let b = sw.transit_delay(NodeId::new(0), NodeId::new(1), 1000, SimTime::from_micros(10));
+        let b = sw.transit_delay(
+            NodeId::new(0),
+            NodeId::new(1),
+            1000,
+            SimTime::from_micros(10),
+        );
         assert_eq!(b, SimDuration::from_micros(1));
     }
 
@@ -239,8 +264,14 @@ mod tests {
     fn latency_matrix_lookup() {
         let sw = LatencyMatrixSwitch::uniform(3, SimDuration::from_micros(2));
         assert_eq!(sw.ports(), 3);
-        assert_eq!(sw.latency(NodeId::new(0), NodeId::new(0)), SimDuration::ZERO);
-        assert_eq!(sw.latency(NodeId::new(0), NodeId::new(2)), SimDuration::from_micros(2));
+        assert_eq!(
+            sw.latency(NodeId::new(0), NodeId::new(0)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            sw.latency(NodeId::new(0), NodeId::new(2)),
+            SimDuration::from_micros(2)
+        );
     }
 
     #[test]

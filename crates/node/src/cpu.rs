@@ -41,8 +41,15 @@ impl CpuModel {
     /// Panics if `freq_hz` is zero or `ipc` is not strictly positive.
     pub fn new(freq_hz: u64, ipc: f64, recv_overhead: SimDuration) -> Self {
         assert!(freq_hz > 0, "CPU frequency must be positive");
-        assert!(ipc.is_finite() && ipc > 0.0, "IPC must be positive, got {ipc}");
-        Self { freq_hz, ipc, recv_overhead }
+        assert!(
+            ipc.is_finite() && ipc > 0.0,
+            "IPC must be positive, got {ipc}"
+        );
+        Self {
+            freq_hz,
+            ipc,
+            recv_overhead,
+        }
     }
 
     /// Core frequency in Hz.
@@ -106,13 +113,19 @@ mod tests {
 
     #[test]
     fn tiny_work_takes_at_least_a_nanosecond() {
-        assert_eq!(CpuModel::default().compute_duration(1), SimDuration::from_nanos(1));
+        assert_eq!(
+            CpuModel::default().compute_duration(1),
+            SimDuration::from_nanos(1)
+        );
     }
 
     #[test]
     fn duration_scales_with_work() {
         let cpu = CpuModel::default();
-        assert_eq!(cpu.compute_duration(2_600_000_000), SimDuration::from_secs(1));
+        assert_eq!(
+            cpu.compute_duration(2_600_000_000),
+            SimDuration::from_secs(1)
+        );
         assert_eq!(cpu.compute_duration(2_600_000), SimDuration::from_millis(1));
     }
 

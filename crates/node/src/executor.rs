@@ -135,7 +135,11 @@ impl NodeExecutor {
     pub fn next_action(&mut self, now: SimTime) -> Action {
         if !self.pending_overhead.is_zero() {
             let dur = std::mem::take(&mut self.pending_overhead);
-            return Action::Advance { dur, ops: 0, idle: false };
+            return Action::Advance {
+                dur,
+                ops: 0,
+                idle: false,
+            };
         }
         loop {
             let Some(op) = self.program.ops().get(self.pc).copied() else {
@@ -152,14 +156,22 @@ impl NodeExecutor {
                     if dur.is_zero() {
                         continue;
                     }
-                    return Action::Advance { dur, ops, idle: false };
+                    return Action::Advance {
+                        dur,
+                        ops,
+                        idle: false,
+                    };
                 }
                 Op::Idle { dur } => {
                     self.pc += 1;
                     if dur.is_zero() {
                         continue;
                     }
-                    return Action::Advance { dur, ops: 0, idle: true };
+                    return Action::Advance {
+                        dur,
+                        ops: 0,
+                        idle: true,
+                    };
                 }
                 Op::Send { dst, bytes, tag } => {
                     self.pc += 1;
@@ -173,7 +185,11 @@ impl NodeExecutor {
                         if overhead.is_zero() {
                             continue;
                         }
-                        return Action::Advance { dur: overhead, ops: 0, idle: false };
+                        return Action::Advance {
+                            dur: overhead,
+                            ops: 0,
+                            idle: false,
+                        };
                     }
                     MatchOutcome::ReadyAt(t) => return Action::WaitUntil(t),
                     MatchOutcome::NoMatch => return Action::Blocked,
@@ -189,7 +205,11 @@ impl NodeExecutor {
                         .open_regions
                         .remove(&region)
                         .unwrap_or_else(|| panic!("{region} ended without starting"));
-                    self.regions.push(RegionRecord { region, start, end: now });
+                    self.regions.push(RegionRecord {
+                        region,
+                        start,
+                        end: now,
+                    });
                 }
             }
         }
@@ -270,7 +290,10 @@ mod tests {
 
     fn meta(src: u32, seq: u64, tag: u32) -> MessageMeta {
         MessageMeta {
-            id: MessageId { src: Rank::new(src), seq },
+            id: MessageId {
+                src: Rank::new(src),
+                seq,
+            },
             tag: Tag::new(tag),
             bytes: 64,
             frag_count: 1,
@@ -283,7 +306,11 @@ mod tests {
         let mut e = NodeExecutor::new(p, cpu());
         assert_eq!(
             e.next_action(SimTime::ZERO),
-            Action::Advance { dur: SimDuration::from_micros(1), ops: 1000, idle: false }
+            Action::Advance {
+                dur: SimDuration::from_micros(1),
+                ops: 1000,
+                idle: false
+            }
         );
         assert_eq!(e.next_action(SimTime::from_micros(1)), Action::Finished);
         assert_eq!(e.finish_time(), Some(SimTime::from_micros(1)));
@@ -292,11 +319,17 @@ mod tests {
 
     #[test]
     fn idle_is_flagged() {
-        let p = ProgramBuilder::new(Rank::new(0)).idle(SimDuration::from_micros(5)).build();
+        let p = ProgramBuilder::new(Rank::new(0))
+            .idle(SimDuration::from_micros(5))
+            .build();
         let mut e = NodeExecutor::new(p, cpu());
         assert_eq!(
             e.next_action(SimTime::ZERO),
-            Action::Advance { dur: SimDuration::from_micros(5), ops: 0, idle: true }
+            Action::Advance {
+                dur: SimDuration::from_micros(5),
+                ops: 0,
+                idle: true
+            }
         );
     }
 
@@ -308,22 +341,34 @@ mod tests {
             .compute(7)
             .build();
         let mut e = NodeExecutor::new(p, cpu());
-        assert!(matches!(e.next_action(SimTime::ZERO), Action::Advance { ops: 7, .. }));
+        assert!(matches!(
+            e.next_action(SimTime::ZERO),
+            Action::Advance { ops: 7, .. }
+        ));
     }
 
     #[test]
     fn recv_blocks_until_delivery_then_charges_overhead() {
-        let p = ProgramBuilder::new(Rank::new(0)).recv(Some(Rank::new(1)), Tag::new(3)).build();
+        let p = ProgramBuilder::new(Rank::new(0))
+            .recv(Some(Rank::new(1)), Tag::new(3))
+            .build();
         let mut e = NodeExecutor::new(p, cpu());
         assert_eq!(e.next_action(SimTime::ZERO), Action::Blocked);
         let ready = e.deliver_fragment(meta(1, 0, 3), 0, SimTime::from_micros(4));
         assert_eq!(ready, Some(SimTime::from_micros(4)));
         // Polling before availability: wait until the data is there.
-        assert_eq!(e.next_action(SimTime::from_micros(1)), Action::WaitUntil(SimTime::from_micros(4)));
+        assert_eq!(
+            e.next_action(SimTime::from_micros(1)),
+            Action::WaitUntil(SimTime::from_micros(4))
+        );
         // At availability: consume + 2 µs software overhead.
         assert_eq!(
             e.next_action(SimTime::from_micros(4)),
-            Action::Advance { dur: SimDuration::from_micros(2), ops: 0, idle: false }
+            Action::Advance {
+                dur: SimDuration::from_micros(2),
+                ops: 0,
+                idle: false
+            }
         );
         assert_eq!(e.next_action(SimTime::from_micros(6)), Action::Finished);
         assert_eq!(e.messages_received(), 1);
@@ -338,9 +383,16 @@ mod tests {
         let mut e = NodeExecutor::new(p, cpu());
         assert_eq!(
             e.next_action(SimTime::ZERO),
-            Action::Send { dst: SendTarget::Rank(Rank::new(1)), bytes: 9000, tag: Tag::new(0) }
+            Action::Send {
+                dst: SendTarget::Rank(Rank::new(1)),
+                bytes: 9000,
+                tag: Tag::new(0)
+            }
         );
-        assert!(matches!(e.next_action(SimTime::from_micros(7)), Action::Advance { ops: 10, .. }));
+        assert!(matches!(
+            e.next_action(SimTime::from_micros(7)),
+            Action::Advance { ops: 10, .. }
+        ));
     }
 
     #[test]
@@ -358,7 +410,10 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].start, SimTime::from_micros(10));
         assert_eq!(regs[0].end, SimTime::from_micros(15));
-        assert_eq!(e.region_duration(RegionId::KERNEL), SimDuration::from_micros(5));
+        assert_eq!(
+            e.region_duration(RegionId::KERNEL),
+            SimDuration::from_micros(5)
+        );
         assert_eq!(e.open_region_count(), 0);
     }
 
@@ -385,7 +440,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "ended without starting")]
     fn unbalanced_region_end_panics() {
-        let p = ProgramBuilder::new(Rank::new(0)).region_end(RegionId::KERNEL).build();
+        let p = ProgramBuilder::new(Rank::new(0))
+            .region_end(RegionId::KERNEL)
+            .build();
         let mut e = NodeExecutor::new(p, cpu());
         let _ = e.next_action(SimTime::ZERO);
     }
@@ -413,12 +470,20 @@ mod tests {
 
     #[test]
     fn wildcard_recv_takes_earliest() {
-        let p = ProgramBuilder::new(Rank::new(0)).recv(None, Tag::new(0)).build();
+        let p = ProgramBuilder::new(Rank::new(0))
+            .recv(None, Tag::new(0))
+            .build();
         let mut e = NodeExecutor::new(p, cpu());
         e.deliver_fragment(meta(2, 0, 0), 0, SimTime::from_micros(8));
         e.deliver_fragment(meta(1, 0, 0), 0, SimTime::from_micros(3));
-        assert_eq!(e.next_action(SimTime::from_micros(10)),
-            Action::Advance { dur: SimDuration::from_micros(2), ops: 0, idle: false });
+        assert_eq!(
+            e.next_action(SimTime::from_micros(10)),
+            Action::Advance {
+                dur: SimDuration::from_micros(2),
+                ops: 0,
+                idle: false
+            }
+        );
         assert_eq!(e.messages_received(), 1);
         // The rank-1 message (earlier ready) was taken; rank-2 remains.
         assert_eq!(e.mailbox().ready_len(), 1);

@@ -64,10 +64,25 @@ impl HostModel {
             idle_factor.is_finite() && idle_factor > 0.0 && idle_factor <= 1.0,
             "idle_factor must be in (0, 1], got {idle_factor}"
         );
-        assert!(jitter_sigma.is_finite() && jitter_sigma >= 0.0, "jitter_sigma must be >= 0");
-        assert!((0.0..1.0).contains(&drift_phi), "drift_phi must be in [0, 1)");
-        assert!(drift_sigma.is_finite() && drift_sigma >= 0.0, "drift_sigma must be >= 0");
-        Self { base_slowdown, idle_factor, jitter_sigma, drift_phi, drift_sigma }
+        assert!(
+            jitter_sigma.is_finite() && jitter_sigma >= 0.0,
+            "jitter_sigma must be >= 0"
+        );
+        assert!(
+            (0.0..1.0).contains(&drift_phi),
+            "drift_phi must be in [0, 1)"
+        );
+        assert!(
+            drift_sigma.is_finite() && drift_sigma >= 0.0,
+            "drift_sigma must be >= 0"
+        );
+        Self {
+            base_slowdown,
+            idle_factor,
+            jitter_sigma,
+            drift_phi,
+            drift_sigma,
+        }
     }
 
     /// A host model with **no jitter at all** — every node simulates at
@@ -130,7 +145,12 @@ pub struct HostSpeed {
 impl HostSpeed {
     /// Creates the speed state for one node with its private RNG substream.
     pub fn new(model: HostModel, rng: Rng) -> Self {
-        Self { model, drift: Ar1::new(0.0, model.drift_phi, model.drift_sigma), rng, jitter: 1.0 }
+        Self {
+            model,
+            drift: Ar1::new(0.0, model.drift_phi, model.drift_sigma),
+            rng,
+            jitter: 1.0,
+        }
     }
 
     /// Resamples the per-quantum jitter (call at every quantum start).
@@ -149,8 +169,11 @@ impl HostSpeed {
     ///
     /// `idle` marks guest-idle spans, which are fast-forwarded.
     pub fn host_cost(&self, sim: SimDuration, idle: bool) -> HostDuration {
-        let factor =
-            if idle { self.slowdown() * self.model.idle_factor() } else { self.slowdown() };
+        let factor = if idle {
+            self.slowdown() * self.model.idle_factor()
+        } else {
+            self.slowdown()
+        };
         HostDuration::from_nanos((sim.as_nanos() as f64 * factor).round() as u64)
     }
 

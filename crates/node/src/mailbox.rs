@@ -117,7 +117,10 @@ impl Mailbox {
         frag_index: u32,
         arrival: SimTime,
     ) -> Option<SimTime> {
-        assert!(frag_index < meta.frag_count, "fragment index {frag_index} out of range");
+        assert!(
+            frag_index < meta.frag_count,
+            "fragment index {frag_index} out of range"
+        );
         let slot = self.assembling.entry(meta.id).or_insert(Assembling {
             meta,
             received_mask: vec![false; meta.frag_count as usize],
@@ -136,7 +139,10 @@ impl Mailbox {
         if slot.received == meta.frag_count {
             let done = self.assembling.remove(&meta.id).expect("slot vanished");
             self.completed_total += 1;
-            self.ready.push(Ready { meta: done.meta, ready_at: done.latest_arrival });
+            self.ready.push(Ready {
+                meta: done.meta,
+                ready_at: done.latest_arrival,
+            });
             Some(done.latest_arrival)
         } else {
             None
@@ -210,7 +216,10 @@ mod tests {
 
     fn meta(src: u32, seq: u64, tag: u32, frags: u32) -> MessageMeta {
         MessageMeta {
-            id: MessageId { src: Rank::new(src), seq },
+            id: MessageId {
+                src: Rank::new(src),
+                seq,
+            },
             tag: Tag::new(tag),
             bytes: 9000 * frags as u64,
             frag_count: frags,
@@ -233,7 +242,10 @@ mod tests {
         assert_eq!(mb.deliver_fragment(m, 0, SimTime::from_micros(1)), None);
         assert_eq!(mb.deliver_fragment(m, 2, SimTime::from_micros(9)), None);
         assert_eq!(mb.assembling_len(), 1);
-        assert_eq!(mb.deliver_fragment(m, 1, SimTime::from_micros(5)), Some(SimTime::from_micros(9)));
+        assert_eq!(
+            mb.deliver_fragment(m, 1, SimTime::from_micros(5)),
+            Some(SimTime::from_micros(9))
+        );
         assert_eq!(mb.assembling_len(), 0);
     }
 
@@ -264,7 +276,10 @@ mod tests {
     fn tag_mismatch_is_no_match() {
         let mut mb = Mailbox::new();
         mb.deliver_fragment(meta(1, 0, 7, 1), 0, SimTime::ZERO);
-        assert_eq!(mb.match_recv(Some(Rank::new(1)), Tag::new(8), SimTime::MAX), MatchOutcome::NoMatch);
+        assert_eq!(
+            mb.match_recv(Some(Rank::new(1)), Tag::new(8), SimTime::MAX),
+            MatchOutcome::NoMatch
+        );
     }
 
     #[test]

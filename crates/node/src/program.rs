@@ -223,12 +223,18 @@ impl Program {
 
     /// Number of `Send` ops (each may fragment into several frames).
     pub fn send_count(&self) -> usize {
-        self.ops.iter().filter(|op| matches!(op, Op::Send { .. })).count()
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Send { .. }))
+            .count()
     }
 
     /// Number of `Recv` ops.
     pub fn recv_count(&self) -> usize {
-        self.ops.iter().filter(|op| matches!(op, Op::Recv { .. })).count()
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Recv { .. }))
+            .count()
     }
 }
 
@@ -258,7 +264,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Starts a program for `rank`.
     pub fn new(rank: Rank) -> Self {
-        Self { rank, ops: Vec::new() }
+        Self {
+            rank,
+            ops: Vec::new(),
+        }
     }
 
     /// Appends a compute op.
@@ -280,13 +289,21 @@ impl ProgramBuilder {
     /// Panics if `dst` equals the program's own rank.
     pub fn send(mut self, dst: Rank, bytes: u64, tag: Tag) -> Self {
         assert!(dst != self.rank, "{} cannot send to itself", self.rank);
-        self.ops.push(Op::Send { dst: SendTarget::Rank(dst), bytes, tag });
+        self.ops.push(Op::Send {
+            dst: SendTarget::Rank(dst),
+            bytes,
+            tag,
+        });
         self
     }
 
     /// Appends a broadcast send.
     pub fn send_all(mut self, bytes: u64, tag: Tag) -> Self {
-        self.ops.push(Op::Send { dst: SendTarget::All, bytes, tag });
+        self.ops.push(Op::Send {
+            dst: SendTarget::All,
+            bytes,
+            tag,
+        });
         self
     }
 
@@ -323,7 +340,10 @@ impl ProgramBuilder {
 
     /// Finishes the program.
     pub fn build(self) -> Program {
-        Program { rank: self.rank, ops: self.ops }
+        Program {
+            rank: self.rank,
+            ops: self.ops,
+        }
     }
 }
 

@@ -77,9 +77,20 @@ impl SamplingModel {
             detail_fraction > 0.0 && detail_fraction <= 1.0,
             "detail_fraction must be in (0,1], got {detail_fraction}"
         );
-        assert!(speedup.is_finite() && speedup > 1.0, "speedup must exceed 1, got {speedup}");
-        assert!(error_sigma.is_finite() && error_sigma >= 0.0, "error_sigma must be >= 0");
-        Self { interval, detail_fraction, speedup, error_sigma }
+        assert!(
+            speedup.is_finite() && speedup > 1.0,
+            "speedup must exceed 1, got {speedup}"
+        );
+        assert!(
+            error_sigma.is_finite() && error_sigma >= 0.0,
+            "error_sigma must be >= 0"
+        );
+        Self {
+            interval,
+            detail_fraction,
+            speedup,
+            error_sigma,
+        }
     }
 
     /// A typical configuration from the sampling literature: 1 ms cycles,
@@ -144,9 +155,18 @@ mod tests {
         for cycle in 0..5u64 {
             let base = cycle * 100_000;
             assert_eq!(s.mode_at(SimTime::from_nanos(base)), SampleMode::Detailed);
-            assert_eq!(s.mode_at(SimTime::from_nanos(base + 19_999)), SampleMode::Detailed);
-            assert_eq!(s.mode_at(SimTime::from_nanos(base + 20_000)), SampleMode::FastForward);
-            assert_eq!(s.mode_at(SimTime::from_nanos(base + 99_999)), SampleMode::FastForward);
+            assert_eq!(
+                s.mode_at(SimTime::from_nanos(base + 19_999)),
+                SampleMode::Detailed
+            );
+            assert_eq!(
+                s.mode_at(SimTime::from_nanos(base + 20_000)),
+                SampleMode::FastForward
+            );
+            assert_eq!(
+                s.mode_at(SimTime::from_nanos(base + 99_999)),
+                SampleMode::FastForward
+            );
         }
     }
 
@@ -165,9 +185,21 @@ mod tests {
         let t3 = SimTime::from_nanos(150_000); // FF, interval 1
         let b1 = s.timing_bias_at(7, 3, t1);
         assert_eq!(b1, s.timing_bias_at(7, 3, t2), "same interval, same bias");
-        assert_ne!(b1, s.timing_bias_at(7, 3, t3), "different interval, new bias");
-        assert_ne!(b1, s.timing_bias_at(7, 4, t1), "different node, different bias");
-        assert_ne!(b1, s.timing_bias_at(8, 3, t1), "different seed, different bias");
+        assert_ne!(
+            b1,
+            s.timing_bias_at(7, 3, t3),
+            "different interval, new bias"
+        );
+        assert_ne!(
+            b1,
+            s.timing_bias_at(7, 4, t1),
+            "different node, different bias"
+        );
+        assert_ne!(
+            b1,
+            s.timing_bias_at(8, 3, t1),
+            "different seed, different bias"
+        );
         assert!(b1 > 0.0);
     }
 

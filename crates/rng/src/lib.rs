@@ -126,8 +126,12 @@ impl Xoshiro256StarStar {
     /// Calling `jump()` k times on identically-seeded generators yields
     /// non-overlapping substreams — one per simulated node.
     pub fn jump(&mut self) {
-        const JUMP: [u64; 4] =
-            [0x180EC6D33CFD0ABA, 0xD5A61266F0C9392C, 0xA9582618E03FC9AA, 0x39ABDC4529B1661C];
+        const JUMP: [u64; 4] = [
+            0x180EC6D33CFD0ABA,
+            0xD5A61266F0C9392C,
+            0xA9582618E03FC9AA,
+            0x39ABDC4529B1661C,
+        ];
         let mut s = [0u64; 4];
         for j in JUMP {
             for b in 0..64 {
@@ -170,7 +174,10 @@ pub struct Rng {
 impl Rng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Self { inner: Xoshiro256StarStar::seed_from_u64(seed), spare_normal: None }
+        Self {
+            inner: Xoshiro256StarStar::seed_from_u64(seed),
+            spare_normal: None,
+        }
     }
 
     /// Derives the `index`-th independent substream of this generator's seed
@@ -184,7 +191,10 @@ impl Rng {
         for _ in 0..index {
             inner.jump();
         }
-        Self { inner, spare_normal: None }
+        Self {
+            inner,
+            spare_normal: None,
+        }
     }
 
     /// Returns the next raw 64-bit output.
@@ -208,7 +218,10 @@ impl Rng {
     ///
     /// Panics if the range is empty.
     pub fn range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
-        assert!(range.start < range.end, "range_u64 called with empty range {range:?}");
+        assert!(
+            range.start < range.end,
+            "range_u64 called with empty range {range:?}"
+        );
         let span = range.end - range.start;
         loop {
             let x = self.inner.next_u64();
@@ -241,7 +254,10 @@ impl Rng {
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 
@@ -251,7 +267,10 @@ impl Rng {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn bernoulli(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0,1], got {p}"
+        );
         self.next_f64() < p
     }
 
@@ -275,7 +294,10 @@ impl Rng {
     ///
     /// Panics if `sigma` is negative or not finite.
     pub fn normal_with(&mut self, mean: f64, sigma: f64) -> f64 {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0, got {sigma}");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and >= 0, got {sigma}"
+        );
         mean + sigma * self.normal()
     }
 
@@ -297,7 +319,10 @@ impl Rng {
     ///
     /// Panics if `lambda` is not strictly positive.
     pub fn exponential(&mut self, lambda: f64) -> f64 {
-        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive, got {lambda}");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive, got {lambda}"
+        );
         let u = 1.0 - self.next_f64();
         -u.ln() / lambda
     }
@@ -344,8 +369,16 @@ impl Ar1 {
     /// Panics if `phi` is outside `[0, 1)` or `sigma` is negative.
     pub fn new(mean: f64, phi: f64, sigma: f64) -> Self {
         assert!((0.0..1.0).contains(&phi), "phi must be in [0,1), got {phi}");
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0, got {sigma}");
-        Self { mean, phi, sigma, value: mean }
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and >= 0, got {sigma}"
+        );
+        Self {
+            mean,
+            phi,
+            sigma,
+            value: mean,
+        }
     }
 
     /// Advances the process one step and returns the new value.
@@ -466,7 +499,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

@@ -622,7 +622,10 @@ mod tests {
         let hi = SimDuration::from_micros(1000);
         assert_eq!(SimDuration::from_nanos(10).clamp(lo, hi), lo);
         assert_eq!(SimDuration::from_millis(5).clamp(lo, hi), hi);
-        assert_eq!(SimDuration::from_micros(42).clamp(lo, hi), SimDuration::from_micros(42));
+        assert_eq!(
+            SimDuration::from_micros(42).clamp(lo, hi),
+            SimDuration::from_micros(42)
+        );
     }
 
     #[test]
@@ -657,15 +660,23 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            [1u64, 2, 3].iter().map(|&n| SimDuration::from_nanos(n)).sum();
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&n| SimDuration::from_nanos(n))
+            .sum();
         assert_eq!(total, SimDuration::from_nanos(6));
     }
 
     #[test]
     fn checked_ops() {
-        assert_eq!(SimDuration::MAX.checked_add(SimDuration::from_nanos(1)), None);
-        assert_eq!(SimDuration::ZERO.checked_sub(SimDuration::from_nanos(1)), None);
+        assert_eq!(
+            SimDuration::MAX.checked_add(SimDuration::from_nanos(1)),
+            None
+        );
+        assert_eq!(
+            SimDuration::ZERO.checked_sub(SimDuration::from_nanos(1)),
+            None
+        );
         assert_eq!(
             SimDuration::from_nanos(5).checked_sub(SimDuration::from_nanos(3)),
             Some(SimDuration::from_nanos(2))

@@ -55,7 +55,11 @@ pub fn with_background_traffic(
         .enumerate()
         .map(|(i, p)| interleave(p, i, n, period, bytes, cpu))
         .collect();
-    WorkloadSpec { name: spec.name, programs, metric: spec.metric }
+    WorkloadSpec {
+        name: spec.name,
+        programs,
+        metric: spec.metric,
+    }
 }
 
 fn interleave(
@@ -137,7 +141,10 @@ mod tests {
         let spec = uniform_compute(2, 10_000_000, 0.0);
         let noisy = with_background_traffic(spec, SimDuration::from_millis(1), 64, &cpu());
         let sends = noisy.programs[0].send_count();
-        assert!((8..=12).contains(&sends), "expected ~10 datagrams, got {sends}");
+        assert!(
+            (8..=12).contains(&sends),
+            "expected ~10 datagrams, got {sends}"
+        );
     }
 
     #[test]

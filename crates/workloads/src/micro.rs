@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn uniform_compute_has_no_messages() {
         let spec = uniform_compute(3, 1000, 0.0);
-        assert!(spec.programs.iter().all(|p| p.send_count() == 0 && p.recv_count() == 0));
+        assert!(spec
+            .programs
+            .iter()
+            .all(|p| p.send_count() == 0 && p.recv_count() == 0));
         assert_eq!(spec.total_ops(), 3000);
     }
 

@@ -42,7 +42,11 @@ impl MpiBuilder {
     /// Panics if `n < 2`.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "need at least 2 ranks, got {n}");
-        Self { n, ops: vec![Vec::new(); n], next_tag: 0 }
+        Self {
+            n,
+            ops: vec![Vec::new(); n],
+            next_tag: 0,
+        }
     }
 
     /// Number of ranks.
@@ -82,7 +86,10 @@ impl MpiBuilder {
     ///
     /// Panics if `spread` is not in `[0, 1)`.
     pub fn compute_all_imbalanced(&mut self, base: u64, spread: f64, salt: u64) {
-        assert!((0.0..1.0).contains(&spread), "spread must be in [0,1), got {spread}");
+        assert!(
+            (0.0..1.0).contains(&spread),
+            "spread must be in [0,1), got {spread}"
+        );
         for r in 0..self.n {
             let mut h = SplitMix64::new(salt.wrapping_mul(0x9E37).wrapping_add(r as u64));
             let unit = (h.next_u64() >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
@@ -107,8 +114,15 @@ impl MpiBuilder {
         assert!(src < self.n && dst < self.n, "rank out of range");
         assert_ne!(src, dst, "p2p to self");
         let tag = self.fresh_tag();
-        self.ops[src].push(Op::Send { dst: SendTarget::Rank(Rank::new(dst as u32)), bytes, tag });
-        self.ops[dst].push(Op::Recv { src: Some(Rank::new(src as u32)), tag });
+        self.ops[src].push(Op::Send {
+            dst: SendTarget::Rank(Rank::new(dst as u32)),
+            bytes,
+            tag,
+        });
+        self.ops[dst].push(Op::Recv {
+            src: Some(Rank::new(src as u32)),
+            tag,
+        });
     }
 
     /// A fire-and-forget unicast: `Send` on `src` with **no matching
@@ -117,7 +131,11 @@ impl MpiBuilder {
         assert!(src < self.n && dst < self.n, "rank out of range");
         assert_ne!(src, dst, "datagram to self");
         let tag = self.fresh_tag();
-        self.ops[src].push(Op::Send { dst: SendTarget::Rank(Rank::new(dst as u32)), bytes, tag });
+        self.ops[src].push(Op::Send {
+            dst: SendTarget::Rank(Rank::new(dst as u32)),
+            bytes,
+            tag,
+        });
     }
 
     /// Dissemination barrier: ⌈log₂ n⌉ rounds of ring-offset exchanges.
@@ -136,7 +154,10 @@ impl MpiBuilder {
             }
             for i in 0..self.n {
                 let from = (i + self.n - dist) % self.n;
-                self.ops[i].push(Op::Recv { src: Some(Rank::new(from as u32)), tag });
+                self.ops[i].push(Op::Recv {
+                    src: Some(Rank::new(from as u32)),
+                    tag,
+                });
             }
         }
     }
@@ -160,7 +181,10 @@ impl MpiBuilder {
                     });
                 } else if (mask..2 * mask).contains(&vr) {
                     let peer = (vr - mask + root) % self.n;
-                    self.ops[abs].push(Op::Recv { src: Some(Rank::new(peer as u32)), tag });
+                    self.ops[abs].push(Op::Recv {
+                        src: Some(Rank::new(peer as u32)),
+                        tag,
+                    });
                 }
             }
         }
@@ -186,7 +210,10 @@ impl MpiBuilder {
                     });
                 } else if vr % step == 0 && vr + half < self.n {
                     let peer = (vr + half + root) % self.n;
-                    self.ops[abs].push(Op::Recv { src: Some(Rank::new(peer as u32)), tag });
+                    self.ops[abs].push(Op::Recv {
+                        src: Some(Rank::new(peer as u32)),
+                        tag,
+                    });
                     if op_cost > 0 {
                         self.ops[abs].push(Op::Compute { ops: op_cost });
                     }
@@ -213,7 +240,10 @@ impl MpiBuilder {
                 }
                 for i in 0..self.n {
                     let peer = i ^ mask;
-                    self.ops[i].push(Op::Recv { src: Some(Rank::new(peer as u32)), tag });
+                    self.ops[i].push(Op::Recv {
+                        src: Some(Rank::new(peer as u32)),
+                        tag,
+                    });
                     if op_cost > 0 {
                         self.ops[i].push(Op::Compute { ops: op_cost });
                     }
@@ -243,7 +273,10 @@ impl MpiBuilder {
                 }
                 for i in 0..self.n {
                     let peer = i ^ round;
-                    self.ops[i].push(Op::Recv { src: Some(Rank::new(peer as u32)), tag });
+                    self.ops[i].push(Op::Recv {
+                        src: Some(Rank::new(peer as u32)),
+                        tag,
+                    });
                 }
             } else {
                 for i in 0..self.n {
@@ -256,7 +289,10 @@ impl MpiBuilder {
                 }
                 for i in 0..self.n {
                     let from = (i + self.n - round) % self.n;
-                    self.ops[i].push(Op::Recv { src: Some(Rank::new(from as u32)), tag });
+                    self.ops[i].push(Op::Recv {
+                        src: Some(Rank::new(from as u32)),
+                        tag,
+                    });
                 }
             }
         }
@@ -267,7 +303,11 @@ impl MpiBuilder {
     /// and NAMD's spatial neighbour lists.
     pub fn neighbor_exchange(&mut self, distances: &[usize], bytes: u64) {
         for &d in distances {
-            assert!(d > 0 && d < self.n, "distance {d} invalid for {} ranks", self.n);
+            assert!(
+                d > 0 && d < self.n,
+                "distance {d} invalid for {} ranks",
+                self.n
+            );
             let tag_fwd = self.fresh_tag();
             let tag_bwd = self.fresh_tag();
             for i in 0..self.n {
@@ -287,8 +327,14 @@ impl MpiBuilder {
             for i in 0..self.n {
                 let from_bwd = (i + self.n - d) % self.n;
                 let from_fwd = (i + d) % self.n;
-                self.ops[i].push(Op::Recv { src: Some(Rank::new(from_bwd as u32)), tag: tag_fwd });
-                self.ops[i].push(Op::Recv { src: Some(Rank::new(from_fwd as u32)), tag: tag_bwd });
+                self.ops[i].push(Op::Recv {
+                    src: Some(Rank::new(from_bwd as u32)),
+                    tag: tag_fwd,
+                });
+                self.ops[i].push(Op::Recv {
+                    src: Some(Rank::new(from_fwd as u32)),
+                    tag: tag_bwd,
+                });
             }
         }
     }
@@ -329,13 +375,19 @@ mod tests {
         for p in programs {
             for op in p.ops() {
                 match *op {
-                    Op::Send { dst: SendTarget::Rank(d), tag, .. } => {
-                        *sends.entry((p.rank().as_u32(), d.as_u32(), tag.as_u32())).or_default() +=
-                            1;
+                    Op::Send {
+                        dst: SendTarget::Rank(d),
+                        tag,
+                        ..
+                    } => {
+                        *sends
+                            .entry((p.rank().as_u32(), d.as_u32(), tag.as_u32()))
+                            .or_default() += 1;
                     }
                     Op::Recv { src: Some(s), tag } => {
-                        *recvs.entry((s.as_u32(), p.rank().as_u32(), tag.as_u32())).or_default() +=
-                            1;
+                        *recvs
+                            .entry((s.as_u32(), p.rank().as_u32(), tag.as_u32()))
+                            .or_default() += 1;
                     }
                     _ => {}
                 }
@@ -466,13 +518,19 @@ mod tests {
         for (x, y) in pa.iter().zip(&pb) {
             assert_eq!(x.total_compute_ops(), y.total_compute_ops());
             let ops = x.total_compute_ops();
-            assert!((800_000..=1_200_000).contains(&ops), "ops {ops} outside ±20%");
+            assert!(
+                (800_000..=1_200_000).contains(&ops),
+                "ops {ops} outside ±20%"
+            );
         }
         // Different salt → different skew.
         let mut c = MpiBuilder::new(4);
         c.compute_all_imbalanced(1_000_000, 0.2, 8);
         let pc = c.build();
-        assert!(pa.iter().zip(&pc).any(|(x, y)| x.total_compute_ops() != y.total_compute_ops()));
+        assert!(pa
+            .iter()
+            .zip(&pc)
+            .any(|(x, y)| x.total_compute_ops() != y.total_compute_ops()));
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub fn namd(n: usize, scale: Scale) -> WorkloadSpec {
         for c in 0..chunks {
             // Per-chunk imbalance: atom density varies per patch and step.
             m.compute_all_imbalanced(step_ops / chunks, 0.04, 500 + (s as u64) * chunks + c);
-            let dist = if c % 2 == 0 || n <= 4 { 1 } else { 2usize.min(n - 1) };
+            let dist = if c % 2 == 0 || n <= 4 {
+                1
+            } else {
+                2usize.min(n - 1)
+            };
             m.neighbor_exchange(&[dist], patch_bytes);
         }
         // Energy reduction: a log2(n)-deep latency chain every step.

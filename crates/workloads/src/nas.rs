@@ -185,7 +185,13 @@ pub fn ft(n: usize, scale: Scale) -> WorkloadSpec {
 
 /// The paper's five benchmarks, in its order.
 pub fn all(n: usize, scale: Scale) -> Vec<WorkloadSpec> {
-    vec![ep(n, scale), is(n, scale), cg(n, scale), mg(n, scale), lu(n, scale)]
+    vec![
+        ep(n, scale),
+        is(n, scale),
+        cg(n, scale),
+        mg(n, scale),
+        lu(n, scale),
+    ]
 }
 
 /// All six generators (the paper's five plus FT).
@@ -228,7 +234,10 @@ mod tests {
         let large = ep(8, Scale::Mini).total_ops();
         // Same total problem (within imbalance/rounding noise).
         let ratio = small as f64 / large as f64;
-        assert!((0.9..1.1).contains(&ratio), "total ops should not scale with n: {ratio}");
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "total ops should not scale with n: {ratio}"
+        );
     }
 
     #[test]

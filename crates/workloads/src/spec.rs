@@ -76,7 +76,11 @@ impl WorkloadSpec {
         for (i, p) in programs.iter().enumerate() {
             assert_eq!(p.rank().index(), i, "program {i} is for the wrong rank");
         }
-        Self { name: name.into(), programs, metric }
+        Self {
+            name: name.into(),
+            programs,
+            metric,
+        }
     }
 
     /// Number of ranks.

@@ -11,7 +11,11 @@ use aqs::workloads::burst;
 /// Renders quantum length over time (log scale) as ASCII.
 fn quantum_chart(records: &[aqs::core::QuantumRecord], cols: usize, rows: usize) -> String {
     let end = records.last().map(|r| r.end().as_nanos()).unwrap_or(1) as f64;
-    let max_q = records.iter().map(|r| r.length.as_nanos()).max().unwrap_or(1) as f64;
+    let max_q = records
+        .iter()
+        .map(|r| r.length.as_nanos())
+        .max()
+        .unwrap_or(1) as f64;
     let mut grid = vec![vec![' '; cols]; rows];
     for r in records {
         let c = ((r.start.as_nanos() as f64 / end) * (cols - 1) as f64) as usize;
@@ -37,14 +41,19 @@ fn main() {
 
     println!("=== quantum length over time, dyn 1.05:0.02 ===");
     println!("(watch it climb through the compute phases and crash at the burst)\n");
-    let cfg = ClusterConfig::new(SyncConfig::paper_dyn2()).with_seed(5).with_quantum_trace(true);
+    let cfg = ClusterConfig::new(SyncConfig::paper_dyn2())
+        .with_seed(5)
+        .with_quantum_trace(true);
     let run = run_workload(&spec, &cfg);
     println!("{}", quantum_chart(run.quanta.records(), 76, 12));
 
     println!("=== inc/dec sweep (same workload) ===\n");
     let base = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(5);
     let truth = run_workload(&spec, &base);
-    println!("{:<22} {:>9} {:>12} {:>10}", "config", "speedup", "stragglers", "quanta");
+    println!(
+        "{:<22} {:>9} {:>12} {:>10}",
+        "config", "speedup", "stragglers", "quanta"
+    );
     for inc in [1.01, 1.03, 1.05, 1.10, 1.20] {
         for dec in [0.02, 0.2, 0.5] {
             let sync = SyncConfig::Adaptive(AdaptiveConfig::new(

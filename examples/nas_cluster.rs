@@ -43,7 +43,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["config", "speedup", "error", "stragglers"], &rows));
+    println!(
+        "{}",
+        render_table(&["config", "speedup", "error", "stragglers"], &rows)
+    );
 
     // The paper's headline claim, checked live:
     let dyn1 = &result.outcomes[3];

@@ -27,7 +27,10 @@ fn main() {
 
     println!("20-round ping-pong, reported kernel time under different host conditions");
     println!("(each seed = a different day on the simulation host):\n");
-    println!("{:>6}  {:>22}  {:>22}  {:>10}", "seed", "free-running (no sync)", "Q = 1µs (synced)", "messages");
+    println!(
+        "{:>6}  {:>22}  {:>22}  {:>10}",
+        "seed", "free-running (no sync)", "Q = 1µs (synced)", "messages"
+    );
     for seed in 1..=6u64 {
         let base = ClusterConfig::new(synchronized.clone()).with_seed(seed);
         let synced = run_workload(&spec, &base);
@@ -35,7 +38,11 @@ fn main() {
         let m_free = app_metric(&free, spec.metric);
         let m_sync = app_metric(&synced, spec.metric);
         let msgs: u64 = free.per_node.iter().map(|n| n.messages_received).sum();
-        println!("{seed:>6}  {:>22}  {:>22}  {msgs:>10}", m_free.to_string(), m_sync.to_string());
+        println!(
+            "{seed:>6}  {:>22}  {:>22}  {msgs:>10}",
+            m_free.to_string(),
+            m_sync.to_string()
+        );
     }
     println!();
     println!("functional behaviour never changes (same messages, same results) —");

@@ -12,7 +12,10 @@ use aqs::core::SyncConfig;
 use aqs::workloads::burst;
 
 fn main() {
-    let n = std::thread::available_parallelism().map(|p| p.get().min(8)).unwrap_or(4).max(2);
+    let n = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4)
+        .max(2);
     println!("running {n} node-simulator threads\n");
     let spec = burst(n, 1_000_000, 2048);
 
@@ -24,16 +27,28 @@ fn main() {
     let fixed = run_parallel(spec.programs.clone(), &mk(SyncConfig::fixed_micros(1000)));
     let dynr = run_parallel(spec.programs.clone(), &mk(SyncConfig::paper_dyn1()));
 
-    println!("{:<18} {:>12} {:>10} {:>12} {:>12}", "config", "wall", "quanta", "stragglers", "sim end");
-    for (label, r) in [("Q=1µs (truth)", &truth), ("Q=1000µs", &fixed), ("dyn 1.03:0.02", &dynr)]
-    {
+    println!(
+        "{:<18} {:>12} {:>10} {:>12} {:>12}",
+        "config", "wall", "quanta", "stragglers", "sim end"
+    );
+    for (label, r) in [
+        ("Q=1µs (truth)", &truth),
+        ("Q=1000µs", &fixed),
+        ("dyn 1.03:0.02", &dynr),
+    ] {
         println!(
             "{label:<18} {:>12?} {:>10} {:>12} {:>12}",
-            r.wall, r.total_quanta, r.stragglers.count(), r.sim_end
+            r.wall,
+            r.total_quanta,
+            r.stragglers.count(),
+            r.sim_end
         );
     }
     println!();
-    println!("adaptive wall-clock speedup vs ground truth: {:.1}x", dynr.speedup_vs(&truth));
+    println!(
+        "adaptive wall-clock speedup vs ground truth: {:.1}x",
+        dynr.speedup_vs(&truth)
+    );
     println!("(timings vary by machine; the deterministic engine in");
     println!(" aqs::cluster::engine reproduces the paper's figures exactly)");
 }

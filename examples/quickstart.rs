@@ -24,11 +24,20 @@ fn main() {
     let m0 = app_metric(&truth, spec.metric);
     let m1 = app_metric(&adaptive, spec.metric);
 
-    println!("ground truth : {} host, {} simulated, {} quanta, {} stragglers",
-        truth.host_elapsed, truth.sim_end, truth.total_quanta, truth.stragglers.count());
-    println!("adaptive     : {} host, {} simulated, {} quanta, {} stragglers",
-        adaptive.host_elapsed, adaptive.sim_end, adaptive.total_quanta,
-        adaptive.stragglers.count());
+    println!(
+        "ground truth : {} host, {} simulated, {} quanta, {} stragglers",
+        truth.host_elapsed,
+        truth.sim_end,
+        truth.total_quanta,
+        truth.stragglers.count()
+    );
+    println!(
+        "adaptive     : {} host, {} simulated, {} quanta, {} stragglers",
+        adaptive.host_elapsed,
+        adaptive.sim_end,
+        adaptive.total_quanta,
+        adaptive.stragglers.count()
+    );
     println!();
     println!("speedup        : {:.1}x", adaptive.speedup_vs(&truth));
     println!("accuracy error : {:.3}%", m1.error_vs(&m0) * 100.0);

@@ -45,7 +45,9 @@ fn main() {
     let equal = HostModel::uniform(30.0, 1.0);
     let fast = HostModel::uniform(10.0, 1.0); // 3x faster than `equal`
     let slow = HostModel::uniform(90.0, 1.0); // 3x slower than `equal`
-    let base = ClusterConfig::new(SyncConfig::ground_truth()).with_host(equal).with_seed(1);
+    let base = ClusterConfig::new(SyncConfig::ground_truth())
+        .with_host(equal)
+        .with_seed(1);
 
     println!("--- safe quantum (Q = 1µs = network latency T) ---");
     let a = run("(a) equal speeds", base.clone());
@@ -59,12 +61,21 @@ fn main() {
     println!("--- long quantum (Q = 100µs >> T): timing causality can break ---");
     let loose = base.with_sync(SyncConfig::fixed_micros(100));
     run("(a) equal speeds", loose.clone());
-    run("(c) node 1 slower: exact schedule", loose.clone().with_node_host(0, slow));
+    run(
+        "(c) node 1 slower: exact schedule",
+        loose.clone().with_node_host(0, slow),
+    );
     // Node 0 simulates 3x faster, so the pong's arrival time is behind node
     // 0's clock: a straggler, delivered late — the round trip inflates
     // (scenario (d): it snaps towards the quantum boundary).
-    let d = run("(b/d) node 1 faster: straggler", loose.with_node_host(0, fast));
-    assert!(d.stragglers.count() > 0, "expected the round trip to straggle");
+    let d = run(
+        "(b/d) node 1 faster: straggler",
+        loose.with_node_host(0, fast),
+    );
+    assert!(
+        d.stragglers.count() > 0,
+        "expected the round trip to straggle"
+    );
     println!();
     println!("note how the measured round trip only degrades when the");
     println!("receiving simulator runs ahead — exactly the paper's Figure 3.");

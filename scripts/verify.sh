@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local verification — the same gates CI runs.
+#
+#   ./scripts/verify.sh
+#
+# Benches are built (so they keep compiling) but never timed here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+echo "==> build bench binaries (not timed)"
+cargo build --release -p aqs-bench --bins
+cargo bench --workspace --no-run
+
+echo "verify: OK"

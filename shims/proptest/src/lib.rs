@@ -1,0 +1,83 @@
+//! Offline shim for `proptest`.
+//!
+//! The build container has no cargo registry access, so this crate provides
+//! the subset of proptest this workspace actually uses: the `proptest!`
+//! macro, range/`any`/tuple/`vec`/`select`/`prop_oneof!` strategies, and the
+//! `prop_assert*` macros. Unlike real proptest there is no shrinking and no
+//! persisted failure seeds — inputs are drawn from a deterministic SplitMix64
+//! stream seeded from the test name, with a light bias toward range
+//! endpoints, so failures reproduce exactly on re-run.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection::vec`, `prop::sample::select` — the path layout the
+/// real crate exposes through its prelude.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Each `#[test] fn name(arg in strategy, ...) { body }` expands to a plain
+/// test that runs the body `config.cases` times over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Shim `prop_assert!`: plain `assert!` (no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Shim `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Shim `prop_oneof!`: uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}

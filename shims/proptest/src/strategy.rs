@@ -1,0 +1,228 @@
+//! Input strategies for the proptest shim.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A source of generated values. Unlike real proptest there is no value
+/// tree / shrinking — `generate` draws one concrete value.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer / float ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                // Bias toward the endpoints: boundary values are where
+                // off-by-one bugs live, and the shim cannot shrink its way
+                // to them.
+                match rng.next_u64() % 16 {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => self.start + rng.below(span) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, usize, i64);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let span = self.end - self.start;
+        match rng.next_u64() % 16 {
+            0 => self.start,
+            1 => self.end - 1,
+            _ => self.start + rng.below(span),
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> u16 {
+        rng.next_u64() as u16
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Tuples of strategies
+// ---------------------------------------------------------------------------
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections and sampling
+// ---------------------------------------------------------------------------
+
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, len_range)`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+pub struct SelectStrategy<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for SelectStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.below(self.choices.len() as u64) as usize].clone()
+    }
+}
+
+/// `prop::sample::select(choices)`.
+pub fn select<T: Clone>(choices: Vec<T>) -> SelectStrategy<T> {
+    assert!(!choices.is_empty(), "select requires at least one choice");
+    SelectStrategy { choices }
+}
+
+/// `prop_oneof![a, b, ...]` — uniform choice among same-typed strategies.
+pub struct Union<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !choices.is_empty(),
+            "prop_oneof requires at least one strategy"
+        );
+        Union { choices }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.choices.len() as u64) as usize;
+        self.choices[i].generate(rng)
+    }
+}

@@ -1,0 +1,475 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so the workspace ships a
+//! minimal self-describing serialization framework under `shims/`. This
+//! crate provides the `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros for it, implemented directly on `proc_macro` token streams (no
+//! `syn`/`quote`, which would themselves need the network).
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`);
+//! * tuple structs, including `#[serde(transparent)]` newtypes;
+//! * unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generics, lifetimes and the wider serde attribute language are
+//! intentionally rejected with a compile error: growing this shim on demand
+//! is preferred over silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field of a named struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("literal"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Returns `true` if the attribute group `#[...]` contains `serde(<what>)`.
+fn attr_is(tokens: &TokenStream, what: &str) -> bool {
+    let mut it = tokens.clone().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == what)),
+        _ => false,
+    }
+}
+
+/// Consumes a run of `#[...]` attributes, reporting whether `serde(skip)` /
+/// `serde(transparent)` appeared among them.
+fn take_attrs(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> (bool, bool) {
+    let (mut skip, mut transparent) = (false, false);
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.next() {
+                    skip |= attr_is(&g.stream(), "skip");
+                    transparent |= attr_is(&g.stream(), "transparent");
+                }
+            }
+            _ => return (skip, transparent),
+        }
+    }
+}
+
+/// Skips an optional `pub` / `pub(crate)` prefix.
+fn skip_vis(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+/// Skips one field type: everything up to a comma at angle-bracket depth 0.
+fn skip_type(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth = 0i32;
+    while let Some(t) = it.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        it.next();
+    }
+}
+
+/// Counts the elements of a tuple body `(A, B<C, D>, E)`.
+fn count_tuple_elems(body: TokenStream) -> usize {
+    let mut it = body.into_iter().peekable();
+    let mut n = 0;
+    loop {
+        let (_, _) = take_attrs(&mut it);
+        skip_vis(&mut it);
+        if it.peek().is_none() {
+            return n;
+        }
+        n += 1;
+        skip_type(&mut it);
+        it.next(); // consume the comma, if any
+    }
+}
+
+/// Parses the fields of a `{ ... }` body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut it = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let (skip, _) = take_attrs(&mut it);
+        skip_vis(&mut it);
+        let Some(tt) = it.next() else {
+            return Ok(fields);
+        };
+        let TokenTree::Ident(name) = tt else {
+            return Err(format!("serde shim: expected field name, found `{tt}`"));
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde shim: expected `:`, found `{other:?}`")),
+        }
+        skip_type(&mut it);
+        it.next(); // consume the comma, if any
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let (_, _) = take_attrs(&mut it);
+        let Some(tt) = it.next() else {
+            return Ok(variants);
+        };
+        let TokenTree::Ident(name) = tt else {
+            return Err(format!("serde shim: expected variant name, found `{tt}`"));
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_elems(g.stream());
+                it.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                it.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        match it.next() {
+            None => {
+                variants.push(Variant {
+                    name: name.to_string(),
+                    shape,
+                });
+                return Ok(variants);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant {
+                    name: name.to_string(),
+                    shape,
+                });
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde shim: unsupported token `{other}` after variant `{name}` \
+                     (discriminants are not supported)"
+                ))
+            }
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut it = input.into_iter().peekable();
+    let (_, mut transparent) = take_attrs(&mut it);
+    skip_vis(&mut it);
+    let is_enum = match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => {
+            return Err(format!(
+                "serde shim: expected struct/enum, found `{other:?}`"
+            ))
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim: expected type name, found `{other:?}`")),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: generic type `{name}` is not supported; \
+             write the impls by hand or extend shims/serde_derive"
+        ));
+    }
+    // The container attributes may also follow the name in our token
+    // position only before the item; `transparent` was captured above.
+    let kind = if is_enum {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("serde shim: expected enum body, found `{other:?}`")),
+        }
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_elems(g.stream());
+                if n == 1 && !transparent {
+                    // A 1-tuple without `transparent` still serializes as the
+                    // bare inner value — the only 1-tuples in this workspace
+                    // are numeric newtypes and that is what real serde's
+                    // `transparent` would produce for them anyway.
+                    transparent = true;
+                }
+                Kind::TupleStruct(n)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => {
+                return Err(format!(
+                    "serde shim: expected struct body, found `{other:?}`"
+                ))
+            }
+        }
+    };
+    Ok(Input {
+        name,
+        transparent,
+        kind,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(n) => {
+            if input.transparent || *n == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            }
+        }
+        Kind::NamedStruct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{}))",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pushes.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),",
+                        v = v.name
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::to_value(f0))]),",
+                        v = v.name
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Array(vec![{elems}]))]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Object(vec![{pushes}]))]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            pushes = pushes.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!("{{ let _ = v; Ok({name}) }}"),
+        Kind::TupleStruct(n) => {
+            if input.transparent || *n == 1 {
+                "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+            } else {
+                let elems: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::elem(v, {i})?")).collect();
+                format!("Ok(Self({}))", elems.join(", "))
+            }
+        }
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::core::default::Default::default()", f.name)
+                    } else {
+                        format!("{}: ::serde::field(v, {:?})?", f.name, f.name)
+                    }
+                })
+                .collect();
+            format!("Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("{n:?} => Ok({name}::{n}),", n = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "{n:?} => Ok({name}::{n}(::serde::Deserialize::from_value(inner)?)),",
+                        n = v.name
+                    )),
+                    VariantShape::Tuple(k) => {
+                        let elems: Vec<String> = (0..*k)
+                            .map(|i| format!("::serde::elem(inner, {i})?"))
+                            .collect();
+                        Some(format!(
+                            "{n:?} => Ok({name}::{n}({elems})),",
+                            n = v.name,
+                            elems = elems.join(", ")
+                        ))
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: ::core::default::Default::default()", f.name)
+                                } else {
+                                    format!("{}: ::serde::field(inner, {:?})?", f.name, f.name)
+                                }
+                            })
+                            .collect();
+                        Some(format!(
+                            "{n:?} => Ok({name}::{n} {{ {inits} }}),",
+                            n = v.name,
+                            inits = inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(::serde::Error::new(format!(\n\
+                             \"unknown unit variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err(::serde::Error::new(format!(\n\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::Error::new(format!(\n\
+                         \"invalid value for enum {name}\"))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

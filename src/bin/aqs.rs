@@ -141,11 +141,21 @@ fn cmd_run(flags: HashMap<String, String>) {
     let m0 = app_metric(&truth, spec.metric);
     println!("{} on {n} nodes, policy {}", spec.name, run.sync_label);
     println!("  simulated time : {}", run.sim_end);
-    println!("  host time      : {}  ({:.1}x vs 1µs ground truth)", run.host_elapsed,
-        run.speedup_vs(&truth));
-    println!("  metric         : {m}  (truth {m0}, error {:.2}%)", m.error_vs(&m0) * 100.0);
-    println!("  quanta         : {}   stragglers: {} (total delay {})",
-        run.total_quanta, run.stragglers.count(), run.stragglers.total_delay());
+    println!(
+        "  host time      : {}  ({:.1}x vs 1µs ground truth)",
+        run.host_elapsed,
+        run.speedup_vs(&truth)
+    );
+    println!(
+        "  metric         : {m}  (truth {m0}, error {:.2}%)",
+        m.error_vs(&m0) * 100.0
+    );
+    println!(
+        "  quanta         : {}   stragglers: {} (total delay {})",
+        run.total_quanta,
+        run.stragglers.count(),
+        run.stragglers.total_delay()
+    );
 }
 
 fn cmd_sweep(flags: HashMap<String, String>) {
@@ -170,7 +180,10 @@ fn cmd_sweep(flags: HashMap<String, String>) {
             ]
         })
         .collect();
-    println!("{}", render_table(&["config", "speedup", "error", "stragglers"], &rows));
+    println!(
+        "{}",
+        render_table(&["config", "speedup", "error", "stragglers"], &rows)
+    );
 }
 
 fn cmd_optimistic(flags: HashMap<String, String>) {
@@ -185,13 +198,26 @@ fn cmd_optimistic(flags: HashMap<String, String>) {
     let truth = run_workload(&spec, &base);
     let cfg = OptimisticConfig::new(base).with_window(SimDuration::from_micros(window));
     let r = run_optimistic(spec.programs.clone(), &cfg);
-    println!("{} on {n} nodes, optimistic engine (window {}µs)", spec.name, window);
-    println!("  simulated time : {} (exact: matches ground truth {})", r.sim_end, truth.sim_end);
-    println!("  host time      : {} with the paper's 30s checkpoints", r.host_elapsed);
-    println!("  windows        : {}   checkpoints: {}   rollbacks: {}   wasted sim: {}",
-        r.windows, r.checkpoints, r.rollbacks, r.wasted_sim);
-    println!("  vs ground truth: {:.3}x",
-        truth.host_elapsed.as_secs_f64() / r.host_elapsed.as_secs_f64());
+    println!(
+        "{} on {n} nodes, optimistic engine (window {}µs)",
+        spec.name, window
+    );
+    println!(
+        "  simulated time : {} (exact: matches ground truth {})",
+        r.sim_end, truth.sim_end
+    );
+    println!(
+        "  host time      : {} with the paper's 30s checkpoints",
+        r.host_elapsed
+    );
+    println!(
+        "  windows        : {}   checkpoints: {}   rollbacks: {}   wasted sim: {}",
+        r.windows, r.checkpoints, r.rollbacks, r.wasted_sim
+    );
+    println!(
+        "  vs ground truth: {:.3}x",
+        truth.host_elapsed.as_secs_f64() / r.host_elapsed.as_secs_f64()
+    );
 }
 
 fn cmd_export_spec(flags: HashMap<String, String>) {
@@ -207,7 +233,12 @@ fn cmd_export_spec(flags: HashMap<String, String>) {
         eprintln!("cannot write {out}: {e}");
         exit(1);
     });
-    println!("wrote {} ({} ranks, {} ops)", out, spec.n_ranks(), spec.total_ops());
+    println!(
+        "wrote {} ({} ranks, {} ops)",
+        out,
+        spec.n_ranks(),
+        spec.total_ops()
+    );
 }
 
 fn cmd_run_spec(flags: HashMap<String, String>) {
@@ -230,9 +261,21 @@ fn cmd_run_spec(flags: HashMap<String, String>) {
     let run = run_workload(&spec, &base.clone().with_sync(policy));
     let m = app_metric(&run, spec.metric);
     let m0 = app_metric(&truth, spec.metric);
-    println!("{} ({} ranks) from {file}, policy {}", spec.name, spec.n_ranks(), run.sync_label);
-    println!("  host time : {} ({:.1}x vs ground truth)", run.host_elapsed, run.speedup_vs(&truth));
-    println!("  metric    : {m} (truth {m0}, error {:.2}%)", m.error_vs(&m0) * 100.0);
+    println!(
+        "{} ({} ranks) from {file}, policy {}",
+        spec.name,
+        spec.n_ranks(),
+        run.sync_label
+    );
+    println!(
+        "  host time : {} ({:.1}x vs ground truth)",
+        run.host_elapsed,
+        run.speedup_vs(&truth)
+    );
+    println!(
+        "  metric    : {m} (truth {m0}, error {:.2}%)",
+        m.error_vs(&m0) * 100.0
+    );
 }
 
 fn cmd_policies() {
@@ -247,7 +290,9 @@ fn cmd_policies() {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let Some((cmd, rest)) = args.split_first() else {
+        usage()
+    };
     let flags = parse_flags(rest);
     match cmd.as_str() {
         "run" => cmd_run(flags),

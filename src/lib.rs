@@ -23,6 +23,7 @@
 //! | [`core`] | `aqs-core` | **the synchronization policies** |
 //! | [`workloads`] | `aqs-workloads` | NAS/NAMD-like benchmarks, MPI builder |
 //! | [`cluster`] | `aqs-cluster` | the cluster simulation engines |
+//! | [`sync`] | `aqs-sync` | lock-free primitives for the threaded engine |
 //! | [`metrics`] | `aqs-metrics` | statistics, Pareto fronts, rendering |
 //!
 //! # Quick start
@@ -52,5 +53,6 @@ pub use aqs_metrics as metrics;
 pub use aqs_net as net;
 pub use aqs_node as node;
 pub use aqs_rng as rng;
+pub use aqs_sync as sync;
 pub use aqs_time as time;
 pub use aqs_workloads as workloads;

@@ -1,11 +1,13 @@
-//! Deterministic engine vs. threaded engine: under the safe quantum the two
-//! must agree exactly on the simulated timeline, because no thread
-//! interleaving can create a straggler.
+//! Deterministic engine vs. threaded engine vs. optimistic engine: under
+//! the safe quantum all three must agree exactly on the simulated timeline,
+//! because no thread interleaving can create a straggler.
 
+use aqs::cluster::optimistic::{run_optimistic, OptimisticConfig};
 use aqs::cluster::parallel::{run_parallel, ParallelConfig};
 use aqs::cluster::{run_cluster, ClusterConfig};
 use aqs::core::SyncConfig;
-use aqs::workloads::{burst, nas, ping_pong, Scale, WorkloadSpec};
+use aqs::workloads::{burst, nas, ping_pong, MpiBuilder, Scale, WorkloadSpec};
+use proptest::prelude::*;
 
 fn check_equivalence(spec: WorkloadSpec) {
     let det = run_cluster(
@@ -16,15 +18,36 @@ fn check_equivalence(spec: WorkloadSpec) {
         spec.programs.clone(),
         &ParallelConfig::new(SyncConfig::ground_truth()).with_max_quanta(50_000_000),
     );
-    assert_eq!(par.sim_end, det.sim_end, "{}: simulated end times differ", spec.name);
-    assert_eq!(par.total_packets, det.total_packets, "{}: packet counts differ", spec.name);
-    assert_eq!(par.stragglers.count(), 0, "{}: safe quantum straggled", spec.name);
+    assert_eq!(
+        par.sim_end, det.sim_end,
+        "{}: simulated end times differ",
+        spec.name
+    );
+    assert_eq!(
+        par.total_packets, det.total_packets,
+        "{}: packet counts differ",
+        spec.name
+    );
+    assert_eq!(
+        par.stragglers.count(),
+        0,
+        "{}: safe quantum straggled",
+        spec.name
+    );
     for (p, d) in par.per_node.iter().zip(&det.per_node) {
         assert_eq!(p.rank, d.rank);
-        assert_eq!(p.finish_sim, d.finish_sim, "{}: {} finish times differ", spec.name, p.rank);
+        assert_eq!(
+            p.finish_sim, d.finish_sim,
+            "{}: {} finish times differ",
+            spec.name, p.rank
+        );
         assert_eq!(p.ops, d.ops);
         assert_eq!(p.messages_received, d.messages_received);
-        assert_eq!(p.regions, d.regions, "{}: {} regions differ", spec.name, p.rank);
+        assert_eq!(
+            p.regions, d.regions,
+            "{}: {} regions differ",
+            spec.name, p.rank
+        );
     }
 }
 
@@ -51,6 +74,116 @@ fn is_kernel_engines_agree() {
 #[test]
 fn lu_wavefront_engines_agree() {
     check_equivalence(nas::lu(4, Scale::Tiny));
+}
+
+/// A random but deadlock-free multi-rank program: a sequence of collective
+/// phases, each preceded by random (imbalanced) compute.
+fn random_workload(n: usize, phases: &[(u8, u32, u32)]) -> Vec<aqs::node::Program> {
+    let mut m = MpiBuilder::new(n);
+    for &(sel, kops, bytes) in phases {
+        m.compute_all_imbalanced(kops as u64 * 1000 + 1, 0.1, sel as u64 + kops as u64);
+        let bytes = bytes as u64 + 1;
+        match sel % 5 {
+            0 => m.barrier(),
+            1 => m.allreduce(bytes, 50),
+            2 => m.alltoall(bytes),
+            3 => m.bcast(sel as usize % n, bytes),
+            _ => {
+                let dist = 1 + (sel as usize % (n - 1));
+                m.neighbor_exchange(&[dist], bytes);
+            }
+        }
+    }
+    m.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All three engines — deterministic, threaded, optimistic — agree on
+    /// `messages_received`, `total_packets`, and `sim_end` for random
+    /// programs under the safe quantum `Q <= T`.
+    #[test]
+    fn three_engines_agree_on_random_programs(
+        n in prop::sample::select(vec![2usize, 3, 4]),
+        phases in prop::collection::vec((any::<u8>(), 0u32..80, 0u32..10_000), 1..4),
+    ) {
+        let programs = random_workload(n, &phases);
+        let det = run_cluster(
+            programs.clone(),
+            &ClusterConfig::new(SyncConfig::ground_truth()).with_seed(3),
+        );
+        let par = run_parallel(
+            programs.clone(),
+            &ParallelConfig::new(SyncConfig::ground_truth()).with_max_quanta(50_000_000),
+        );
+        let opt = run_optimistic(
+            programs,
+            &OptimisticConfig::new(ClusterConfig::new(SyncConfig::ground_truth()).with_seed(3)),
+        );
+        // sim_end: all three identical.
+        prop_assert_eq!(par.sim_end, det.sim_end);
+        prop_assert_eq!(opt.sim_end, det.sim_end);
+        // total_packets: identical between the engines that count them.
+        prop_assert_eq!(par.total_packets, det.total_packets);
+        // messages_received: identical per node across all three.
+        for (p, d) in par.per_node.iter().zip(&det.per_node) {
+            prop_assert_eq!(p.messages_received, d.messages_received);
+        }
+        for (o, d) in opt.per_node.iter().zip(&det.per_node) {
+            prop_assert_eq!(o.messages_received, d.messages_received);
+        }
+        prop_assert_eq!(par.stragglers.count(), 0);
+    }
+}
+
+/// The threaded engine's lock-free mailbox must never drop or duplicate a
+/// fragment, under concurrent producers racing a draining consumer.
+#[test]
+fn mailbox_stress_no_drop_no_duplicate() {
+    use aqs::sync::Mailbox;
+    use std::sync::Arc;
+
+    const PRODUCERS: u64 = 8;
+    const PER_PRODUCER: u64 = 25_000;
+    let mb = Arc::new(Mailbox::new());
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let mb = Arc::clone(&mb);
+            std::thread::spawn(move || {
+                for seq in 0..PER_PRODUCER {
+                    mb.push((p, seq));
+                }
+            })
+        })
+        .collect();
+    // Drain concurrently with production, like a node thread at its
+    // scheduling points.
+    let mut got: Vec<(u64, u64)> = Vec::new();
+    while got.len() < (PRODUCERS * PER_PRODUCER) as usize {
+        mb.drain_into(&mut got);
+        std::thread::yield_now();
+    }
+    for h in producers {
+        h.join().unwrap();
+    }
+    mb.drain_into(&mut got);
+    assert_eq!(
+        got.len() as u64,
+        PRODUCERS * PER_PRODUCER,
+        "fragments were dropped"
+    );
+    // Exactly-once and per-producer FIFO: for each producer the sequence
+    // numbers must appear in order with no repeats or gaps.
+    let mut next = vec![0u64; PRODUCERS as usize];
+    for (p, seq) in got {
+        assert_eq!(
+            seq, next[p as usize],
+            "producer {p} out of order or duplicated"
+        );
+        next[p as usize] += 1;
+    }
+    assert!(next.iter().all(|&c| c == PER_PRODUCER));
 }
 
 /// With a long quantum the threaded engine's stragglers depend on real

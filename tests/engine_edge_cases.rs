@@ -28,7 +28,11 @@ fn latency_matrix_inflates_cross_rack_roundtrip() {
     // Each hop gains 10 µs; 10 hops total.
     let delta = racked.sim_end - flat.sim_end;
     assert_eq!(delta, SimDuration::from_micros(100));
-    assert_eq!(racked.stragglers.count(), 0, "higher latency only helps safety");
+    assert_eq!(
+        racked.stragglers.count(),
+        0,
+        "higher latency only helps safety"
+    );
 }
 
 #[test]
@@ -57,7 +61,9 @@ fn slower_node_override_slows_the_cluster() {
     let even = base(3)
         .with_host(HostModel::uniform(30.0, 0.02))
         .with_barrier(BarrierCostModel::free());
-    let skewed = even.clone().with_node_host(1, HostModel::uniform(120.0, 0.02));
+    let skewed = even
+        .clone()
+        .with_node_host(1, HostModel::uniform(120.0, 0.02));
     let fast = run_cluster(spec.programs.clone(), &even);
     let slow = run_cluster(spec.programs, &skewed);
     assert!(
@@ -74,10 +80,16 @@ fn slower_node_override_slows_the_cluster() {
 fn sampling_composes_with_every_policy() {
     let spec = burst(4, 500_000, 1024);
     let sampling = SamplingModel::new(SimDuration::from_micros(100), 0.25, 10.0, 0.0);
-    for sync in [SyncConfig::ground_truth(), SyncConfig::fixed_micros(100), SyncConfig::paper_dyn1()]
-    {
+    for sync in [
+        SyncConfig::ground_truth(),
+        SyncConfig::fixed_micros(100),
+        SyncConfig::paper_dyn1(),
+    ] {
         let plain = run_workload(&spec, &base(4).with_sync(sync.clone()));
-        let sampled = run_workload(&spec, &base(4).with_sync(sync.clone()).with_sampling(sampling));
+        let sampled = run_workload(
+            &spec,
+            &base(4).with_sync(sync.clone()).with_sampling(sampling),
+        );
         // Functional behaviour never changes.
         assert_eq!(sampled.total_packets, plain.total_packets, "under {sync}");
         assert_eq!(sampled.total_ops(), plain.total_ops(), "under {sync}");

@@ -22,7 +22,12 @@ fn safe_quantum_is_straggler_free_across_workloads() {
         namd::namd(4, Scale::Tiny),
     ] {
         let r = run_workload(&spec, &base(3));
-        assert_eq!(r.stragglers.count(), 0, "{} straggled under Q <= T", spec.name);
+        assert_eq!(
+            r.stragglers.count(),
+            0,
+            "{} straggled under Q <= T",
+            spec.name
+        );
     }
 }
 
@@ -75,7 +80,11 @@ fn adaptive_beats_the_tradeoff() {
     let r = exp.run();
     let fixed = &r.outcomes[0];
     let dyn1 = &r.outcomes[1];
-    assert!(dyn1.speedup > 3.0, "adaptive too slow: {:.1}x", dyn1.speedup);
+    assert!(
+        dyn1.speedup > 3.0,
+        "adaptive too slow: {:.1}x",
+        dyn1.speedup
+    );
     assert!(
         dyn1.accuracy_error < fixed.accuracy_error / 2.0 + 1e-9,
         "adaptive not more accurate: {} vs {}",
@@ -108,7 +117,9 @@ fn functional_behaviour_is_policy_independent() {
 #[test]
 fn runs_are_bit_reproducible() {
     let spec = namd::namd(4, Scale::Tiny);
-    let cfg = base(17).with_sync(SyncConfig::paper_dyn2()).with_quantum_trace(true);
+    let cfg = base(17)
+        .with_sync(SyncConfig::paper_dyn2())
+        .with_quantum_trace(true);
     let a = run_workload(&spec, &cfg);
     let b = run_workload(&spec, &cfg);
     assert_eq!(a.host_elapsed, b.host_elapsed);
@@ -127,7 +138,11 @@ fn adaptive_quantum_stays_in_bounds() {
     let spec = burst(4, 500_000, 1024);
     let r = run_workload(&spec, &base(19).with_sync(sync).with_quantum_trace(true));
     for q in r.quanta.records() {
-        assert!(q.length >= min && q.length <= max, "quantum {} out of bounds", q.length);
+        assert!(
+            q.length >= min && q.length <= max,
+            "quantum {} out of bounds",
+            q.length
+        );
     }
 }
 

@@ -2,7 +2,7 @@
 //! savings measured on real threads with real barriers (machine-dependent,
 //! unlike the deterministic engine's modelled figures).
 
-use aqs_cluster::parallel::{run_parallel, ParallelConfig};
+use aqs_cluster::{EngineKind, Sim};
 use aqs_core::SyncConfig;
 use aqs_workloads::burst;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -18,18 +18,22 @@ fn bench_threaded(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("ground_truth", |b| {
         b.iter(|| {
-            black_box(run_parallel(
-                spec.programs.clone(),
-                &ParallelConfig::new(SyncConfig::ground_truth()),
-            ))
+            black_box(
+                Sim::new(spec.programs.clone())
+                    .engine(EngineKind::Threaded)
+                    .sync(SyncConfig::ground_truth())
+                    .run(),
+            )
         })
     });
     g.bench_function("adaptive_dyn1", |b| {
         b.iter(|| {
-            black_box(run_parallel(
-                spec.programs.clone(),
-                &ParallelConfig::new(SyncConfig::paper_dyn1()),
-            ))
+            black_box(
+                Sim::new(spec.programs.clone())
+                    .engine(EngineKind::Threaded)
+                    .sync(SyncConfig::paper_dyn1())
+                    .run(),
+            )
         })
     });
     g.finish();

@@ -17,8 +17,8 @@
 //! Usage: `ablation_optimistic [tiny|mini]`.
 
 use aqs_bench::{standard_config, with_housekeeping};
-use aqs_cluster::optimistic::{run_optimistic, OptimisticConfig};
 use aqs_cluster::run_workload;
+use aqs_cluster::{EngineKind, Sim};
 use aqs_core::SyncConfig;
 use aqs_metrics::render_table;
 use aqs_time::{HostDuration, SimDuration};
@@ -70,10 +70,16 @@ fn main() {
             HostDuration::from_secs(30),
         ),
     ] {
-        let cfg = OptimisticConfig::new(base.clone())
-            .with_window(SimDuration::from_micros(window_us))
-            .with_costs(ckpt, rb);
-        let r = run_optimistic(spec.programs.clone(), &cfg);
+        let report = Sim::new(spec.programs.clone())
+            .engine(EngineKind::Optimistic)
+            .config(base.clone())
+            .window(SimDuration::from_micros(window_us))
+            .optimistic_costs(ckpt, rb)
+            .run();
+        let r = report
+            .detail
+            .as_optimistic()
+            .expect("optimistic engine ran");
         assert_eq!(r.sim_end, truth.sim_end, "optimism must be timing-exact");
         rows.push(vec![
             label.to_string(),

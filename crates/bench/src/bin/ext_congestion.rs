@@ -11,23 +11,25 @@
 //! Usage: `ext_congestion [tiny|mini]`.
 
 use aqs_bench::{standard_config, with_housekeeping};
-use aqs_cluster::engine::run_cluster_with_switch;
-use aqs_cluster::{app_metric, RunResult};
+use aqs_cluster::{app_metric, RunResult, Sim, SimSwitch};
 use aqs_core::SyncConfig;
 use aqs_metrics::render_table;
-use aqs_net::{LatencyMatrixSwitch, PerfectSwitch, StoreAndForwardSwitch, SwitchModel};
+use aqs_net::{LatencyMatrixSwitch, StoreAndForwardSwitch};
 use aqs_time::SimDuration;
 use aqs_workloads::{nas, Scale, WorkloadSpec};
 use std::time::Instant;
 
-fn sweep<S: SwitchModel + Clone>(name: &str, spec: &WorkloadSpec, switch: S) -> Vec<Vec<String>> {
+fn sweep(name: &str, spec: &WorkloadSpec, switch: SimSwitch) -> Vec<Vec<String>> {
     let base = standard_config(42);
     let run = |sync: SyncConfig| -> RunResult {
-        run_cluster_with_switch(
-            spec.programs.clone(),
-            &base.clone().with_sync(sync),
-            switch.clone(),
-        )
+        Sim::new(spec.programs.clone())
+            .config(base.clone().with_sync(sync))
+            .switch(switch.clone())
+            .run()
+            .detail
+            .as_deterministic()
+            .expect("deterministic engine ran")
+            .clone()
     };
     let truth = run(SyncConfig::ground_truth());
     let m0 = app_metric(&truth, spec.metric);
@@ -60,22 +62,25 @@ fn main() {
     let spec = with_housekeeping(nas::is(8, scale));
 
     let mut rows = Vec::new();
-    rows.extend(sweep("perfect (paper)", &spec, PerfectSwitch::new()));
+    rows.extend(sweep("perfect (paper)", &spec, SimSwitch::Perfect));
     rows.extend(sweep(
         "store-and-forward 10G",
         &spec,
-        StoreAndForwardSwitch::new(SimDuration::from_nanos(500), 10_000_000_000),
+        SimSwitch::StoreAndForward(StoreAndForwardSwitch::new(
+            SimDuration::from_nanos(500),
+            10_000_000_000,
+        )),
     ));
     rows.extend(sweep(
         "2 racks, +4µs inter-rack",
         &spec,
-        LatencyMatrixSwitch::from_fn(8, |a, b| {
+        SimSwitch::LatencyMatrix(LatencyMatrixSwitch::from_fn(8, |a, b| {
             if a.index() / 4 == b.index() / 4 {
                 SimDuration::ZERO
             } else {
                 SimDuration::from_micros(4)
             }
-        }),
+        })),
     ));
 
     println!("=== IS, 8 nodes, across switch fabrics ===\n");

@@ -14,7 +14,8 @@
 //! cargo run --release -p aqs-bench --bin parallel_scaling
 //! ```
 
-use aqs_cluster::parallel::{run_parallel, ParallelConfig, ParallelRunResult};
+use aqs_cluster::parallel::{ParallelConfig, ParallelRunResult};
+use aqs_cluster::{EngineKind, Sim};
 use aqs_core::SyncConfig;
 use aqs_node::Program;
 use aqs_workloads::burst;
@@ -70,8 +71,19 @@ fn main() {
 
             let (cur_wall, cur): (f64, ParallelRunResult) = {
                 let programs = programs.clone();
+                let sync = sync.clone();
                 measure(
-                    || run_parallel(programs.clone(), &cfg),
+                    || {
+                        Sim::new(programs.clone())
+                            .engine(EngineKind::Threaded)
+                            .sync(sync.clone())
+                            .max_quanta(50_000_000)
+                            .run()
+                            .detail
+                            .as_threaded()
+                            .expect("threaded engine ran")
+                            .clone()
+                    },
                     |r| r.wall.as_secs_f64(),
                 )
             };

@@ -25,8 +25,9 @@ use crate::progress::ProgressRecorder;
 use crate::result::{NodeResult, RunResult};
 use aqs_core::{QuantumPolicy, QuantumTrace};
 use aqs_des::EventQueue;
-use aqs_net::{Destination, NetworkController, NodeId, PerfectSwitch, SwitchModel};
+use aqs_net::{Destination, NetworkController, NodeId, PerfectSwitch, StragglerStats, SwitchModel};
 use aqs_node::{Action, HostSpeed, MessageId, MessageMeta, NodeExecutor, Program, SendTarget};
+use aqs_obs::{NullRecorder, QuantumObs, Recorder};
 use aqs_rng::Rng;
 use aqs_time::{HostTime, SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -91,6 +92,11 @@ struct Node {
     msg_seq: u64,
     done: bool,
     finish_host: Option<HostTime>,
+    /// Simulated position where the node last began idling straight to the
+    /// quantum boundary (`None` while it still has work before the edge).
+    /// The observability sample's per-node virtual-time lag is
+    /// `q_end - idle_from`.
+    idle_from: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -100,7 +106,7 @@ enum Ev {
     BarrierDone,
 }
 
-struct Engine<'a, S> {
+struct Engine<'a, S, R> {
     cfg: &'a ClusterConfig,
     nodes: Vec<Node>,
     net: NetworkController<FragInfo, S>,
@@ -117,6 +123,15 @@ struct Engine<'a, S> {
     n_finished: usize,
     finished: bool,
     final_host: HostTime,
+    rec: R,
+    /// Index of the next observability sample (counts recorded quanta).
+    q_index: u64,
+    /// Stragglers seen during the current quantum (whole-run totals live in
+    /// the network controller).
+    q_stragglers: StragglerStats,
+    /// Scratch lanes for sample assembly, reused across quanta.
+    scratch_waits: Vec<u64>,
+    scratch_lags: Vec<u64>,
 }
 
 /// Runs a cluster of `programs` (one per node, rank *i* on node *i*) under
@@ -131,30 +146,48 @@ struct Engine<'a, S> {
 /// # Examples
 ///
 /// See the [crate-level example](crate).
+#[deprecated(
+    since = "0.1.0",
+    note = "use the unified builder: Sim::new(programs).engine(EngineKind::Deterministic).run()"
+)]
 pub fn run_cluster(programs: Vec<Program>, config: &ClusterConfig) -> RunResult {
+    #[allow(deprecated)]
     run_cluster_with_switch(programs, config, PerfectSwitch::new())
 }
 
 /// [`run_cluster`] with a custom switch timing model.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the unified builder: Sim::new(programs).switch(SimSwitch::..).run()"
+)]
 pub fn run_cluster_with_switch<S: SwitchModel>(
     programs: Vec<Program>,
     config: &ClusterConfig,
     switch: S,
 ) -> RunResult {
+    run_cluster_impl(programs, config, switch, NullRecorder).0
+}
+
+/// Engine entry point with an explicit [`Recorder`]: the unified `Sim`
+/// builder dispatches here; the free functions above are thin
+/// `NullRecorder` wrappers.
+pub(crate) fn run_cluster_impl<S: SwitchModel, R: Recorder>(
+    programs: Vec<Program>,
+    config: &ClusterConfig,
+    switch: S,
+    recorder: R,
+) -> (RunResult, R) {
     assert!(programs.len() >= 2, "a cluster needs at least 2 nodes");
     for (i, p) in programs.iter().enumerate() {
         assert_eq!(p.rank().index(), i, "program {i} is for {}", p.rank());
     }
-    Engine::new(programs, config, switch).run()
+    Engine::new(programs, config, switch, recorder).run()
 }
 
-impl<'a, S: SwitchModel> Engine<'a, S> {
-    fn new(programs: Vec<Program>, cfg: &'a ClusterConfig, switch: S) -> Self {
+impl<'a, S: SwitchModel, R: Recorder> Engine<'a, S, R> {
+    fn new(programs: Vec<Program>, cfg: &'a ClusterConfig, switch: S, rec: R) -> Self {
         let n = programs.len();
-        let mut net = NetworkController::new(n, cfg.nic, switch);
-        if cfg.record_traffic {
-            net.enable_trace();
-        }
+        let net = NetworkController::new(n, cfg.nic, switch).with_trace(cfg.record_traffic);
         let nodes = programs
             .into_iter()
             .enumerate()
@@ -172,6 +205,7 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
                 msg_seq: 0,
                 done: false,
                 finish_host: None,
+                idle_from: None,
             })
             .collect();
         let policy = cfg.sync.build();
@@ -201,10 +235,15 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
             n_finished: 0,
             finished: false,
             final_host: HostTime::ZERO,
+            rec,
+            q_index: 0,
+            q_stragglers: StragglerStats::default(),
+            scratch_waits: Vec::with_capacity(n),
+            scratch_lags: Vec::with_capacity(n),
         }
     }
 
-    fn run(mut self) -> RunResult {
+    fn run(mut self) -> (RunResult, R) {
         for node in &mut self.nodes {
             node.speed.resample();
         }
@@ -350,11 +389,20 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
             (Some(s), false) => s.host_divisor_at(self.nodes[i].sim),
             _ => 1.0,
         };
+        let q_end = self.q_end;
         let node = &mut self.nodes[i];
         let start_sim = node.sim;
         let start_host = node.host;
         let end_sim = start_sim + len;
         let end_host = start_host + node.speed.host_cost(len, idle).div_f64(divisor);
+        // Virtual-time lag bookkeeping: an idle traversal that runs straight
+        // to the quantum boundary starts (or restarts) the node's idle tail;
+        // anything else means the node still has work before the edge.
+        node.idle_from = if kind == SegKind::BlockedIdle && end_sim >= q_end {
+            Some(start_sim)
+        } else {
+            None
+        };
         node.gen += 1;
         let gen = node.gen;
         node.seg = Some(Segment {
@@ -427,6 +475,32 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
         let np = self.net.end_quantum();
         self.quanta.record(self.q_start, self.q_len, np);
         self.progress.record(now, self.q_end);
+        if R::ENABLED {
+            self.scratch_waits.clear();
+            self.scratch_lags.clear();
+            for node in &self.nodes {
+                // `host` is still the node's barrier arrival time here; the
+                // reset to `now` happens below.
+                self.scratch_waits
+                    .push((self.barrier_latest - node.host).as_nanos());
+                self.scratch_lags.push(
+                    node.idle_from
+                        .map_or(0, |from| (self.q_end - from).as_nanos()),
+                );
+            }
+            self.rec.record_quantum(&QuantumObs {
+                index: self.q_index,
+                start: self.q_start,
+                len: self.q_len,
+                packets: np,
+                stragglers: self.q_stragglers.count(),
+                max_straggler_delay: self.q_stragglers.max_delay(),
+                barrier_wait_ns: &self.scratch_waits,
+                vt_lag_ns: &self.scratch_lags,
+            });
+            self.q_index += 1;
+            self.q_stragglers = StragglerStats::default();
+        }
         self.check_deadlock(np);
         self.q_len = self.policy.next_quantum(np);
         self.q_start = self.q_end;
@@ -437,6 +511,7 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
             debug_assert!(node.at_barrier, "barrier completed with a straggling node");
             node.at_barrier = false;
             node.host = now;
+            node.idle_from = None;
             node.speed.resample();
         }
         for i in 0..self.nodes.len() {
@@ -507,6 +582,9 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
             let eff = d.arrival.max(pos);
             if eff > d.arrival {
                 self.net.record_straggler(eff - d.arrival);
+                if R::ENABLED {
+                    self.q_stragglers.record(eff - d.arrival);
+                }
             }
             let completed = self.nodes[j].exec.deliver_fragment(
                 d.packet.payload.meta,
@@ -533,7 +611,7 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
         }
     }
 
-    fn into_result(self) -> RunResult {
+    fn into_result(mut self) -> (RunResult, R) {
         let final_host = self.final_host;
         let per_node: Vec<NodeResult> = self
             .nodes
@@ -555,7 +633,30 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
             .map(|n| n.finish_sim)
             .max()
             .expect("at least two nodes");
-        RunResult {
+        if R::ENABLED {
+            // The run ends mid-quantum (the last program finishes before the
+            // barrier), so flush a final partial sample: without it the
+            // per-quantum packet counts would not sum to `total_packets`.
+            let np = self.net.end_quantum();
+            let len = if sim_end > self.q_start {
+                sim_end - self.q_start
+            } else {
+                SimDuration::ZERO
+            };
+            self.rec.record_quantum(&QuantumObs {
+                index: self.q_index,
+                start: self.q_start,
+                len,
+                packets: np,
+                stragglers: self.q_stragglers.count(),
+                max_straggler_delay: self.q_stragglers.max_delay(),
+                // No barrier ran for the partial quantum: the per-node lanes
+                // carry no information, so leave them zero-filled.
+                barrier_wait_ns: &[],
+                vt_lag_ns: &[],
+            });
+        }
+        let result = RunResult {
             sync_label: self.policy.label(),
             n_nodes: per_node.len(),
             sim_end,
@@ -567,11 +668,13 @@ impl<'a, S: SwitchModel> Engine<'a, S> {
             quanta: self.quanta,
             traffic: self.net.into_trace(),
             progress: self.progress.points().to_vec(),
-        }
+        };
+        (result, self.rec)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // these are the deprecated wrappers' own tests
 mod tests {
     use super::*;
     use crate::config::BarrierCostModel;
@@ -923,6 +1026,31 @@ mod tests {
             "zero-sigma sampling must be exact"
         );
         assert!(sampled.host_elapsed < plain.host_elapsed);
+    }
+
+    #[test]
+    fn flight_recorder_packet_sum_matches_total_and_run_is_unperturbed() {
+        use aqs_obs::{FlightRecorder, ObsConfig};
+        let cfg = quick_config(SyncConfig::paper_dyn1());
+        let (result, fr) = run_cluster_impl(
+            ping_pong_programs(5),
+            &cfg,
+            PerfectSwitch::new(),
+            FlightRecorder::new(2, ObsConfig::new()),
+        );
+        assert_eq!(
+            fr.total_packets(),
+            result.total_packets,
+            "per-quantum packet counts must sum to the run total"
+        );
+        assert!(fr.total_quanta() > 0);
+        let sample_sum: u64 = fr.samples().map(|s| s.packets).sum();
+        assert_eq!(sample_sum, result.total_packets, "ring kept every quantum");
+        // Recording must not perturb the simulation itself.
+        let null = run_cluster(ping_pong_programs(5), &cfg);
+        assert_eq!(null.sim_end, result.sim_end);
+        assert_eq!(null.host_elapsed, result.host_elapsed);
+        assert_eq!(null.total_quanta, result.total_quanta);
     }
 
     #[test]

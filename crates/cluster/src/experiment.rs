@@ -13,10 +13,12 @@
 //!   configuration.
 
 use crate::config::ClusterConfig;
-use crate::engine::run_cluster;
+use crate::engine::run_cluster_impl;
 use crate::result::RunResult;
 use aqs_core::SyncConfig;
+use aqs_net::PerfectSwitch;
 use aqs_node::RegionId;
+use aqs_obs::NullRecorder;
 use aqs_time::SimDuration;
 use aqs_workloads::{MetricKind, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -85,7 +87,13 @@ pub fn app_metric(result: &RunResult, kind: MetricKind) -> AppMetric {
 
 /// Runs one workload under one configuration.
 pub fn run_workload(spec: &WorkloadSpec, config: &ClusterConfig) -> RunResult {
-    run_cluster(spec.programs.clone(), config)
+    run_cluster_impl(
+        spec.programs.clone(),
+        config,
+        PerfectSwitch::new(),
+        NullRecorder,
+    )
+    .0
 }
 
 /// One non-baseline configuration's outcome.

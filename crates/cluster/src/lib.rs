@@ -16,10 +16,15 @@
 //!   measured with a real clock. It demonstrates that the technique works
 //!   as an actual parallel program; its timings are machine-dependent.
 //!
+//! There is also [`optimistic`], a checkpoint/rollback engine that trades
+//! conservative barriers for speculative re-execution.
+//!
+//! All three are driven through one entry point: the [`Sim`] builder.
+//!
 //! # Quick start
 //!
 //! ```
-//! use aqs_cluster::{run_cluster, ClusterConfig};
+//! use aqs_cluster::{EngineKind, Sim};
 //! use aqs_core::SyncConfig;
 //! use aqs_node::{ProgramBuilder, Rank, Tag};
 //!
@@ -33,10 +38,17 @@
 //!     .send(Rank::new(0), 64, Tag::new(0))
 //!     .build();
 //!
-//! let config = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(1);
-//! let result = aqs_cluster::run_cluster(vec![ping, pong], &config);
-//! assert_eq!(result.stragglers.count(), 0); // Q ≤ T is straggler-free
+//! let report = Sim::new(vec![ping, pong])
+//!     .engine(EngineKind::Deterministic)
+//!     .sync(SyncConfig::ground_truth())
+//!     .seed(1)
+//!     .run();
+//! assert_eq!(report.stragglers.count(), 0); // Q ≤ T is straggler-free
 //! ```
+//!
+//! Switch engines by changing one argument — `.engine(EngineKind::Threaded)`
+//! runs the same workload on real threads. Attach a quantum-level flight
+//! recorder with [`Sim::record`]; see [`sim`] for details.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,11 +60,14 @@ pub mod optimistic;
 pub mod parallel;
 mod progress;
 mod result;
+pub mod sim;
 
 pub use config::{BarrierCostModel, ClusterConfig};
+#[allow(deprecated)]
 pub use engine::{run_cluster, run_cluster_with_switch};
 pub use experiment::{
     app_metric, paper_sweep, run_workload, AppMetric, ConfigOutcome, Experiment, ExperimentResult,
 };
 pub use progress::ProgressRecorder;
 pub use result::{NodeResult, RunResult};
+pub use sim::{EngineDetail, EngineKind, RunReport, Sim, SimSwitch, SimulatedOutcome, WallClock};

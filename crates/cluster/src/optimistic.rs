@@ -25,19 +25,21 @@
 //! # Examples
 //!
 //! ```
-//! use aqs_cluster::optimistic::{run_optimistic, OptimisticConfig};
-//! use aqs_cluster::ClusterConfig;
+//! use aqs_cluster::{EngineKind, Sim};
 //! use aqs_core::SyncConfig;
 //! use aqs_time::{HostDuration, SimDuration};
 //! use aqs_workloads::ping_pong;
 //!
 //! let spec = ping_pong(2, 3, 64);
-//! let cfg = OptimisticConfig::new(ClusterConfig::new(SyncConfig::ground_truth()))
-//!     .with_window(SimDuration::from_micros(50))
-//!     .with_costs(HostDuration::ZERO, HostDuration::ZERO);
-//! let result = run_optimistic(spec.programs, &cfg);
-//! assert_eq!(result.per_node[0].messages_received, 3);
-//! assert!(result.rollbacks > 0, "a ping-pong forces rollbacks");
+//! let report = Sim::new(spec.programs)
+//!     .engine(EngineKind::Optimistic)
+//!     .sync(SyncConfig::ground_truth())
+//!     .window(SimDuration::from_micros(50))
+//!     .optimistic_costs(HostDuration::ZERO, HostDuration::ZERO)
+//!     .run();
+//! let detail = report.detail.as_optimistic().unwrap();
+//! assert_eq!(detail.per_node[0].messages_received, 3);
+//! assert!(detail.rollbacks > 0, "a ping-pong forces rollbacks");
 //! ```
 
 use crate::config::ClusterConfig;
@@ -45,12 +47,17 @@ use crate::result::NodeResult;
 use aqs_node::{
     Action, HostSpeed, MessageId, MessageMeta, NodeExecutor, Program, Rank, SendTarget,
 };
+use aqs_obs::{NullRecorder, QuantumObs, Recorder};
 use aqs_rng::Rng;
 use aqs_time::{HostDuration, HostTime, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Configuration of an optimistic run.
+///
+/// The `with_*` setters are **order-independent**: each one stores a single
+/// field and derives nothing, so any permutation of the same calls builds
+/// the same configuration.
 #[derive(Clone, Debug)]
 pub struct OptimisticConfig {
     /// Node/NIC/CPU/host models (the `sync` field is ignored — there is no
@@ -118,6 +125,10 @@ pub struct OptimisticRunResult {
     pub rollbacks: u64,
     /// Total simulated time re-executed due to rollbacks.
     pub wasted_sim: SimDuration,
+    /// Committed fragment deliveries over the run (counted in the window
+    /// each fragment *arrives* in — fragments still in flight when the last
+    /// program finishes are not counted).
+    pub total_packets: u64,
     /// Per-node outcomes.
     pub per_node: Vec<NodeResult>,
 }
@@ -202,7 +213,23 @@ struct WindowProfile {
 /// Panics if fewer than two programs are given, if program *i* is not for
 /// rank *i*, if a window fails to converge within the iteration cap, or if
 /// the workload deadlocks (no node can make progress).
+#[deprecated(
+    since = "0.1.0",
+    note = "use the unified builder: Sim::new(programs).engine(EngineKind::Optimistic).run()"
+)]
 pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> OptimisticRunResult {
+    run_optimistic_impl(programs, cfg, NullRecorder).0
+}
+
+/// Optimistic engine entry point with an explicit [`Recorder`]: the unified
+/// `Sim` builder dispatches here; [`run_optimistic`] is the `NullRecorder`
+/// wrapper. Windows map onto observability quanta; checkpoint and rollback
+/// events feed the recorder's dedicated counters.
+pub(crate) fn run_optimistic_impl<R: Recorder>(
+    programs: Vec<Program>,
+    cfg: &OptimisticConfig,
+    mut rec: R,
+) -> (OptimisticRunResult, R) {
     assert!(programs.len() >= 2, "a cluster needs at least 2 nodes");
     for (i, p) in programs.iter().enumerate() {
         assert_eq!(p.rank().index(), i, "program {i} is for {}", p.rank());
@@ -235,6 +262,8 @@ pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> Optimis
     let mut checkpoints = 0u64;
     let mut rollbacks = 0u64;
     let mut wasted_sim = SimDuration::ZERO;
+    let mut total_packets = 0u64;
+    let mut scratch_lags: Vec<u64> = Vec::with_capacity(n);
     let mut finish_host: Vec<Option<HostTime>> = vec![None; n];
 
     let mut window_start = SimTime::ZERO;
@@ -247,6 +276,7 @@ pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> Optimis
         // Checkpoint every node.
         let snapshot: Vec<NodeState> = nodes.clone();
         checkpoints += n as u64;
+        rec.record_checkpoints(n as u64);
 
         // Round 0: run with only the carried-over fragments.
         let mut inbound_used: Vec<Vec<Inbound>> = (0..n)
@@ -293,7 +323,9 @@ pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> Optimis
                 if inbound_now[i] != inbound_used[i] {
                     changed = true;
                     rollbacks += 1;
-                    wasted_sim += nodes[i].sim.saturating_duration_since(window_start);
+                    let wasted = nodes[i].sim.saturating_duration_since(window_start);
+                    wasted_sim += wasted;
+                    rec.record_rollback(wasted);
                     // Restore the checkpoint and re-execute with the richer
                     // message set.
                     nodes[i] = snapshot[i].clone();
@@ -316,7 +348,30 @@ pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> Optimis
             }
         }
 
-        // Commit: carry forward fragments arriving beyond this window.
+        // Commit. The converged inbound sets are this window's deliveries:
+        // each fragment is counted exactly once, in its arrival window.
+        let delivered: u64 = inbound_used.iter().map(|v| v.len() as u64).sum();
+        total_packets += delivered;
+        if R::ENABLED {
+            scratch_lags.clear();
+            for p in &profiles {
+                scratch_lags.push(p.idle.as_nanos());
+            }
+            rec.record_quantum(&QuantumObs {
+                index: windows - 1,
+                start: window_start,
+                len: cfg.window,
+                packets: delivered,
+                // Optimism is exact: no delivery is ever late.
+                stragglers: 0,
+                max_straggler_delay: SimDuration::ZERO,
+                // There is no barrier; the per-node lanes carry the idle
+                // share of the window's committed execution.
+                barrier_wait_ns: &[],
+                vt_lag_ns: &scratch_lags,
+            });
+        }
+        // Carry forward fragments arriving beyond this window.
         let mut future: Vec<Vec<Inbound>> = vec![Vec::new(); n];
         for frags in &sends {
             for f in frags {
@@ -370,15 +425,17 @@ pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> Optimis
         .map(|p| p.finish_sim)
         .max()
         .expect("two nodes");
-    OptimisticRunResult {
+    let result = OptimisticRunResult {
         host_elapsed: host - HostTime::ZERO,
         sim_end,
         windows,
         checkpoints,
         rollbacks,
         wasted_sim,
+        total_packets,
         per_node,
-    }
+    };
+    (result, rec)
 }
 
 /// Routes one sent fragment to its receiver(s) with exact arrival times.
@@ -532,6 +589,7 @@ fn run_window(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // these are the deprecated wrappers' own tests
 mod tests {
     use super::*;
     use crate::engine::run_cluster;
@@ -609,6 +667,26 @@ mod tests {
             small.per_node[0].messages_received,
             large.per_node[0].messages_received
         );
+    }
+
+    #[test]
+    fn flight_recorder_tracks_windows_checkpoints_and_rollbacks() {
+        use aqs_obs::{FlightRecorder, ObsConfig};
+        let spec = ping_pong(2, 5, 64);
+        let (r, fr) = run_optimistic_impl(
+            spec.programs.clone(),
+            &free_costs(50),
+            FlightRecorder::new(2, ObsConfig::new()),
+        );
+        assert_eq!(fr.total_quanta(), r.windows);
+        assert_eq!(fr.checkpoints(), r.checkpoints);
+        assert_eq!(fr.rollbacks(), r.rollbacks);
+        assert_eq!(fr.wasted_sim(), r.wasted_sim);
+        assert_eq!(fr.total_packets(), r.total_packets);
+        // Ping-pong delivers every packet, so the optimistic delivery count
+        // equals the conservative route count.
+        let det = run_cluster(spec.programs, &base());
+        assert_eq!(r.total_packets, det.total_packets);
     }
 
     #[test]

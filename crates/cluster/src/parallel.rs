@@ -38,16 +38,18 @@
 //! # Examples
 //!
 //! ```
-//! use aqs_cluster::parallel::{run_parallel, ParallelConfig};
+//! use aqs_cluster::{EngineKind, Sim};
 //! use aqs_core::SyncConfig;
 //! use aqs_node::{ProgramBuilder, Rank, Tag};
 //!
 //! let a = ProgramBuilder::new(Rank::new(0)).send(Rank::new(1), 64, Tag::new(0)).build();
 //! let b = ProgramBuilder::new(Rank::new(1)).recv(Some(Rank::new(0)), Tag::new(0)).build();
-//! let cfg = ParallelConfig::new(SyncConfig::ground_truth());
-//! let result = run_parallel(vec![a, b], &cfg);
-//! assert_eq!(result.stragglers.count(), 0);
-//! assert_eq!(result.messages_received_total(), 1);
+//! let report = Sim::new(vec![a, b])
+//!     .engine(EngineKind::Threaded)
+//!     .sync(SyncConfig::ground_truth())
+//!     .run();
+//! assert_eq!(report.stragglers.count(), 0);
+//! assert_eq!(report.messages_received, 1);
 //! ```
 
 use aqs_core::{QuantumPolicy, SyncConfig};
@@ -55,7 +57,8 @@ use aqs_net::{Destination, LatencyMatrixSwitch, NicModel, NodeId, StragglerStats
 use aqs_node::{
     Action, CpuModel, MessageId, MessageMeta, NodeExecutor, Program, Rank, RegionRecord, SendTarget,
 };
-use aqs_sync::{CachePadded, LeaderBarrier, Mailbox};
+use aqs_obs::{NullRecorder, QuantumObs, Recorder};
+use aqs_sync::{ArrivalTimes, CachePadded, LeaderBarrier, Mailbox};
 use aqs_time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -94,6 +97,10 @@ impl ParallelSwitch {
 }
 
 /// Configuration of a threaded run.
+///
+/// The `with_*` setters are **order-independent**: each one stores a single
+/// field and derives nothing, so any permutation of the same calls builds
+/// the same configuration.
 #[derive(Clone, Debug)]
 pub struct ParallelConfig {
     /// Synchronization policy.
@@ -193,9 +200,15 @@ impl ParallelRunResult {
         self.per_node.iter().map(|n| n.messages_received).sum()
     }
 
-    /// Wall-clock speedup of this run relative to `baseline`.
+    /// Wall-clock speedup of this run relative to `baseline`. A baseline
+    /// too fast for the clock to resolve yields 0.0 rather than a division
+    /// by zero.
     pub fn speedup_vs(&self, baseline: &ParallelRunResult) -> f64 {
-        baseline.wall.as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
+        let base = baseline.wall.as_secs_f64();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        base / self.wall.as_secs_f64().max(1e-9)
     }
 }
 
@@ -212,16 +225,37 @@ const Q_END_STOP: u64 = u64::MAX;
 
 /// State only the barrier leader touches, via [`LeaderBarrier::arrive`] —
 /// no mutex: exclusivity comes from the barrier protocol itself.
-struct LeaderState {
+struct LeaderState<R> {
     policy: Box<dyn QuantumPolicy>,
     /// Quanta completed (including the stop round, matching the old
     /// centralized counter).
     quanta: u64,
     /// Packets routed over the whole run (sum of the per-thread slots).
     total_packets: u64,
+    /// Start of the current quantum in sim ns (the previous `q_end_nanos`).
+    q_start_nanos: u64,
     /// Current quantum end in sim ns, mirrored into `Shared::q_end`.
     q_end_nanos: u64,
     max_quanta: u64,
+    /// Observability recorder. Leader-exclusive like the rest of this
+    /// struct, so recording needs no lock and stays off the packet path.
+    rec: R,
+    /// Scratch lanes for sample assembly, reused across quanta.
+    waits: Vec<u64>,
+    lags: Vec<u64>,
+}
+
+/// Per-thread per-quantum observability publication (written by the owning
+/// thread before its barrier arrival, read only by that round's leader).
+/// All zeros when recording is disabled.
+#[derive(Default)]
+struct ObsSlot {
+    /// Idle tail this quantum in sim ns.
+    vt_lag: AtomicU64,
+    /// Stragglers this thread recorded this quantum.
+    s_count: AtomicU64,
+    /// Largest straggler delay this thread saw this quantum, in sim ns.
+    s_max: AtomicU64,
 }
 
 /// Per-thread accounting that used to live behind global locks. Merged into
@@ -235,9 +269,13 @@ struct ThreadCtx {
 }
 
 /// Shared state across node threads.
-struct Shared {
+struct Shared<R> {
     nic: NicModel,
     switch: ParallelSwitch,
+    /// Wall-clock origin for barrier-wait timestamps.
+    start: Instant,
+    /// Per-thread observability slots (see [`ObsSlot`]).
+    obs_slots: Vec<CachePadded<ObsSlot>>,
     /// Per-node published simulated position (ns), for straggler checks.
     sim_pos: Vec<CachePadded<AtomicU64>>,
     /// Per-node incoming fragment queues (lock-free MPSC).
@@ -258,10 +296,10 @@ struct Shared {
     done: AtomicU64,
     /// Deadlock-guard flag (checked after join, where panicking is safe).
     overflow: AtomicBool,
-    barrier: LeaderBarrier<LeaderState>,
+    barrier: LeaderBarrier<LeaderState<R>>,
 }
 
-impl Shared {
+impl<R: Recorder> Shared<R> {
     /// Routes one fragment from `src`, delivering into mailboxes and doing
     /// straggler accounting against the receivers' published positions.
     ///
@@ -341,7 +379,24 @@ impl Shared {
 ///
 /// Panics if fewer than two programs are given, program *i* is not for rank
 /// *i*, or the quantum cap is exceeded (deadlock guard).
+#[deprecated(
+    since = "0.1.0",
+    note = "use the unified builder: Sim::new(programs).engine(EngineKind::Threaded).run()"
+)]
 pub fn run_parallel(programs: Vec<Program>, config: &ParallelConfig) -> ParallelRunResult {
+    run_parallel_impl(programs, config, NullRecorder).0
+}
+
+/// Threaded engine entry point with an explicit [`Recorder`]: the unified
+/// `Sim` builder dispatches here; [`run_parallel`] is the `NullRecorder`
+/// wrapper. The recorder lives in the leader state, so recording adds no
+/// lock anywhere — per-thread slots are published before the barrier
+/// arrival and merged by that round's leader.
+pub(crate) fn run_parallel_impl<R: Recorder>(
+    programs: Vec<Program>,
+    config: &ParallelConfig,
+    recorder: R,
+) -> (ParallelRunResult, R) {
     assert!(programs.len() >= 2, "a cluster needs at least 2 nodes");
     for (i, p) in programs.iter().enumerate() {
         assert_eq!(p.rank().index(), i, "program {i} is for {}", p.rank());
@@ -353,12 +408,21 @@ pub fn run_parallel(programs: Vec<Program>, config: &ParallelConfig) -> Parallel
         policy,
         quanta: 0,
         total_packets: 0,
+        q_start_nanos: 0,
         q_end_nanos: q0.as_nanos(),
         max_quanta: config.max_quanta,
+        rec: recorder,
+        waits: Vec::with_capacity(n),
+        lags: Vec::with_capacity(n),
     };
+    let start = Instant::now();
     let shared = Shared {
         nic: config.nic,
         switch: config.switch.clone(),
+        start,
+        obs_slots: (0..n)
+            .map(|_| CachePadded::new(ObsSlot::default()))
+            .collect(),
         sim_pos: (0..n)
             .map(|_| CachePadded::new(AtomicU64::new(0)))
             .collect(),
@@ -372,7 +436,6 @@ pub fn run_parallel(programs: Vec<Program>, config: &ParallelConfig) -> Parallel
         overflow: AtomicBool::new(false),
         barrier: LeaderBarrier::new(n, leader),
     };
-    let start = Instant::now();
     let results: Vec<ParallelNodeResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = programs
             .into_iter()
@@ -399,14 +462,15 @@ pub fn run_parallel(programs: Vec<Program>, config: &ParallelConfig) -> Parallel
         .expect("at least two nodes");
     let stragglers = *shared.straggler_total.lock().expect("no poisoned thread");
     let leader = shared.barrier.into_state();
-    ParallelRunResult {
+    let result = ParallelRunResult {
         wall,
         sim_end,
         total_quanta: leader.quanta,
         total_packets: leader.total_packets,
         stragglers,
         per_node: results,
-    }
+    };
+    (result, leader.rec)
 }
 
 /// Burns approximately `ns` nanoseconds of real CPU time.
@@ -427,11 +491,11 @@ fn busy_work(ns: f64) {
     }
 }
 
-fn node_thread(
+fn node_thread<R: Recorder>(
     i: usize,
     program: Program,
     config: &ParallelConfig,
-    shared: &Shared,
+    shared: &Shared<R>,
 ) -> ParallelNodeResult {
     let mut exec = NodeExecutor::new(program, config.cpu);
     let mut ctx = ThreadCtx::default();
@@ -447,6 +511,9 @@ fn node_thread(
     let publish = |t: SimTime| shared.sim_pos[i].store(t.as_nanos(), Ordering::Release);
     let mut q_end = SimTime::from_nanos(shared.q_end.load(Ordering::Acquire));
     loop {
+        // Observability: sim position where this node stopped doing useful
+        // work and jumped to the boundary (0 lag if busy to the edge).
+        let mut lag_ns = 0u64;
         // Run this node up to the quantum boundary.
         while sim < q_end {
             if let Some(p) = pending.take() {
@@ -498,6 +565,9 @@ fn node_thread(
                     }
                 }
                 Action::WaitUntil(t) => {
+                    if R::ENABLED && t >= q_end {
+                        lag_ns = (q_end - sim).as_nanos();
+                    }
                     sim = t.min(q_end);
                     publish(sim);
                     if t >= q_end {
@@ -508,6 +578,9 @@ fn node_thread(
                     // Nothing deliverable yet: idle to the quantum boundary
                     // (the OS idle loop) and meet the barrier; deliveries
                     // land in the mailbox meanwhile.
+                    if R::ENABLED {
+                        lag_ns = (q_end - sim).as_nanos();
+                    }
                     sim = q_end;
                     publish(sim);
                     break;
@@ -517,6 +590,9 @@ fn node_thread(
                         done_reported = true;
                         shared.done.fetch_add(1, Ordering::AcqRel);
                     }
+                    if R::ENABLED {
+                        lag_ns = (q_end - sim).as_nanos();
+                    }
                     sim = q_end;
                     publish(sim);
                     break;
@@ -525,7 +601,7 @@ fn node_thread(
         }
         sim = sim.max(q_end);
         publish(sim);
-        match next_quantum(shared, &mut ctx, i) {
+        match next_quantum(shared, &mut ctx, i, lag_ns) {
             Some(qe) => q_end = qe,
             None => break,
         }
@@ -543,12 +619,26 @@ fn node_thread(
 /// `(q_end, stop)` through the epoch handshake. Returns the new quantum end,
 /// or `None` when the run is over (all programs done, or the deadlock guard
 /// tripped).
-fn next_quantum(shared: &Shared, ctx: &mut ThreadCtx, i: usize) -> Option<SimTime> {
+fn next_quantum<R: Recorder>(
+    shared: &Shared<R>,
+    ctx: &mut ThreadCtx,
+    i: usize,
+    lag_ns: u64,
+) -> Option<SimTime> {
     // Publish this thread's per-quantum accounting. The barrier arrival
     // provides the release/acquire edge to the leader, so relaxed stores
     // suffice.
     shared.np_slots[i].store(ctx.quantum_packets, Ordering::Relaxed);
     ctx.quantum_packets = 0;
+    if R::ENABLED {
+        // Published before the straggler merge below resets `ctx`.
+        let slot = &shared.obs_slots[i];
+        slot.vt_lag.store(lag_ns, Ordering::Relaxed);
+        slot.s_count
+            .store(ctx.stragglers.count(), Ordering::Relaxed);
+        slot.s_max
+            .store(ctx.stragglers.max_delay().as_nanos(), Ordering::Relaxed);
+    }
     if ctx.stragglers.count() > 0 {
         // Cold path: only quanta that actually straggled pay for the lock.
         shared
@@ -558,33 +648,80 @@ fn next_quantum(shared: &Shared, ctx: &mut ThreadCtx, i: usize) -> Option<SimTim
             .merge(&ctx.stragglers);
         ctx.stragglers = StragglerStats::default();
     }
-    shared.barrier.arrive(|leader| {
-        leader.quanta += 1;
-        let np: u64 = shared
-            .np_slots
-            .iter()
-            .map(|s| s.load(Ordering::Relaxed))
-            .sum();
-        leader.total_packets += np;
-        let all_done = shared.done.load(Ordering::Acquire) as usize == shared.sim_pos.len();
-        if all_done {
-            shared.q_end.store(Q_END_STOP, Ordering::Relaxed);
-        } else if leader.quanta > leader.max_quanta {
-            // Cannot panic while peers wait on the barrier — flag and stop.
-            shared.overflow.store(true, Ordering::Relaxed);
-            shared.q_end.store(Q_END_STOP, Ordering::Relaxed);
-        } else {
-            let next = leader.policy.next_quantum(np);
-            leader.q_end_nanos += next.as_nanos();
-            shared.q_end.store(leader.q_end_nanos, Ordering::Relaxed);
-        }
-    });
+    if R::ENABLED {
+        let now_ns = shared.start.elapsed().as_nanos() as u64;
+        shared.barrier.arrive_timed(i, now_ns, |leader, ts| {
+            leader_step(shared, leader, Some(ts))
+        });
+    } else {
+        shared
+            .barrier
+            .arrive(|leader| leader_step(shared, leader, None));
+    }
     // Ordered after the leader's stores by the epoch acquire inside arrive.
     let q_end = shared.q_end.load(Ordering::Relaxed);
     if q_end == Q_END_STOP {
         None
     } else {
         Some(SimTime::from_nanos(q_end))
+    }
+}
+
+/// The leader's quantum-boundary work: record the observability sample for
+/// the quantum that just ended (when enabled), then advance the policy and
+/// publish `(q_end, stop)`. Runs with exclusive access to `leader`.
+fn leader_step<R: Recorder>(
+    shared: &Shared<R>,
+    leader: &mut LeaderState<R>,
+    ts: Option<ArrivalTimes<'_>>,
+) {
+    let np: u64 = shared
+        .np_slots
+        .iter()
+        .map(|s| s.load(Ordering::Relaxed))
+        .sum();
+    if R::ENABLED {
+        let n = shared.sim_pos.len();
+        let ts = ts.expect("recording enabled without timed arrival");
+        // The leader arrived last, so the latest stamp is "now": each
+        // thread's barrier wait is the gap to it.
+        let latest = (0..n).map(|k| ts.get(k)).max().unwrap_or(0);
+        leader.waits.clear();
+        leader.lags.clear();
+        let mut s_count = 0u64;
+        let mut s_max = 0u64;
+        for k in 0..n {
+            leader.waits.push(latest.saturating_sub(ts.get(k)));
+            let slot = &shared.obs_slots[k];
+            leader.lags.push(slot.vt_lag.load(Ordering::Relaxed));
+            s_count += slot.s_count.load(Ordering::Relaxed);
+            s_max = s_max.max(slot.s_max.load(Ordering::Relaxed));
+        }
+        leader.rec.record_quantum(&QuantumObs {
+            index: leader.quanta,
+            start: SimTime::from_nanos(leader.q_start_nanos),
+            len: SimDuration::from_nanos(leader.q_end_nanos - leader.q_start_nanos),
+            packets: np,
+            stragglers: s_count,
+            max_straggler_delay: SimDuration::from_nanos(s_max),
+            barrier_wait_ns: &leader.waits,
+            vt_lag_ns: &leader.lags,
+        });
+    }
+    leader.quanta += 1;
+    leader.total_packets += np;
+    let all_done = shared.done.load(Ordering::Acquire) as usize == shared.sim_pos.len();
+    if all_done {
+        shared.q_end.store(Q_END_STOP, Ordering::Relaxed);
+    } else if leader.quanta > leader.max_quanta {
+        // Cannot panic while peers wait on the barrier — flag and stop.
+        shared.overflow.store(true, Ordering::Relaxed);
+        shared.q_end.store(Q_END_STOP, Ordering::Relaxed);
+    } else {
+        let next = leader.policy.next_quantum(np);
+        leader.q_start_nanos = leader.q_end_nanos;
+        leader.q_end_nanos += next.as_nanos();
+        shared.q_end.store(leader.q_end_nanos, Ordering::Relaxed);
     }
 }
 
@@ -596,6 +733,7 @@ fn drain_mailbox(exec: &mut NodeExecutor, mailbox: &Mailbox<InFlight>, inbox: &m
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // these are the deprecated wrappers' own tests
 mod tests {
     use super::*;
     use crate::config::ClusterConfig;
@@ -615,6 +753,16 @@ mod tests {
         assert_eq!(r.stragglers.count(), 0, "safe quantum must be race-free");
         assert_eq!(r.total_packets, 10);
         assert!(r.sim_end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn speedup_guards_zero_baseline() {
+        let spec = ping_pong(2, 1, 64);
+        let mut a = run_parallel(spec.programs.clone(), &cfg(SyncConfig::ground_truth()));
+        let b = run_parallel(spec.programs, &cfg(SyncConfig::ground_truth()));
+        assert!(b.speedup_vs(&a).is_finite());
+        a.wall = Duration::ZERO;
+        assert_eq!(b.speedup_vs(&a), 0.0, "zero baseline must not divide");
     }
 
     #[test]
@@ -733,6 +881,29 @@ mod tests {
         );
         assert_eq!(par.total_packets, det.total_packets);
         assert_eq!(par.stragglers.count(), 0);
+    }
+
+    #[test]
+    fn flight_recorder_matches_run_totals_and_null_run() {
+        use aqs_obs::{FlightRecorder, ObsConfig};
+        let spec = burst(4, 50_000, 1024);
+        let (r, fr) = run_parallel_impl(
+            spec.programs.clone(),
+            &cfg(SyncConfig::ground_truth()),
+            FlightRecorder::new(4, ObsConfig::new()),
+        );
+        assert_eq!(fr.total_packets(), r.total_packets);
+        assert_eq!(fr.total_quanta(), r.total_quanta);
+        assert_eq!(fr.total_stragglers(), r.stragglers.count());
+        // Under the safe quantum the recorded run's simulated outcome is
+        // bit-identical to the unrecorded one.
+        let null = run_parallel(spec.programs, &cfg(SyncConfig::ground_truth()));
+        assert_eq!(null.sim_end, r.sim_end);
+        assert_eq!(null.total_quanta, r.total_quanta);
+        assert_eq!(null.total_packets, r.total_packets);
+        // Barrier waits are real time: at least one thread in some quantum
+        // waited a nonzero interval.
+        assert!(fr.barrier_wait_hist().count() > 0);
     }
 
     #[test]

@@ -91,10 +91,16 @@ impl RunResult {
     /// Host-time speedup of this run relative to `baseline` (the paper's
     /// "acceleration vs. 1 µs").
     ///
-    /// # Panics
-    ///
-    /// Panics if this run took zero host time.
+    /// Degenerate runs never divide by zero: a zero-time baseline yields
+    /// 0.0, and a zero-time run against a non-zero baseline yields
+    /// [`f64::INFINITY`].
     pub fn speedup_vs(&self, baseline: &RunResult) -> f64 {
+        if baseline.host_elapsed == HostDuration::ZERO {
+            return 0.0;
+        }
+        if self.host_elapsed == HostDuration::ZERO {
+            return f64::INFINITY;
+        }
         baseline.host_elapsed.ratio(self.host_elapsed)
     }
 
@@ -163,6 +169,15 @@ mod tests {
         let fast = run(vec![node(0, vec![])], 100, 150);
         assert!((fast.speedup_vs(&base) - 26.0).abs() < 1e-12);
         assert!((fast.sim_ratio_vs(&base) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_guards_zero_denominators() {
+        let zero = run(vec![node(0, vec![])], 0, 100);
+        let some = run(vec![node(0, vec![])], 100, 100);
+        assert_eq!(some.speedup_vs(&zero), 0.0, "zero baseline must not panic");
+        assert_eq!(zero.speedup_vs(&some), f64::INFINITY);
+        assert_eq!(zero.speedup_vs(&zero), 0.0);
     }
 
     #[test]

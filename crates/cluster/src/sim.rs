@@ -1,0 +1,579 @@
+//! The unified engine API: one builder, three engines, one report.
+//!
+//! Historically each engine had its own free-function entry point
+//! (`run_cluster`, `run_cluster_with_switch`, `run_parallel`,
+//! `run_optimistic`) with its own config and result types, so every
+//! benchmark and test hard-wired one engine. [`Sim`] folds them behind a
+//! single builder: pick the engine with [`Sim::engine`], tune it with the
+//! shared [`ClusterConfig`] plus engine-specific knobs, optionally attach a
+//! quantum-level [`FlightRecorder`] with [`Sim::record`], and get back one
+//! [`RunReport`] whose common fields mean the same thing everywhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqs_cluster::{EngineKind, Sim};
+//! use aqs_core::SyncConfig;
+//! use aqs_obs::ObsConfig;
+//! use aqs_workloads::ping_pong;
+//!
+//! let spec = ping_pong(2, 3, 64);
+//! let report = Sim::new(spec.programs)
+//!     .sync(SyncConfig::ground_truth())
+//!     .engine(EngineKind::Deterministic)
+//!     .record(ObsConfig::new())
+//!     .run();
+//! assert_eq!(report.stragglers.count(), 0); // Q ≤ T is straggler-free
+//! assert_eq!(report.messages_received, 6);
+//! let obs = report.obs.as_ref().expect("recording was enabled");
+//! assert_eq!(obs.total_packets(), report.total_packets);
+//! ```
+
+use crate::config::ClusterConfig;
+use crate::engine::run_cluster_impl;
+use crate::optimistic::{run_optimistic_impl, OptimisticConfig, OptimisticRunResult};
+use crate::parallel::{run_parallel_impl, ParallelConfig, ParallelRunResult, ParallelSwitch};
+use crate::result::RunResult;
+use aqs_core::SyncConfig;
+use aqs_net::{LatencyMatrixSwitch, PerfectSwitch, StoreAndForwardSwitch, StragglerStats};
+use aqs_node::Program;
+use aqs_obs::{FlightRecorder, NullRecorder, ObsConfig, Recorder};
+use aqs_time::{HostDuration, SimDuration, SimTime};
+use std::time::Duration;
+
+/// Which engine executes the simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The deterministic meta-engine: a DES of the parallel simulation on a
+    /// modelled host clock. Exactly reproducible timing.
+    #[default]
+    Deterministic,
+    /// The threaded engine: one OS thread per node, real barriers, real
+    /// wall-clock. Machine-dependent timing, exact functional results under
+    /// the safe quantum.
+    Threaded,
+    /// The optimistic (checkpoint/rollback) engine: free-running windows
+    /// with fixed-point re-execution. Exact simulated timeline.
+    Optimistic,
+}
+
+impl EngineKind {
+    /// Short lowercase name (`deterministic` / `threaded` / `optimistic`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Deterministic => "deterministic",
+            EngineKind::Threaded => "threaded",
+            EngineKind::Optimistic => "optimistic",
+        }
+    }
+}
+
+/// Switch timing model for a [`Sim`] run.
+///
+/// Not every engine supports every switch: the threaded engine needs a
+/// stateless model (no shared mutable switch state between threads) and the
+/// optimistic engine routes with the NIC minimum latency only. [`Sim::run`]
+/// panics with a clear message on an unsupported combination rather than
+/// silently ignoring the model.
+#[derive(Clone, Debug, Default)]
+pub enum SimSwitch {
+    /// Infinite bandwidth, zero transit delay (the paper's evaluation
+    /// switch). Supported by every engine.
+    #[default]
+    Perfect,
+    /// Fixed per-(src, dst) latency. Deterministic and threaded engines.
+    LatencyMatrix(LatencyMatrixSwitch),
+    /// Store-and-forward queueing with finite egress bandwidth.
+    /// Deterministic engine only (stateful).
+    StoreAndForward(StoreAndForwardSwitch),
+}
+
+impl SimSwitch {
+    fn name(&self) -> &'static str {
+        match self {
+            SimSwitch::Perfect => "Perfect",
+            SimSwitch::LatencyMatrix(_) => "LatencyMatrix",
+            SimSwitch::StoreAndForward(_) => "StoreAndForward",
+        }
+    }
+}
+
+/// Wall-clock of a run — modelled host time (deterministic and optimistic
+/// engines) or real elapsed time (threaded engine).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WallClock {
+    /// Modelled host duration (exactly reproducible).
+    Modelled(HostDuration),
+    /// Real measured duration (machine-dependent).
+    Real(Duration),
+}
+
+impl WallClock {
+    /// The wall-clock in seconds, whichever kind it is.
+    pub fn as_secs_f64(&self) -> f64 {
+        match self {
+            WallClock::Modelled(d) => d.as_secs_f64(),
+            WallClock::Real(d) => d.as_secs_f64(),
+        }
+    }
+}
+
+/// Engine-specific result payload carried by a [`RunReport`].
+///
+/// The deterministic and threaded results are boxed: they embed traces and
+/// straggler histograms and would otherwise dominate every report's size.
+#[derive(Clone, Debug)]
+pub enum EngineDetail {
+    /// Full deterministic-engine result.
+    Deterministic(Box<RunResult>),
+    /// Full threaded-engine result.
+    Threaded(Box<ParallelRunResult>),
+    /// Full optimistic-engine result.
+    Optimistic(OptimisticRunResult),
+}
+
+impl EngineDetail {
+    /// The deterministic result, if this run used that engine.
+    pub fn as_deterministic(&self) -> Option<&RunResult> {
+        match self {
+            EngineDetail::Deterministic(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The threaded result, if this run used that engine.
+    pub fn as_threaded(&self) -> Option<&ParallelRunResult> {
+        match self {
+            EngineDetail::Threaded(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The optimistic result, if this run used that engine.
+    pub fn as_optimistic(&self) -> Option<&OptimisticRunResult> {
+        match self {
+            EngineDetail::Optimistic(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// The engine-independent functional outcome of a run: everything that must
+/// be bit-identical when two runs simulate the same workload exactly —
+/// across engines under the safe quantum, or between recorded and
+/// unrecorded runs of the same engine. Wall-clock and engine-specific
+/// counters (quanta vs. windows) are deliberately excluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimulatedOutcome {
+    /// Simulated completion time.
+    pub sim_end: SimTime,
+    /// Packets delivered.
+    pub total_packets: u64,
+    /// Messages fully received, summed over nodes.
+    pub messages_received: u64,
+    /// Stragglers observed.
+    pub straggler_count: u64,
+    /// Per-node `(rank, finish_sim, ops, messages_received)`.
+    pub per_node: Vec<(u32, SimTime, u64, u64)>,
+}
+
+/// Common result of a [`Sim`] run, whatever the engine.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Engine that produced this report.
+    pub engine: EngineKind,
+    /// Label of the synchronization policy (the optimistic engine, which
+    /// has no quantum, reports `"optimistic"`).
+    pub sync_label: String,
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Simulated completion time (max across nodes).
+    pub sim_end: SimTime,
+    /// Packets delivered over the run.
+    pub total_packets: u64,
+    /// Messages fully received, summed over nodes.
+    pub messages_received: u64,
+    /// Straggler statistics (always zero for the optimistic engine, which
+    /// re-executes instead of delivering late).
+    pub stragglers: StragglerStats,
+    /// Quanta executed (windows, for the optimistic engine).
+    pub total_quanta: u64,
+    /// Wall-clock — modelled or real depending on the engine.
+    pub wall_clock: WallClock,
+    /// The engine's full native result.
+    pub detail: EngineDetail,
+    /// The flight recorder, when [`Sim::record`] was used.
+    pub obs: Option<FlightRecorder>,
+}
+
+impl RunReport {
+    /// Wall-clock speedup of this run relative to `baseline`. Returns 0.0
+    /// when the baseline took no measurable time (instead of dividing by
+    /// zero).
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.wall_clock.as_secs_f64();
+        let own = self.wall_clock.as_secs_f64();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        base / own.max(1e-12)
+    }
+
+    /// The engine-independent functional outcome (see [`SimulatedOutcome`]).
+    pub fn simulated_outcome(&self) -> SimulatedOutcome {
+        let per_node = match &self.detail {
+            EngineDetail::Deterministic(r) => r
+                .per_node
+                .iter()
+                .map(|n| (n.rank.as_u32(), n.finish_sim, n.ops, n.messages_received))
+                .collect(),
+            EngineDetail::Threaded(r) => r
+                .per_node
+                .iter()
+                .map(|n| (n.rank.as_u32(), n.finish_sim, n.ops, n.messages_received))
+                .collect(),
+            EngineDetail::Optimistic(r) => r
+                .per_node
+                .iter()
+                .map(|n| (n.rank.as_u32(), n.finish_sim, n.ops, n.messages_received))
+                .collect(),
+        };
+        SimulatedOutcome {
+            sim_end: self.sim_end,
+            total_packets: self.total_packets,
+            messages_received: self.messages_received,
+            straggler_count: self.stragglers.count(),
+            per_node,
+        }
+    }
+}
+
+/// Builder for a cluster simulation run on any engine.
+///
+/// Every setter is consuming (`self -> Self`) and **order-independent**:
+/// setters only store values, and nothing is derived until [`Sim::run`].
+/// The one exception to watch is [`Sim::config`], which replaces the whole
+/// base [`ClusterConfig`] — call it before the convenience setters
+/// ([`Sim::sync`], [`Sim::seed`]) that write into that config.
+///
+/// See the [module docs](self) for an example.
+#[derive(Clone, Debug)]
+pub struct Sim {
+    programs: Vec<Program>,
+    engine: EngineKind,
+    config: ClusterConfig,
+    switch: SimSwitch,
+    host_work_per_op: f64,
+    max_quanta: u64,
+    window: SimDuration,
+    checkpoint_cost: HostDuration,
+    rollback_cost: HostDuration,
+    gvt_cost: HostDuration,
+    max_iterations: u32,
+    obs: Option<ObsConfig>,
+}
+
+impl Sim {
+    /// Starts a builder for `programs` (one per node, rank *i* on node *i*)
+    /// with the deterministic engine, the paper's ground-truth quantum, and
+    /// no recording.
+    pub fn new(programs: Vec<Program>) -> Self {
+        let defaults = OptimisticConfig::new(ClusterConfig::new(SyncConfig::ground_truth()));
+        Self {
+            programs,
+            engine: EngineKind::Deterministic,
+            config: ClusterConfig::new(SyncConfig::ground_truth()),
+            switch: SimSwitch::Perfect,
+            host_work_per_op: 0.0,
+            max_quanta: u64::MAX,
+            window: defaults.window,
+            checkpoint_cost: defaults.checkpoint_cost,
+            rollback_cost: defaults.rollback_cost,
+            gvt_cost: defaults.gvt_cost,
+            max_iterations: defaults.max_iterations,
+            obs: None,
+        }
+    }
+
+    /// Selects the engine.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Replaces the whole base [`ClusterConfig`] (models, seed, traces).
+    /// Call before [`Sim::sync`]/[`Sim::seed`], which modify this config.
+    #[must_use]
+    pub fn config(mut self, config: ClusterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the synchronization policy.
+    #[must_use]
+    pub fn sync(mut self, sync: SyncConfig) -> Self {
+        self.config.sync = sync;
+        self
+    }
+
+    /// Sets the experiment seed (deterministic and optimistic engines).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the switch timing model (see [`SimSwitch`] for engine support).
+    #[must_use]
+    pub fn switch(mut self, switch: SimSwitch) -> Self {
+        self.switch = switch;
+        self
+    }
+
+    /// Threaded engine: real host nanoseconds of busy-work per simulated
+    /// operation (see [`ParallelConfig::host_work_per_op`]).
+    #[must_use]
+    pub fn host_work_per_op(mut self, factor: f64) -> Self {
+        self.host_work_per_op = factor;
+        self
+    }
+
+    /// Threaded engine: hard cap on quanta (deadlock guard).
+    #[must_use]
+    pub fn max_quanta(mut self, max: u64) -> Self {
+        self.max_quanta = max;
+        self
+    }
+
+    /// Optimistic engine: free-run window length.
+    #[must_use]
+    pub fn window(mut self, window: SimDuration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Optimistic engine: per-checkpoint and per-rollback host costs.
+    #[must_use]
+    pub fn optimistic_costs(mut self, checkpoint: HostDuration, rollback: HostDuration) -> Self {
+        self.checkpoint_cost = checkpoint;
+        self.rollback_cost = rollback;
+        self
+    }
+
+    /// Optimistic engine: fixed-point iteration cap per window.
+    #[must_use]
+    pub fn max_iterations(mut self, cap: u32) -> Self {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Attaches a quantum-level flight recorder; the report's
+    /// [`RunReport::obs`] will carry it. Recording never perturbs simulated
+    /// results and adds no lock to any engine's packet path.
+    #[must_use]
+    pub fn record(mut self, obs: ObsConfig) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Runs the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two programs were given, if program *i* is not
+    /// for rank *i*, if the selected engine does not support the selected
+    /// [`SimSwitch`], or on the engine's own failure modes (deadlock,
+    /// quantum-cap overflow, window non-convergence).
+    pub fn run(self) -> RunReport {
+        let n = self.programs.len();
+        match self.obs {
+            Some(oc) => {
+                let rec = FlightRecorder::new(n, oc);
+                let (mut report, rec) = self.dispatch(rec);
+                report.obs = Some(rec);
+                report
+            }
+            None => self.dispatch(NullRecorder).0,
+        }
+    }
+
+    fn dispatch<R: Recorder>(self, rec: R) -> (RunReport, R) {
+        let Sim {
+            programs,
+            engine,
+            config,
+            switch,
+            host_work_per_op,
+            max_quanta,
+            window,
+            checkpoint_cost,
+            rollback_cost,
+            gvt_cost,
+            max_iterations,
+            obs: _,
+        } = self;
+        match engine {
+            EngineKind::Deterministic => {
+                let (r, rec) = match switch {
+                    SimSwitch::Perfect => {
+                        run_cluster_impl(programs, &config, PerfectSwitch::new(), rec)
+                    }
+                    SimSwitch::LatencyMatrix(m) => run_cluster_impl(programs, &config, m, rec),
+                    SimSwitch::StoreAndForward(s) => run_cluster_impl(programs, &config, s, rec),
+                };
+                let messages = r.per_node.iter().map(|p| p.messages_received).sum();
+                let report = RunReport {
+                    engine,
+                    sync_label: r.sync_label.clone(),
+                    n_nodes: r.n_nodes,
+                    sim_end: r.sim_end,
+                    total_packets: r.total_packets,
+                    messages_received: messages,
+                    stragglers: r.stragglers,
+                    total_quanta: r.total_quanta,
+                    wall_clock: WallClock::Modelled(r.host_elapsed),
+                    detail: EngineDetail::Deterministic(Box::new(r)),
+                    obs: None,
+                };
+                (report, rec)
+            }
+            EngineKind::Threaded => {
+                let par_switch = match switch {
+                    SimSwitch::Perfect => ParallelSwitch::Perfect,
+                    SimSwitch::LatencyMatrix(m) => ParallelSwitch::LatencyMatrix(m),
+                    other => panic!(
+                        "the threaded engine does not support the {} switch \
+                         (stateful models would serialize the packet path)",
+                        other.name()
+                    ),
+                };
+                let pcfg = ParallelConfig {
+                    sync: config.sync.clone(),
+                    nic: config.nic,
+                    cpu: config.cpu,
+                    switch: par_switch,
+                    host_work_per_op,
+                    max_quanta,
+                };
+                let sync_label = pcfg.sync.build().label();
+                let (r, rec) = run_parallel_impl(programs, &pcfg, rec);
+                let report = RunReport {
+                    engine,
+                    sync_label,
+                    n_nodes: r.per_node.len(),
+                    sim_end: r.sim_end,
+                    total_packets: r.total_packets,
+                    messages_received: r.messages_received_total(),
+                    stragglers: r.stragglers,
+                    total_quanta: r.total_quanta,
+                    wall_clock: WallClock::Real(r.wall),
+                    detail: EngineDetail::Threaded(Box::new(r)),
+                    obs: None,
+                };
+                (report, rec)
+            }
+            EngineKind::Optimistic => {
+                if !matches!(switch, SimSwitch::Perfect) {
+                    panic!(
+                        "the optimistic engine routes with the NIC minimum \
+                         latency only and does not support the {} switch",
+                        switch.name()
+                    );
+                }
+                let ocfg = OptimisticConfig {
+                    base: config,
+                    window,
+                    checkpoint_cost,
+                    rollback_cost,
+                    gvt_cost,
+                    max_iterations,
+                };
+                let (r, rec) = run_optimistic_impl(programs, &ocfg, rec);
+                let messages = r.per_node.iter().map(|p| p.messages_received).sum();
+                let report = RunReport {
+                    engine,
+                    sync_label: "optimistic".to_string(),
+                    n_nodes: r.per_node.len(),
+                    sim_end: r.sim_end,
+                    total_packets: r.total_packets,
+                    messages_received: messages,
+                    stragglers: StragglerStats::default(),
+                    total_quanta: r.windows,
+                    wall_clock: WallClock::Modelled(r.host_elapsed),
+                    detail: EngineDetail::Optimistic(r),
+                    obs: None,
+                };
+                (report, rec)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqs_workloads::{burst, ping_pong};
+
+    #[test]
+    fn three_engines_one_builder_agree_under_safe_quantum() {
+        let spec = burst(4, 50_000, 1024);
+        let mk = |engine| {
+            Sim::new(spec.programs.clone())
+                .engine(engine)
+                .sync(SyncConfig::ground_truth())
+                .window(SimDuration::from_micros(20))
+                .optimistic_costs(HostDuration::ZERO, HostDuration::ZERO)
+                .run()
+        };
+        let det = mk(EngineKind::Deterministic);
+        let thr = mk(EngineKind::Threaded);
+        let opt = mk(EngineKind::Optimistic);
+        assert_eq!(det.simulated_outcome(), thr.simulated_outcome());
+        assert_eq!(det.simulated_outcome(), opt.simulated_outcome());
+        assert_eq!(det.engine.name(), "deterministic");
+        assert!(matches!(det.wall_clock, WallClock::Modelled(_)));
+        assert!(matches!(thr.wall_clock, WallClock::Real(_)));
+        assert!(det.detail.as_deterministic().is_some());
+        assert!(det.detail.as_threaded().is_none());
+    }
+
+    #[test]
+    fn recording_is_invisible_to_the_simulation() {
+        let spec = ping_pong(2, 5, 64);
+        let mk = || {
+            Sim::new(spec.programs.clone())
+                .engine(EngineKind::Deterministic)
+                .sync(SyncConfig::paper_dyn1())
+        };
+        let plain = mk().run();
+        let recorded = mk().record(ObsConfig::new()).run();
+        assert_eq!(plain.simulated_outcome(), recorded.simulated_outcome());
+        assert!(plain.obs.is_none());
+        let fr = recorded.obs.expect("recorder attached");
+        assert_eq!(fr.total_packets(), recorded.total_packets);
+    }
+
+    #[test]
+    fn speedup_guards_zero_baseline() {
+        let spec = ping_pong(2, 1, 64);
+        let mut a = Sim::new(spec.programs.clone()).run();
+        let b = Sim::new(spec.programs).run();
+        assert!(b.speedup_vs(&a) > 0.0);
+        a.wall_clock = WallClock::Modelled(HostDuration::ZERO);
+        assert_eq!(b.speedup_vs(&a), 0.0, "zero baseline must not divide");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support the StoreAndForward switch")]
+    fn threaded_rejects_stateful_switch() {
+        let spec = ping_pong(2, 1, 64);
+        let _ = Sim::new(spec.programs)
+            .engine(EngineKind::Threaded)
+            .switch(SimSwitch::StoreAndForward(StoreAndForwardSwitch::new(
+                SimDuration::ZERO,
+                1_000_000_000,
+            )))
+            .run();
+    }
+}

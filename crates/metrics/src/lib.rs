@@ -27,6 +27,9 @@ mod series;
 mod stats;
 
 pub use pareto::{pareto_front, ParetoPoint};
-pub use render::{render_bar_chart, render_scatter_log_y, render_table, render_traffic_density};
+pub use render::{
+    render_bar_chart, render_histogram, render_scatter_log_y, render_series_log_y, render_table,
+    render_traffic_density,
+};
 pub use series::TimeSeries;
 pub use stats::{geometric_mean, harmonic_mean, mean, relative_error, Summary};

@@ -242,6 +242,96 @@ pub fn render_traffic_density(
     out
 }
 
+/// Renders a horizontal-bar histogram: one row per `(label, count)` pair,
+/// bars scaled to the largest count.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let h = aqs_metrics::render_histogram(
+///     &[("1µs".into(), 10), ("2µs".into(), 5)],
+///     10,
+/// );
+/// assert!(h.contains("1µs"));
+/// ```
+pub fn render_histogram(rows: &[(String, u64)], width: usize) -> String {
+    assert!(width > 0, "width must be positive");
+    let max = rows.iter().map(|(_, c)| *c).max().unwrap_or(0).max(1);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, count) in rows {
+        let bar_len = ((*count as f64 / max as f64) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {label:>label_w$} |{} {count}\n",
+            "█".repeat(bar_len),
+        ));
+    }
+    out
+}
+
+/// Renders a time series as a log-y column chart: the series is bucketed
+/// into `cols` columns (bucket mean), each drawn as a `*` at its log-scaled
+/// height. Non-positive values pin to the bottom row.
+///
+/// # Panics
+///
+/// Panics if the canvas is smaller than 10×4 or any value is NaN/negative.
+pub fn render_series_log_y(series: &[f64], cols: usize, rows: usize) -> String {
+    assert!(cols >= 10 && rows >= 4, "canvas too small");
+    assert!(
+        series.iter().all(|v| v.is_finite() && *v >= 0.0),
+        "series values must be finite and non-negative"
+    );
+    if series.is_empty() {
+        return String::from("(no samples)\n");
+    }
+    let cols = cols.min(series.len());
+    let per_col = series.len().div_ceil(cols);
+    let means: Vec<f64> = series
+        .chunks(per_col)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    let y_min = means
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let y_max = means.iter().copied().fold(0.0f64, f64::max);
+    if y_max <= 0.0 || !y_min.is_finite() {
+        return String::from("(all-zero series)\n");
+    }
+    let (ly_min, ly_max) = (y_min.ln(), y_max.ln().max(y_min.ln() + 1e-9));
+    let mut grid = vec![vec![' '; means.len()]; rows];
+    for (x, &v) in means.iter().enumerate() {
+        let cy = if v <= 0.0 {
+            0
+        } else {
+            (((v.ln() - ly_min) / (ly_max - ly_min)) * (rows - 1) as f64).round() as usize
+        };
+        grid[rows - 1 - cy][x] = '*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("max {y_max:.0}\n"));
+    for row in &grid {
+        out.push_str("  |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(means.len()));
+    out.push('\n');
+    out.push_str(&format!("min {y_min:.0} ({} samples)\n", series.len()));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,5 +411,38 @@ mod tests {
     #[should_panic(expected = "out of [0,1]")]
     fn traffic_density_rejects_bad_fraction() {
         let _ = render_traffic_density(&[(1.5, 0)], 2, 10, 10);
+    }
+
+    #[test]
+    fn histogram_scales_bars_to_max() {
+        let h = render_histogram(&[("a".into(), 10), ("bb".into(), 5)], 10);
+        let a = h.lines().find(|l| l.contains(" a |")).unwrap();
+        let b = h.lines().find(|l| l.contains("bb |")).unwrap();
+        assert_eq!(a.matches('█').count(), 10);
+        assert_eq!(b.matches('█').count(), 5);
+    }
+
+    #[test]
+    fn histogram_handles_empty_and_zero() {
+        assert_eq!(render_histogram(&[], 10), "");
+        let h = render_histogram(&[("z".into(), 0)], 10);
+        assert!(h.contains("z |"));
+    }
+
+    #[test]
+    fn series_log_y_buckets_long_series() {
+        let series: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let s = render_series_log_y(&series, 40, 6);
+        assert!(s.contains("1000 samples"));
+        assert_eq!(s.matches('*').count(), 40);
+    }
+
+    #[test]
+    fn series_log_y_graceful_degenerate_inputs() {
+        assert_eq!(render_series_log_y(&[], 40, 6), "(no samples)\n");
+        assert_eq!(
+            render_series_log_y(&[0.0, 0.0], 40, 6),
+            "(all-zero series)\n"
+        );
     }
 }

@@ -102,7 +102,38 @@ impl<P: Clone, S: SwitchModel> NetworkController<P, S> {
         self.nic.min_latency()
     }
 
+    /// Sets whether the traffic trace stores per-packet entries (Figure 9
+    /// charts), consuming and returning the controller builder-style.
+    ///
+    /// Trace storage is a construction-time decision: flipping it mid-run
+    /// would leave the entry log covering an unknowable suffix of the
+    /// traffic while the totals cover all of it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqs_net::{NetworkController, NicModel, PerfectSwitch};
+    ///
+    /// let net: NetworkController<(), PerfectSwitch> =
+    ///     NetworkController::new(2, NicModel::paper_default(), PerfectSwitch::new())
+    ///         .with_trace(true);
+    /// assert!(net.trace().is_enabled());
+    /// ```
+    #[must_use]
+    pub fn with_trace(mut self, enabled: bool) -> Self {
+        self.trace = if enabled {
+            TrafficTrace::enabled()
+        } else {
+            TrafficTrace::disabled()
+        };
+        self
+    }
+
     /// Enables traffic trace recording (Figure 9 charts).
+    #[deprecated(
+        since = "0.1.0",
+        note = "pass the option at construction time: `NetworkController::new(..).with_trace(true)`"
+    )]
     pub fn enable_trace(&mut self) {
         self.trace = TrafficTrace::enabled();
     }
@@ -443,7 +474,7 @@ mod tests {
     }
 
     #[test]
-    fn trace_disabled_by_default_enabled_on_request() {
+    fn trace_disabled_by_default_enabled_at_construction() {
         let mut net = ctl(2);
         net.route(
             NodeId::new(0),
@@ -454,6 +485,24 @@ mod tests {
         );
         assert!(net.trace().entries().is_empty());
         assert_eq!(net.trace().total_packets(), 1);
+
+        let mut net = ctl(2).with_trace(true);
+        net.route(
+            NodeId::new(0),
+            Destination::Unicast(NodeId::new(1)),
+            64,
+            SimTime::ZERO,
+            0,
+        );
+        assert_eq!(net.trace().entries().len(), 1);
+    }
+
+    // The deprecated mutate-after-construct path must keep working until it
+    // is removed; this is its own regression test.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_enable_trace_still_records() {
+        let mut net = ctl(2);
         net.enable_trace();
         net.route(
             NodeId::new(0),

@@ -1,6 +1,7 @@
 //! Straggler accounting and traffic traces.
 
 use crate::packet::NodeId;
+use aqs_obs::Log2Histogram;
 use aqs_time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +30,7 @@ pub struct StragglerStats {
     count: u64,
     total_delay: SimDuration,
     max_delay: SimDuration,
+    delay_hist: Log2Histogram,
 }
 
 impl StragglerStats {
@@ -37,6 +39,7 @@ impl StragglerStats {
         self.count += 1;
         self.total_delay = self.total_delay.saturating_add(delay);
         self.max_delay = self.max_delay.max(delay);
+        self.delay_hist.record(delay.as_nanos());
     }
 
     /// Number of stragglers seen.
@@ -66,11 +69,22 @@ impl StragglerStats {
         }
     }
 
+    /// Base-2 histogram of individual delivery delays in nanoseconds.
+    ///
+    /// The scalar accessors summarize the tail poorly (one pathological
+    /// packet dominates [`max_delay`](Self::max_delay)); the histogram keeps
+    /// the whole distribution at a fixed 65-bucket cost.
+    #[inline]
+    pub fn delay_hist(&self) -> &Log2Histogram {
+        &self.delay_hist
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &StragglerStats) {
         self.count += other.count;
         self.total_delay = self.total_delay.saturating_add(other.total_delay);
         self.max_delay = self.max_delay.max(other.max_delay);
+        self.delay_hist.merge(&other.delay_hist);
     }
 }
 
@@ -109,6 +123,7 @@ pub struct TrafficTrace {
     entries: Vec<TraceEntry>,
     total_packets: u64,
     total_bytes: u64,
+    bytes_hist: Log2Histogram,
 }
 
 impl TrafficTrace {
@@ -135,6 +150,7 @@ impl TrafficTrace {
     pub fn record(&mut self, time: SimTime, src: NodeId, dst: NodeId, bytes: u32) {
         self.total_packets += 1;
         self.total_bytes += bytes as u64;
+        self.bytes_hist.record(bytes as u64);
         if self.enabled {
             self.entries.push(TraceEntry {
                 time,
@@ -160,6 +176,13 @@ impl TrafficTrace {
     #[inline]
     pub fn total_bytes(&self) -> u64 {
         self.total_bytes
+    }
+
+    /// Base-2 histogram of frame sizes in bytes (counted even when
+    /// disabled — it is fixed-size, unlike the entry log).
+    #[inline]
+    pub fn bytes_hist(&self) -> &Log2Histogram {
+        &self.bytes_hist
     }
 }
 
@@ -190,6 +213,36 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.total_delay(), SimDuration::from_micros(6));
         assert_eq!(a.max_delay(), SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn straggler_delay_histogram_tracks_distribution() {
+        let mut s = StragglerStats::default();
+        s.record(SimDuration::from_nanos(1));
+        s.record(SimDuration::from_nanos(3));
+        s.record(SimDuration::from_micros(2));
+        let h = s.delay_hist();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 2_000);
+        let mut other = StragglerStats::default();
+        other.record(SimDuration::from_nanos(3));
+        s.merge(&other);
+        assert_eq!(s.delay_hist().count(), 4);
+        assert_eq!(
+            s.delay_hist().bucket_count(Log2Histogram::bucket_of(3)),
+            2,
+            "both 3 ns delays land in the same bucket"
+        );
+    }
+
+    #[test]
+    fn trace_bytes_histogram_counts_even_when_disabled() {
+        let mut t = TrafficTrace::disabled();
+        t.record(SimTime::ZERO, NodeId::new(0), NodeId::new(1), 64);
+        t.record(SimTime::ZERO, NodeId::new(1), NodeId::new(0), 9000);
+        assert_eq!(t.bytes_hist().count(), 2);
+        assert_eq!(t.bytes_hist().sum(), 9064);
+        assert_eq!(t.bytes_hist().max(), 9000);
     }
 
     #[test]

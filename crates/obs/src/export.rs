@@ -1,0 +1,137 @@
+//! JSONL / CSV export of flight-recorder samples.
+//!
+//! The JSONL schema (one object per line, one line per quantum in the ring,
+//! oldest first) is documented in the repository's EXPERIMENTS.md.
+
+use crate::flight::FlightRecorder;
+use serde_json::Value;
+use std::fmt::Write as _;
+
+fn sample_value(s: &crate::QuantumObs<'_>) -> Value {
+    Value::Object(vec![
+        ("index".into(), Value::U64(s.index)),
+        ("start_ns".into(), Value::U64(s.start.as_nanos())),
+        ("len_ns".into(), Value::U64(s.len.as_nanos())),
+        ("packets".into(), Value::U64(s.packets)),
+        ("stragglers".into(), Value::U64(s.stragglers)),
+        (
+            "max_straggler_delay_ns".into(),
+            Value::U64(s.max_straggler_delay.as_nanos()),
+        ),
+        (
+            "barrier_wait_ns".into(),
+            Value::Array(s.barrier_wait_ns.iter().map(|&v| Value::U64(v)).collect()),
+        ),
+        (
+            "vt_lag_ns".into(),
+            Value::Array(s.vt_lag_ns.iter().map(|&v| Value::U64(v)).collect()),
+        ),
+    ])
+}
+
+impl FlightRecorder {
+    /// Renders the ring as JSON Lines: one object per retained quantum,
+    /// oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.samples() {
+            let line = serde_json::to_string(&sample_value(&s)).expect("sample serializes");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the ring as CSV with per-node lanes reduced to their max and
+    /// mean (full per-node detail is in the JSONL export).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,start_ns,len_ns,packets,stragglers,max_straggler_delay_ns,\
+             max_barrier_wait_ns,mean_barrier_wait_ns,max_vt_lag_ns,mean_vt_lag_ns\n",
+        );
+        let reduce = |lane: &[u64]| -> (u64, f64) {
+            let max = lane.iter().copied().max().unwrap_or(0);
+            let mean = if lane.is_empty() {
+                0.0
+            } else {
+                lane.iter().sum::<u64>() as f64 / lane.len() as f64
+            };
+            (max, mean)
+        };
+        for s in self.samples() {
+            let (wmax, wmean) = reduce(s.barrier_wait_ns);
+            let (lmax, lmean) = reduce(s.vt_lag_ns);
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{},{:.1},{},{:.1}",
+                s.index,
+                s.start.as_nanos(),
+                s.len.as_nanos(),
+                s.packets,
+                s.stragglers,
+                s.max_straggler_delay.as_nanos(),
+                wmax,
+                wmean,
+                lmax,
+                lmean
+            )
+            .expect("string write cannot fail");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FlightRecorder, ObsConfig, QuantumObs, Recorder};
+    use aqs_time::{SimDuration, SimTime};
+
+    fn recorded() -> FlightRecorder {
+        let mut fr = FlightRecorder::new(2, ObsConfig::new());
+        fr.record_quantum(&QuantumObs {
+            index: 0,
+            start: SimTime::ZERO,
+            len: SimDuration::from_micros(1),
+            packets: 7,
+            stragglers: 1,
+            max_straggler_delay: SimDuration::from_nanos(123),
+            barrier_wait_ns: &[40, 0],
+            vt_lag_ns: &[0, 900],
+        });
+        fr
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_object_per_line() {
+        let fr = recorded();
+        let jsonl = fr.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let v: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        let serde_json::Value::Object(fields) = v else {
+            panic!("expected object");
+        };
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("packets"), serde_json::Value::U64(7));
+        assert_eq!(
+            get("vt_lag_ns"),
+            serde_json::Value::Array(vec![serde_json::Value::U64(0), serde_json::Value::U64(900)])
+        );
+    }
+
+    #[test]
+    fn csv_has_header_and_reduced_lanes() {
+        let fr = recorded();
+        let csv = fr.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("index,start_ns"));
+        assert!(lines[1].contains(",40,20.0,900,450.0"));
+    }
+}

@@ -1,0 +1,370 @@
+//! The per-quantum ring-buffer flight recorder.
+
+use crate::hist::Log2Histogram;
+use crate::recorder::{QuantumObs, Recorder};
+use aqs_time::{SimDuration, SimTime};
+
+/// Configuration of a [`FlightRecorder`].
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfig {
+    /// Number of most-recent quanta retained in the ring buffer. Aggregate
+    /// histograms and counters always cover the whole run regardless.
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            ring_capacity: 4096,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Default configuration (4096-quantum ring).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the ring capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        self.ring_capacity = capacity;
+        self
+    }
+}
+
+/// Fixed-size part of one recorded quantum.
+#[derive(Clone, Copy, Debug, Default)]
+struct SampleFixed {
+    index: u64,
+    start_ns: u64,
+    len_ns: u64,
+    packets: u64,
+    stragglers: u64,
+    max_straggler_delay_ns: u64,
+}
+
+/// Per-quantum flight recorder with whole-run aggregate histograms.
+///
+/// All storage is allocated at construction: the ring holds the fixed part
+/// of each sample in one flat `Vec` and the per-node lanes (barrier wait,
+/// virtual-time lag) in another, so [`Recorder::record_quantum`] never
+/// allocates. When the ring wraps, the oldest samples are dropped but the
+/// aggregate histograms and counters keep covering every quantum of the run.
+///
+/// # Examples
+///
+/// ```
+/// use aqs_obs::{FlightRecorder, ObsConfig, QuantumObs, Recorder};
+/// use aqs_time::{SimDuration, SimTime};
+///
+/// let mut fr = FlightRecorder::new(2, ObsConfig::new());
+/// fr.record_quantum(&QuantumObs {
+///     index: 0,
+///     start: SimTime::ZERO,
+///     len: SimDuration::from_micros(1),
+///     packets: 3,
+///     stragglers: 0,
+///     max_straggler_delay: SimDuration::ZERO,
+///     barrier_wait_ns: &[10, 0],
+///     vt_lag_ns: &[0, 400],
+/// });
+/// assert_eq!(fr.total_quanta(), 1);
+/// assert_eq!(fr.total_packets(), 3);
+/// assert_eq!(fr.samples().next().unwrap().packets, 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    n_nodes: usize,
+    cap: usize,
+    /// Physical index of the next slot to overwrite.
+    head: usize,
+    /// Valid samples in the ring (`<= cap`).
+    len: usize,
+    fixed: Vec<SampleFixed>,
+    /// `cap * n_nodes * 2` lane values: per slot, `n_nodes` barrier waits
+    /// followed by `n_nodes` virtual-time lags.
+    lanes: Vec<u64>,
+    total_quanta: u64,
+    total_packets: u64,
+    total_stragglers: u64,
+    quantum_len: Log2Histogram,
+    straggler_delay: Log2Histogram,
+    barrier_wait: Log2Histogram,
+    vt_lag: Log2Histogram,
+    checkpoints: u64,
+    rollbacks: u64,
+    wasted_ns: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder for a cluster of `n_nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero or the configured ring capacity is zero.
+    pub fn new(n_nodes: usize, config: ObsConfig) -> Self {
+        assert!(n_nodes > 0, "flight recorder needs at least one node");
+        assert!(config.ring_capacity > 0, "ring capacity must be positive");
+        let cap = config.ring_capacity;
+        Self {
+            n_nodes,
+            cap,
+            head: 0,
+            len: 0,
+            fixed: vec![SampleFixed::default(); cap],
+            lanes: vec![0; cap * n_nodes * 2],
+            total_quanta: 0,
+            total_packets: 0,
+            total_stragglers: 0,
+            quantum_len: Log2Histogram::new(),
+            straggler_delay: Log2Histogram::new(),
+            barrier_wait: Log2Histogram::new(),
+            vt_lag: Log2Histogram::new(),
+            checkpoints: 0,
+            rollbacks: 0,
+            wasted_ns: 0,
+        }
+    }
+
+    /// Number of nodes the per-quantum lanes are sized for.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Samples currently held in the ring.
+    pub fn ring_len(&self) -> usize {
+        self.len
+    }
+
+    /// Quanta recorded over the whole run (including any evicted from the
+    /// ring).
+    pub fn total_quanta(&self) -> u64 {
+        self.total_quanta
+    }
+
+    /// Quanta dropped from the ring because it wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.total_quanta - self.len as u64
+    }
+
+    /// Packets summed over every recorded quantum.
+    pub fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+
+    /// Stragglers summed over every recorded quantum.
+    pub fn total_stragglers(&self) -> u64 {
+        self.total_stragglers
+    }
+
+    /// Histogram of quantum lengths (ns).
+    pub fn quantum_len_hist(&self) -> &Log2Histogram {
+        &self.quantum_len
+    }
+
+    /// Histogram of per-quantum maximum straggler delays (ns), over
+    /// straggling quanta only.
+    pub fn straggler_delay_hist(&self) -> &Log2Histogram {
+        &self.straggler_delay
+    }
+
+    /// Histogram of per-node barrier waits (host ns).
+    pub fn barrier_wait_hist(&self) -> &Log2Histogram {
+        &self.barrier_wait
+    }
+
+    /// Histogram of per-node virtual-time lags (sim ns).
+    pub fn vt_lag_hist(&self) -> &Log2Histogram {
+        &self.vt_lag
+    }
+
+    /// Checkpoints reported by the engine (optimistic only).
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Rollbacks reported by the engine (optimistic only).
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// Simulated time re-executed due to rollbacks.
+    pub fn wasted_sim(&self) -> SimDuration {
+        SimDuration::from_nanos(self.wasted_ns)
+    }
+
+    /// Ring samples, oldest first. Each item borrows its per-node lanes
+    /// straight from the ring storage.
+    pub fn samples(&self) -> impl Iterator<Item = QuantumObs<'_>> {
+        (0..self.len).map(move |logical| {
+            let slot = (self.head + self.cap - self.len + logical) % self.cap;
+            let f = &self.fixed[slot];
+            let base = slot * self.n_nodes * 2;
+            QuantumObs {
+                index: f.index,
+                start: SimTime::from_nanos(f.start_ns),
+                len: SimDuration::from_nanos(f.len_ns),
+                packets: f.packets,
+                stragglers: f.stragglers,
+                max_straggler_delay: SimDuration::from_nanos(f.max_straggler_delay_ns),
+                barrier_wait_ns: &self.lanes[base..base + self.n_nodes],
+                vt_lag_ns: &self.lanes[base + self.n_nodes..base + 2 * self.n_nodes],
+            }
+        })
+    }
+}
+
+impl Recorder for FlightRecorder {
+    const ENABLED: bool = true;
+
+    fn record_quantum(&mut self, obs: &QuantumObs<'_>) {
+        debug_assert!(
+            obs.barrier_wait_ns.is_empty() || obs.barrier_wait_ns.len() == self.n_nodes,
+            "barrier_wait lane arity mismatch"
+        );
+        debug_assert!(
+            obs.vt_lag_ns.is_empty() || obs.vt_lag_ns.len() == self.n_nodes,
+            "vt_lag lane arity mismatch"
+        );
+        let slot = self.head;
+        self.fixed[slot] = SampleFixed {
+            index: obs.index,
+            start_ns: obs.start.as_nanos(),
+            len_ns: obs.len.as_nanos(),
+            packets: obs.packets,
+            stragglers: obs.stragglers,
+            max_straggler_delay_ns: obs.max_straggler_delay.as_nanos(),
+        };
+        let base = slot * self.n_nodes * 2;
+        let (waits, lags) = self.lanes[base..base + 2 * self.n_nodes].split_at_mut(self.n_nodes);
+        if obs.barrier_wait_ns.len() == self.n_nodes {
+            waits.copy_from_slice(obs.barrier_wait_ns);
+        } else {
+            waits.fill(0);
+        }
+        if obs.vt_lag_ns.len() == self.n_nodes {
+            lags.copy_from_slice(obs.vt_lag_ns);
+        } else {
+            lags.fill(0);
+        }
+        self.head = (slot + 1) % self.cap;
+        self.len = (self.len + 1).min(self.cap);
+        self.total_quanta += 1;
+        self.total_packets += obs.packets;
+        self.total_stragglers += obs.stragglers;
+        self.quantum_len.record(obs.len.as_nanos());
+        if obs.stragglers > 0 {
+            self.straggler_delay
+                .record(obs.max_straggler_delay.as_nanos());
+        }
+        for &w in obs.barrier_wait_ns {
+            self.barrier_wait.record(w);
+        }
+        for &l in obs.vt_lag_ns {
+            self.vt_lag.record(l);
+        }
+    }
+
+    fn record_checkpoints(&mut self, n: u64) {
+        self.checkpoints += n;
+    }
+
+    fn record_rollback(&mut self, wasted: SimDuration) {
+        self.rollbacks += 1;
+        self.wasted_ns = self.wasted_ns.saturating_add(wasted.as_nanos());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs<'a>(index: u64, packets: u64, waits: &'a [u64], lags: &'a [u64]) -> QuantumObs<'a> {
+        QuantumObs {
+            index,
+            start: SimTime::from_nanos(index * 1000),
+            len: SimDuration::from_nanos(1000),
+            packets,
+            stragglers: 0,
+            max_straggler_delay: SimDuration::ZERO,
+            barrier_wait_ns: waits,
+            vt_lag_ns: lags,
+        }
+    }
+
+    #[test]
+    fn records_and_iterates_in_order() {
+        let mut fr = FlightRecorder::new(2, ObsConfig::new().with_ring_capacity(8));
+        for i in 0..5 {
+            fr.record_quantum(&obs(i, i, &[i, i + 1], &[0, i]));
+        }
+        let got: Vec<u64> = fr.samples().map(|s| s.index).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(fr.total_packets(), 10);
+        let last = fr.samples().last().unwrap();
+        assert_eq!(last.barrier_wait_ns, &[4, 5]);
+        assert_eq!(last.vt_lag_ns, &[0, 4]);
+    }
+
+    #[test]
+    fn ring_wraps_but_aggregates_cover_the_run() {
+        let mut fr = FlightRecorder::new(1, ObsConfig::new().with_ring_capacity(4));
+        for i in 0..10 {
+            fr.record_quantum(&obs(i, 1, &[0], &[0]));
+        }
+        assert_eq!(fr.ring_len(), 4);
+        assert_eq!(fr.dropped(), 6);
+        assert_eq!(fr.total_quanta(), 10);
+        assert_eq!(fr.total_packets(), 10);
+        let got: Vec<u64> = fr.samples().map(|s| s.index).collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+        assert_eq!(fr.quantum_len_hist().count(), 10);
+    }
+
+    #[test]
+    fn straggler_and_rollback_accounting() {
+        let mut fr = FlightRecorder::new(2, ObsConfig::new());
+        fr.record_quantum(&QuantumObs {
+            index: 0,
+            start: SimTime::ZERO,
+            len: SimDuration::from_micros(1),
+            packets: 2,
+            stragglers: 3,
+            max_straggler_delay: SimDuration::from_nanos(700),
+            barrier_wait_ns: &[5, 9],
+            vt_lag_ns: &[100, 0],
+        });
+        fr.record_checkpoints(4);
+        fr.record_rollback(SimDuration::from_micros(2));
+        assert_eq!(fr.total_stragglers(), 3);
+        assert_eq!(fr.straggler_delay_hist().count(), 1);
+        assert_eq!(fr.straggler_delay_hist().max(), 700);
+        assert_eq!(fr.barrier_wait_hist().count(), 2);
+        assert_eq!(fr.vt_lag_hist().sum(), 100);
+        assert_eq!(fr.checkpoints(), 4);
+        assert_eq!(fr.rollbacks(), 1);
+        assert_eq!(fr.wasted_sim(), SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn empty_lanes_record_as_zero() {
+        let mut fr = FlightRecorder::new(3, ObsConfig::new());
+        fr.record_quantum(&obs(0, 1, &[], &[]));
+        let s = fr.samples().next().unwrap();
+        assert_eq!(s.barrier_wait_ns, &[0, 0, 0]);
+        assert_eq!(s.vt_lag_ns, &[0, 0, 0]);
+        // Empty lanes contribute no histogram samples.
+        assert_eq!(fr.barrier_wait_hist().count(), 0);
+    }
+}

@@ -173,7 +173,38 @@ pub struct LeaderBarrier<S> {
     n: usize,
     count: CachePadded<AtomicUsize>,
     epoch: CachePadded<AtomicU64>,
+    /// Per-participant arrival timestamps for [`arrive_timed`]
+    /// (LeaderBarrier::arrive_timed); untouched by plain `arrive`.
+    arrivals: Vec<CachePadded<AtomicU64>>,
     state: UnsafeCell<S>,
+}
+
+/// Read-only view of every participant's arrival timestamp for the round
+/// being closed, handed to the leader closure of
+/// [`LeaderBarrier::arrive_timed`].
+pub struct ArrivalTimes<'a> {
+    slots: &'a [CachePadded<AtomicU64>],
+}
+
+impl ArrivalTimes<'_> {
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Always false: a barrier has at least one participant.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Arrival timestamp participant `i` published this round.
+    ///
+    /// Relaxed load: each participant's store is ordered before its AcqRel
+    /// `count` increment, and the leader's own increment acquires the whole
+    /// RMW chain, so every slot is visible by the time the closure runs.
+    pub fn get(&self, i: usize) -> u64 {
+        self.slots[i].load(Ordering::Relaxed)
+    }
 }
 
 // SAFETY: `state` is only touched inside the leader closure, which the
@@ -190,6 +221,9 @@ impl<S> LeaderBarrier<S> {
             n,
             count: CachePadded::new(AtomicUsize::new(0)),
             epoch: CachePadded::new(AtomicU64::new(0)),
+            arrivals: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             state: UnsafeCell::new(state),
         }
     }
@@ -203,6 +237,36 @@ impl<S> LeaderBarrier<S> {
     /// final tallies once every participant has been joined.
     pub fn into_state(self) -> S {
         self.state.into_inner()
+    }
+
+    /// [`arrive`](Self::arrive) with a barrier-wait timing hook: the caller
+    /// publishes its arrival timestamp (any monotonic nanosecond clock) and
+    /// the leader closure additionally receives every participant's
+    /// timestamp for the round, so it can compute per-thread barrier waits
+    /// (`leader arrival − thread arrival`) without any extra
+    /// synchronization. Costs one relaxed store over `arrive`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= n`.
+    pub fn arrive_timed<F: FnOnce(&mut S, ArrivalTimes<'_>)>(
+        &self,
+        id: usize,
+        now_ns: u64,
+        leader: F,
+    ) -> bool {
+        // Relaxed is enough: this store is ordered before our AcqRel
+        // fetch_add in `arrive`, and the leader's fetch_add acquires the
+        // whole RMW chain, so the slot is visible inside the closure.
+        self.arrivals[id].store(now_ns, Ordering::Relaxed);
+        self.arrive(|state| {
+            leader(
+                state,
+                ArrivalTimes {
+                    slots: &self.arrivals,
+                },
+            )
+        })
     }
 
     /// Arrives at the barrier; returns `true` on the thread that acted as
@@ -340,6 +404,40 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(leader_runs.load(Ordering::Relaxed), ROUNDS);
+        assert_eq!(barrier.epoch(), ROUNDS);
+    }
+
+    #[test]
+    fn timed_arrival_slots_reach_the_leader() {
+        const THREADS: usize = 4;
+        const ROUNDS: u64 = 200;
+        let barrier = Arc::new(LeaderBarrier::new(THREADS, ()));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|id| {
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    for round in 0..ROUNDS {
+                        // Every thread stamps `round * THREADS + id`, so the
+                        // leader can verify it sees this round's stores, not
+                        // a stale epoch's.
+                        barrier.arrive_timed(id, round * THREADS as u64 + id as u64, |(), ts| {
+                            assert_eq!(ts.len(), THREADS);
+                            assert!(!ts.is_empty());
+                            for j in 0..THREADS {
+                                assert_eq!(
+                                    ts.get(j),
+                                    round * THREADS as u64 + j as u64,
+                                    "stale arrival timestamp in round {round}"
+                                );
+                            }
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
         assert_eq!(barrier.epoch(), ROUNDS);
     }
 

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example parallel_threads`
 
-use aqs::cluster::parallel::{run_parallel, ParallelConfig};
+use aqs::cluster::{EngineKind, Sim};
 use aqs::core::SyncConfig;
 use aqs::workloads::burst;
 
@@ -21,11 +21,17 @@ fn main() {
 
     // ~10 host-ns of busy work per simulated op ≈ a 26x-slowdown simulator
     // on the default 2.6 GHz guest CPU model.
-    let mk = |sync| ParallelConfig::new(sync).with_host_work_per_op(10.0);
+    let mk = |sync| {
+        Sim::new(spec.programs.clone())
+            .engine(EngineKind::Threaded)
+            .sync(sync)
+            .host_work_per_op(10.0)
+            .run()
+    };
 
-    let truth = run_parallel(spec.programs.clone(), &mk(SyncConfig::ground_truth()));
-    let fixed = run_parallel(spec.programs.clone(), &mk(SyncConfig::fixed_micros(1000)));
-    let dynr = run_parallel(spec.programs.clone(), &mk(SyncConfig::paper_dyn1()));
+    let truth = mk(SyncConfig::ground_truth());
+    let fixed = mk(SyncConfig::fixed_micros(1000));
+    let dynr = mk(SyncConfig::paper_dyn1());
 
     println!(
         "{:<18} {:>12} {:>10} {:>12} {:>12}",
@@ -37,8 +43,8 @@ fn main() {
         ("dyn 1.03:0.02", &dynr),
     ] {
         println!(
-            "{label:<18} {:>12?} {:>10} {:>12} {:>12}",
-            r.wall,
+            "{label:<18} {:>11.1?}s {:>10} {:>12} {:>12}",
+            r.wall_clock.as_secs_f64(),
             r.total_quanta,
             r.stragglers.count(),
             r.sim_end

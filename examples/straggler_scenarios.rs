@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example straggler_scenarios`
 
-use aqs::cluster::{run_cluster, ClusterConfig, RunResult};
+use aqs::cluster::{ClusterConfig, RunReport, Sim};
 use aqs::core::SyncConfig;
 use aqs::node::{HostModel, ProgramBuilder, Rank, RegionId, Tag};
 
@@ -28,9 +28,10 @@ fn ping_programs() -> Vec<aqs::node::Program> {
     vec![ping, pong]
 }
 
-fn run(label: &str, cfg: ClusterConfig) -> RunResult {
-    let result = run_cluster(ping_programs(), &cfg);
-    let rtt = result.per_node[0].region_duration(RegionId::KERNEL);
+fn run(label: &str, cfg: ClusterConfig) -> RunReport {
+    let result = Sim::new(ping_programs()).config(cfg).run();
+    let rtt =
+        result.detail.as_deterministic().unwrap().per_node[0].region_duration(RegionId::KERNEL);
     println!(
         "{label:<34} round trip = {rtt:>10}   stragglers = {} (total delay {})",
         result.stragglers.count(),

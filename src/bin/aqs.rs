@@ -9,8 +9,9 @@
 //! aqs policies                                                # list built-in policies
 //! ```
 
-use aqs::cluster::optimistic::{run_optimistic, OptimisticConfig};
-use aqs::cluster::{app_metric, paper_sweep, run_workload, ClusterConfig, Experiment};
+use aqs::cluster::{
+    app_metric, paper_sweep, run_workload, ClusterConfig, EngineKind, Experiment, Sim,
+};
 use aqs::core::{PredictiveConfig, SyncConfig};
 use aqs::metrics::render_table;
 use aqs::time::SimDuration;
@@ -196,8 +197,15 @@ fn cmd_optimistic(flags: HashMap<String, String>) {
         .unwrap_or(500);
     let base = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(seed);
     let truth = run_workload(&spec, &base);
-    let cfg = OptimisticConfig::new(base).with_window(SimDuration::from_micros(window));
-    let r = run_optimistic(spec.programs.clone(), &cfg);
+    let report = Sim::new(spec.programs.clone())
+        .engine(EngineKind::Optimistic)
+        .config(base)
+        .window(SimDuration::from_micros(window))
+        .run();
+    let r = report
+        .detail
+        .as_optimistic()
+        .expect("optimistic engine ran");
     println!(
         "{} on {n} nodes, optimistic engine (window {}µs)",
         spec.name, window

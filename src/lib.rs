@@ -52,6 +52,7 @@ pub use aqs_des as des;
 pub use aqs_metrics as metrics;
 pub use aqs_net as net;
 pub use aqs_node as node;
+pub use aqs_obs as obs;
 pub use aqs_rng as rng;
 pub use aqs_sync as sync;
 pub use aqs_time as time;

@@ -2,9 +2,9 @@
 //! switch fabrics, heterogeneous hosts, sampling, and the optimistic
 //! engine's exactness on random workloads.
 
-use aqs::cluster::engine::run_cluster_with_switch;
-use aqs::cluster::optimistic::{run_optimistic, OptimisticConfig};
-use aqs::cluster::{run_cluster, run_workload, BarrierCostModel, ClusterConfig};
+use aqs::cluster::{
+    run_workload, BarrierCostModel, ClusterConfig, EngineKind, RunReport, Sim, SimSwitch,
+};
 use aqs::core::SyncConfig;
 use aqs::net::{LatencyMatrixSwitch, StoreAndForwardSwitch};
 use aqs::node::{HostModel, SamplingModel};
@@ -16,15 +16,21 @@ fn base(seed: u64) -> ClusterConfig {
     ClusterConfig::new(SyncConfig::ground_truth()).with_seed(seed)
 }
 
+fn det(programs: Vec<aqs::node::Program>, config: &ClusterConfig) -> RunReport {
+    Sim::new(programs).config(config.clone()).run()
+}
+
 #[test]
 fn latency_matrix_inflates_cross_rack_roundtrip() {
     let spec = ping_pong(2, 5, 64);
-    let flat = run_cluster(spec.programs.clone(), &base(1));
-    let racked = run_cluster_with_switch(
-        spec.programs,
-        &base(1),
-        LatencyMatrixSwitch::uniform(2, SimDuration::from_micros(10)),
-    );
+    let flat = det(spec.programs.clone(), &base(1));
+    let racked = Sim::new(spec.programs)
+        .config(base(1))
+        .switch(SimSwitch::LatencyMatrix(LatencyMatrixSwitch::uniform(
+            2,
+            SimDuration::from_micros(10),
+        )))
+        .run();
     // Each hop gains 10 µs; 10 hops total.
     let delta = racked.sim_end - flat.sim_end;
     assert_eq!(delta, SimDuration::from_micros(100));
@@ -38,12 +44,14 @@ fn latency_matrix_inflates_cross_rack_roundtrip() {
 #[test]
 fn store_and_forward_congestion_slows_bursts() {
     let spec = burst(4, 10_000, 60_000); // 60 kB to every peer at once
-    let perfect = run_cluster(spec.programs.clone(), &base(2));
-    let congested = run_cluster_with_switch(
-        spec.programs,
-        &base(2),
-        StoreAndForwardSwitch::new(SimDuration::from_micros(1), 1_000_000_000), // 1 Gb/s ports
-    );
+    let perfect = det(spec.programs.clone(), &base(2));
+    let congested = Sim::new(spec.programs)
+        .config(base(2))
+        .switch(SimSwitch::StoreAndForward(StoreAndForwardSwitch::new(
+            SimDuration::from_micros(1),
+            1_000_000_000, // 1 Gb/s ports
+        )))
+        .run();
     assert!(
         congested.sim_end > perfect.sim_end,
         "finite port bandwidth must delay the exchange: {} vs {}",
@@ -64,8 +72,16 @@ fn slower_node_override_slows_the_cluster() {
     let skewed = even
         .clone()
         .with_node_host(1, HostModel::uniform(120.0, 0.02));
-    let fast = run_cluster(spec.programs.clone(), &even);
-    let slow = run_cluster(spec.programs, &skewed);
+    let fast = det(spec.programs.clone(), &even)
+        .detail
+        .as_deterministic()
+        .unwrap()
+        .clone();
+    let slow = det(spec.programs, &skewed)
+        .detail
+        .as_deterministic()
+        .unwrap()
+        .clone();
     assert!(
         slow.host_elapsed > fast.host_elapsed * 2,
         "{} !> 2 x {}",
@@ -141,16 +157,13 @@ proptest! {
         phases in prop::collection::vec((any::<u8>(), 0u32..60, 0u32..8_000), 1..4),
     ) {
         let programs = random_workload(n, &phases);
-        let conservative = run_cluster(programs.clone(), &base(7));
-        let cfg = OptimisticConfig::new(base(7))
-            .with_window(SimDuration::from_micros(40))
-            .with_costs(HostDuration::ZERO, HostDuration::ZERO);
-        let optimistic = run_optimistic(programs, &cfg);
-        prop_assert_eq!(optimistic.sim_end, conservative.sim_end);
-        for (o, c) in optimistic.per_node.iter().zip(&conservative.per_node) {
-            prop_assert_eq!(o.finish_sim, c.finish_sim);
-            prop_assert_eq!(o.messages_received, c.messages_received);
-            prop_assert_eq!(o.ops, c.ops);
-        }
+        let conservative = det(programs.clone(), &base(7));
+        let optimistic = Sim::new(programs)
+            .engine(EngineKind::Optimistic)
+            .config(base(7))
+            .window(SimDuration::from_micros(40))
+            .optimistic_costs(HostDuration::ZERO, HostDuration::ZERO)
+            .run();
+        prop_assert_eq!(optimistic.simulated_outcome(), conservative.simulated_outcome());
     }
 }

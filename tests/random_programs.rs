@@ -2,7 +2,7 @@
 //! communication patterns must complete, conserve messages, and respect the
 //! safety condition under every policy.
 
-use aqs::cluster::{run_cluster, ClusterConfig};
+use aqs::cluster::{RunReport, Sim};
 use aqs::core::{AdaptiveConfig, SyncConfig};
 use aqs::time::SimDuration;
 use aqs::workloads::MpiBuilder;
@@ -30,6 +30,10 @@ fn random_workload(
         }
     }
     m.build()
+}
+
+fn det(programs: Vec<aqs::node::Program>, sync: SyncConfig, seed: u64) -> RunReport {
+    Sim::new(programs).sync(sync).seed(seed).run()
 }
 
 fn policies() -> Vec<SyncConfig> {
@@ -60,9 +64,15 @@ proptest! {
         let programs = random_workload(n, &phases);
         let mut reference: Option<Vec<u64>> = None;
         for sync in policies() {
-            let cfg = ClusterConfig::new(sync).with_seed(99);
-            let result = run_cluster(programs.clone(), &cfg);
-            let msgs: Vec<u64> = result.per_node.iter().map(|r| r.messages_received).collect();
+            let result = det(programs.clone(), sync, 99);
+            let msgs: Vec<u64> = result
+                .detail
+                .as_deterministic()
+                .unwrap()
+                .per_node
+                .iter()
+                .map(|r| r.messages_received)
+                .collect();
             match &reference {
                 None => reference = Some(msgs),
                 Some(expected) => prop_assert_eq!(&msgs, expected),
@@ -79,8 +89,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let programs = random_workload(n, &phases);
-        let cfg = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(seed);
-        let result = run_cluster(programs, &cfg);
+        let result = det(programs, SyncConfig::ground_truth(), seed);
         prop_assert_eq!(result.stragglers.count(), 0);
     }
 
@@ -92,14 +101,8 @@ proptest! {
         q_us in prop::sample::select(vec![5u64, 50, 500]),
     ) {
         let programs = random_workload(4, &phases);
-        let truth = run_cluster(
-            programs.clone(),
-            &ClusterConfig::new(SyncConfig::ground_truth()).with_seed(1),
-        );
-        let loose = run_cluster(
-            programs,
-            &ClusterConfig::new(SyncConfig::fixed_micros(q_us)).with_seed(1),
-        );
+        let truth = det(programs.clone(), SyncConfig::ground_truth(), 1);
+        let loose = det(programs, SyncConfig::fixed_micros(q_us), 1);
         prop_assert!(loose.sim_end >= truth.sim_end);
     }
 }

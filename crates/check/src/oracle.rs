@@ -1,0 +1,361 @@
+//! Differential and invariant oracles for one conformance case.
+//!
+//! [`check_case`] runs a [`CaseSpec`] through the engines and decides
+//! pass/fail without any golden file. Two kinds of evidence:
+//!
+//! * **Differential** — under the ground-truth quantum (1 µs, the safe bound
+//!   for the paper's 1 µs minimum latency) no straggler can occur, so every
+//!   engine must produce a bit-identical [`aqs_cluster::SimulatedOutcome`].
+//!   Any
+//!   disagreement is a bug in one of them.
+//! * **Invariants** — properties that hold for *any* correct run, checked on
+//!   the policy runs where engines legitimately diverge from ground truth:
+//!   quantum bounds, Algorithm 1's grow/shrink direction, packet
+//!   conservation, the straggler delay bound, and stragglers-vs-dilation
+//!   consistency.
+//!
+//! Engine panics (deadlock, quantum-cap overflow) are caught and reported as
+//! failures rather than aborting the whole campaign.
+
+use crate::gen::{CaseSpec, PolicySpec};
+use aqs_cluster::{ClusterConfig, EngineKind, RunReport, Sim};
+use aqs_core::SyncConfig;
+use aqs_net::NicModel;
+use aqs_node::{Op, SendTarget};
+use aqs_obs::ObsConfig;
+use aqs_time::{HostDuration, SimDuration};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Ring capacity for policy-run recording; large enough that realistic
+/// conformance cases never wrap (checks that need the full history are
+/// skipped if one does).
+const OBS_RING: usize = 16_384;
+
+/// Knobs for [`check_case_with`].
+#[derive(Clone, Debug)]
+pub struct CheckOpts {
+    /// Run the threaded engine (differential + invariants).
+    pub threaded: bool,
+    /// Run the optimistic engine on perfect-switch cases (differential).
+    pub optimistic: bool,
+    /// Override the threaded engine's quantum cap (deadlock guard). The
+    /// default is derived from the ground-truth run and generous; mutation
+    /// tests lower it so injected deadlocks fail fast.
+    pub quanta_cap: Option<u64>,
+}
+
+impl Default for CheckOpts {
+    fn default() -> Self {
+        Self {
+            threaded: true,
+            optimistic: true,
+            quanta_cap: None,
+        }
+    }
+}
+
+/// Checks one case with every engine enabled. See [`check_case_with`].
+pub fn check_case(case: &CaseSpec) -> Result<(), String> {
+    check_case_with(case, &CheckOpts::default())
+}
+
+/// Checks one case; `Err` carries a human-readable description of the first
+/// violated oracle, prefixed with the failing run for context.
+pub fn check_case_with(case: &CaseSpec, opts: &CheckOpts) -> Result<(), String> {
+    let (exp_packets, exp_receives) = expected_counts(case);
+
+    // Phase A: ground truth. Every engine must agree bit-for-bit.
+    let det_truth = run_guarded("det ground truth", || {
+        sim_for(case, SyncConfig::ground_truth()).run()
+    })?;
+    if det_truth.stragglers.count() != 0 {
+        return Err(format!(
+            "det ground truth: safe quantum produced {} stragglers",
+            det_truth.stragglers.count()
+        ));
+    }
+    conservation("det ground truth", &det_truth, exp_packets, exp_receives)?;
+    let truth = det_truth.simulated_outcome();
+    let truth_end_ns = det_truth.sim_end.as_nanos();
+    let (lo, hi) = case.policy.quantum_bounds();
+    let cap = opts
+        .quanta_cap
+        .unwrap_or_else(|| default_quanta_cap(truth_end_ns, exp_packets, hi));
+
+    if opts.threaded {
+        let thr = run_guarded("threaded ground truth", || {
+            sim_for(case, SyncConfig::ground_truth())
+                .engine(EngineKind::Threaded)
+                .max_quanta(cap)
+                .run()
+        })?;
+        if thr.simulated_outcome() != truth {
+            return Err(format!(
+                "differential: threaded ground truth diverged from deterministic \
+                 (sim_end {} vs {}, packets {} vs {}, received {} vs {})",
+                thr.sim_end.as_nanos(),
+                truth_end_ns,
+                thr.total_packets,
+                truth.total_packets,
+                thr.messages_received,
+                truth.messages_received,
+            ));
+        }
+    }
+    if opts.optimistic && case.optimistic_ok() {
+        let opt = run_guarded("optimistic ground truth", || {
+            sim_for(case, SyncConfig::ground_truth())
+                .engine(EngineKind::Optimistic)
+                .window(SimDuration::from_micros(20))
+                .optimistic_costs(HostDuration::ZERO, HostDuration::ZERO)
+                .run()
+        })?;
+        if opt.simulated_outcome() != truth {
+            return Err(format!(
+                "differential: optimistic diverged from deterministic \
+                 (sim_end {} vs {})",
+                opt.sim_end.as_nanos(),
+                truth_end_ns,
+            ));
+        }
+    }
+
+    // Phase B: the case's own policy, where dilation is allowed but must
+    // obey the paper's invariants.
+    let det_pol = run_guarded("det policy run", || {
+        sim_for(case, case.policy.sync_config())
+            .record(ObsConfig::new().with_ring_capacity(OBS_RING))
+            .run()
+    })?;
+    check_policy_run("det policy run", &det_pol, case, lo, hi)?;
+    conservation("det policy run", &det_pol, exp_packets, exp_receives)?;
+    // Stragglers-vs-dilation: dilation only ever happens by snapping a
+    // delivery forward, which records a straggler. Zero stragglers ⟹ the
+    // timeline is the ground-truth timeline.
+    if det_pol.stragglers.count() == 0 && det_pol.sim_end != det_truth.sim_end {
+        return Err(format!(
+            "det policy run: zero stragglers but sim_end {} != ground truth {}",
+            det_pol.sim_end.as_nanos(),
+            truth_end_ns,
+        ));
+    }
+
+    if opts.threaded {
+        let thr_pol = run_guarded("threaded policy run", || {
+            sim_for(case, case.policy.sync_config())
+                .engine(EngineKind::Threaded)
+                .max_quanta(cap)
+                .record(ObsConfig::new().with_ring_capacity(OBS_RING))
+                .run()
+        })?;
+        check_policy_run("threaded policy run", &thr_pol, case, lo, hi)?;
+        conservation("threaded policy run", &thr_pol, exp_packets, exp_receives)?;
+    }
+    Ok(())
+}
+
+/// Runs the threaded engine `rounds` times under the ground-truth quantum
+/// with the schedule-fuzz hooks armed (randomized mailbox drain order,
+/// jittered barrier arrivals) and requires the outcome to stay bit-identical
+/// to the deterministic engine every time.
+#[cfg(feature = "schedule-fuzz")]
+pub fn check_case_fuzzed(case: &CaseSpec, rounds: u64, fuzz_seed: u64) -> Result<(), String> {
+    let truth = run_guarded("det ground truth", || {
+        sim_for(case, SyncConfig::ground_truth()).run()
+    })?;
+    let (exp_packets, _) = expected_counts(case);
+    let cap = default_quanta_cap(
+        truth.sim_end.as_nanos(),
+        exp_packets,
+        SimDuration::from_micros(1),
+    );
+    let truth = truth.simulated_outcome();
+    for round in 0..rounds {
+        aqs_sync::fuzz::arm(fuzz_seed.wrapping_add(round.wrapping_mul(0x9E37)));
+        let result = run_guarded("fuzzed threaded ground truth", || {
+            sim_for(case, SyncConfig::ground_truth())
+                .engine(EngineKind::Threaded)
+                .max_quanta(cap)
+                .run()
+        });
+        aqs_sync::fuzz::disarm();
+        let fuzzed = result?;
+        if fuzzed.simulated_outcome() != truth {
+            return Err(format!(
+                "schedule fuzz round {round}: threaded outcome diverged under \
+                 perturbed drain/arrival order (sim_end {} vs {})",
+                fuzzed.sim_end.as_nanos(),
+                truth.sim_end.as_nanos(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Replays the case's deterministic policy run with recording on and
+/// returns the flight-recorder ring as JSON Lines — the per-quantum
+/// telemetry artifact written next to a failing case. `None` if the run
+/// panics or recording produced nothing.
+pub fn policy_run_jsonl(case: &CaseSpec) -> Option<String> {
+    let report = run_guarded("det policy run (artifact)", || {
+        sim_for(case, case.policy.sync_config())
+            .record(ObsConfig::new().with_ring_capacity(OBS_RING))
+            .run()
+    })
+    .ok()?;
+    report.obs.as_ref().map(|rec| rec.to_jsonl())
+}
+
+/// Base simulation builder shared by every run of a case.
+fn sim_for(case: &CaseSpec, sync: SyncConfig) -> Sim {
+    Sim::new(case.programs())
+        .config(ClusterConfig::new(sync).with_seed(case.seed))
+        .switch(case.switch())
+}
+
+/// Runs `f`, converting an engine panic into an `Err` naming the run.
+fn run_guarded(label: &str, f: impl FnOnce() -> RunReport) -> Result<RunReport, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| {
+        let msg = p
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| p.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic>");
+        format!("{label}: engine panicked: {msg}")
+    })
+}
+
+/// Counts what the case's programs must produce on any correct engine:
+/// routed packets (fragments × receivers) and fully-received messages.
+fn expected_counts(case: &CaseSpec) -> (u64, u64) {
+    let nic = NicModel::paper_default();
+    let n = case.n_nodes as u64;
+    let (mut packets, mut receives) = (0u64, 0u64);
+    for prog in case.programs() {
+        for op in prog.ops() {
+            match op {
+                Op::Send { dst, bytes, .. } => {
+                    let receivers = match dst {
+                        SendTarget::Rank(_) => 1,
+                        SendTarget::All => n - 1,
+                    };
+                    packets += receivers * nic.fragment_sizes(*bytes).len() as u64;
+                }
+                Op::Recv { .. } => receives += 1,
+                _ => {}
+            }
+        }
+    }
+    (packets, receives)
+}
+
+fn conservation(
+    label: &str,
+    report: &RunReport,
+    exp_packets: u64,
+    exp_receives: u64,
+) -> Result<(), String> {
+    if report.total_packets != exp_packets {
+        return Err(format!(
+            "{label}: packet conservation violated: routed {} packets, programs \
+             imply {exp_packets}",
+            report.total_packets
+        ));
+    }
+    if report.messages_received != exp_receives {
+        return Err(format!(
+            "{label}: message conservation violated: received {} messages, \
+             programs imply {exp_receives}",
+            report.messages_received
+        ));
+    }
+    Ok(())
+}
+
+/// Generous quantum cap for threaded runs: enough for the ground-truth
+/// timeline plus worst-case per-packet dilation, so only a genuine deadlock
+/// (every quantum advancing with no progress) can hit it.
+fn default_quanta_cap(truth_end_ns: u64, exp_packets: u64, hi: SimDuration) -> u64 {
+    let truth_quanta = truth_end_ns / 1_000 + 1;
+    let dilation_quanta = exp_packets.saturating_mul(hi.as_nanos() / 1_000 + 1);
+    (4 * (truth_quanta + dilation_quanta) + 10_000).min(2_000_000)
+}
+
+/// Checks the per-quantum invariants on a recorded policy run: every
+/// quantum length within the policy's bounds, and — for the adaptive policy
+/// — Algorithm 1's exact grow/shrink direction against the packet counts
+/// the policy consumed.
+fn check_policy_run(
+    label: &str,
+    report: &RunReport,
+    case: &CaseSpec,
+    lo: SimDuration,
+    hi: SimDuration,
+) -> Result<(), String> {
+    if report.stragglers.max_delay() > hi {
+        return Err(format!(
+            "{label}: straggler delayed {} ns, beyond the max quantum {} ns",
+            report.stragglers.max_delay().as_nanos(),
+            hi.as_nanos()
+        ));
+    }
+    let rec = report
+        .obs
+        .as_ref()
+        .ok_or_else(|| format!("{label}: recording was requested but report.obs is empty"))?;
+    let quanta: Vec<(u64, u64)> = rec
+        .samples()
+        .map(|s| (s.len.as_nanos(), s.packets))
+        .collect();
+    // The deterministic engine records a final *partial* quantum truncated
+    // to sim_end; drop the last sample so length checks see only quanta the
+    // policy actually emitted.
+    let Some((_, full)) = quanta.split_last() else {
+        return Ok(());
+    };
+    let (lo_ns, hi_ns) = (lo.as_nanos(), hi.as_nanos());
+    for (k, &(len, _)) in full.iter().enumerate() {
+        if len < lo_ns || len > hi_ns {
+            return Err(format!(
+                "{label}: quantum #{k} length {len} ns outside [{lo_ns}, {hi_ns}] ns"
+            ));
+        }
+    }
+    if let PolicySpec::Adaptive { .. } = case.policy {
+        if rec.dropped() == 0 {
+            if let Some(&(first, _)) = full.first() {
+                if first != lo_ns {
+                    return Err(format!(
+                        "{label}: adaptive run started at {first} ns, not the floor {lo_ns} ns"
+                    ));
+                }
+            }
+        }
+        for (k, w) in full.windows(2).enumerate() {
+            let (len, packets) = w[0];
+            let (next, _) = w[1];
+            if packets > 0 {
+                // Algorithm 1: any packet shrinks the quantum (to the floor
+                // in a few steps — dec ≪ 1 — so strictly below, or pinned
+                // at the floor).
+                if len > lo_ns && next >= len {
+                    return Err(format!(
+                        "{label}: quantum #{k} saw {packets} packets at {len} ns but \
+                         grew/held to {next} ns"
+                    ));
+                }
+                if len == lo_ns && next != lo_ns {
+                    return Err(format!(
+                        "{label}: quantum #{k} saw {packets} packets at the floor but \
+                         next quantum is {next} ns"
+                    ));
+                }
+            } else if next < len {
+                return Err(format!(
+                    "{label}: quiet quantum #{k} at {len} ns shrank to {next} ns"
+                ));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,234 @@
+//! Conformance campaign driver.
+//!
+//! [`run_conformance`] sweeps `cases` seeded cases through the oracle,
+//! emitting one JSONL line per case as it goes, shrinking every failure to a
+//! minimal reproducer, and stopping early when a wall-clock budget runs out.
+//! The report carries everything a CI gate or the `conformance` binary
+//! needs: counts, minimized failures with replay artifacts, and the full
+//! run log.
+
+use crate::gen::CaseSpec;
+use crate::oracle::{check_case_with, CheckOpts};
+use crate::shrink::{case_json, regression_snippet, shrink, ShrinkResult};
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct ConformanceOpts {
+    /// Number of cases to generate and check.
+    pub cases: u64,
+    /// Master seed; case `i` is [`CaseSpec::generate`]`(seed, i)`.
+    pub seed: u64,
+    /// Per-case oracle knobs (which engines run, quantum cap).
+    pub check: CheckOpts,
+    /// Wall-clock budget for the whole campaign; generation stops (and the
+    /// report says so) once it is exhausted. Shrinking a failure already in
+    /// progress is allowed to finish.
+    pub time_budget: Option<Duration>,
+    /// Shrink failures to a minimal reproducer (on by default; a smoke gate
+    /// in a hurry can turn it off).
+    pub shrink_failures: bool,
+}
+
+impl Default for ConformanceOpts {
+    fn default() -> Self {
+        Self {
+            cases: 200,
+            seed: 0xA5,
+            check: CheckOpts::default(),
+            time_budget: None,
+            shrink_failures: true,
+        }
+    }
+}
+
+/// One failing case, minimized and ready to replay.
+#[derive(Clone, Debug)]
+pub struct CaseFailure {
+    /// The case as generated (before shrinking).
+    pub original: CaseSpec,
+    /// Failure reason on the original case.
+    pub reason: String,
+    /// Shrink outcome; `None` when shrinking was disabled.
+    pub shrunk: Option<ShrinkResult>,
+}
+
+impl CaseFailure {
+    /// The minimized case if shrinking ran, otherwise the original.
+    pub fn minimal(&self) -> &CaseSpec {
+        self.shrunk.as_ref().map_or(&self.original, |s| &s.case)
+    }
+
+    /// The failure reason attached to [`Self::minimal`].
+    pub fn minimal_reason(&self) -> &str {
+        self.shrunk.as_ref().map_or(&self.reason, |s| &s.reason)
+    }
+
+    /// The minimized case as pretty JSON (the `.case.json` artifact).
+    pub fn case_json(&self) -> String {
+        case_json(self.minimal())
+    }
+
+    /// A ready-to-paste Rust regression test replaying the minimized case.
+    pub fn regression_snippet(&self) -> String {
+        regression_snippet(self.minimal(), self.minimal_reason())
+    }
+}
+
+/// What a campaign did.
+#[derive(Debug)]
+pub struct ConformanceReport {
+    /// Cases actually checked (≤ `opts.cases` when the budget ran out).
+    pub cases_run: u64,
+    /// Failures, in discovery order.
+    pub failures: Vec<CaseFailure>,
+    /// True when the wall-clock budget stopped the campaign early.
+    pub out_of_time: bool,
+    /// JSON Lines run log: one object per case, plus a trailing summary
+    /// object (`"event": "summary"`).
+    pub log: String,
+}
+
+impl ConformanceReport {
+    /// True when every checked case passed and the campaign completed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty() && !self.out_of_time
+    }
+}
+
+fn log_line(out: &mut String, fields: Vec<(&str, Value)>) {
+    let obj = Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    out.push_str(&serde_json::to_string(&obj).expect("log line serializes"));
+    out.push('\n');
+}
+
+/// Runs a conformance campaign. Never panics on a failing case — engine
+/// panics are converted to failures by the oracle and shrunk like any other.
+pub fn run_conformance(opts: &ConformanceOpts) -> ConformanceReport {
+    let start = Instant::now();
+    let mut log = String::new();
+    let mut failures = Vec::new();
+    let mut cases_run = 0u64;
+    let mut out_of_time = false;
+    for index in 0..opts.cases {
+        if let Some(budget) = opts.time_budget {
+            if start.elapsed() >= budget {
+                out_of_time = true;
+                break;
+            }
+        }
+        let case = CaseSpec::generate(opts.seed, index);
+        let case_started = Instant::now();
+        let result = check_case_with(&case, &opts.check);
+        cases_run += 1;
+        let elapsed_ms = case_started.elapsed().as_millis() as u64;
+        match result {
+            Ok(()) => log_line(
+                &mut log,
+                vec![
+                    ("event", Value::Str("case".into())),
+                    ("seed", Value::U64(case.seed)),
+                    ("index", Value::U64(case.index)),
+                    ("status", Value::Str("pass".into())),
+                    ("elapsed_ms", Value::U64(elapsed_ms)),
+                ],
+            ),
+            Err(reason) => {
+                let shrunk = opts
+                    .shrink_failures
+                    .then(|| shrink(&case, &mut |c| check_case_with(c, &opts.check).err()));
+                let failure = CaseFailure {
+                    original: case.clone(),
+                    reason: reason.clone(),
+                    shrunk,
+                };
+                let minimal = failure.minimal();
+                log_line(
+                    &mut log,
+                    vec![
+                        ("event", Value::Str("case".into())),
+                        ("seed", Value::U64(case.seed)),
+                        ("index", Value::U64(case.index)),
+                        ("status", Value::Str("fail".into())),
+                        ("reason", Value::Str(reason)),
+                        ("minimal_case", serde_json::to_value(minimal)),
+                        (
+                            "minimal_reason",
+                            Value::Str(failure.minimal_reason().to_string()),
+                        ),
+                        ("elapsed_ms", Value::U64(elapsed_ms)),
+                    ],
+                );
+                failures.push(failure);
+            }
+        }
+    }
+    log_line(
+        &mut log,
+        vec![
+            ("event", Value::Str("summary".into())),
+            ("seed", Value::U64(opts.seed)),
+            ("cases_requested", Value::U64(opts.cases)),
+            ("cases_run", Value::U64(cases_run)),
+            ("failures", Value::U64(failures.len() as u64)),
+            ("out_of_time", Value::Bool(out_of_time)),
+            ("elapsed_ms", Value::U64(start.elapsed().as_millis() as u64)),
+        ],
+    );
+    ConformanceReport {
+        cases_run,
+        failures,
+        out_of_time,
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_passes_and_logs_every_case() {
+        let opts = ConformanceOpts {
+            cases: 4,
+            seed: 0xC0FFEE,
+            ..ConformanceOpts::default()
+        };
+        let report = run_conformance(&opts);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.cases_run, 4);
+        let lines: Vec<&str> = report.log.lines().collect();
+        assert_eq!(lines.len(), 5, "4 case lines + 1 summary");
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).expect("log line parses");
+            assert!(v.get("event").is_some());
+        }
+        assert_eq!(
+            lines.last().and_then(|l| {
+                let v: Value = serde_json::from_str(l).ok()?;
+                v.get("event").cloned()
+            }),
+            Some(Value::Str("summary".into()))
+        );
+    }
+
+    #[test]
+    fn time_budget_stops_the_campaign_early() {
+        let opts = ConformanceOpts {
+            cases: 10_000,
+            seed: 1,
+            time_budget: Some(Duration::from_millis(1)),
+            ..ConformanceOpts::default()
+        };
+        let report = run_conformance(&opts);
+        assert!(report.out_of_time);
+        assert!(report.cases_run < 10_000);
+        assert!(!report.passed());
+    }
+}

@@ -1,0 +1,214 @@
+//! Greedy case shrinking.
+//!
+//! When a case fails, [`shrink`] walks it toward a local minimum: fewer
+//! nodes, fewer phases, smaller numbers — re-running the failure predicate
+//! after every candidate edit and keeping only edits that still fail. The
+//! result is the smallest case this greedy pass can reach, plus replayable
+//! artifacts: the case as JSON and a ready-to-paste Rust regression test.
+
+use crate::gen::{CaseSpec, PolicySpec};
+
+/// Outcome of a shrink pass.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimized case (still failing).
+    pub case: CaseSpec,
+    /// Failure reason reported for the minimized case.
+    pub reason: String,
+    /// Accepted shrink steps.
+    pub steps: u32,
+    /// Total candidate executions (accepted + rejected).
+    pub attempts: u32,
+}
+
+/// Upper bound on predicate executions per shrink; each execution runs full
+/// simulations, so runaway shrinking would dominate a campaign's budget.
+const MAX_ATTEMPTS: u32 = 400;
+
+/// Shrinks `case` against `fails`, which returns `Some(reason)` while the
+/// case still exhibits the failure.
+///
+/// # Panics
+///
+/// Panics if `case` does not fail the predicate — shrinking a passing case
+/// means the caller mixed up its bookkeeping.
+pub fn shrink(case: &CaseSpec, fails: &mut dyn FnMut(&CaseSpec) -> Option<String>) -> ShrinkResult {
+    let mut reason = fails(case).expect("shrink called on a passing case");
+    let mut current = case.clone();
+    let mut steps = 0u32;
+    let mut attempts = 1u32;
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&current) {
+            if attempts >= MAX_ATTEMPTS {
+                return ShrinkResult {
+                    case: current,
+                    reason,
+                    steps,
+                    attempts,
+                };
+            }
+            attempts += 1;
+            if let Some(r) = fails(&candidate) {
+                current = candidate;
+                reason = r;
+                steps += 1;
+                improved = true;
+                break; // restart the candidate list from the smaller case
+            }
+        }
+        if !improved {
+            return ShrinkResult {
+                case: current,
+                reason,
+                steps,
+                attempts,
+            };
+        }
+    }
+}
+
+/// Candidate edits, most aggressive first: structural deletions, then value
+/// halving, then policy narrowing.
+fn candidates(case: &CaseSpec) -> Vec<CaseSpec> {
+    let mut out = Vec::new();
+    if case.n_nodes > 2 {
+        let mut c = case.clone();
+        c.n_nodes -= 1;
+        out.push(c);
+    }
+    if case.phases.len() > 1 {
+        for i in 0..case.phases.len() {
+            let mut c = case.clone();
+            c.phases.remove(i);
+            out.push(c);
+        }
+    }
+    for i in 0..case.phases.len() {
+        let p = case.phases[i];
+        if p.compute > 0 {
+            let mut c = case.clone();
+            c.phases[i].compute = 0;
+            out.push(c);
+            if p.compute > 1 {
+                let mut c = case.clone();
+                c.phases[i].compute = p.compute / 2;
+                out.push(c);
+            }
+        }
+        if p.spread > 0.0 {
+            let mut c = case.clone();
+            c.phases[i].spread = 0.0;
+            out.push(c);
+        }
+        if p.bytes > 1 {
+            let mut c = case.clone();
+            c.phases[i].bytes = (p.bytes / 2).max(1);
+            out.push(c);
+        }
+        if p.salt > 0 {
+            let mut c = case.clone();
+            c.phases[i].salt = 0;
+            out.push(c);
+        }
+    }
+    if case.switch_latency_ns > 0 {
+        let mut c = case.clone();
+        c.switch_latency_ns = 0;
+        out.push(c);
+    }
+    match case.policy {
+        PolicySpec::Fixed { micros } if micros > 1 => {
+            let mut c = case.clone();
+            c.policy = PolicySpec::Fixed {
+                micros: (micros / 2).max(1),
+            };
+            out.push(c);
+        }
+        PolicySpec::Adaptive { min_us, max_us, .. } if max_us / 2 > min_us => {
+            let mut c = case.clone();
+            if let PolicySpec::Adaptive { max_us, .. } = &mut c.policy {
+                *max_us /= 2;
+            }
+            out.push(c);
+        }
+        _ => {}
+    }
+    out
+}
+
+/// The minimized case as pretty JSON (the `.case.json` artifact).
+pub fn case_json(case: &CaseSpec) -> String {
+    serde_json::to_string_pretty(case).expect("CaseSpec serializes")
+}
+
+/// A ready-to-paste Rust regression test that replays the minimized case
+/// through the full oracle.
+pub fn regression_snippet(case: &CaseSpec, reason: &str) -> String {
+    format!(
+        "/// Conformance regression (seed {seed:#x}, case {index}).\n\
+         /// Original failure: {reason}\n\
+         #[test]\n\
+         fn conformance_regression_{seed:x}_{index}() {{\n\
+        \x20   let case: aqs_check::CaseSpec = serde_json::from_str(\n\
+        \x20       r##\"{json}\"##,\n\
+        \x20   )\n\
+        \x20   .expect(\"case spec parses\");\n\
+        \x20   aqs_check::check_case(&case).expect(\"conformance oracle\");\n\
+         }}\n",
+        seed = case.seed,
+        index = case.index,
+        reason = reason.replace('\n', " "),
+        json = case_json(case),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::CaseSpec;
+
+    /// A synthetic predicate: "fails" while the case still has ≥ 3 nodes
+    /// and ≥ 2 phases. The shrinker must find the boundary exactly.
+    #[test]
+    fn shrinks_to_the_predicate_boundary() {
+        let case = CaseSpec::generate(0xBEEF, 3);
+        let big = {
+            let mut c = case.clone();
+            c.n_nodes = 5;
+            let p0 = c.phases[0];
+            while c.phases.len() < 3 {
+                c.phases.push(p0);
+            }
+            c
+        };
+        let mut fails =
+            |c: &CaseSpec| (c.n_nodes >= 3 && c.phases.len() >= 2).then(|| "synthetic".to_string());
+        let r = shrink(&big, &mut fails);
+        assert_eq!(r.case.n_nodes, 3, "node count not minimized");
+        assert_eq!(r.case.phases.len(), 2, "phase count not minimized");
+        assert!(
+            r.steps >= 3,
+            "expected several accepted steps, got {}",
+            r.steps
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "passing case")]
+    fn refuses_a_passing_case() {
+        let case = CaseSpec::generate(1, 1);
+        shrink(&case, &mut |_| None);
+    }
+
+    #[test]
+    fn snippet_embeds_replayable_json() {
+        let case = CaseSpec::generate(0xA5, 7);
+        let snippet = regression_snippet(&case, "differential: something diverged");
+        assert!(snippet.contains("conformance_regression_a5_7"));
+        let start = snippet.find("r##\"").unwrap() + 4;
+        let end = snippet.find("\"##").unwrap();
+        let parsed: CaseSpec = serde_json::from_str(&snippet[start..end]).expect("embedded JSON");
+        assert_eq!(parsed, case);
+    }
+}

@@ -1,0 +1,60 @@
+//! End-to-end conformance campaigns on the real engines, no faults armed.
+//! This is the tier the CI smoke gate runs (`scripts/verify.sh` drives the
+//! `conformance` binary with more cases); here a smaller sweep keeps the
+//! default `cargo test` fast while still exercising generator → oracle →
+//! runner → log end to end.
+
+use aqs_check::{check_case, run_conformance, CaseSpec, ConformanceOpts};
+use serde_json::Value;
+
+#[test]
+fn fifty_cases_pass_on_all_engines() {
+    let report = run_conformance(&ConformanceOpts {
+        cases: 50,
+        seed: 0xA5,
+        ..ConformanceOpts::default()
+    });
+    assert_eq!(report.cases_run, 50);
+    assert!(
+        report.passed(),
+        "conformance failures: {:#?}",
+        report.failures
+    );
+}
+
+#[test]
+fn campaigns_are_reproducible() {
+    // Same seed → same cases → same verdicts. The log carries wall-clock
+    // fields, so compare the verdict-bearing fields instead of raw text.
+    let opts = ConformanceOpts {
+        cases: 12,
+        seed: 0xD15EA5E,
+        ..ConformanceOpts::default()
+    };
+    let (a, b) = (run_conformance(&opts), run_conformance(&opts));
+    assert_eq!(a.cases_run, b.cases_run);
+    assert_eq!(a.failures.len(), b.failures.len());
+    let verdicts = |log: &str| -> Vec<(u64, String)> {
+        log.lines()
+            .filter_map(|l| {
+                let v: Value = serde_json::from_str(l).expect("log line parses");
+                let Some(&Value::U64(index)) = v.get("index") else {
+                    return None;
+                };
+                let Some(Value::Str(status)) = v.get("status") else {
+                    return None;
+                };
+                Some((index, status.clone()))
+            })
+            .collect()
+    };
+    assert_eq!(verdicts(&a.log), verdicts(&b.log));
+}
+
+#[test]
+fn single_case_checks_are_deterministic() {
+    for index in [0, 7, 23] {
+        let case = CaseSpec::generate(0xA5, index);
+        assert_eq!(check_case(&case), check_case(&case));
+    }
+}

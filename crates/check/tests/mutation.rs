@@ -1,0 +1,176 @@
+//! Mutation smoke tests: deliberate, runtime-armed faults in the engine
+//! crates must be **detected** by the conformance oracles and **shrunk** to
+//! a minimal reproducer. This is the harness testing itself — an oracle
+//! that cannot catch a planted bug is not worth running.
+//!
+//! Requires the forwarding feature:
+//!
+//! ```text
+//! cargo test -p aqs-check --features fault-inject --test mutation
+//! ```
+//!
+//! The fault switches are process-global atomics, so armed windows must
+//! never overlap: every test holds [`FAULT_WINDOW`] for its whole body and
+//! disarms through a drop guard even on panic.
+
+#![cfg(feature = "fault-inject")]
+
+use aqs_check::{check_case_with, shrink, CaseSpec, CheckOpts};
+use std::sync::Mutex;
+
+static FAULT_WINDOW: Mutex<()> = Mutex::new(());
+
+/// Disarms every fault family on drop, so a failing assertion cannot leak
+/// an armed fault into the next test.
+struct Armed;
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        aqs_core::fault::disarm_all();
+        aqs_cluster::fault::disarm_all();
+        aqs_sync::fault::disarm_all();
+    }
+}
+
+fn window() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_WINDOW.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Structural size of a case, for asserting the shrinker made progress.
+fn size(case: &CaseSpec) -> u64 {
+    case.n_nodes as u64
+        + case
+            .phases
+            .iter()
+            .map(|p| 1 + p.compute + p.bytes + p.salt.min(1))
+            .sum::<u64>()
+}
+
+/// Scans the seeded stream until the armed fault is detected, then shrinks
+/// the failing case and checks the shrinker's contract: the minimized case
+/// is no larger and still carries a failure reason.
+fn detect_and_shrink(name: &str, opts: &CheckOpts, scan_limit: u64) {
+    let found = (0..scan_limit).find_map(|i| {
+        let case = CaseSpec::generate(0xFA017, i);
+        check_case_with(&case, opts).err().map(|e| (i, case, e))
+    });
+    let Some((index, case, reason)) = found else {
+        panic!("{name}: fault not detected within {scan_limit} generated cases");
+    };
+    let result = shrink(&case, &mut |c| check_case_with(c, opts).err());
+    assert!(
+        size(&result.case) <= size(&case),
+        "{name}: shrinker grew the case"
+    );
+    assert!(
+        !result.reason.is_empty(),
+        "{name}: minimized case lost its failure reason"
+    );
+    eprintln!(
+        "{name}: detected at case {index} ({reason}); shrunk {} -> {} in {} steps \
+         ({} attempts): {}",
+        size(&case),
+        size(&result.case),
+        result.steps,
+        result.attempts,
+        result.reason
+    );
+}
+
+/// Deterministic-engine-only oracle runs: faults in the shared policy code
+/// are visible without paying for threads.
+fn det_only() -> CheckOpts {
+    CheckOpts {
+        threaded: false,
+        optimistic: false,
+        quanta_cap: None,
+    }
+}
+
+#[test]
+fn unarmed_faults_are_inert() {
+    let _w = window();
+    // Compiled in, but not armed: a small campaign must stay green, or the
+    // feature itself would perturb the engines.
+    for i in 0..12 {
+        let case = CaseSpec::generate(0xA5, i);
+        check_case_with(&case, &CheckOpts::default())
+            .unwrap_or_else(|e| panic!("case {i} failed with faults compiled but unarmed: {e}"));
+    }
+}
+
+#[test]
+fn clamp_high_is_detected_and_shrunk() {
+    let _w = window();
+    let _g = Armed;
+    // The adaptive clamp lets the quantum overshoot its ceiling; the bounds
+    // oracle must see a quantum above `max_quantum`.
+    aqs_core::fault::arm(aqs_core::fault::Fault::QuantumClampHigh);
+    detect_and_shrink("clamp-high", &det_only(), 400);
+}
+
+#[test]
+fn clamp_low_is_detected_and_shrunk() {
+    let _w = window();
+    let _g = Armed;
+    // The clamp floor is halved: the first packet at the floor shrinks the
+    // quantum below `min_quantum`.
+    aqs_core::fault::arm(aqs_core::fault::Fault::QuantumClampLow);
+    detect_and_shrink("clamp-low", &det_only(), 200);
+}
+
+#[test]
+fn shrink_off_by_one_is_detected_and_shrunk() {
+    let _w = window();
+    let _g = Armed;
+    // `np <= 1` treated as silence: a quantum that saw exactly one packet
+    // grows instead of shrinking — Algorithm 1's direction oracle fires.
+    aqs_core::fault::arm(aqs_core::fault::Fault::ShrinkOffByOne);
+    detect_and_shrink("shrink-off-by-one", &det_only(), 200);
+}
+
+#[test]
+fn det_straggler_skip_is_detected_and_shrunk() {
+    let _w = window();
+    let _g = Armed;
+    // Stragglers still snap (the timeline dilates) but are not recorded:
+    // the stragglers-vs-dilation oracle sees a dilated run claiming zero
+    // stragglers.
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::DetStragglerSkip);
+    detect_and_shrink("det-straggler-skip", &det_only(), 200);
+}
+
+#[test]
+fn leader_np_skip_is_detected_and_shrunk() {
+    let _w = window();
+    let _g = Armed;
+    // The threaded leader forgets node 0's packet count when advancing the
+    // policy; a quantum where node 0 was the only sender grows instead of
+    // shrinking, against the true count in the recorded trace.
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::LeaderNpSkip);
+    let opts = CheckOpts {
+        threaded: true,
+        optimistic: false,
+        quanta_cap: None,
+    };
+    detect_and_shrink("leader-np-skip", &opts, 200);
+}
+
+#[test]
+fn mailbox_drop_is_detected_and_shrunk() {
+    let _w = window();
+    let _g = Armed;
+    // Every 5th mailbox push is dropped: a fragment vanishes, its receiver
+    // blocks forever, and the threaded engine spins quanta until the cap —
+    // caught as an engine panic (or, for tiny cases, as lost messages in
+    // the differential).
+    aqs_sync::fault::arm_mailbox_drop(5);
+    let opts = CheckOpts {
+        threaded: true,
+        optimistic: false,
+        // Keep the injected deadlock cheap: the cap only needs to exceed
+        // any honest run's quantum count for these small cases.
+        quanta_cap: Some(10_000),
+    };
+    detect_and_shrink("mailbox-drop", &opts, 50);
+}

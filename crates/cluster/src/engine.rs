@@ -581,9 +581,15 @@ impl<'a, S: SwitchModel, R: Recorder> Engine<'a, S, R> {
             // Figure 3(d) "latency snaps to next quantum" case.
             let eff = d.arrival.max(pos);
             if eff > d.arrival {
-                self.net.record_straggler(eff - d.arrival);
-                if R::ENABLED {
-                    self.q_stragglers.record(eff - d.arrival);
+                #[cfg(feature = "fault-inject")]
+                let skip = crate::fault::armed(crate::fault::Fault::DetStragglerSkip);
+                #[cfg(not(feature = "fault-inject"))]
+                let skip = false;
+                if !skip {
+                    self.net.record_straggler(eff - d.arrival);
+                    if R::ENABLED {
+                        self.q_stragglers.record(eff - d.arrival);
+                    }
                 }
             }
             let completed = self.nodes[j].exec.deliver_fragment(

@@ -1,0 +1,44 @@
+//! Deliberate, runtime-armable engine bugs (`fault-inject` feature).
+//!
+//! Realistic bugs a refactor of either engine could introduce; the
+//! `aqs-check` mutation smoke test arms each one and proves its differential
+//! and invariant oracles catch it. Compiled in only under the `fault-inject`
+//! feature and inert until armed.
+//!
+//! Arming is process-global: test binaries that arm faults must serialize
+//! the armed window (a shared mutex, or `--test-threads=1`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A deliberate bug in one of the cluster engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The deterministic engine still snaps straggler packets to the
+    /// quantum boundary (§3) but forgets to *account* for them — the stats
+    /// claim zero stragglers while the timeline is dilated. Detected by the
+    /// stragglers-vs-dilation invariant: a run that reports zero stragglers
+    /// must reproduce the ground-truth `sim_end` exactly.
+    DetStragglerSkip = 1,
+    /// The threaded engine's leader forgets node 0's packet count when
+    /// summing `np` for the adaptive policy (the recorded trace still holds
+    /// the true sum). Detected by the shrink-on-packet direction invariant
+    /// on the recorded quanta.
+    LeaderNpSkip = 2,
+}
+
+static ARMED: AtomicU64 = AtomicU64::new(0);
+
+/// Arms `fault` (replacing any previously armed one).
+pub fn arm(fault: Fault) {
+    ARMED.store(fault as u64, Ordering::Release);
+}
+
+/// Disarms every fault in this crate.
+pub fn disarm_all() {
+    ARMED.store(0, Ordering::Release);
+}
+
+/// True when `fault` is the currently armed fault.
+pub fn armed(fault: Fault) -> bool {
+    ARMED.load(Ordering::Acquire) == fault as u64
+}

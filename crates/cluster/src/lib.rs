@@ -56,6 +56,8 @@
 mod config;
 pub mod engine;
 mod experiment;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod optimistic;
 pub mod parallel;
 mod progress;

@@ -589,10 +589,9 @@ fn run_window(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // these are the deprecated wrappers' own tests
 mod tests {
     use super::*;
-    use crate::engine::run_cluster;
+    use crate::sim::{EngineKind, RunReport, Sim};
     use aqs_core::SyncConfig;
     use aqs_workloads::{burst, ping_pong};
 
@@ -606,11 +605,26 @@ mod tests {
             .with_costs(HostDuration::ZERO, HostDuration::ZERO)
     }
 
+    /// Builder for an optimistic run with free (zero-cost) checkpoints.
+    fn opt_free(programs: Vec<Program>, window_us: u64) -> Sim {
+        Sim::new(programs)
+            .engine(EngineKind::Optimistic)
+            .config(base())
+            .window(SimDuration::from_micros(window_us))
+            .optimistic_costs(HostDuration::ZERO, HostDuration::ZERO)
+    }
+
+    fn opt(report: &RunReport) -> &OptimisticRunResult {
+        report.detail.as_optimistic().expect("optimistic engine")
+    }
+
     #[test]
     fn optimistic_timeline_equals_conservative_ground_truth() {
         let spec = burst(4, 100_000, 2048);
-        let conservative = run_cluster(spec.programs.clone(), &base());
-        let optimistic = run_optimistic(spec.programs, &free_costs(20));
+        let report = Sim::new(spec.programs.clone()).config(base()).run();
+        let conservative = report.detail.as_deterministic().expect("det engine");
+        let opt_report = opt_free(spec.programs, 20).run();
+        let optimistic = opt(&opt_report);
         assert_eq!(
             optimistic.sim_end, conservative.sim_end,
             "optimism must be exact"
@@ -625,7 +639,8 @@ mod tests {
     #[test]
     fn ping_pong_rolls_back() {
         let spec = ping_pong(2, 5, 64);
-        let r = run_optimistic(spec.programs, &free_costs(50));
+        let report = opt_free(spec.programs, 50).run();
+        let r = opt(&report);
         assert_eq!(r.per_node[0].messages_received, 5);
         assert!(r.rollbacks > 0, "in-window chains must cause rollbacks");
         assert!(r.wasted_sim > SimDuration::ZERO);
@@ -641,7 +656,8 @@ mod tests {
                 .compute(800_000)
                 .build(),
         ];
-        let r = run_optimistic(programs, &free_costs(100));
+        let report = opt_free(programs, 100).run();
+        let r = opt(&report);
         assert_eq!(r.rollbacks, 0);
         assert_eq!(r.checkpoints, 2 * r.windows);
     }
@@ -649,19 +665,22 @@ mod tests {
     #[test]
     fn checkpoint_costs_dominate_with_paper_numbers() {
         let spec = burst(4, 100_000, 2048);
-        let cheap = run_optimistic(spec.programs.clone(), &free_costs(20));
-        let paper = run_optimistic(
-            spec.programs,
-            &OptimisticConfig::new(base()).with_window(SimDuration::from_micros(20)),
-        );
-        assert!(paper.host_elapsed > cheap.host_elapsed * 100);
+        let cheap_report = opt_free(spec.programs.clone(), 20).run();
+        // Default builder costs are the paper's 30 s checkpoint/restore.
+        let paper_report = Sim::new(spec.programs)
+            .engine(EngineKind::Optimistic)
+            .config(base())
+            .window(SimDuration::from_micros(20))
+            .run();
+        assert!(opt(&paper_report).host_elapsed > opt(&cheap_report).host_elapsed * 100);
     }
 
     #[test]
     fn smaller_windows_converge_faster_but_checkpoint_more() {
         let spec = ping_pong(2, 10, 64);
-        let small = run_optimistic(spec.programs.clone(), &free_costs(10));
-        let large = run_optimistic(spec.programs, &free_costs(200));
+        let small_report = opt_free(spec.programs.clone(), 10).run();
+        let large_report = opt_free(spec.programs, 200).run();
+        let (small, large) = (opt(&small_report), opt(&large_report));
         assert!(small.windows > large.windows);
         assert_eq!(
             small.per_node[0].messages_received,
@@ -685,7 +704,7 @@ mod tests {
         assert_eq!(fr.total_packets(), r.total_packets);
         // Ping-pong delivers every packet, so the optimistic delivery count
         // equals the conservative route count.
-        let det = run_cluster(spec.programs, &base());
+        let det = Sim::new(spec.programs).config(base()).run();
         assert_eq!(r.total_packets, det.total_packets);
     }
 
@@ -694,8 +713,6 @@ mod tests {
     fn runaway_window_hits_iteration_cap() {
         // A deep in-window chain with a tiny iteration budget.
         let spec = ping_pong(2, 50, 64);
-        let mut cfg = free_costs(1000);
-        cfg.max_iterations = 3;
-        let _ = run_optimistic(spec.programs, &cfg);
+        let _ = opt_free(spec.programs, 1000).max_iterations(3).run();
     }
 }

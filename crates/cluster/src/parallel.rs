@@ -508,7 +508,14 @@ fn node_thread<R: Recorder>(
         remaining: SimDuration,
     }
     let mut pending: Option<Pending> = None;
-    let publish = |t: SimTime| shared.sim_pos[i].store(t.as_nanos(), Ordering::Release);
+    // The published position is clamped to the current quantum boundary:
+    // a multi-quantum op (e.g. serializing a jumbo fragment) runs `sim`
+    // ahead of `q_end`, but that run-ahead is provisional — letting peers
+    // observe it would count spurious, schedule-dependent stragglers even
+    // under the safe quantum. Committed position never exceeds the quantum.
+    let publish = |t: SimTime, cap: SimTime| {
+        shared.sim_pos[i].store(t.min(cap).as_nanos(), Ordering::Release)
+    };
     let mut q_end = SimTime::from_nanos(shared.q_end.load(Ordering::Acquire));
     loop {
         // Observability: sim position where this node stopped doing useful
@@ -519,7 +526,7 @@ fn node_thread<R: Recorder>(
             if let Some(p) = pending.take() {
                 let step = p.remaining.min(q_end - sim);
                 sim += step;
-                publish(sim);
+                publish(sim, q_end);
                 if step < p.remaining {
                     pending = Some(Pending {
                         remaining: p.remaining - step,
@@ -560,7 +567,7 @@ fn node_thread<R: Recorder>(
                     for (k, sz) in sizes.into_iter().enumerate() {
                         let ser = shared.nic.serialization_delay(sz);
                         sim += ser;
-                        publish(sim);
+                        publish(sim, q_end);
                         shared.route(&mut ctx, i, dest, sz, sim, meta, k as u32);
                     }
                 }
@@ -569,7 +576,7 @@ fn node_thread<R: Recorder>(
                         lag_ns = (q_end - sim).as_nanos();
                     }
                     sim = t.min(q_end);
-                    publish(sim);
+                    publish(sim, q_end);
                     if t >= q_end {
                         break;
                     }
@@ -582,7 +589,7 @@ fn node_thread<R: Recorder>(
                         lag_ns = (q_end - sim).as_nanos();
                     }
                     sim = q_end;
-                    publish(sim);
+                    publish(sim, q_end);
                     break;
                 }
                 Action::Finished => {
@@ -594,13 +601,13 @@ fn node_thread<R: Recorder>(
                         lag_ns = (q_end - sim).as_nanos();
                     }
                     sim = q_end;
-                    publish(sim);
+                    publish(sim, q_end);
                     break;
                 }
             }
         }
         sim = sim.max(q_end);
-        publish(sim);
+        publish(sim, q_end);
         match next_quantum(shared, &mut ctx, i, lag_ns) {
             Some(qe) => q_end = qe,
             None => break,
@@ -718,7 +725,15 @@ fn leader_step<R: Recorder>(
         shared.overflow.store(true, Ordering::Relaxed);
         shared.q_end.store(Q_END_STOP, Ordering::Relaxed);
     } else {
-        let next = leader.policy.next_quantum(np);
+        #[allow(unused_mut)]
+        let mut policy_np = np;
+        #[cfg(feature = "fault-inject")]
+        if crate::fault::armed(crate::fault::Fault::LeaderNpSkip) {
+            // The recorded trace above keeps the true np; only the policy's
+            // view forgets node 0's packets.
+            policy_np -= shared.np_slots[0].load(Ordering::Relaxed);
+        }
+        let next = leader.policy.next_quantum(policy_np);
         leader.q_start_nanos = leader.q_end_nanos;
         leader.q_end_nanos += next.as_nanos();
         shared.q_end.store(leader.q_end_nanos, Ordering::Relaxed);
@@ -733,11 +748,10 @@ fn drain_mailbox(exec: &mut NodeExecutor, mailbox: &Mailbox<InFlight>, inbox: &m
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // these are the deprecated wrappers' own tests
 mod tests {
     use super::*;
     use crate::config::ClusterConfig;
-    use crate::engine::run_cluster;
+    use crate::sim::Sim;
     use aqs_node::{ProgramBuilder, RegionId, Tag};
     use aqs_workloads::{burst, ping_pong};
 
@@ -745,10 +759,17 @@ mod tests {
         ParallelConfig::new(sync).with_max_quanta(20_000_000)
     }
 
+    /// Unrecorded engine run with an owned result (what the deprecated
+    /// `run_parallel` wrapper does; its equivalence with the `Sim` builder
+    /// is pinned in `tests/deprecated_wrappers.rs`).
+    fn par(programs: Vec<Program>, config: &ParallelConfig) -> ParallelRunResult {
+        run_parallel_impl(programs, config, NullRecorder).0
+    }
+
     #[test]
     fn ping_pong_completes() {
         let spec = ping_pong(2, 5, 64);
-        let r = run_parallel(spec.programs, &cfg(SyncConfig::ground_truth()));
+        let r = par(spec.programs, &cfg(SyncConfig::ground_truth()));
         assert_eq!(r.messages_received_total(), 10);
         assert_eq!(r.stragglers.count(), 0, "safe quantum must be race-free");
         assert_eq!(r.total_packets, 10);
@@ -758,8 +779,8 @@ mod tests {
     #[test]
     fn speedup_guards_zero_baseline() {
         let spec = ping_pong(2, 1, 64);
-        let mut a = run_parallel(spec.programs.clone(), &cfg(SyncConfig::ground_truth()));
-        let b = run_parallel(spec.programs, &cfg(SyncConfig::ground_truth()));
+        let mut a = par(spec.programs.clone(), &cfg(SyncConfig::ground_truth()));
+        let b = par(spec.programs, &cfg(SyncConfig::ground_truth()));
         assert!(b.speedup_vs(&a).is_finite());
         a.wall = Duration::ZERO;
         assert_eq!(b.speedup_vs(&a), 0.0, "zero baseline must not divide");
@@ -770,11 +791,11 @@ mod tests {
         // Under Q <= T both engines must produce the identical simulated
         // timeline (no stragglers → no race-dependent timing).
         let spec = burst(4, 50_000, 1024);
-        let det = run_cluster(
-            spec.programs.clone(),
-            &ClusterConfig::new(SyncConfig::ground_truth()).with_seed(1),
-        );
-        let par = run_parallel(spec.programs, &cfg(SyncConfig::ground_truth()));
+        let report = Sim::new(spec.programs.clone())
+            .config(ClusterConfig::new(SyncConfig::ground_truth()).with_seed(1))
+            .run();
+        let det = report.detail.as_deterministic().expect("det engine");
+        let par = par(spec.programs, &cfg(SyncConfig::ground_truth()));
         assert_eq!(par.sim_end, det.sim_end, "simulated timelines must agree");
         assert_eq!(
             par.messages_received_total(),
@@ -799,8 +820,8 @@ mod tests {
             b.compute(2_000_000).build()
         };
         let programs = vec![mk(0), mk(1)];
-        let truth = run_parallel(programs.clone(), &cfg(SyncConfig::ground_truth()));
-        let dynr = run_parallel(programs, &cfg(SyncConfig::paper_dyn1()));
+        let truth = par(programs.clone(), &cfg(SyncConfig::ground_truth()));
+        let dynr = par(programs, &cfg(SyncConfig::paper_dyn1()));
         assert!(
             dynr.total_quanta < truth.total_quanta / 5,
             "adaptive should need far fewer quanta: {} vs {}",
@@ -812,7 +833,7 @@ mod tests {
     #[test]
     fn large_quantum_creates_stragglers_in_real_races() {
         let spec = ping_pong(2, 50, 64);
-        let r = run_parallel(spec.programs, &cfg(SyncConfig::fixed_micros(1000)));
+        let r = par(spec.programs, &cfg(SyncConfig::fixed_micros(1000)));
         assert!(
             r.stragglers.count() > 0,
             "latency-bound ping-pong must straggle"
@@ -827,7 +848,7 @@ mod tests {
     #[test]
     fn many_nodes_threads_complete() {
         let spec = burst(16, 10_000, 512);
-        let r = run_parallel(spec.programs, &cfg(SyncConfig::paper_dyn2()));
+        let r = par(spec.programs, &cfg(SyncConfig::paper_dyn2()));
         assert_eq!(r.per_node.len(), 16);
         assert!(r.per_node.iter().all(|n| n.finish_sim > SimTime::ZERO));
     }
@@ -835,8 +856,8 @@ mod tests {
     #[test]
     fn busy_work_slows_wall_clock() {
         let spec = burst(2, 2_000_000, 512);
-        let fast = run_parallel(spec.programs.clone(), &cfg(SyncConfig::fixed_micros(1000)));
-        let slow = run_parallel(
+        let fast = par(spec.programs.clone(), &cfg(SyncConfig::fixed_micros(1000)));
+        let slow = par(
             spec.programs,
             &cfg(SyncConfig::fixed_micros(1000)).with_host_work_per_op(50.0),
         );
@@ -851,7 +872,7 @@ mod tests {
     #[test]
     fn regions_are_captured() {
         let spec = ping_pong(2, 3, 64);
-        let r = run_parallel(spec.programs, &cfg(SyncConfig::ground_truth()));
+        let r = par(spec.programs, &cfg(SyncConfig::ground_truth()));
         assert!(r.per_node[0]
             .regions
             .iter()
@@ -863,15 +884,14 @@ mod tests {
         // The bytes/switch-transit path must be identical in both engines
         // (this is the bugfix for `route` discarding its `bytes` argument
         // and skipping the switch model entirely).
-        use crate::engine::run_cluster_with_switch;
+        use crate::sim::SimSwitch;
         let spec = ping_pong(2, 20, 4096);
         let matrix = LatencyMatrixSwitch::uniform(2, SimDuration::from_micros(3));
-        let det = run_cluster_with_switch(
-            spec.programs.clone(),
-            &ClusterConfig::new(SyncConfig::ground_truth()).with_seed(7),
-            matrix.clone(),
-        );
-        let par = run_parallel(
+        let det = Sim::new(spec.programs.clone())
+            .config(ClusterConfig::new(SyncConfig::ground_truth()).with_seed(7))
+            .switch(SimSwitch::LatencyMatrix(matrix.clone()))
+            .run();
+        let par = par(
             spec.programs,
             &cfg(SyncConfig::ground_truth()).with_switch(ParallelSwitch::LatencyMatrix(matrix)),
         );
@@ -897,7 +917,7 @@ mod tests {
         assert_eq!(fr.total_stragglers(), r.stragglers.count());
         // Under the safe quantum the recorded run's simulated outcome is
         // bit-identical to the unrecorded one.
-        let null = run_parallel(spec.programs, &cfg(SyncConfig::ground_truth()));
+        let null = par(spec.programs, &cfg(SyncConfig::ground_truth()));
         assert_eq!(null.sim_end, r.sim_end);
         assert_eq!(null.total_quanta, r.total_quanta);
         assert_eq!(null.total_packets, r.total_packets);
@@ -913,7 +933,7 @@ mod tests {
             .recv(Some(Rank::new(1)), Tag::new(0))
             .build();
         let p1 = ProgramBuilder::new(Rank::new(1)).compute(10).build();
-        let _ = run_parallel(
+        let _ = par(
             vec![p0, p1],
             &ParallelConfig::new(SyncConfig::fixed_micros(1000)).with_max_quanta(500),
         );

@@ -186,8 +186,19 @@ impl AdaptiveQuantum {
     }
 
     fn clamp(&mut self) {
-        let min = self.config.min_quantum.as_nanos() as f64;
-        let max = self.config.max_quantum.as_nanos() as f64;
+        #[allow(unused_mut)]
+        let mut min = self.config.min_quantum.as_nanos() as f64;
+        #[allow(unused_mut)]
+        let mut max = self.config.max_quantum.as_nanos() as f64;
+        #[cfg(feature = "fault-inject")]
+        {
+            if crate::fault::armed(crate::fault::Fault::QuantumClampHigh) {
+                max += self.config.min_quantum.as_nanos() as f64;
+            }
+            if crate::fault::armed(crate::fault::Fault::QuantumClampLow) {
+                min /= 2.0;
+            }
+        }
         self.current_ns = self.current_ns.clamp(min, max);
     }
 }
@@ -198,7 +209,13 @@ impl QuantumPolicy for AdaptiveQuantum {
     }
 
     fn next_quantum(&mut self, np: u64) -> SimDuration {
-        if np == 0 {
+        #[allow(unused_mut)]
+        let mut quiet = np == 0;
+        #[cfg(feature = "fault-inject")]
+        if crate::fault::armed(crate::fault::Fault::ShrinkOffByOne) {
+            quiet = np <= 1;
+        }
+        if quiet {
             self.quiet_streak += 1;
             self.current_ns *= self.config.inc;
         } else {

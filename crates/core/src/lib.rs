@@ -48,6 +48,8 @@
 
 mod adaptive;
 mod ext;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod fixed;
 mod policy;
 mod predictive;

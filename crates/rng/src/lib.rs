@@ -327,6 +327,16 @@ impl Rng {
         -u.ln() / lambda
     }
 
+    /// Returns a uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick called with empty slice");
+        &items[self.index(items.len())]
+    }
+
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
@@ -551,6 +561,13 @@ mod tests {
         fn index_within(seed in any::<u64>(), n in 1usize..10_000) {
             let mut rng = Rng::seed_from_u64(seed);
             prop_assert!(rng.index(n) < n);
+        }
+
+        #[test]
+        fn pick_returns_an_element(seed in any::<u64>()) {
+            let mut rng = Rng::seed_from_u64(seed);
+            let items = [10u32, 20, 30, 40, 50];
+            prop_assert!(items.contains(rng.pick(&items)));
         }
     }
 }

@@ -1,0 +1,71 @@
+//! Deliberate, runtime-armable bugs (`fault-inject` feature).
+//!
+//! The conformance harness in `crates/check` proves its own teeth with a
+//! mutation smoke test: each fault here is a realistic bug a refactor could
+//! introduce, and the harness must detect and shrink every one. The faults
+//! are compiled in only under the `fault-inject` feature and are inert until
+//! armed, so even a fault-enabled build behaves correctly by default.
+//!
+//! Never enable this feature outside the mutation tests. Arming is
+//! process-global, so test binaries that arm faults must serialize the armed
+//! window (a shared mutex, or `cargo test -- --test-threads=1`) — an armed
+//! fault would corrupt unrelated concurrently running tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Drop period for the mailbox fault; 0 = disarmed.
+static MAILBOX_DROP_PERIOD: AtomicU64 = AtomicU64::new(0);
+static MAILBOX_PUSH_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Arms the mailbox-drop fault: every `period`-th
+/// [`Mailbox::push`](crate::Mailbox::push) in the process silently discards
+/// its message — the classic lost-wakeup/lost-fragment bug.
+///
+/// # Panics
+///
+/// Panics if `period` is zero.
+pub fn arm_mailbox_drop(period: u64) {
+    assert!(period > 0, "drop period must be positive");
+    MAILBOX_PUSH_COUNT.store(0, Ordering::Relaxed);
+    MAILBOX_DROP_PERIOD.store(period, Ordering::Release);
+}
+
+/// Disarms every fault in this crate.
+pub fn disarm_all() {
+    MAILBOX_DROP_PERIOD.store(0, Ordering::Release);
+}
+
+/// Decides whether the current push is the unlucky one.
+pub(crate) fn mailbox_should_drop() -> bool {
+    let period = MAILBOX_DROP_PERIOD.load(Ordering::Acquire);
+    if period == 0 {
+        return false;
+    }
+    MAILBOX_PUSH_COUNT.fetch_add(1, Ordering::Relaxed) % period == period - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mailbox;
+
+    #[test]
+    fn armed_mailbox_drops_every_nth_push() {
+        arm_mailbox_drop(3);
+        let mb = Mailbox::new();
+        for i in 0..9 {
+            mb.push(i);
+        }
+        let mut out = Vec::new();
+        mb.drain_into(&mut out);
+        disarm_all();
+        assert_eq!(out.len(), 6, "every 3rd push must vanish");
+        // Disarmed again: nothing is lost.
+        for i in 0..5 {
+            mb.push(i);
+        }
+        out.clear();
+        mb.drain_into(&mut out);
+        assert_eq!(out.len(), 5);
+    }
+}

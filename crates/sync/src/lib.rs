@@ -22,6 +22,12 @@ use std::cell::UnsafeCell;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
+#[cfg(feature = "schedule-fuzz")]
+pub mod fuzz;
+
+#[cfg(feature = "fault-inject")]
+pub mod fault;
+
 /// Pads (and aligns) a value to 128 bytes so neighbouring slots in a
 /// `Vec<CachePadded<_>>` never share a cache line (128 covers the spatial
 /// prefetcher pairing lines on x86 and the 128-byte lines on some ARM).
@@ -94,6 +100,11 @@ impl<T> Mailbox<T> {
 
     /// Pushes a value; lock-free, callable from any thread.
     pub fn push(&self, value: T) {
+        #[cfg(feature = "fault-inject")]
+        if fault::mailbox_should_drop() {
+            drop(value);
+            return;
+        }
         let node = Box::into_raw(Box::new(MailboxNode {
             value,
             next: ptr::null_mut(),
@@ -117,7 +128,13 @@ impl<T> Mailbox<T> {
 
     /// Detaches everything pushed so far and appends it to `out` in push
     /// order. One atomic swap; never blocks producers.
+    ///
+    /// With the `schedule-fuzz` feature enabled **and** `fuzz::arm`-ed, the
+    /// newly drained batch is shuffled before it is appended — consumers
+    /// must not depend on intra-batch order for correctness.
     pub fn drain_into(&self, out: &mut Vec<T>) {
+        #[cfg(feature = "schedule-fuzz")]
+        let drained_from = out.len();
         // Acquire pairs with the Release CAS in `push`: after the swap we own
         // the whole detached chain and every node in it is fully initialized.
         let mut p = self.head.swap(ptr::null_mut(), Ordering::Acquire);
@@ -141,6 +158,8 @@ impl<T> Mailbox<T> {
             p = node.next;
             out.push(node.value);
         }
+        #[cfg(feature = "schedule-fuzz")]
+        fuzz::shuffle_tail(out, drained_from);
     }
 
     /// True if no message is pending (racy by nature; exact only when all
@@ -272,7 +291,13 @@ impl<S> LeaderBarrier<S> {
     /// Arrives at the barrier; returns `true` on the thread that acted as
     /// leader for this round. `leader` runs exactly once per round, after
     /// every participant has arrived and before any is released.
+    ///
+    /// With the `schedule-fuzz` feature enabled **and** `fuzz::arm`-ed, a
+    /// pseudo-random jitter delay is inserted before the arrival so the
+    /// arrival order (and hence leader election) varies between runs.
     pub fn arrive<F: FnOnce(&mut S)>(&self, leader: F) -> bool {
+        #[cfg(feature = "schedule-fuzz")]
+        fuzz::jitter();
         let epoch = self.epoch.load(Ordering::Acquire);
         // AcqRel: acquire every arriving thread's prior writes (their quantum
         // work) on the thread that becomes leader; release ours to it.

@@ -23,6 +23,17 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+echo "==> conformance harness: mutation + schedule-fuzz tiers"
+cargo test -p aqs-check --features fault-inject -q
+cargo test -p aqs-check --features schedule-fuzz -q
+
+echo "==> conformance smoke gate: 200 cases x 3 engines"
+cargo run --release -q -p aqs-check --bin conformance -- \
+    --cases 200 --seed 0xA5 --time-budget 300 \
+    --log conformance.log.jsonl --artifacts conformance-artifacts
+rm -f conformance.log.jsonl
+rm -rf conformance-artifacts
+
 echo "==> build bench binaries (not timed)"
 cargo build --release -p aqs-bench --bins
 cargo bench --workspace --no-run

@@ -6,6 +6,7 @@
 //! aqs optimistic --workload cg --nodes 4 [--window-us W]      # checkpoint/rollback engine
 //! aqs export-spec --workload is --nodes 8 --out spec.json     # dump a workload as JSON
 //! aqs run-spec --file spec.json [--policy p] [--seed N]       # run a JSON workload
+//! aqs check [--cases N] [--seed S] [--engines …]               # conformance campaign
 //! aqs policies                                                # list built-in policies
 //! ```
 
@@ -28,8 +29,10 @@ fn usage() -> ! {
          aqs optimistic --workload <…> --nodes <n> [--window-us W] [--seed N] [--scale …]\n  \
          aqs export-spec --workload <…> --nodes <n> --out <file> [--scale …]\n  \
          aqs run-spec --file <file> [--policy <p>] [--seed N]\n  \
+         aqs check {}\n  \
          aqs policies\n\n\
-         policies: truth | fixed:<µs> | dyn1 | dyn2 | dyn:<min_µs>:<max_µs>:<inc>:<dec> | pred"
+         policies: truth | fixed:<µs> | dyn1 | dyn2 | dyn:<min_µs>:<max_µs>:<inc>:<dec> | pred",
+        aqs::check::cli::USAGE
     );
     exit(2)
 }
@@ -301,6 +304,17 @@ fn main() {
     let Some((cmd, rest)) = args.split_first() else {
         usage()
     };
+    // `check` has its own flag grammar (boolean flags); dispatch before the
+    // key-value parser.
+    if cmd == "check" {
+        match aqs::check::cli::run(rest) {
+            Ok(code) => exit(code),
+            Err(msg) => {
+                eprintln!("{msg}");
+                usage();
+            }
+        }
+    }
     let flags = parse_flags(rest);
     match cmd.as_str() {
         "run" => cmd_run(flags),

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use aqs_check as check;
 pub use aqs_cluster as cluster;
 pub use aqs_core as core;
 pub use aqs_des as des;

@@ -1,0 +1,68 @@
+//! The deprecated free-function entry points must stay exact aliases of the
+//! unified `Sim` builder until they are removed: same timeline, same
+//! statistics, same per-node results, for both switch models and for fixed
+//! and adaptive policies. Anything less and callers migrating to the
+//! builder would silently change their results.
+
+#![allow(deprecated)]
+
+use aqs::cluster::{run_cluster, run_cluster_with_switch, ClusterConfig, Sim, SimSwitch};
+use aqs::core::SyncConfig;
+use aqs::net::{LatencyMatrixSwitch, PerfectSwitch};
+use aqs::time::SimDuration;
+use aqs::workloads::{burst, ping_pong};
+
+fn assert_equivalent(wrapper: &aqs::cluster::RunResult, report: &aqs::cluster::RunReport) {
+    let det = report
+        .detail
+        .as_deterministic()
+        .expect("builder defaulted to the deterministic engine");
+    assert_eq!(wrapper.sim_end, det.sim_end);
+    assert_eq!(wrapper.total_packets, det.total_packets);
+    assert_eq!(wrapper.total_quanta, det.total_quanta);
+    assert_eq!(wrapper.stragglers.count(), det.stragglers.count());
+    assert_eq!(
+        wrapper.stragglers.total_delay(),
+        det.stragglers.total_delay()
+    );
+    assert_eq!(wrapper.per_node.len(), det.per_node.len());
+    for (w, b) in wrapper.per_node.iter().zip(&det.per_node) {
+        assert_eq!(w.rank, b.rank);
+        assert_eq!(w.finish_sim, b.finish_sim);
+        assert_eq!(w.ops, b.ops);
+        assert_eq!(w.messages_received, b.messages_received);
+    }
+}
+
+#[test]
+fn run_cluster_equals_sim_builder() {
+    for sync in [SyncConfig::ground_truth(), SyncConfig::paper_dyn1()] {
+        let spec = burst(4, 50_000, 2048);
+        let config = ClusterConfig::new(sync).with_seed(9);
+        let wrapper = run_cluster(spec.programs.clone(), &config);
+        let report = Sim::new(spec.programs).config(config).run();
+        assert_equivalent(&wrapper, &report);
+    }
+}
+
+#[test]
+fn run_cluster_with_switch_equals_sim_builder() {
+    let spec = ping_pong(2, 25, 4096);
+    let config = ClusterConfig::new(SyncConfig::paper_dyn2()).with_seed(3);
+    let matrix = LatencyMatrixSwitch::uniform(2, SimDuration::from_micros(2));
+    let wrapper = run_cluster_with_switch(spec.programs.clone(), &config, matrix.clone());
+    let report = Sim::new(spec.programs)
+        .config(config)
+        .switch(SimSwitch::LatencyMatrix(matrix))
+        .run();
+    assert_equivalent(&wrapper, &report);
+}
+
+#[test]
+fn perfect_switch_wrapper_equals_default_builder_switch() {
+    let spec = ping_pong(2, 10, 512);
+    let config = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(5);
+    let explicit = run_cluster_with_switch(spec.programs.clone(), &config, PerfectSwitch::new());
+    let report = Sim::new(spec.programs).config(config).run();
+    assert_equivalent(&explicit, &report);
+}

@@ -1,9 +1,13 @@
 //! Cross-crate integration tests of the paper's central claims.
 
-use aqs::cluster::{app_metric, paper_sweep, run_workload, ClusterConfig, Experiment};
+use aqs::cluster::{
+    app_metric, paper_sweep, run_workload, ClusterConfig, EngineKind, Experiment, Sim,
+};
 use aqs::core::{AdaptiveConfig, SyncConfig};
+use aqs::obs::ObsConfig;
 use aqs::time::{SimDuration, SimTime};
 use aqs::workloads::{burst, namd, nas, ping_pong, uniform_compute, Scale};
+use proptest::prelude::*;
 
 fn base(seed: u64) -> ClusterConfig {
     ClusterConfig::new(SyncConfig::ground_truth()).with_seed(seed)
@@ -163,6 +167,61 @@ fn no_communication_means_no_error() {
             m0
         );
         assert_eq!(r.stragglers.count(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Algorithm 1, as a property over random policies and workloads, on
+    /// both quantum engines: every quantum the policy emits stays inside
+    /// `[min_quantum, max_quantum]`, and any quantum that saw packets is
+    /// followed by a strictly shorter one (or stays pinned at the floor).
+    #[test]
+    fn adaptive_quantum_bounded_and_shrinks_on_packets(
+        min_us in prop::sample::select(vec![1u64, 2]),
+        span in prop::sample::select(vec![10u64, 50, 200]),
+        inc in 1.02f64..1.3,
+        dec in 0.02f64..0.4,
+        rounds in 5usize..40,
+        bytes in 64u64..8_000,
+    ) {
+        let min = SimDuration::from_micros(min_us);
+        let max = SimDuration::from_micros(min_us + span);
+        let sync = SyncConfig::Adaptive(AdaptiveConfig::new(min, max, inc, dec));
+        let spec = ping_pong(2, rounds, bytes);
+        for engine in [EngineKind::Deterministic, EngineKind::Threaded] {
+            let report = Sim::new(spec.programs.clone())
+                .engine(engine)
+                .config(ClusterConfig::new(sync.clone()).with_seed(31))
+                .max_quanta(50_000_000)
+                .record(ObsConfig::new().with_ring_capacity(16_384))
+                .run();
+            let rec = report.obs.as_ref().expect("recording requested");
+            prop_assert_eq!(rec.dropped(), 0, "ring wrapped; lengthen it");
+            let quanta: Vec<(u64, u64)> =
+                rec.samples().map(|s| (s.len.as_nanos(), s.packets)).collect();
+            // The deterministic engine's final sample is truncated to
+            // sim_end rather than policy-length; skip it.
+            let Some((_, full)) = quanta.split_last() else { continue };
+            let (lo, hi) = (min.as_nanos(), max.as_nanos());
+            for &(len, _) in full {
+                prop_assert!(
+                    len >= lo && len <= hi,
+                    "{engine:?}: quantum {len} ns outside [{lo}, {hi}] ns"
+                );
+            }
+            for w in full.windows(2) {
+                let ((len, packets), (next, _)) = (w[0], w[1]);
+                if packets > 0 {
+                    prop_assert!(
+                        if len == lo { next == lo } else { next < len },
+                        "{engine:?}: {packets} packets at {len} ns, next {next} ns \
+                         (floor {lo} ns)"
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,310 @@
+//! Sharded-engine scaling sweep: cluster size × worker count × policy.
+//!
+//! Runs the burst workload (`host_work_per_op = 0`, so wall-clock is pure
+//! engine overhead) at 64, 256, and 1024 nodes on the sharded engine for
+//! every interesting worker count, with the thread-per-node engine measured
+//! back to back as the baseline wherever it is viable (≤ 256 nodes — past
+//! that, one OS thread per node is deep into the oversubscription cliff).
+//! Also measures the pooled packet path's allocation counter differentially
+//! to show that routing a packet allocates nothing in steady state. Writes
+//! `BENCH_shard.json` at the repo root; the schema is documented in
+//! EXPERIMENTS.md.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p aqs-bench --bin shard_scaling
+//! ```
+//!
+//! `--smoke` runs a 64-node sweep with the results-match and allocation
+//! assertions only (no JSON written, no timing gate) — the CI entry point.
+
+use aqs_cluster::parallel::ParallelRunResult;
+use aqs_cluster::{EngineKind, ShardedRunResult, Sim};
+use aqs_core::SyncConfig;
+use aqs_node::Program;
+use aqs_workloads::{burst, MpiBuilder};
+use serde_json::Value;
+
+const COMPUTE_OPS: u64 = 200_000;
+const BYTES: u64 = 1024;
+const MAX_QUANTA: u64 = 50_000_000;
+/// Threaded baseline ceiling: beyond this, thread-per-node is measured as
+/// unviable rather than slow (see EXPERIMENTS.md on the oversubscription
+/// cliff) and only the sharded engine runs.
+const THREADED_MAX_NODES: usize = 256;
+
+fn policies() -> Vec<(&'static str, SyncConfig)> {
+    vec![
+        ("ground-truth", SyncConfig::ground_truth()),
+        ("fixed-1000us", SyncConfig::fixed_micros(1000)),
+        ("dyn1", SyncConfig::paper_dyn1()),
+        ("dyn2", SyncConfig::paper_dyn2()),
+    ]
+}
+
+/// Minimum wall over `iterations` runs (min is the noise-robust estimator
+/// for a deterministic workload), plus the last run's result.
+fn measure<R>(
+    iterations: u32,
+    mut run: impl FnMut() -> R,
+    wall_of: impl Fn(&R) -> f64,
+) -> (f64, R) {
+    let mut last = run();
+    let mut best = wall_of(&last);
+    for _ in 1..iterations {
+        last = run();
+        best = best.min(wall_of(&last));
+    }
+    (best, last)
+}
+
+fn run_sharded(programs: Vec<Program>, sync: &SyncConfig, workers: usize) -> ShardedRunResult {
+    Sim::new(programs)
+        .engine(EngineKind::Sharded)
+        .shards(workers)
+        .sync(sync.clone())
+        .max_quanta(MAX_QUANTA)
+        .run()
+        .detail
+        .as_sharded()
+        .expect("sharded engine ran")
+        .clone()
+}
+
+fn run_threaded(programs: Vec<Program>, sync: &SyncConfig) -> ParallelRunResult {
+    Sim::new(programs)
+        .engine(EngineKind::Threaded)
+        .sync(sync.clone())
+        .max_quanta(MAX_QUANTA)
+        .run()
+        .detail
+        .as_threaded()
+        .expect("threaded engine ran")
+        .clone()
+}
+
+/// Full bit-identity between two sharded runs: the engine fixes delivery
+/// times at the sender's quantum edge, so outcomes must not depend on the
+/// worker count for *any* policy, stragglers included.
+fn sharded_outcome_eq(a: &ShardedRunResult, b: &ShardedRunResult) -> bool {
+    a.sim_end == b.sim_end
+        && a.total_quanta == b.total_quanta
+        && a.total_packets == b.total_packets
+        && a.stragglers.count() == b.stragglers.count()
+        && a.stragglers.total_delay() == b.stragglers.total_delay()
+        && a.per_node.len() == b.per_node.len()
+        && a.per_node.iter().zip(&b.per_node).all(|(x, y)| {
+            x.finish_sim == y.finish_sim
+                && x.messages_received == y.messages_received
+                && x.ops == y.ops
+        })
+}
+
+fn engine_obj(wall: f64, quanta: u64, packets: u64, stragglers: u64, sim_end: u64) -> Value {
+    Value::Object(vec![
+        ("wall_secs".into(), Value::F64(wall)),
+        ("total_quanta".into(), Value::U64(quanta)),
+        ("total_packets".into(), Value::U64(packets)),
+        ("stragglers".into(), Value::U64(stragglers)),
+        ("sim_end_ns".into(), Value::U64(sim_end)),
+    ])
+}
+
+/// `rounds` back-to-back compute+all-to-all phases at 64 nodes: the packet
+/// count scales with `rounds`, the peak in-flight population does not, so
+/// the pool allocation counter must not move between short and long runs.
+fn burst_rounds(rounds: usize) -> Vec<Program> {
+    let mut m = MpiBuilder::new(64);
+    for _ in 0..rounds {
+        m.compute_all(COMPUTE_OPS);
+        m.alltoall(BYTES);
+    }
+    m.build()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut worker_counts = vec![1usize, 2, avail];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+    let node_counts: &[usize] = if smoke { &[64] } else { &[64, 256, 1024] };
+    let iterations: u32 = if smoke { 1 } else { 2 };
+
+    let mut configs = Vec::new();
+    let mut headline = None;
+    for &n in node_counts {
+        let spec = burst(n, COMPUTE_OPS, BYTES);
+        for (label, sync) in policies() {
+            let safe = label == "ground-truth";
+            let threaded = (n <= THREADED_MAX_NODES).then(|| {
+                let programs = spec.programs.clone();
+                measure(
+                    iterations,
+                    || run_threaded(programs.clone(), &sync),
+                    |r| r.wall.as_secs_f64(),
+                )
+            });
+            let mut sharded_runs = Vec::new();
+            for &m in &worker_counts {
+                let programs = spec.programs.clone();
+                let (wall, r) = measure(
+                    iterations,
+                    || run_sharded(programs.clone(), &sync, m),
+                    |r| r.wall.as_secs_f64(),
+                );
+                sharded_runs.push((m, wall, r));
+            }
+
+            // Worker-count independence: every M must agree bit-for-bit.
+            let (_, best_wall, base) = sharded_runs
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(m, w, r)| (*m, *w, r))
+                .expect("at least one worker count");
+            for (m, _, r) in &sharded_runs {
+                assert!(
+                    sharded_outcome_eq(r, base),
+                    "n={n} {label}: sharded outcome depends on worker count M={m}"
+                );
+            }
+
+            // Baseline differential, where the baseline exists. Under the
+            // safe quantum the engines must agree exactly; with larger
+            // quanta the threaded engine's straggler timing is
+            // race-dependent, so only the functional outcome must match.
+            let mut results_match = true;
+            if let Some((thr_wall, thr)) = &threaded {
+                let functional = base.total_packets == thr.total_packets
+                    && base.messages_received_total() == thr.messages_received_total();
+                results_match = functional && (!safe || base.sim_end == thr.sim_end);
+                assert!(
+                    results_match,
+                    "n={n} {label}: sharded disagrees with the threaded baseline"
+                );
+                let speedup = thr_wall / best_wall.max(1e-12);
+                if n == 256 && safe {
+                    headline = Some(speedup);
+                }
+                println!(
+                    "n={n:>4} {label:<13} sharded {best_wall:>9.4}s  threaded {thr_wall:>9.4}s  \
+                     speedup {speedup:>6.2}x  packets {p}  pool-allocs {a}",
+                    p = base.total_packets,
+                    a = base.pool_heap_allocs,
+                );
+            } else {
+                println!(
+                    "n={n:>4} {label:<13} sharded {best_wall:>9.4}s  threaded      (skipped)  \
+                     packets {p}  pool-allocs {a}",
+                    p = base.total_packets,
+                    a = base.pool_heap_allocs,
+                );
+            }
+
+            let mut entry = vec![
+                ("nodes".into(), Value::U64(n as u64)),
+                ("policy".into(), Value::Str(label.into())),
+                (
+                    "sharded".into(),
+                    Value::Array(
+                        sharded_runs
+                            .iter()
+                            .map(|(m, wall, r)| {
+                                let Value::Object(mut fields) = engine_obj(
+                                    *wall,
+                                    r.total_quanta,
+                                    r.total_packets,
+                                    r.stragglers.count(),
+                                    r.sim_end.as_nanos(),
+                                ) else {
+                                    unreachable!("engine_obj returns an object")
+                                };
+                                fields.insert(0, ("workers".into(), Value::U64(*m as u64)));
+                                fields.push((
+                                    "pool_heap_allocs".into(),
+                                    Value::U64(r.pool_heap_allocs),
+                                ));
+                                Value::Object(fields)
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("worker_counts_agree".into(), Value::Bool(true)),
+                ("results_match".into(), Value::Bool(results_match)),
+            ];
+            if let Some((thr_wall, thr)) = &threaded {
+                entry.push((
+                    "threaded".into(),
+                    engine_obj(
+                        *thr_wall,
+                        thr.total_quanta,
+                        thr.total_packets,
+                        thr.stragglers.count(),
+                        thr.sim_end.as_nanos(),
+                    ),
+                ));
+                entry.push((
+                    "speedup_vs_threaded".into(),
+                    Value::F64(thr_wall / best_wall.max(1e-12)),
+                ));
+            }
+            configs.push(Value::Object(entry));
+        }
+    }
+
+    // Allocation differential: 4× the all-to-all rounds must not add a
+    // single pool allocation beyond the 1-round warm-up — steady-state
+    // packet routing is allocation-free.
+    let gt = SyncConfig::ground_truth();
+    let short = run_sharded(burst_rounds(1), &gt, 2);
+    let long = run_sharded(burst_rounds(4), &gt, 2);
+    let extra_packets = long.total_packets - short.total_packets;
+    let extra_allocs = long.pool_heap_allocs.saturating_sub(short.pool_heap_allocs);
+    assert!(extra_packets > 0, "long run must route more packets");
+    assert_eq!(
+        extra_allocs, 0,
+        "steady-state packet routing performed heap allocations"
+    );
+    println!(
+        "allocation differential: +{extra_packets} packets -> +{extra_allocs} pool allocations \
+         ({} warm-up allocs for {} packets in the short run)",
+        short.pool_heap_allocs, short.total_packets,
+    );
+
+    if smoke {
+        println!("smoke sweep passed (results-match + allocation assertions only)");
+        return;
+    }
+
+    let doc = Value::Object(vec![
+        ("bench".into(), Value::Str("shard_scaling".into())),
+        (
+            "workload".into(),
+            Value::Object(vec![
+                ("kind".into(), Value::Str("burst".into())),
+                ("compute_ops".into(), Value::U64(COMPUTE_OPS)),
+                ("bytes".into(), Value::U64(BYTES)),
+                ("host_work_per_op".into(), Value::F64(0.0)),
+            ]),
+        ),
+        ("iterations".into(), Value::U64(iterations as u64)),
+        ("available_parallelism".into(), Value::U64(avail as u64)),
+        (
+            "threaded_max_nodes".into(),
+            Value::U64(THREADED_MAX_NODES as u64),
+        ),
+        (
+            "steady_state_allocs_per_packet".into(),
+            Value::F64(extra_allocs as f64 / extra_packets as f64),
+        ),
+        ("configs".into(), Value::Array(configs)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("render json");
+    std::fs::write("BENCH_shard.json", json + "\n").expect("write BENCH_shard.json");
+    let speedup = headline.expect("256-node ground-truth config ran");
+    println!("\n256-node burst (ground truth) sharded speedup vs threaded: {speedup:.2}x");
+    println!("wrote BENCH_shard.json");
+}

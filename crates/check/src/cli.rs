@@ -5,7 +5,8 @@ use crate::oracle::policy_run_jsonl;
 use crate::runner::{run_conformance, ConformanceOpts};
 
 /// Flag summary for usage messages.
-pub const USAGE: &str = "[--cases N] [--seed S] [--engines all|det|det,threaded] \
+pub const USAGE: &str = "[--cases N] [--seed S] \
+     [--engines all|det|det,threaded|det,sharded] \
      [--time-budget SECS] [--log FILE] [--artifacts DIR] [--no-shrink]";
 
 /// Parses `args`, runs the campaign, writes any requested artifacts, and
@@ -111,20 +112,23 @@ fn parse_seed(s: &str) -> Result<u64, String> {
 }
 
 /// `--engines` narrows the differential vote: the deterministic engine
-/// always runs (it anchors the ground truth); `threaded` and `optimistic`
-/// are opt-outable.
+/// always runs (it anchors the ground truth); `threaded`, `optimistic`, and
+/// `sharded` are opt-outable.
 fn apply_engines(opts: &mut ConformanceOpts, spec: &str) -> Result<(), String> {
     opts.check.threaded = false;
     opts.check.optimistic = false;
+    opts.check.sharded = false;
     for part in spec.split(',') {
         match part {
             "all" => {
                 opts.check.threaded = true;
                 opts.check.optimistic = true;
+                opts.check.sharded = true;
             }
             "det" | "deterministic" => {}
             "threaded" => opts.check.threaded = true,
             "optimistic" => opts.check.optimistic = true,
+            "sharded" => opts.check.sharded = true,
             other => return Err(format!("unknown engine: {other}")),
         }
     }
@@ -150,6 +154,7 @@ mod tests {
         assert_eq!(opts.seed, 0xA5);
         assert!(opts.check.threaded);
         assert!(!opts.check.optimistic);
+        assert!(!opts.check.sharded);
         assert_eq!(opts.time_budget, Some(std::time::Duration::from_secs(30)));
         assert!(!opts.shrink_failures);
         assert_eq!(log.as_deref(), Some("run.jsonl"));
@@ -162,6 +167,15 @@ mod tests {
         assert!(parse(&argv("--engines warp")).is_err());
         assert!(parse(&argv("--seed zz")).is_err());
         assert!(parse(&argv("--cases")).is_err());
+    }
+
+    #[test]
+    fn sharded_is_selectable_and_part_of_all() {
+        let (opts, ..) = parse(&argv("--engines det,sharded")).expect("parses");
+        assert!(opts.check.sharded);
+        assert!(!opts.check.threaded);
+        let (opts, ..) = parse(&argv("--engines all")).expect("parses");
+        assert!(opts.check.sharded && opts.check.threaded && opts.check.optimistic);
     }
 
     #[test]

@@ -38,9 +38,16 @@ pub struct CheckOpts {
     pub threaded: bool,
     /// Run the optimistic engine on perfect-switch cases (differential).
     pub optimistic: bool,
-    /// Override the threaded engine's quantum cap (deadlock guard). The
-    /// default is derived from the ground-truth run and generous; mutation
-    /// tests lower it so injected deadlocks fail fast.
+    /// Run the sharded engine (differential + invariants + cross-M
+    /// identity), once per entry of [`shard_counts`](Self::shard_counts).
+    pub sharded: bool,
+    /// Worker counts the sharded engine is exercised with. The engine clamps
+    /// each to the node count, so oversized entries still run (as one worker
+    /// per node) — deliberately, since results must not depend on M.
+    pub shard_counts: Vec<usize>,
+    /// Override the threaded/sharded engines' quantum cap (deadlock guard).
+    /// The default is derived from the ground-truth run and generous;
+    /// mutation tests lower it so injected deadlocks fail fast.
     pub quanta_cap: Option<u64>,
 }
 
@@ -49,6 +56,8 @@ impl Default for CheckOpts {
         Self {
             threaded: true,
             optimistic: true,
+            sharded: true,
+            shard_counts: vec![1, 2, 3],
             quanta_cap: None,
         }
     }
@@ -102,6 +111,27 @@ pub fn check_case_with(case: &CaseSpec, opts: &CheckOpts) -> Result<(), String> 
             ));
         }
     }
+    if opts.sharded {
+        for &m in &opts.shard_counts {
+            let sh = run_guarded("sharded ground truth", || {
+                sim_for(case, SyncConfig::ground_truth())
+                    .engine(EngineKind::Sharded)
+                    .shards(m)
+                    .max_quanta(cap)
+                    .run()
+            })?;
+            if sh.simulated_outcome() != truth {
+                return Err(format!(
+                    "differential: sharded ground truth (M={m}) diverged from \
+                     deterministic (sim_end {} vs {}, packets {} vs {})",
+                    sh.sim_end.as_nanos(),
+                    truth_end_ns,
+                    sh.total_packets,
+                    truth.total_packets,
+                ));
+            }
+        }
+    }
     if opts.optimistic && case.optimistic_ok() {
         let opt = run_guarded("optimistic ground truth", || {
             sim_for(case, SyncConfig::ground_truth())
@@ -151,13 +181,49 @@ pub fn check_case_with(case: &CaseSpec, opts: &CheckOpts) -> Result<(), String> 
         check_policy_run("threaded policy run", &thr_pol, case, lo, hi)?;
         conservation("threaded policy run", &thr_pol, exp_packets, exp_receives)?;
     }
+
+    if opts.sharded {
+        // Unlike the threaded engine, the sharded engine is deterministic
+        // for *every* policy (deliveries are fixed at the sender's quantum
+        // edge), so policy-run outcomes must be bit-identical across M too.
+        let mut baseline: Option<(usize, aqs_cluster::SimulatedOutcome)> = None;
+        for &m in &opts.shard_counts {
+            let label = format!("sharded policy run (M={m})");
+            let sh_pol = run_guarded(&label, || {
+                sim_for(case, case.policy.sync_config())
+                    .engine(EngineKind::Sharded)
+                    .shards(m)
+                    .max_quanta(cap)
+                    .record(ObsConfig::new().with_ring_capacity(OBS_RING))
+                    .run()
+            })?;
+            check_policy_run(&label, &sh_pol, case, lo, hi)?;
+            conservation(&label, &sh_pol, exp_packets, exp_receives)?;
+            let outcome = sh_pol.simulated_outcome();
+            match &baseline {
+                None => baseline = Some((m, outcome)),
+                Some((m0, base)) => {
+                    if outcome != *base {
+                        return Err(format!(
+                            "{label}: outcome differs from M={m0} \
+                             (sim_end {} vs {})",
+                            outcome.sim_end.as_nanos(),
+                            base.sim_end.as_nanos(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
     Ok(())
 }
 
-/// Runs the threaded engine `rounds` times under the ground-truth quantum
-/// with the schedule-fuzz hooks armed (randomized mailbox drain order,
-/// jittered barrier arrivals) and requires the outcome to stay bit-identical
-/// to the deterministic engine every time.
+/// Runs the threaded and sharded engines `rounds` times each under the
+/// ground-truth quantum with the schedule-fuzz hooks armed (randomized
+/// mailbox drain order, jittered barrier arrivals) and requires the outcome
+/// to stay bit-identical to the deterministic engine every time. Sharded
+/// rounds also rotate the worker count, so a schedule perturbation is
+/// compounded with a partition perturbation.
 #[cfg(feature = "schedule-fuzz")]
 pub fn check_case_fuzzed(case: &CaseSpec, rounds: u64, fuzz_seed: u64) -> Result<(), String> {
     let truth = run_guarded("det ground truth", || {
@@ -184,6 +250,27 @@ pub fn check_case_fuzzed(case: &CaseSpec, rounds: u64, fuzz_seed: u64) -> Result
             return Err(format!(
                 "schedule fuzz round {round}: threaded outcome diverged under \
                  perturbed drain/arrival order (sim_end {} vs {})",
+                fuzzed.sim_end.as_nanos(),
+                truth.sim_end.as_nanos(),
+            ));
+        }
+    }
+    for round in 0..rounds {
+        let workers = 1 + (round as usize % 3);
+        aqs_sync::fuzz::arm(fuzz_seed.wrapping_add(round.wrapping_mul(0xB5297)));
+        let result = run_guarded("fuzzed sharded ground truth", || {
+            sim_for(case, SyncConfig::ground_truth())
+                .engine(EngineKind::Sharded)
+                .shards(workers)
+                .max_quanta(cap)
+                .run()
+        });
+        aqs_sync::fuzz::disarm();
+        let fuzzed = result?;
+        if fuzzed.simulated_outcome() != truth {
+            return Err(format!(
+                "schedule fuzz round {round}: sharded (M={workers}) outcome \
+                 diverged under perturbed drain/arrival order (sim_end {} vs {})",
                 fuzzed.sim_end.as_nanos(),
                 truth.sim_end.as_nanos(),
             ));

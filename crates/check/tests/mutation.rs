@@ -83,7 +83,18 @@ fn det_only() -> CheckOpts {
     CheckOpts {
         threaded: false,
         optimistic: false,
-        quanta_cap: None,
+        sharded: false,
+        ..CheckOpts::default()
+    }
+}
+
+/// Sharded-engine-only oracle runs, for faults that must be visible through
+/// the sharded packet path and leader without the threaded engine voting.
+fn sharded_only() -> CheckOpts {
+    CheckOpts {
+        threaded: false,
+        optimistic: false,
+        ..CheckOpts::default()
     }
 }
 
@@ -151,9 +162,22 @@ fn leader_np_skip_is_detected_and_shrunk() {
     let opts = CheckOpts {
         threaded: true,
         optimistic: false,
+        sharded: false,
         quanta_cap: None,
+        ..CheckOpts::default()
     };
     detect_and_shrink("leader-np-skip", &opts, 200);
+}
+
+#[test]
+fn leader_np_skip_is_detected_in_the_sharded_engine() {
+    let _w = window();
+    let _g = Armed;
+    // Same fault, sharded leader: shard 0's packet count is forgotten when
+    // the tree-barrier leader advances the policy, so a quantum where only
+    // shard 0 sent grows instead of shrinking.
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::LeaderNpSkip);
+    detect_and_shrink("leader-np-skip-sharded", &sharded_only(), 200);
 }
 
 #[test]
@@ -168,9 +192,28 @@ fn mailbox_drop_is_detected_and_shrunk() {
     let opts = CheckOpts {
         threaded: true,
         optimistic: false,
+        sharded: false,
+        quanta_cap: Some(10_000),
+        ..CheckOpts::default()
+    };
+    detect_and_shrink("mailbox-drop", &opts, 50);
+}
+
+#[test]
+fn mailbox_drop_is_detected_in_the_sharded_engine() {
+    let _w = window();
+    let _g = Armed;
+    // The pooled push path must keep honoring the drop hook: a vanished
+    // fragment deadlocks the sharded run into its quantum cap (or shows up
+    // as lost messages in the differential).
+    aqs_sync::fault::arm_mailbox_drop(5);
+    let opts = CheckOpts {
+        threaded: false,
+        optimistic: false,
         // Keep the injected deadlock cheap: the cap only needs to exceed
         // any honest run's quantum count for these small cases.
         quanta_cap: Some(10_000),
+        ..CheckOpts::default()
     };
-    detect_and_shrink("mailbox-drop", &opts, 50);
+    detect_and_shrink("mailbox-drop-sharded", &opts, 50);
 }

@@ -1,9 +1,10 @@
-//! Schedule fuzzing: the threaded engine's functional outcome must be
-//! independent of thread scheduling. The `schedule-fuzz` feature arms
-//! test-only perturbation hooks in `aqs-sync` — randomized mailbox drain
-//! order and jittered barrier arrivals — and the outcome under the safe
-//! quantum must stay bit-identical to the deterministic engine through
-//! every perturbed run.
+//! Schedule fuzzing: the threaded and sharded engines' functional outcomes
+//! must be independent of thread scheduling. The `schedule-fuzz` feature
+//! arms test-only perturbation hooks in `aqs-sync` — randomized mailbox
+//! drain order and jittered barrier arrivals — and the outcome under the
+//! safe quantum must stay bit-identical to the deterministic engine through
+//! every perturbed run. Sharded rounds additionally rotate the worker count,
+//! so the partition itself is perturbed along with the schedule.
 //!
 //! ```text
 //! cargo test -p aqs-check --features schedule-fuzz --test schedule_fuzz
@@ -14,10 +15,11 @@
 use aqs_check::{check_case_fuzzed, CaseSpec};
 
 #[test]
-fn threaded_outcome_survives_perturbed_schedules() {
-    // A spread of generated cases, several perturbation rounds each. The
-    // fuzz hooks are armed per round inside `check_case_fuzzed`, so runs
-    // never overlap an armed window.
+fn engine_outcomes_survive_perturbed_schedules() {
+    // A spread of generated cases, several perturbation rounds each on both
+    // real-thread engines (threaded, then sharded across worker counts).
+    // The fuzz hooks are armed per round inside `check_case_fuzzed`, so
+    // runs never overlap an armed window.
     for index in 0..8 {
         let case = CaseSpec::generate(0x5C4ED, index);
         check_case_fuzzed(&case, 4, 0xF0CC1A + index)

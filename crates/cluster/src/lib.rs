@@ -15,11 +15,15 @@
 //!   real OS thread, synchronizes through real barriers, and wall-clock is
 //!   measured with a real clock. It demonstrates that the technique works
 //!   as an actual parallel program; its timings are machine-dependent.
+//! * [`sharded`] — the **sharded engine**: N node simulators partitioned
+//!   over M worker threads with a two-level tree barrier and a pooled,
+//!   allocation-free packet path. It is the cluster-scale engine (256–1024
+//!   nodes) and its functional results are bit-identical for every M.
 //!
 //! There is also [`optimistic`], a checkpoint/rollback engine that trades
 //! conservative barriers for speculative re-execution.
 //!
-//! All three are driven through one entry point: the [`Sim`] builder.
+//! All four are driven through one entry point: the [`Sim`] builder.
 //!
 //! # Quick start
 //!
@@ -62,6 +66,7 @@ pub mod optimistic;
 pub mod parallel;
 mod progress;
 mod result;
+pub mod sharded;
 pub mod sim;
 
 pub use config::{BarrierCostModel, ClusterConfig};
@@ -72,4 +77,5 @@ pub use experiment::{
 };
 pub use progress::ProgressRecorder;
 pub use result::{NodeResult, RunResult};
+pub use sharded::ShardedRunResult;
 pub use sim::{EngineDetail, EngineKind, RunReport, Sim, SimSwitch, SimulatedOutcome, WallClock};

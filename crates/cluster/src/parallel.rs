@@ -11,12 +11,14 @@
 //! The hot path — routing a packet and retiring simulated ops — touches no
 //! globally contended lock:
 //!
-//! * straggler statistics accumulate in a per-thread [`StragglerStats`] and
-//!   are merged into the shared tally once per quantum (only when the
-//!   quantum actually recorded one) and at run end;
+//! * straggler statistics accumulate in per-thread [`StragglerStats`] only
+//!   (a per-quantum delta for observability plus a run total) and are merged
+//!   after the threads join — no mutex anywhere in the engine;
 //! * mailboxes are lock-free MPSC lists ([`aqs_sync::Mailbox`]): producers
-//!   push with one CAS, the owning thread detaches the whole batch with one
-//!   swap at its next scheduling point;
+//!   push with one CAS — recycling nodes from a thread-local
+//!   [`aqs_sync::MailboxPool`], so steady-state pushes allocate nothing —
+//!   and the owning thread detaches the whole batch with one swap at its
+//!   next scheduling point;
 //! * packet counts (`np`, the adaptive policy's input signal) accumulate in
 //!   a per-thread cache-padded slot that the barrier leader sums;
 //! * the quantum handshake is a single epoch publication: the last thread
@@ -58,11 +60,10 @@ use aqs_node::{
     Action, CpuModel, MessageId, MessageMeta, NodeExecutor, Program, Rank, RegionRecord, SendTarget,
 };
 use aqs_obs::{NullRecorder, QuantumObs, Recorder};
-use aqs_sync::{ArrivalTimes, CachePadded, LeaderBarrier, Mailbox};
+use aqs_sync::{ArrivalTimes, CachePadded, LeaderBarrier, Mailbox, MailboxPool};
 use aqs_time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Switch models available to the threaded engine.
@@ -221,28 +222,29 @@ struct InFlight {
 }
 
 /// Stop sentinel published through `q_end`.
-const Q_END_STOP: u64 = u64::MAX;
+pub(crate) const Q_END_STOP: u64 = u64::MAX;
 
 /// State only the barrier leader touches, via [`LeaderBarrier::arrive`] —
-/// no mutex: exclusivity comes from the barrier protocol itself.
-struct LeaderState<R> {
-    policy: Box<dyn QuantumPolicy>,
+/// no mutex: exclusivity comes from the barrier protocol itself. Shared with
+/// the sharded engine, whose tree-barrier leader runs the same policy step.
+pub(crate) struct LeaderState<R> {
+    pub(crate) policy: Box<dyn QuantumPolicy>,
     /// Quanta completed (including the stop round, matching the old
     /// centralized counter).
-    quanta: u64,
+    pub(crate) quanta: u64,
     /// Packets routed over the whole run (sum of the per-thread slots).
-    total_packets: u64,
+    pub(crate) total_packets: u64,
     /// Start of the current quantum in sim ns (the previous `q_end_nanos`).
-    q_start_nanos: u64,
+    pub(crate) q_start_nanos: u64,
     /// Current quantum end in sim ns, mirrored into `Shared::q_end`.
-    q_end_nanos: u64,
-    max_quanta: u64,
+    pub(crate) q_end_nanos: u64,
+    pub(crate) max_quanta: u64,
     /// Observability recorder. Leader-exclusive like the rest of this
     /// struct, so recording needs no lock and stays off the packet path.
-    rec: R,
+    pub(crate) rec: R,
     /// Scratch lanes for sample assembly, reused across quanta.
-    waits: Vec<u64>,
-    lags: Vec<u64>,
+    pub(crate) waits: Vec<u64>,
+    pub(crate) lags: Vec<u64>,
 }
 
 /// Per-thread per-quantum observability publication (written by the owning
@@ -258,14 +260,22 @@ struct ObsSlot {
     s_max: AtomicU64,
 }
 
-/// Per-thread accounting that used to live behind global locks. Merged into
-/// the shared result at quantum boundaries, never per packet.
+/// Per-thread accounting that used to live behind global locks. Entirely
+/// thread-private: the quantum delta feeds the observability slots, the run
+/// total is handed back when the thread joins — no shared mutation at all.
 #[derive(Default)]
 struct ThreadCtx {
-    /// Stragglers recorded since the last quantum-boundary merge.
+    /// Stragglers recorded in the current quantum (folded into `run_stragglers`
+    /// at each boundary).
     stragglers: StragglerStats,
+    /// Run-total straggler tally, returned at thread exit.
+    run_stragglers: StragglerStats,
     /// Packets routed in the current quantum (the policy's `np` signal).
     quantum_packets: u64,
+    /// Free-list of mailbox nodes this thread pushes with; drained nodes
+    /// recycle into the draining thread's pool, so in steady state the
+    /// packet path performs no heap allocation.
+    pool: MailboxPool<InFlight>,
 }
 
 /// Shared state across node threads.
@@ -283,10 +293,6 @@ struct Shared<R> {
     /// Per-thread packets routed this quantum; the leader sums these into
     /// `np` for the policy and into the run total.
     np_slots: Vec<CachePadded<AtomicU64>>,
-    /// Run-wide straggler tally. Cold path: touched at most once per thread
-    /// per quantum (and only for quanta that actually straggled), never per
-    /// packet.
-    straggler_total: Mutex<StragglerStats>,
     /// End of the current quantum in sim ns; `Q_END_STOP` means the run is
     /// over. Written by the leader before the epoch release-store, read by
     /// followers after their epoch acquire-load — the epoch is the
@@ -365,11 +371,14 @@ impl<R: Recorder> Shared<R> {
         if eff > arrival {
             ctx.stragglers.record(eff - arrival);
         }
-        self.mailboxes[t].push(InFlight {
-            meta,
-            frag_index,
-            arrival: eff,
-        });
+        self.mailboxes[t].push_pooled(
+            InFlight {
+                meta,
+                frag_index,
+                arrival: eff,
+            },
+            &mut ctx.pool,
+        );
     }
 }
 
@@ -430,13 +439,12 @@ pub(crate) fn run_parallel_impl<R: Recorder>(
         np_slots: (0..n)
             .map(|_| CachePadded::new(AtomicU64::new(0)))
             .collect(),
-        straggler_total: Mutex::new(StragglerStats::default()),
         q_end: AtomicU64::new(q0.as_nanos()),
         done: AtomicU64::new(0),
         overflow: AtomicBool::new(false),
         barrier: LeaderBarrier::new(n, leader),
     };
-    let results: Vec<ParallelNodeResult> = std::thread::scope(|scope| {
+    let joined: Vec<(ParallelNodeResult, StragglerStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = programs
             .into_iter()
             .enumerate()
@@ -455,12 +463,19 @@ pub(crate) fn run_parallel_impl<R: Recorder>(
         "quantum cap exceeded: workload deadlock?"
     );
     let wall = start.elapsed();
+    // Merge the per-thread run totals in deterministic (node) order — the
+    // histogram merge is commutative anyway, but determinism is free here.
+    let mut stragglers = StragglerStats::default();
+    let mut results = Vec::with_capacity(joined.len());
+    for (node, thread_stragglers) in joined {
+        stragglers.merge(&thread_stragglers);
+        results.push(node);
+    }
     let sim_end = results
         .iter()
         .map(|r| r.finish_sim)
         .max()
         .expect("at least two nodes");
-    let stragglers = *shared.straggler_total.lock().expect("no poisoned thread");
     let leader = shared.barrier.into_state();
     let result = ParallelRunResult {
         wall,
@@ -474,7 +489,7 @@ pub(crate) fn run_parallel_impl<R: Recorder>(
 }
 
 /// Burns approximately `ns` nanoseconds of real CPU time.
-fn busy_work(ns: f64) {
+pub(crate) fn busy_work(ns: f64) {
     if ns < 1.0 {
         return;
     }
@@ -491,12 +506,14 @@ fn busy_work(ns: f64) {
     }
 }
 
+/// Runs one node simulator to completion; returns its result plus the
+/// thread's run-total straggler tally (merged by the caller after join).
 fn node_thread<R: Recorder>(
     i: usize,
     program: Program,
     config: &ParallelConfig,
     shared: &Shared<R>,
-) -> ParallelNodeResult {
+) -> (ParallelNodeResult, StragglerStats) {
     let mut exec = NodeExecutor::new(program, config.cpu);
     let mut ctx = ThreadCtx::default();
     let mut inbox: Vec<InFlight> = Vec::new();
@@ -535,7 +552,7 @@ fn node_thread<R: Recorder>(
                 }
                 continue;
             }
-            drain_mailbox(&mut exec, &shared.mailboxes[i], &mut inbox);
+            drain_mailbox(&mut exec, &shared.mailboxes[i], &mut inbox, &mut ctx.pool);
             match exec.next_action(sim) {
                 Action::Advance { dur, ops, idle } => {
                     // The executor consumed the op; the host work for it is
@@ -553,7 +570,7 @@ fn node_thread<R: Recorder>(
                         }
                         SendTarget::All => Destination::Broadcast,
                     };
-                    let sizes = shared.nic.fragment_sizes(bytes);
+                    let frag_count = shared.nic.fragment_count(bytes);
                     let meta = MessageMeta {
                         id: MessageId {
                             src: exec.rank(),
@@ -561,14 +578,15 @@ fn node_thread<R: Recorder>(
                         },
                         tag,
                         bytes,
-                        frag_count: sizes.len() as u32,
+                        frag_count,
                     };
                     msg_seq += 1;
-                    for (k, sz) in sizes.into_iter().enumerate() {
+                    for k in 0..frag_count {
+                        let sz = shared.nic.fragment_size(bytes, k);
                         let ser = shared.nic.serialization_delay(sz);
                         sim += ser;
                         publish(sim, q_end);
-                        shared.route(&mut ctx, i, dest, sz, sim, meta, k as u32);
+                        shared.route(&mut ctx, i, dest, sz, sim, meta, k);
                     }
                 }
                 Action::WaitUntil(t) => {
@@ -613,13 +631,14 @@ fn node_thread<R: Recorder>(
             None => break,
         }
     }
-    ParallelNodeResult {
+    let node = ParallelNodeResult {
         rank: exec.rank(),
         finish_sim: exec.finish_time().unwrap_or(sim),
         ops: exec.ops_executed(),
         messages_received: exec.messages_received(),
         regions: exec.regions().to_vec(),
-    }
+    };
+    (node, ctx.run_stragglers)
 }
 
 /// Meets the quantum barrier; the leader advances the policy and publishes
@@ -647,12 +666,9 @@ fn next_quantum<R: Recorder>(
             .store(ctx.stragglers.max_delay().as_nanos(), Ordering::Relaxed);
     }
     if ctx.stragglers.count() > 0 {
-        // Cold path: only quanta that actually straggled pay for the lock.
-        shared
-            .straggler_total
-            .lock()
-            .expect("no poisoned thread")
-            .merge(&ctx.stragglers);
+        // Fold the quantum delta into the thread-private run total — no
+        // shared state touched; the caller merges totals after join.
+        ctx.run_stragglers.merge(&ctx.stragglers);
         ctx.stragglers = StragglerStats::default();
     }
     if R::ENABLED {
@@ -740,8 +756,16 @@ fn leader_step<R: Recorder>(
     }
 }
 
-fn drain_mailbox(exec: &mut NodeExecutor, mailbox: &Mailbox<InFlight>, inbox: &mut Vec<InFlight>) {
-    mailbox.drain_into(inbox);
+/// Drains the node's mailbox into the reusable `inbox` scratch buffer
+/// (capacity persists across quanta) and delivers every fragment. Drained
+/// nodes are recycled into `pool` for the thread's next pushes.
+fn drain_mailbox(
+    exec: &mut NodeExecutor,
+    mailbox: &Mailbox<InFlight>,
+    inbox: &mut Vec<InFlight>,
+    pool: &mut MailboxPool<InFlight>,
+) {
+    mailbox.drain_into_pooled(inbox, pool);
     for f in inbox.drain(..) {
         exec.deliver_fragment(f.meta, f.frag_index, f.arrival);
     }

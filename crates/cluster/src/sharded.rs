@@ -1,0 +1,880 @@
+//! The sharded parallel engine: N node simulators on M worker threads.
+//!
+//! The threaded engine ([`parallel`](crate::parallel)) inherits the paper's
+//! one-SimNow-per-core shape: one OS thread per simulated node. That stops
+//! scaling long before cluster sizes — at 256+ nodes the host drowns in
+//! oversubscription and scheduler churn instead of exercising Algorithm 1.
+//! This engine decouples logical processes from OS threads: the N node
+//! simulators are partitioned into M contiguous shards (M defaulting to the
+//! host's available parallelism), each worker advances its whole shard to
+//! the quantum edge, and the quantum handshake is a hierarchical two-level
+//! [`TreeBarrier`] whose root leader runs the `QuantumPolicy` exactly as the
+//! threaded engine's [`aqs_sync::LeaderBarrier`] leader does.
+//!
+//! Packets cross shards through one lock-free [`Mailbox`] per shard, with
+//! every hop allocation-free in steady state:
+//!
+//! * pushes recycle nodes from the sending worker's [`MailboxPool`]; drains
+//!   recycle them into the receiving worker's pool;
+//! * the per-worker inbox scratch buffer keeps its capacity across quanta;
+//! * `LatencyMatrix` switch lookups go through a dense precomputed
+//!   nanosecond table (no bounds asserts, no enum dispatch per packet).
+//!
+//! **Delivery is quantum-edge-deterministic.** Unlike the threaded engine,
+//! which checks arrivals against the receiver's live published position (a
+//! benign race under unsafe quanta), this engine computes the effective
+//! delivery time at route time as `max(arrival, q_end)` of the sender's
+//! current quantum, and each shard drains its mailbox exactly once, at the
+//! quantum boundary. A packet that would arrive mid-quantum is a straggler
+//! with delay `q_end − arrival` (always less than the quantum, hence within
+//! the policy's `maxQ` bound), deferred to the boundary. Consequences:
+//!
+//! * **Results are bit-identical for every worker count M** and independent
+//!   of thread scheduling, for *any* policy: per-node timelines depend only
+//!   on the delivered timestamp sets, which no longer depend on the race.
+//! * **Under the safe quantum (`Q ≤ T`) the timeline equals the
+//!   deterministic engine's bit for bit**: every arrival already lands at or
+//!   after the quantum edge, so `max(arrival, q_end) = arrival` and zero
+//!   stragglers occur — the same argument as for the threaded engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use aqs_cluster::{EngineKind, Sim};
+//! use aqs_core::SyncConfig;
+//! use aqs_workloads::ping_pong;
+//!
+//! let spec = ping_pong(4, 3, 64);
+//! let report = Sim::new(spec.programs)
+//!     .engine(EngineKind::Sharded)
+//!     .shards(2)
+//!     .sync(SyncConfig::ground_truth())
+//!     .run();
+//! assert_eq!(report.stragglers.count(), 0);
+//! assert_eq!(report.messages_received, 6);
+//! ```
+
+use crate::parallel::{
+    busy_work, LeaderState, ParallelConfig, ParallelNodeResult, ParallelSwitch, Q_END_STOP,
+};
+use aqs_net::{Destination, NicModel, NodeId, StragglerStats};
+use aqs_node::{Action, MessageId, MessageMeta, NodeExecutor, Program, SendTarget};
+use aqs_obs::{QuantumObs, Recorder};
+use aqs_sync::{ArrivalTimes, CachePadded, Mailbox, MailboxPool, TreeBarrier};
+use aqs_time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Outcome of a sharded run. Mirrors
+/// [`ParallelRunResult`](crate::parallel::ParallelRunResult) plus the worker
+/// count the run actually used.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardedRunResult {
+    /// Real wall-clock the run took.
+    pub wall: Duration,
+    /// Simulated completion time (max across nodes).
+    pub sim_end: SimTime,
+    /// Quanta executed (including the stop round).
+    pub total_quanta: u64,
+    /// Packets routed.
+    pub total_packets: u64,
+    /// Straggler statistics (boundary-deferred arrivals).
+    pub stragglers: StragglerStats,
+    /// Per-node results, in rank order.
+    pub per_node: Vec<ParallelNodeResult>,
+    /// Worker threads the run used (after clamping to the node count).
+    pub workers: usize,
+    /// Heap allocations the pooled packet path performed, summed over
+    /// workers. This is pool warm-up only: it tracks the peak number of
+    /// packets in flight per worker, not the number routed, so in steady
+    /// state routing a packet allocates nothing.
+    pub pool_heap_allocs: u64,
+}
+
+impl ShardedRunResult {
+    /// Total messages received across nodes.
+    pub fn messages_received_total(&self) -> u64 {
+        self.per_node.iter().map(|n| n.messages_received).sum()
+    }
+}
+
+/// Default worker count: the host's available parallelism.
+pub(crate) fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A fragment in flight to one receiver, addressed by global node index.
+/// `arrival` is already the effective (boundary-deferred) delivery time.
+#[derive(Clone, Copy, Debug)]
+struct ShardInFlight {
+    dst: u32,
+    meta: MessageMeta,
+    frag_index: u32,
+    arrival: SimTime,
+}
+
+/// Precomputed switch transit: the per-packet lookup is one indexed load of
+/// a nanosecond count — no enum dispatch, no bounds assert, no allocation.
+enum ArrivalTable {
+    /// Perfect switch: zero transit, nothing to look up.
+    Perfect,
+    /// Dense `n × n` row-major transit nanoseconds.
+    Dense { n: usize, nanos: Vec<u64> },
+}
+
+impl ArrivalTable {
+    fn build(switch: &ParallelSwitch, n: usize) -> Self {
+        match switch {
+            ParallelSwitch::Perfect => ArrivalTable::Perfect,
+            ParallelSwitch::LatencyMatrix(m) => {
+                assert!(
+                    m.ports() >= n,
+                    "latency matrix has {} ports for {} nodes",
+                    m.ports(),
+                    n
+                );
+                let mut nanos = Vec::with_capacity(n * n);
+                for src in 0..n {
+                    for dst in 0..n {
+                        nanos.push(
+                            m.latency(NodeId::new(src as u32), NodeId::new(dst as u32))
+                                .as_nanos(),
+                        );
+                    }
+                }
+                ArrivalTable::Dense { n, nanos }
+            }
+        }
+    }
+
+    #[inline]
+    fn transit_nanos(&self, src: usize, dst: usize) -> u64 {
+        match self {
+            ArrivalTable::Perfect => 0,
+            ArrivalTable::Dense { n, nanos } => nanos[src * n + dst],
+        }
+    }
+}
+
+/// Per-shard observability publication (straggler delta for the quantum).
+#[derive(Default)]
+struct ShardObsSlot {
+    s_count: AtomicU64,
+    s_max: AtomicU64,
+}
+
+/// Per-worker accounting, entirely thread-private.
+struct WorkerCtx {
+    /// Stragglers recorded in the current quantum.
+    stragglers: StragglerStats,
+    /// Run-total straggler tally, returned at worker exit.
+    run_stragglers: StragglerStats,
+    /// Packets routed in the current quantum (the policy's `np` signal).
+    quantum_packets: u64,
+    /// Free-list of mailbox nodes: pushes take from here, drains refill it.
+    pool: MailboxPool<ShardInFlight>,
+}
+
+/// One node simulator's cross-quantum state inside a shard.
+struct NodeSlot {
+    exec: NodeExecutor,
+    global: usize,
+    sim: SimTime,
+    msg_seq: u64,
+    /// Remainder of an op that did not fit in the previous quantum.
+    pending: Option<SimDuration>,
+    done_reported: bool,
+}
+
+/// Shared state across worker threads.
+struct SharedSharded<R> {
+    nic: NicModel,
+    arrivals: ArrivalTable,
+    /// Wall-clock origin for barrier-wait timestamps.
+    start: Instant,
+    /// Shard (= worker) owning each global node index.
+    shard_of: Vec<u32>,
+    /// Per-shard incoming fragment queues (lock-free MPSC).
+    mailboxes: Vec<Mailbox<ShardInFlight>>,
+    /// Per-shard packets routed this quantum; the leader sums these.
+    np_slots: Vec<CachePadded<AtomicU64>>,
+    /// Per-shard straggler deltas for the quantum (observability only).
+    shard_obs: Vec<CachePadded<ShardObsSlot>>,
+    /// Per-node idle-tail (vt lag) for the quantum, in sim ns.
+    lag_slots: Vec<CachePadded<AtomicU64>>,
+    /// End of the current quantum in sim ns; `Q_END_STOP` means stop.
+    q_end: AtomicU64,
+    /// Number of nodes whose program has finished.
+    done: AtomicU64,
+    /// Deadlock-guard flag (checked after join, where panicking is safe).
+    overflow: AtomicBool,
+    barrier: TreeBarrier<LeaderState<R>>,
+}
+
+impl<R: Recorder> SharedSharded<R> {
+    /// Routes one fragment from global node `src` departing at `departure`,
+    /// with `q_end` the sender's current quantum edge. The effective
+    /// delivery time is `max(arrival, q_end)` — fully deterministic, no
+    /// reads of receiver state.
+    #[allow(clippy::too_many_arguments)]
+    fn route(
+        &self,
+        ctx: &mut WorkerCtx,
+        src: usize,
+        dst: Destination,
+        departure: SimTime,
+        q_end: SimTime,
+        meta: MessageMeta,
+        frag_index: u32,
+    ) {
+        let base = self.nic.earliest_arrival(departure);
+        match dst {
+            Destination::Unicast(d) => {
+                self.deliver(ctx, src, d.index(), base, q_end, meta, frag_index)
+            }
+            Destination::Broadcast => {
+                for t in 0..self.shard_of.len() {
+                    if t != src {
+                        self.deliver(ctx, src, t, base, q_end, meta, frag_index);
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn deliver(
+        &self,
+        ctx: &mut WorkerCtx,
+        src: usize,
+        t: usize,
+        base: SimTime,
+        q_end: SimTime,
+        meta: MessageMeta,
+        frag_index: u32,
+    ) {
+        ctx.quantum_packets += 1;
+        let arrival = base + SimDuration::from_nanos(self.arrivals.transit_nanos(src, t));
+        let eff = if arrival < q_end {
+            ctx.stragglers.record(q_end - arrival);
+            q_end
+        } else {
+            arrival
+        };
+        self.mailboxes[self.shard_of[t] as usize].push_pooled(
+            ShardInFlight {
+                dst: t as u32,
+                meta,
+                frag_index,
+                arrival: eff,
+            },
+            &mut ctx.pool,
+        );
+    }
+}
+
+/// Balanced contiguous partition of `n` nodes over `m` shards: the first
+/// `n % m` shards get one extra node.
+fn partition(n: usize, m: usize) -> Vec<std::ops::Range<usize>> {
+    let base = n / m;
+    let rem = n % m;
+    let mut ranges = Vec::with_capacity(m);
+    let mut start = 0;
+    for s in 0..m {
+        let len = base + usize::from(s < rem);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Sharded engine entry point with an explicit [`Recorder`]; the unified
+/// `Sim` builder dispatches here. `workers` of `None` uses the host's
+/// available parallelism; the count is clamped to `[1, n]`.
+///
+/// # Panics
+///
+/// Panics if fewer than two programs are given, program *i* is not for rank
+/// *i*, or the quantum cap is exceeded (deadlock guard).
+pub(crate) fn run_sharded_impl<R: Recorder>(
+    programs: Vec<Program>,
+    config: &ParallelConfig,
+    workers: Option<usize>,
+    recorder: R,
+) -> (ShardedRunResult, R) {
+    assert!(programs.len() >= 2, "a cluster needs at least 2 nodes");
+    for (i, p) in programs.iter().enumerate() {
+        assert_eq!(p.rank().index(), i, "program {i} is for {}", p.rank());
+    }
+    let n = programs.len();
+    let m = workers.unwrap_or_else(default_workers).clamp(1, n);
+    let ranges = partition(n, m);
+    let mut shard_of = vec![0u32; n];
+    for (s, range) in ranges.iter().enumerate() {
+        for slot in &mut shard_of[range.clone()] {
+            *slot = s as u32;
+        }
+    }
+    let policy = config.sync.build();
+    let q0 = policy.initial_quantum();
+    let leader = LeaderState {
+        policy,
+        quanta: 0,
+        total_packets: 0,
+        q_start_nanos: 0,
+        q_end_nanos: q0.as_nanos(),
+        max_quanta: config.max_quanta,
+        rec: recorder,
+        waits: Vec::with_capacity(n),
+        lags: Vec::with_capacity(n),
+    };
+    let start = Instant::now();
+    let shared = SharedSharded {
+        nic: config.nic,
+        arrivals: ArrivalTable::build(&config.switch, n),
+        start,
+        shard_of,
+        mailboxes: (0..m).map(|_| Mailbox::new()).collect(),
+        np_slots: (0..m)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+        shard_obs: (0..m)
+            .map(|_| CachePadded::new(ShardObsSlot::default()))
+            .collect(),
+        lag_slots: (0..n)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+        q_end: AtomicU64::new(q0.as_nanos()),
+        done: AtomicU64::new(0),
+        overflow: AtomicBool::new(false),
+        barrier: TreeBarrier::new(m, leader),
+    };
+    let mut programs: Vec<Option<Program>> = programs.into_iter().map(Some).collect();
+    type WorkerOutput = (Vec<ParallelNodeResult>, StragglerStats, u64);
+    let joined: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .enumerate()
+            .map(|(w, range)| {
+                let shard: Vec<(usize, Program)> = range
+                    .clone()
+                    .map(|i| (i, programs[i].take().expect("each program taken once")))
+                    .collect();
+                let shared = &shared;
+                scope.spawn(move || worker_thread(w, shard, config, shared))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    assert!(
+        !shared.overflow.load(Ordering::Acquire),
+        "quantum cap exceeded: workload deadlock?"
+    );
+    let wall = start.elapsed();
+    // Shards are contiguous and joined in shard order, so flattening yields
+    // rank order; the straggler merge is deterministic for the same reason.
+    let mut stragglers = StragglerStats::default();
+    let mut per_node = Vec::with_capacity(n);
+    let mut pool_heap_allocs = 0;
+    for (nodes, worker_stragglers, worker_allocs) in joined {
+        stragglers.merge(&worker_stragglers);
+        per_node.extend(nodes);
+        pool_heap_allocs += worker_allocs;
+    }
+    let sim_end = per_node
+        .iter()
+        .map(|r| r.finish_sim)
+        .max()
+        .expect("at least two nodes");
+    let leader = shared.barrier.into_state();
+    let result = ShardedRunResult {
+        wall,
+        sim_end,
+        total_quanta: leader.quanta,
+        total_packets: leader.total_packets,
+        stragglers,
+        per_node,
+        workers: m,
+        pool_heap_allocs,
+    };
+    (result, leader.rec)
+}
+
+/// Runs one shard to completion; returns its nodes' results (in rank
+/// order), the worker's run-total straggler tally, and its packet pool's
+/// heap-allocation count.
+fn worker_thread<R: Recorder>(
+    w: usize,
+    shard: Vec<(usize, Program)>,
+    config: &ParallelConfig,
+    shared: &SharedSharded<R>,
+) -> (Vec<ParallelNodeResult>, StragglerStats, u64) {
+    let base = shard.first().map(|(i, _)| *i).unwrap_or(0);
+    let mut slots: Vec<NodeSlot> = shard
+        .into_iter()
+        .map(|(global, program)| NodeSlot {
+            exec: NodeExecutor::new(program, config.cpu),
+            global,
+            sim: SimTime::ZERO,
+            msg_seq: 0,
+            pending: None,
+            done_reported: false,
+        })
+        .collect();
+    let mut ctx = WorkerCtx {
+        stragglers: StragglerStats::default(),
+        run_stragglers: StragglerStats::default(),
+        quantum_packets: 0,
+        pool: MailboxPool::new(),
+    };
+    // Reusable scratch: capacity persists across quanta.
+    let mut inbox: Vec<ShardInFlight> = Vec::new();
+    let mut q_end = SimTime::from_nanos(shared.q_end.load(Ordering::Acquire));
+    loop {
+        // Quantum boundary: drain this shard's mailbox once and deliver.
+        // Effective timestamps were fixed at route time, so delivery order
+        // within the batch is irrelevant (matching is timestamp-based).
+        shared.mailboxes[w].drain_into_pooled(&mut inbox, &mut ctx.pool);
+        for f in inbox.drain(..) {
+            let slot = &mut slots[f.dst as usize - base];
+            slot.exec.deliver_fragment(f.meta, f.frag_index, f.arrival);
+        }
+        // Advance every node in the shard to the quantum edge.
+        for slot in &mut slots {
+            let lag_ns = advance_node(slot, shared, config, &mut ctx, q_end);
+            if R::ENABLED {
+                shared.lag_slots[slot.global].store(lag_ns, Ordering::Relaxed);
+            }
+        }
+        match next_quantum(shared, &mut ctx, w) {
+            Some(qe) => q_end = qe,
+            None => break,
+        }
+    }
+    let results = slots
+        .into_iter()
+        .map(|slot| ParallelNodeResult {
+            rank: slot.exec.rank(),
+            finish_sim: slot.exec.finish_time().unwrap_or(slot.sim),
+            ops: slot.exec.ops_executed(),
+            messages_received: slot.exec.messages_received(),
+            regions: slot.exec.regions().to_vec(),
+        })
+        .collect();
+    (results, ctx.run_stragglers, ctx.pool.heap_allocs())
+}
+
+/// Advances one node to the quantum edge — the same inner loop as the
+/// threaded engine's `node_thread`, minus mid-quantum drains (deliveries
+/// are never consumable before the boundary by construction) and minus
+/// position publication (nothing reads it). Returns the node's idle-tail
+/// lag for observability (0 when busy to the edge).
+fn advance_node<R: Recorder>(
+    slot: &mut NodeSlot,
+    shared: &SharedSharded<R>,
+    config: &ParallelConfig,
+    ctx: &mut WorkerCtx,
+    q_end: SimTime,
+) -> u64 {
+    let mut lag_ns = 0u64;
+    while slot.sim < q_end {
+        if let Some(remaining) = slot.pending.take() {
+            let step = remaining.min(q_end - slot.sim);
+            slot.sim += step;
+            if step < remaining {
+                slot.pending = Some(remaining - step);
+                break; // quantum boundary reached mid-op
+            }
+            continue;
+        }
+        match slot.exec.next_action(slot.sim) {
+            Action::Advance { dur, ops, idle } => {
+                if !idle && config.host_work_per_op > 0.0 && ops > 0 {
+                    busy_work(ops as f64 * config.host_work_per_op);
+                }
+                slot.pending = Some(dur);
+            }
+            Action::Send { dst, bytes, tag } => {
+                let dest = match dst {
+                    SendTarget::Rank(r) => Destination::Unicast(NodeId::new(r.as_u32())),
+                    SendTarget::All => Destination::Broadcast,
+                };
+                let frag_count = shared.nic.fragment_count(bytes);
+                let meta = MessageMeta {
+                    id: MessageId {
+                        src: slot.exec.rank(),
+                        seq: slot.msg_seq,
+                    },
+                    tag,
+                    bytes,
+                    frag_count,
+                };
+                slot.msg_seq += 1;
+                for k in 0..frag_count {
+                    let sz = shared.nic.fragment_size(bytes, k);
+                    slot.sim += shared.nic.serialization_delay(sz);
+                    shared.route(ctx, slot.global, dest, slot.sim, q_end, meta, k);
+                }
+            }
+            Action::WaitUntil(t) => {
+                if R::ENABLED && t >= q_end {
+                    lag_ns = (q_end - slot.sim).as_nanos();
+                }
+                slot.sim = t.min(q_end);
+                if t >= q_end {
+                    break;
+                }
+            }
+            Action::Blocked => {
+                if R::ENABLED {
+                    lag_ns = (q_end - slot.sim).as_nanos();
+                }
+                slot.sim = q_end;
+                break;
+            }
+            Action::Finished => {
+                if !slot.done_reported {
+                    slot.done_reported = true;
+                    shared.done.fetch_add(1, Ordering::AcqRel);
+                }
+                if R::ENABLED {
+                    lag_ns = (q_end - slot.sim).as_nanos();
+                }
+                slot.sim = q_end;
+                break;
+            }
+        }
+    }
+    slot.sim = slot.sim.max(q_end);
+    lag_ns
+}
+
+/// Meets the tree barrier; the root leader advances the policy and publishes
+/// `(q_end, stop)` through the epoch handshake. Returns the new quantum end,
+/// or `None` when the run is over.
+fn next_quantum<R: Recorder>(
+    shared: &SharedSharded<R>,
+    ctx: &mut WorkerCtx,
+    w: usize,
+) -> Option<SimTime> {
+    shared.np_slots[w].store(ctx.quantum_packets, Ordering::Relaxed);
+    ctx.quantum_packets = 0;
+    if R::ENABLED {
+        let slot = &shared.shard_obs[w];
+        slot.s_count
+            .store(ctx.stragglers.count(), Ordering::Relaxed);
+        slot.s_max
+            .store(ctx.stragglers.max_delay().as_nanos(), Ordering::Relaxed);
+    }
+    if ctx.stragglers.count() > 0 {
+        ctx.run_stragglers.merge(&ctx.stragglers);
+        ctx.stragglers = StragglerStats::default();
+    }
+    if R::ENABLED {
+        let now_ns = shared.start.elapsed().as_nanos() as u64;
+        shared.barrier.arrive_timed(w, now_ns, |leader, ts| {
+            leader_step(shared, leader, Some(ts))
+        });
+    } else {
+        shared
+            .barrier
+            .arrive(w, |leader| leader_step(shared, leader, None));
+    }
+    // Ordered after the leader's stores by the epoch acquire inside arrive.
+    let q_end = shared.q_end.load(Ordering::Relaxed);
+    if q_end == Q_END_STOP {
+        None
+    } else {
+        Some(SimTime::from_nanos(q_end))
+    }
+}
+
+/// The root leader's quantum-boundary work: record the observability sample
+/// (merging the per-shard slots into per-node lanes), then advance the
+/// policy and publish `(q_end, stop)` — the same step the threaded engine's
+/// leader runs, over per-shard instead of per-thread inputs.
+fn leader_step<R: Recorder>(
+    shared: &SharedSharded<R>,
+    leader: &mut LeaderState<R>,
+    ts: Option<ArrivalTimes<'_>>,
+) {
+    let np: u64 = shared
+        .np_slots
+        .iter()
+        .map(|s| s.load(Ordering::Relaxed))
+        .sum();
+    if R::ENABLED {
+        let ts = ts.expect("recording enabled without timed arrival");
+        // Worker arrival stamps, expanded to per-node lanes (every node in a
+        // shard shares its worker's barrier wait) so the flight recorder's
+        // per-node layout holds for any M.
+        let latest = (0..ts.len()).map(|k| ts.get(k)).max().unwrap_or(0);
+        leader.waits.clear();
+        leader.lags.clear();
+        for (node, &shard) in shared.shard_of.iter().enumerate() {
+            leader
+                .waits
+                .push(latest.saturating_sub(ts.get(shard as usize)));
+            leader
+                .lags
+                .push(shared.lag_slots[node].load(Ordering::Relaxed));
+        }
+        let mut s_count = 0u64;
+        let mut s_max = 0u64;
+        for slot in &shared.shard_obs {
+            s_count += slot.s_count.load(Ordering::Relaxed);
+            s_max = s_max.max(slot.s_max.load(Ordering::Relaxed));
+        }
+        leader.rec.record_quantum(&QuantumObs {
+            index: leader.quanta,
+            start: SimTime::from_nanos(leader.q_start_nanos),
+            len: SimDuration::from_nanos(leader.q_end_nanos - leader.q_start_nanos),
+            packets: np,
+            stragglers: s_count,
+            max_straggler_delay: SimDuration::from_nanos(s_max),
+            barrier_wait_ns: &leader.waits,
+            vt_lag_ns: &leader.lags,
+        });
+    }
+    leader.quanta += 1;
+    leader.total_packets += np;
+    let all_done = shared.done.load(Ordering::Acquire) as usize == shared.shard_of.len();
+    if all_done {
+        shared.q_end.store(Q_END_STOP, Ordering::Relaxed);
+    } else if leader.quanta > leader.max_quanta {
+        // Cannot panic while peers wait on the barrier — flag and stop.
+        shared.overflow.store(true, Ordering::Relaxed);
+        shared.q_end.store(Q_END_STOP, Ordering::Relaxed);
+    } else {
+        #[allow(unused_mut)]
+        let mut policy_np = np;
+        #[cfg(feature = "fault-inject")]
+        if crate::fault::armed(crate::fault::Fault::LeaderNpSkip) {
+            // Mirror the threaded engine's armable bug: the policy's view
+            // forgets shard 0's packets; the recorded trace keeps true np.
+            policy_np -= shared.np_slots[0].load(Ordering::Relaxed);
+        }
+        let next = leader.policy.next_quantum(policy_np);
+        leader.q_start_nanos = leader.q_end_nanos;
+        leader.q_end_nanos += next.as_nanos();
+        shared.q_end.store(leader.q_end_nanos, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::sim::Sim;
+    use aqs_core::SyncConfig;
+    use aqs_net::LatencyMatrixSwitch;
+    use aqs_node::{ProgramBuilder, Rank, Tag};
+    use aqs_obs::NullRecorder;
+    use aqs_workloads::{burst, ping_pong};
+
+    fn cfg(sync: SyncConfig) -> ParallelConfig {
+        ParallelConfig::new(sync).with_max_quanta(20_000_000)
+    }
+
+    /// Unrecorded engine run with an owned result.
+    fn run_sharded(
+        programs: Vec<Program>,
+        config: &ParallelConfig,
+        workers: Option<usize>,
+    ) -> ShardedRunResult {
+        run_sharded_impl(programs, config, workers, NullRecorder).0
+    }
+
+    #[test]
+    fn partition_is_balanced_and_covers() {
+        for n in [2usize, 5, 7, 64] {
+            for m in 1..=n.min(9) {
+                let ranges = partition(n, m);
+                assert_eq!(ranges.len(), m);
+                assert_eq!(ranges.first().unwrap().start, 0);
+                assert_eq!(ranges.last().unwrap().end, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                    assert!(w[0].len() >= w[1].len());
+                    assert!(w[0].len() - w[1].len() <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_completes() {
+        let spec = ping_pong(2, 5, 64);
+        let r = run_sharded(spec.programs, &cfg(SyncConfig::ground_truth()), Some(2));
+        assert_eq!(r.messages_received_total(), 10);
+        assert_eq!(r.stragglers.count(), 0, "safe quantum must be race-free");
+        assert_eq!(r.total_packets, 10);
+        assert_eq!(r.workers, 2);
+        assert!(r.sim_end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn packet_path_reaches_an_allocation_free_steady_state() {
+        // Pool allocations track the peak number of packets in flight, not
+        // the number routed: 20× the rounds must not add a single
+        // allocation beyond the short run's warm-up.
+        let run = |rounds| {
+            let spec = ping_pong(2, rounds, 64);
+            run_sharded(spec.programs, &cfg(SyncConfig::ground_truth()), Some(2))
+        };
+        let short = run(10);
+        let long = run(200);
+        assert_eq!(long.total_packets, 400);
+        assert_eq!(long.pool_heap_allocs, short.pool_heap_allocs);
+        assert!(long.pool_heap_allocs < long.total_packets / 10);
+    }
+
+    #[test]
+    fn safe_quantum_matches_deterministic_engine_for_every_worker_count() {
+        let spec = burst(5, 50_000, 1024);
+        let report = Sim::new(spec.programs.clone())
+            .config(ClusterConfig::new(SyncConfig::ground_truth()).with_seed(1))
+            .run();
+        let det = report.detail.as_deterministic().expect("det engine");
+        for m in 1..=5 {
+            let r = run_sharded(
+                spec.programs.clone(),
+                &cfg(SyncConfig::ground_truth()),
+                Some(m),
+            );
+            assert_eq!(r.sim_end, det.sim_end, "workers={m}");
+            assert_eq!(r.total_packets, det.total_packets, "workers={m}");
+            assert_eq!(r.stragglers.count(), 0, "workers={m}");
+            for (a, b) in r.per_node.iter().zip(det.per_node.iter()) {
+                assert_eq!(a.finish_sim, b.finish_sim, "workers={m}");
+                assert_eq!(a.messages_received, b.messages_received, "workers={m}");
+                assert_eq!(a.ops, b.ops, "workers={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsafe_quantum_results_are_identical_for_every_worker_count() {
+        // The boundary-delivery rule makes the engine deterministic even when
+        // quanta are far above the safe bound: any M, same outcome.
+        let spec = ping_pong(4, 25, 4096);
+        let reference = run_sharded(
+            spec.programs.clone(),
+            &cfg(SyncConfig::fixed_micros(1000)),
+            Some(1),
+        );
+        assert!(reference.stragglers.count() > 0, "workload must straggle");
+        for m in 2..=4 {
+            let r = run_sharded(
+                spec.programs.clone(),
+                &cfg(SyncConfig::fixed_micros(1000)),
+                Some(m),
+            );
+            assert_eq!(r.sim_end, reference.sim_end, "workers={m}");
+            assert_eq!(r.total_quanta, reference.total_quanta, "workers={m}");
+            assert_eq!(r.total_packets, reference.total_packets, "workers={m}");
+            assert_eq!(
+                r.stragglers.count(),
+                reference.stragglers.count(),
+                "workers={m}"
+            );
+            assert_eq!(
+                r.stragglers.total_delay(),
+                reference.stragglers.total_delay(),
+                "workers={m}"
+            );
+            for (a, b) in r.per_node.iter().zip(reference.per_node.iter()) {
+                assert_eq!(a.finish_sim, b.finish_sim, "workers={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_reduces_quanta() {
+        let mk = |r: u32| {
+            let peer = 1 - r;
+            let mut b = ProgramBuilder::new(Rank::new(r)).compute(2_000_000);
+            if r == 0 {
+                b = b.send(Rank::new(peer), 64, Tag::new(0));
+            } else {
+                b = b.recv(Some(Rank::new(peer)), Tag::new(0));
+            }
+            b.compute(2_000_000).build()
+        };
+        let programs = vec![mk(0), mk(1)];
+        let truth = run_sharded(programs.clone(), &cfg(SyncConfig::ground_truth()), Some(2));
+        let dynr = run_sharded(programs, &cfg(SyncConfig::paper_dyn1()), Some(2));
+        assert!(
+            dynr.total_quanta < truth.total_quanta / 5,
+            "adaptive should need far fewer quanta: {} vs {}",
+            dynr.total_quanta,
+            truth.total_quanta
+        );
+    }
+
+    #[test]
+    fn latency_matrix_switch_matches_deterministic_engine() {
+        use crate::sim::SimSwitch;
+        let spec = ping_pong(2, 20, 4096);
+        let matrix = LatencyMatrixSwitch::uniform(2, SimDuration::from_micros(3));
+        let det = Sim::new(spec.programs.clone())
+            .config(ClusterConfig::new(SyncConfig::ground_truth()).with_seed(7))
+            .switch(SimSwitch::LatencyMatrix(matrix.clone()))
+            .run();
+        let r = run_sharded(
+            spec.programs,
+            &cfg(SyncConfig::ground_truth()).with_switch(ParallelSwitch::LatencyMatrix(matrix)),
+            Some(2),
+        );
+        assert_eq!(r.sim_end, det.sim_end);
+        assert_eq!(r.total_packets, det.total_packets);
+        assert_eq!(r.stragglers.count(), 0);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_node_count() {
+        let spec = ping_pong(2, 2, 64);
+        let r = run_sharded(spec.programs, &cfg(SyncConfig::ground_truth()), Some(64));
+        assert_eq!(r.workers, 2);
+    }
+
+    #[test]
+    fn flight_recorder_matches_run_totals_and_null_run() {
+        use aqs_obs::{FlightRecorder, ObsConfig};
+        let spec = burst(4, 50_000, 1024);
+        let (r, fr) = run_sharded_impl(
+            spec.programs.clone(),
+            &cfg(SyncConfig::ground_truth()),
+            Some(2),
+            FlightRecorder::new(4, ObsConfig::new()),
+        );
+        assert_eq!(fr.total_packets(), r.total_packets);
+        assert_eq!(fr.total_quanta(), r.total_quanta);
+        assert_eq!(fr.total_stragglers(), r.stragglers.count());
+        let null = run_sharded(spec.programs, &cfg(SyncConfig::ground_truth()), Some(2));
+        assert_eq!(null.sim_end, r.sim_end);
+        assert_eq!(null.total_quanta, r.total_quanta);
+        assert_eq!(null.total_packets, r.total_packets);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn quantum_cap_catches_deadlock() {
+        let p0 = ProgramBuilder::new(Rank::new(0))
+            .recv(Some(Rank::new(1)), Tag::new(0))
+            .build();
+        let p1 = ProgramBuilder::new(Rank::new(1)).compute(10).build();
+        let _ = run_sharded(
+            vec![p0, p1],
+            &ParallelConfig::new(SyncConfig::fixed_micros(1000)).with_max_quanta(500),
+            Some(1),
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! The unified engine API: one builder, three engines, one report.
+//! The unified engine API: one builder, four engines, one report.
 //!
 //! Historically each engine had its own free-function entry point
 //! (`run_cluster`, `run_cluster_with_switch`, `run_parallel`,
@@ -34,6 +34,7 @@ use crate::engine::run_cluster_impl;
 use crate::optimistic::{run_optimistic_impl, OptimisticConfig, OptimisticRunResult};
 use crate::parallel::{run_parallel_impl, ParallelConfig, ParallelRunResult, ParallelSwitch};
 use crate::result::RunResult;
+use crate::sharded::{run_sharded_impl, ShardedRunResult};
 use aqs_core::SyncConfig;
 use aqs_net::{LatencyMatrixSwitch, PerfectSwitch, StoreAndForwardSwitch, StragglerStats};
 use aqs_node::Program;
@@ -55,15 +56,21 @@ pub enum EngineKind {
     /// The optimistic (checkpoint/rollback) engine: free-running windows
     /// with fixed-point re-execution. Exact simulated timeline.
     Optimistic,
+    /// The sharded engine: N node simulators on M worker threads with
+    /// quantum-edge-deterministic delivery. Real wall-clock; functional
+    /// results are bit-identical for every worker count.
+    Sharded,
 }
 
 impl EngineKind {
-    /// Short lowercase name (`deterministic` / `threaded` / `optimistic`).
+    /// Short lowercase name
+    /// (`deterministic` / `threaded` / `optimistic` / `sharded`).
     pub fn name(&self) -> &'static str {
         match self {
             EngineKind::Deterministic => "deterministic",
             EngineKind::Threaded => "threaded",
             EngineKind::Optimistic => "optimistic",
+            EngineKind::Sharded => "sharded",
         }
     }
 }
@@ -130,6 +137,8 @@ pub enum EngineDetail {
     Threaded(Box<ParallelRunResult>),
     /// Full optimistic-engine result.
     Optimistic(OptimisticRunResult),
+    /// Full sharded-engine result.
+    Sharded(Box<ShardedRunResult>),
 }
 
 impl EngineDetail {
@@ -153,6 +162,14 @@ impl EngineDetail {
     pub fn as_optimistic(&self) -> Option<&OptimisticRunResult> {
         match self {
             EngineDetail::Optimistic(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The sharded result, if this run used that engine.
+    pub fn as_sharded(&self) -> Option<&ShardedRunResult> {
+        match self {
+            EngineDetail::Sharded(r) => Some(r),
             _ => None,
         }
     }
@@ -237,6 +254,11 @@ impl RunReport {
                 .iter()
                 .map(|n| (n.rank.as_u32(), n.finish_sim, n.ops, n.messages_received))
                 .collect(),
+            EngineDetail::Sharded(r) => r
+                .per_node
+                .iter()
+                .map(|n| (n.rank.as_u32(), n.finish_sim, n.ops, n.messages_received))
+                .collect(),
         };
         SimulatedOutcome {
             sim_end: self.sim_end,
@@ -270,6 +292,7 @@ pub struct Sim {
     rollback_cost: HostDuration,
     gvt_cost: HostDuration,
     max_iterations: u32,
+    shards: Option<usize>,
     obs: Option<ObsConfig>,
 }
 
@@ -291,6 +314,7 @@ impl Sim {
             rollback_cost: defaults.rollback_cost,
             gvt_cost: defaults.gvt_cost,
             max_iterations: defaults.max_iterations,
+            shards: None,
             obs: None,
         }
     }
@@ -368,6 +392,20 @@ impl Sim {
         self
     }
 
+    /// Sharded engine: number of worker threads (shards). Defaults to the
+    /// host's available parallelism; always clamped to the node count.
+    /// Functional results are identical for every value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn shards(mut self, m: usize) -> Self {
+        assert!(m >= 1, "a sharded run needs at least one worker");
+        self.shards = Some(m);
+        self
+    }
+
     /// Attaches a quantum-level flight recorder; the report's
     /// [`RunReport::obs`] will carry it. Recording never perturbs simulated
     /// results and adds no lock to any engine's packet path.
@@ -411,6 +449,7 @@ impl Sim {
             rollback_cost,
             gvt_cost,
             max_iterations,
+            shards,
             obs: _,
         } = self;
         match engine {
@@ -473,6 +512,41 @@ impl Sim {
                 };
                 (report, rec)
             }
+            EngineKind::Sharded => {
+                let par_switch = match switch {
+                    SimSwitch::Perfect => ParallelSwitch::Perfect,
+                    SimSwitch::LatencyMatrix(m) => ParallelSwitch::LatencyMatrix(m),
+                    other => panic!(
+                        "the sharded engine does not support the {} switch \
+                         (stateful models would serialize the packet path)",
+                        other.name()
+                    ),
+                };
+                let pcfg = ParallelConfig {
+                    sync: config.sync.clone(),
+                    nic: config.nic,
+                    cpu: config.cpu,
+                    switch: par_switch,
+                    host_work_per_op,
+                    max_quanta,
+                };
+                let sync_label = pcfg.sync.build().label();
+                let (r, rec) = run_sharded_impl(programs, &pcfg, shards, rec);
+                let report = RunReport {
+                    engine,
+                    sync_label,
+                    n_nodes: r.per_node.len(),
+                    sim_end: r.sim_end,
+                    total_packets: r.total_packets,
+                    messages_received: r.messages_received_total(),
+                    stragglers: r.stragglers,
+                    total_quanta: r.total_quanta,
+                    wall_clock: WallClock::Real(r.wall),
+                    detail: EngineDetail::Sharded(Box::new(r)),
+                    obs: None,
+                };
+                (report, rec)
+            }
             EngineKind::Optimistic => {
                 if !matches!(switch, SimSwitch::Perfect) {
                     panic!(
@@ -516,7 +590,7 @@ mod tests {
     use aqs_workloads::{burst, ping_pong};
 
     #[test]
-    fn three_engines_one_builder_agree_under_safe_quantum() {
+    fn four_engines_one_builder_agree_under_safe_quantum() {
         let spec = burst(4, 50_000, 1024);
         let mk = |engine| {
             Sim::new(spec.programs.clone())
@@ -524,13 +598,19 @@ mod tests {
                 .sync(SyncConfig::ground_truth())
                 .window(SimDuration::from_micros(20))
                 .optimistic_costs(HostDuration::ZERO, HostDuration::ZERO)
+                .shards(2)
                 .run()
         };
         let det = mk(EngineKind::Deterministic);
         let thr = mk(EngineKind::Threaded);
         let opt = mk(EngineKind::Optimistic);
+        let shd = mk(EngineKind::Sharded);
         assert_eq!(det.simulated_outcome(), thr.simulated_outcome());
         assert_eq!(det.simulated_outcome(), opt.simulated_outcome());
+        assert_eq!(det.simulated_outcome(), shd.simulated_outcome());
+        assert_eq!(shd.engine.name(), "sharded");
+        assert_eq!(shd.detail.as_sharded().expect("sharded detail").workers, 2);
+        assert!(matches!(shd.wall_clock, WallClock::Real(_)));
         assert_eq!(det.engine.name(), "deterministic");
         assert!(matches!(det.wall_clock, WallClock::Modelled(_)));
         assert!(matches!(thr.wall_clock, WallClock::Real(_)));

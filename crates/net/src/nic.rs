@@ -93,18 +93,31 @@ impl NicModel {
         message_bytes.div_ceil(self.mtu_bytes as u64) as u32
     }
 
-    /// Sizes of the frames a message of `message_bytes` fragments into.
-    pub fn fragment_sizes(&self, message_bytes: u64) -> Vec<u32> {
+    /// Size of fragment `index` of a message of `message_bytes` — the
+    /// allocation-free form of [`fragment_sizes`](Self::fragment_sizes) for
+    /// hot paths that walk `0..fragment_count(message_bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= fragment_count(message_bytes)`.
+    pub fn fragment_size(&self, message_bytes: u64, index: u32) -> u32 {
         let n = self.fragment_count(message_bytes);
-        let mut sizes = Vec::with_capacity(n as usize);
-        let mut remaining = message_bytes;
-        for _ in 0..n {
-            let take = remaining.min(self.mtu_bytes as u64) as u32;
-            // Header-only frames (zero-length message) still occupy a slot.
-            sizes.push(take.max(64));
-            remaining -= take as u64;
-        }
-        sizes
+        assert!(index < n, "fragment index {index} out of range");
+        let offset = index as u64 * self.mtu_bytes as u64;
+        let take = (message_bytes - offset).min(self.mtu_bytes as u64) as u32;
+        // Header-only frames (zero-length tail) still occupy a 64-byte slot.
+        take.max(64)
+    }
+
+    /// Sizes of the frames a message of `message_bytes` fragments into.
+    ///
+    /// Allocates; hot paths should iterate
+    /// [`fragment_size`](Self::fragment_size) over
+    /// [`fragment_count`](Self::fragment_count) instead.
+    pub fn fragment_sizes(&self, message_bytes: u64) -> Vec<u32> {
+        (0..self.fragment_count(message_bytes))
+            .map(|i| self.fragment_size(message_bytes, i))
+            .collect()
     }
 
     /// Total NIC occupancy for sending a whole message: the sum of frame
@@ -202,6 +215,15 @@ mod tests {
             prop_assert!(covered <= bytes + 64);
             prop_assert!(sizes.iter().all(|&s| s <= nic.mtu_bytes()));
             prop_assert_eq!(sizes.len() as u32, nic.fragment_count(bytes));
+        }
+
+        #[test]
+        fn indexed_fragment_size_matches_vec_form(bytes in 0u64..1_000_000) {
+            let nic = NicModel::paper_default();
+            let sizes = nic.fragment_sizes(bytes);
+            for (i, &s) in sizes.iter().enumerate() {
+                prop_assert_eq!(nic.fragment_size(bytes, i as u32), s);
+            }
         }
 
         #[test]

@@ -27,7 +27,7 @@ echo "==> conformance harness: mutation + schedule-fuzz tiers"
 cargo test -p aqs-check --features fault-inject -q
 cargo test -p aqs-check --features schedule-fuzz -q
 
-echo "==> conformance smoke gate: 200 cases x 3 engines"
+echo "==> conformance smoke gate: 200 cases x 4 engines"
 cargo run --release -q -p aqs-check --bin conformance -- \
     --cases 200 --seed 0xA5 --time-budget 300 \
     --log conformance.log.jsonl --artifacts conformance-artifacts
@@ -37,5 +37,8 @@ rm -rf conformance-artifacts
 echo "==> build bench binaries (not timed)"
 cargo build --release -p aqs-bench --bins
 cargo bench --workspace --no-run
+
+echo "==> shard_scaling smoke sweep (results-match + allocation asserts, no timing gate)"
+cargo run --release -q -p aqs-bench --bin shard_scaling -- --smoke
 
 echo "verify: OK"

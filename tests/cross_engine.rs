@@ -1,6 +1,7 @@
-//! Deterministic engine vs. threaded engine vs. optimistic engine: under
-//! the safe quantum all three must agree exactly on the simulated timeline,
-//! because no thread interleaving can create a straggler.
+//! Deterministic vs. threaded vs. optimistic vs. sharded engine: under the
+//! safe quantum all four must agree exactly on the simulated timeline,
+//! because no thread interleaving can create a straggler. The sharded
+//! engine must additionally agree with itself for every worker count.
 
 use aqs::cluster::{EngineKind, RunReport, Sim};
 use aqs::core::SyncConfig;
@@ -47,6 +48,29 @@ fn check_equivalence(spec: WorkloadSpec) {
             "{}: {} regions differ",
             spec.name, p.rank
         );
+    }
+    for workers in [1, 2, 3] {
+        let sh = Sim::new(spec.programs.clone())
+            .engine(EngineKind::Sharded)
+            .shards(workers)
+            .sync(SyncConfig::ground_truth())
+            .seed(1)
+            .max_quanta(50_000_000)
+            .run();
+        assert_eq!(
+            sh.simulated_outcome(),
+            det.simulated_outcome(),
+            "{}: sharded (M={workers}) outcome differs",
+            spec.name
+        );
+        let sh_nodes = &sh.detail.as_sharded().unwrap().per_node;
+        for (s, d) in sh_nodes.iter().zip(det_nodes) {
+            assert_eq!(
+                s.regions, d.regions,
+                "{}: sharded (M={workers}) {} regions differ",
+                spec.name, s.rank
+            );
+        }
     }
 }
 
@@ -99,11 +123,11 @@ fn random_workload(n: usize, phases: &[(u8, u32, u32)]) -> Vec<aqs::node::Progra
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// All three engines — deterministic, threaded, optimistic — agree on
-    /// `messages_received`, `total_packets`, and `sim_end` for random
-    /// programs under the safe quantum `Q <= T`.
+    /// All four engines — deterministic, threaded, optimistic, sharded —
+    /// agree on `messages_received`, `total_packets`, and `sim_end` for
+    /// random programs under the safe quantum `Q <= T`.
     #[test]
-    fn three_engines_agree_on_random_programs(
+    fn four_engines_agree_on_random_programs(
         n in prop::sample::select(vec![2usize, 3, 4]),
         phases in prop::collection::vec((any::<u8>(), 0u32..80, 0u32..10_000), 1..4),
     ) {
@@ -119,9 +143,20 @@ proptest! {
         let det = mk(EngineKind::Deterministic);
         let par = mk(EngineKind::Threaded);
         let opt = mk(EngineKind::Optimistic);
-        // sim_end: all three identical.
+        // sim_end: all engines identical, sharded for every worker count.
         prop_assert_eq!(par.sim_end, det.sim_end);
         prop_assert_eq!(opt.sim_end, det.sim_end);
+        for workers in [1, 2, 4] {
+            let sh = Sim::new(programs.clone())
+                .engine(EngineKind::Sharded)
+                .shards(workers)
+                .sync(SyncConfig::ground_truth())
+                .seed(3)
+                .max_quanta(50_000_000)
+                .run();
+            prop_assert_eq!(sh.simulated_outcome(), det.simulated_outcome());
+            prop_assert_eq!(sh.stragglers.count(), 0);
+        }
         // total_packets: identical between engines.
         prop_assert_eq!(par.total_packets, det.total_packets);
         // messages_received: identical per node across all three (covered
@@ -207,4 +242,33 @@ fn long_quantum_keeps_functional_integrity() {
     );
     assert_eq!(par.messages_received, det.messages_received);
     assert_eq!(par.total_packets, det.total_packets);
+}
+
+/// With a long (unsafe) quantum the sharded engine snaps every straggler to
+/// the sender's quantum edge at route time, so — unlike the threaded
+/// engine — its dilated timeline is fully deterministic: bit-identical
+/// outcomes for every worker count, stragglers included.
+#[test]
+fn long_quantum_sharded_is_identical_for_every_worker_count() {
+    let spec = burst(4, 100_000, 2048);
+    let runs: Vec<RunReport> = [1, 2, 3, 4]
+        .into_iter()
+        .map(|workers| {
+            Sim::new(spec.programs.clone())
+                .engine(EngineKind::Sharded)
+                .shards(workers)
+                .sync(SyncConfig::fixed_micros(1000))
+                .seed(1)
+                .max_quanta(50_000_000)
+                .run()
+        })
+        .collect();
+    let base = &runs[0];
+    assert!(base.stragglers.count() > 0, "expected an unsafe quantum");
+    for r in &runs[1..] {
+        assert_eq!(r.simulated_outcome(), base.simulated_outcome());
+        assert_eq!(r.stragglers.count(), base.stragglers.count());
+        assert_eq!(r.stragglers.max_delay(), base.stragglers.max_delay());
+        assert_eq!(r.total_quanta, base.total_quanta);
+    }
 }

@@ -20,15 +20,21 @@
 //! assertions only (no JSON written, no timing gate) — the CI entry point.
 
 use aqs_cluster::parallel::ParallelRunResult;
-use aqs_cluster::{EngineKind, ShardedRunResult, Sim};
+use aqs_cluster::{EngineKind, ShardedRunResult, Sim, SimSwitch};
 use aqs_core::SyncConfig;
+use aqs_net::{FabricConfig, FatTreeFabric};
 use aqs_node::Program;
+use aqs_obs::ObsConfig;
 use aqs_workloads::{burst, MpiBuilder};
 use serde_json::Value;
 
 const COMPUTE_OPS: u64 = 200_000;
 const BYTES: u64 = 1024;
 const MAX_QUANTA: u64 = 50_000_000;
+/// Fabric-tier workload parameters: one fragment per message, enough
+/// compute that the adaptive policy has quiet stretches to grow into.
+const FABRIC_BYTES: u64 = 4096;
+const FABRIC_COMPUTE: u64 = 50_000;
 /// Threaded baseline ceiling: beyond this, thread-per-node is measured as
 /// unviable rather than slow (see EXPERIMENTS.md on the oversubscription
 /// cliff) and only the sharded engine runs.
@@ -121,6 +127,192 @@ fn burst_rounds(rounds: usize) -> Vec<Program> {
         m.alltoall(BYTES);
     }
     m.build()
+}
+
+/// Ring neighbor exchange + compute for the fabric tiers: traffic is O(n),
+/// so the sweep stays tractable at 65 536 nodes (an all-to-all would route
+/// O(n²) packets), while every node still crosses racks both ways.
+fn ring_workload(n: usize, rounds: usize) -> Vec<Program> {
+    let mut m = MpiBuilder::new(n);
+    for _ in 0..rounds {
+        m.compute_all(FABRIC_COMPUTE);
+        m.neighbor_exchange(&[1], FABRIC_BYTES);
+    }
+    m.build()
+}
+
+fn run_fabric(programs: Vec<Program>, workers: usize) -> ShardedRunResult {
+    Sim::new(programs)
+        .engine(EngineKind::Sharded)
+        .shards(workers)
+        .switch(SimSwitch::Fabric(FabricConfig::fat_tree()))
+        .sync(SyncConfig::paper_dyn2())
+        .max_quanta(MAX_QUANTA)
+        .run()
+        .detail
+        .as_sharded()
+        .expect("sharded engine ran")
+        .clone()
+}
+
+/// The fat-tree fabric tiers: {4k, 16k, 64k}-node ring exchanges through
+/// the modeled multi-tier fabric on the sharded engine. Asserts cross-M
+/// bit-identity and a zero steady-state allocation differential at the
+/// 4k-node tier; `--smoke` stops there (assertions only), the full sweep
+/// adds 16k (with per-link stats captured from a recorded run) and 64k and
+/// returns the `fabric` section of `BENCH_shard.json`.
+fn fabric_sweep(smoke: bool, worker_counts: &[usize]) -> Option<Value> {
+    let fabric_cfg = FabricConfig::fat_tree();
+    let node_counts: &[usize] = if smoke {
+        &[4096]
+    } else {
+        &[4096, 16_384, 65_536]
+    };
+    let mut tiers = Vec::new();
+    for &n in node_counts {
+        let programs = ring_workload(n, 1);
+        let mut runs = Vec::new();
+        for &m in worker_counts {
+            let r = run_fabric(programs.clone(), m);
+            runs.push((m, r));
+        }
+        let (_, base) = &runs[0];
+        for (m, r) in &runs {
+            assert!(
+                sharded_outcome_eq(r, base),
+                "fabric n={n}: sharded outcome depends on worker count M={m}"
+            );
+        }
+        let n_links = FatTreeFabric::new(fabric_cfg, n).n_links();
+        for (m, r) in &runs {
+            println!(
+                "fabric n={n:>5} workers={m:<3} wall {w:>9.4}s  quanta {q}  packets {p}  \
+                 links {n_links}  pool-allocs {a}",
+                w = r.wall.as_secs_f64(),
+                q = r.total_quanta,
+                p = r.total_packets,
+                a = r.pool_heap_allocs,
+            );
+        }
+        tiers.push(Value::Object(vec![
+            ("nodes".into(), Value::U64(n as u64)),
+            ("n_links".into(), Value::U64(n_links as u64)),
+            ("policy".into(), Value::Str("dyn2".into())),
+            (
+                "sharded".into(),
+                Value::Array(
+                    runs.iter()
+                        .map(|(m, r)| {
+                            let Value::Object(mut fields) = engine_obj(
+                                r.wall.as_secs_f64(),
+                                r.total_quanta,
+                                r.total_packets,
+                                r.stragglers.count(),
+                                r.sim_end.as_nanos(),
+                            ) else {
+                                unreachable!("engine_obj returns an object")
+                            };
+                            fields.insert(0, ("workers".into(), Value::U64(*m as u64)));
+                            fields
+                                .push(("pool_heap_allocs".into(), Value::U64(r.pool_heap_allocs)));
+                            Value::Object(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+            ("worker_counts_agree".into(), Value::Bool(true)),
+        ]));
+    }
+
+    // Allocation gate at the 4k-node tier: 4× the exchange rounds must not
+    // add a single pool allocation beyond the 1-round warm-up, fabric
+    // transit math included.
+    let m = *worker_counts.last().expect("at least one worker count");
+    let short = run_fabric(ring_workload(4096, 1), m);
+    let long = run_fabric(ring_workload(4096, 4), m);
+    let extra = long.pool_heap_allocs.saturating_sub(short.pool_heap_allocs);
+    assert!(long.total_packets > short.total_packets);
+    assert_eq!(
+        extra, 0,
+        "steady-state fabric routing performed heap allocations at 4k nodes"
+    );
+    println!(
+        "fabric allocation differential at 4096 nodes: +{} packets -> +{extra} pool allocations",
+        long.total_packets - short.total_packets,
+    );
+
+    // Per-link queue stats from a recorded run: the flight recorder's link
+    // lanes must be populated and the hottest link identifiable. The smoke
+    // sweep checks this at 4k; the full sweep captures the 16k tier for the
+    // JSON artifact.
+    let stats_nodes = if smoke { 4096 } else { 16_384 };
+    let report = Sim::new(ring_workload(stats_nodes, 1))
+        .engine(EngineKind::Sharded)
+        .shards(m)
+        .switch(SimSwitch::Fabric(fabric_cfg))
+        .sync(SyncConfig::paper_dyn2())
+        .max_quanta(MAX_QUANTA)
+        .record(ObsConfig::new())
+        .run();
+    let fr = report.obs.as_ref().expect("recorded run has a recorder");
+    let load = fr.link_load().expect("fabric run records link load");
+    let fabric = FatTreeFabric::new(fabric_cfg, stats_nodes);
+    assert_eq!(load.bytes.len(), fabric.n_links());
+    assert!(load.total_bytes() > 0, "traffic must cross the fabric");
+    let (hot, hot_bytes) = load.hottest().expect("some link carried traffic");
+    let peak = load.peak_quantum_bytes.iter().copied().max().unwrap_or(0);
+    println!(
+        "fabric link stats at {stats_nodes} nodes: {} links, {} total bytes, hottest {} \
+         ({hot_bytes} bytes), peak quantum load {peak} bytes",
+        fabric.n_links(),
+        load.total_bytes(),
+        fabric.link_label(hot as u32),
+    );
+    if smoke {
+        return None;
+    }
+    Some(Value::Object(vec![
+        (
+            "config".into(),
+            Value::Object(vec![
+                ("rack_size".into(), Value::U64(fabric_cfg.rack_size as u64)),
+                (
+                    "uplinks_per_rack".into(),
+                    Value::U64(fabric_cfg.uplinks_per_rack as u64),
+                ),
+                ("edge_bw_bps".into(), Value::U64(fabric_cfg.edge_bw_bps)),
+                ("uplink_bw_bps".into(), Value::U64(fabric_cfg.uplink_bw_bps)),
+                (
+                    "max_queue_bytes".into(),
+                    Value::U64(fabric_cfg.max_queue_bytes),
+                ),
+            ]),
+        ),
+        (
+            "workload".into(),
+            Value::Object(vec![
+                ("kind".into(), Value::Str("ring-exchange".into())),
+                ("compute_ops".into(), Value::U64(FABRIC_COMPUTE)),
+                ("bytes".into(), Value::U64(FABRIC_BYTES)),
+            ]),
+        ),
+        ("tiers".into(), Value::Array(tiers)),
+        (
+            "link_stats".into(),
+            Value::Object(vec![
+                ("nodes".into(), Value::U64(stats_nodes as u64)),
+                ("links".into(), Value::U64(fabric.n_links() as u64)),
+                ("total_bytes".into(), Value::U64(load.total_bytes())),
+                ("hottest_link".into(), Value::U64(hot as u64)),
+                (
+                    "hottest_label".into(),
+                    Value::Str(fabric.link_label(hot as u32)),
+                ),
+                ("hottest_bytes".into(), Value::U64(hot_bytes)),
+                ("max_peak_quantum_bytes".into(), Value::U64(peak)),
+            ]),
+        ),
+    ]))
 }
 
 fn main() {
@@ -274,8 +466,10 @@ fn main() {
         short.pool_heap_allocs, short.total_packets,
     );
 
+    let fabric_section = fabric_sweep(smoke, &worker_counts);
+
     if smoke {
-        println!("smoke sweep passed (results-match + allocation assertions only)");
+        println!("smoke sweep passed (results-match + allocation + fabric assertions only)");
         return;
     }
 
@@ -301,6 +495,10 @@ fn main() {
             Value::F64(extra_allocs as f64 / extra_packets as f64),
         ),
         ("configs".into(), Value::Array(configs)),
+        (
+            "fabric".into(),
+            fabric_section.expect("full sweep builds the fabric section"),
+        ),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("render json");
     std::fs::write("BENCH_shard.json", json + "\n").expect("write BENCH_shard.json");

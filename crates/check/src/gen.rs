@@ -9,7 +9,7 @@
 
 use aqs_cluster::SimSwitch;
 use aqs_core::{AdaptiveConfig, SyncConfig};
-use aqs_net::LatencyMatrixSwitch;
+use aqs_net::{FabricConfig, LatencyMatrixSwitch};
 use aqs_node::Program;
 use aqs_rng::Rng;
 use aqs_time::SimDuration;
@@ -127,8 +127,13 @@ pub struct CaseSpec {
     /// Program phases, identical structure on every node.
     pub phases: Vec<PhaseSpec>,
     /// Uniform switch latency in nanoseconds; `0` selects the paper's
-    /// perfect switch (and enables the optimistic engine).
+    /// perfect switch (and enables the optimistic engine). Ignored when
+    /// [`fabric`](Self::fabric) is set (the generator keeps it `0` there).
     pub switch_latency_ns: u64,
+    /// Route through a small two-nodes-per-rack fat-tree fabric instead of
+    /// a uniform latency: per-link serialization, deterministic ECMP plane
+    /// hashing, and epoch-keyed background queueing all in the transit path.
+    pub fabric: bool,
     /// Quantum policy for the policy-invariant runs.
     pub policy: PolicySpec,
 }
@@ -152,12 +157,14 @@ impl CaseSpec {
                 bytes: rng.range_u64(1..16_000),
             })
             .collect();
-        // 70 % perfect switch so the optimistic engine joins the vote; the
-        // rest exercise the latency-matrix path.
-        let switch_latency_ns = if rng.bernoulli(0.7) {
-            0
+        // 60 % perfect switch so the optimistic engine joins the vote; the
+        // rest split between the latency-matrix and fat-tree fabric paths.
+        let (switch_latency_ns, fabric) = if rng.bernoulli(0.6) {
+            (0, false)
+        } else if rng.bernoulli(0.5) {
+            (rng.range_u64(1_000..4_000), false)
         } else {
-            rng.range_u64(1_000..4_000)
+            (0, true)
         };
         let policy = if rng.bernoulli(0.4) {
             PolicySpec::Fixed {
@@ -178,6 +185,7 @@ impl CaseSpec {
             n_nodes,
             phases,
             switch_latency_ns,
+            fabric,
             policy,
         }
     }
@@ -219,7 +227,16 @@ impl CaseSpec {
 
     /// The engine-facing switch model.
     pub fn switch(&self) -> SimSwitch {
-        if self.switch_latency_ns == 0 {
+        if self.fabric {
+            // Two nodes per rack and two uplink planes: even the smallest
+            // generated cluster (n = 3) crosses racks, exercising the full
+            // uplink/downlink path and the ECMP plane hash.
+            SimSwitch::Fabric(
+                FabricConfig::fat_tree()
+                    .with_rack_size(2)
+                    .with_uplinks_per_rack(2),
+            )
+        } else if self.switch_latency_ns == 0 {
             SimSwitch::Perfect
         } else {
             SimSwitch::LatencyMatrix(LatencyMatrixSwitch::uniform(
@@ -232,7 +249,7 @@ impl CaseSpec {
     /// Whether the optimistic engine can run this case (perfect switch
     /// only).
     pub fn optimistic_ok(&self) -> bool {
-        self.switch_latency_ns == 0
+        self.switch_latency_ns == 0 && !self.fabric
     }
 
     /// A compact human-readable tag for logs: `seed/index`.

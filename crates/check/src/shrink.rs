@@ -117,6 +117,11 @@ fn candidates(case: &CaseSpec) -> Vec<CaseSpec> {
         c.switch_latency_ns = 0;
         out.push(c);
     }
+    if case.fabric {
+        let mut c = case.clone();
+        c.fabric = false;
+        out.push(c);
+    }
     match case.policy {
         PolicySpec::Fixed { micros } if micros > 1 => {
             let mut c = case.clone();

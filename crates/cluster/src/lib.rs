@@ -78,4 +78,6 @@ pub use experiment::{
 pub use progress::ProgressRecorder;
 pub use result::{NodeResult, RunResult};
 pub use sharded::ShardedRunResult;
-pub use sim::{EngineDetail, EngineKind, RunReport, Sim, SimSwitch, SimulatedOutcome, WallClock};
+pub use sim::{
+    EngineDetail, EngineKind, RunReport, Sim, SimError, SimSwitch, SimulatedOutcome, WallClock,
+};

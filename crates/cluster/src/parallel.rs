@@ -55,7 +55,9 @@
 //! ```
 
 use aqs_core::{QuantumPolicy, SyncConfig};
-use aqs_net::{Destination, LatencyMatrixSwitch, NicModel, NodeId, StragglerStats};
+use aqs_net::{
+    Destination, FatTreeFabric, LatencyMatrixSwitch, LinkLoad, NicModel, NodeId, StragglerStats,
+};
 use aqs_node::{
     Action, CpuModel, MessageId, MessageMeta, NodeExecutor, Program, Rank, RegionRecord, SendTarget,
 };
@@ -68,11 +70,12 @@ use std::time::{Duration, Instant};
 
 /// Switch models available to the threaded engine.
 ///
-/// Only stateless models are offered: their transit delay is a pure function
-/// of `(src, dst, bytes)`, so node threads can compute arrivals without
-/// sharing mutable switch state. [`aqs_net::StoreAndForwardSwitch`] is
-/// deliberately absent — its per-egress queue would re-serialize every
-/// route call behind a lock, and its result would depend on thread timing.
+/// Only pure models are offered: their transit delay is a function of
+/// `(src, dst, bytes, departure)` alone, so node threads can compute
+/// arrivals without sharing mutable switch state — and call order cannot
+/// change any result. [`aqs_net::StoreAndForwardSwitch`] is deliberately
+/// absent — its per-egress queue would re-serialize every route call behind
+/// a lock, and its result would depend on thread timing.
 #[derive(Clone, Debug, Default)]
 pub enum ParallelSwitch {
     /// Infinite bandwidth, zero transit delay (the paper's evaluation
@@ -82,17 +85,20 @@ pub enum ParallelSwitch {
     /// Fixed per-(src, dst) latency, as in the deterministic engine's
     /// [`LatencyMatrixSwitch`].
     LatencyMatrix(LatencyMatrixSwitch),
+    /// The modeled fat-tree fabric: pure epoch-keyed transit (see
+    /// [`FatTreeFabric`]), safe under any routing order.
+    Fabric(FatTreeFabric),
 }
 
 impl ParallelSwitch {
     /// Extra delay beyond NIC latency for a frame from `src` to `dst` —
-    /// mirrors [`aqs_net::SwitchModel::transit_delay`] for the stateless
-    /// models.
+    /// mirrors [`aqs_net::SwitchModel::transit_delay`] for the pure models.
     #[inline]
-    fn transit(&self, src: NodeId, dst: NodeId, _bytes: u32, _ingress: SimTime) -> SimDuration {
+    fn transit(&self, src: NodeId, dst: NodeId, bytes: u32, ingress: SimTime) -> SimDuration {
         match self {
             ParallelSwitch::Perfect => SimDuration::ZERO,
             ParallelSwitch::LatencyMatrix(m) => m.latency(src, dst),
+            ParallelSwitch::Fabric(f) => f.transit(src, dst, bytes, ingress),
         }
     }
 }
@@ -245,6 +251,9 @@ pub(crate) struct LeaderState<R> {
     /// Scratch lanes for sample assembly, reused across quanta.
     pub(crate) waits: Vec<u64>,
     pub(crate) lags: Vec<u64>,
+    /// Per-link load merge scratch (sharded engine with a fabric switch and
+    /// recording enabled; empty — and untouched — otherwise).
+    pub(crate) link_load: LinkLoad,
 }
 
 /// Per-thread per-quantum observability publication (written by the owning
@@ -423,6 +432,7 @@ pub(crate) fn run_parallel_impl<R: Recorder>(
         rec: recorder,
         waits: Vec::with_capacity(n),
         lags: Vec::with_capacity(n),
+        link_load: LinkLoad::default(),
     };
     let start = Instant::now();
     let shared = Shared {

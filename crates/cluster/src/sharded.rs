@@ -57,7 +57,7 @@
 use crate::parallel::{
     busy_work, LeaderState, ParallelConfig, ParallelNodeResult, ParallelSwitch, Q_END_STOP,
 };
-use aqs_net::{Destination, NicModel, NodeId, StragglerStats};
+use aqs_net::{Destination, FatTreeFabric, LinkLoad, NicModel, NodeId, StragglerStats};
 use aqs_node::{Action, MessageId, MessageMeta, NodeExecutor, Program, SendTarget};
 use aqs_obs::{QuantumObs, Recorder};
 use aqs_sync::{ArrivalTimes, CachePadded, Mailbox, MailboxPool, TreeBarrier};
@@ -117,12 +117,17 @@ struct ShardInFlight {
 }
 
 /// Precomputed switch transit: the per-packet lookup is one indexed load of
-/// a nanosecond count — no enum dispatch, no bounds assert, no allocation.
+/// a nanosecond count (dense matrix) or a pure SoA computation (fabric) —
+/// no enum dispatch over trait objects, no bounds assert, no allocation.
 enum ArrivalTable {
     /// Perfect switch: zero transit, nothing to look up.
     Perfect,
     /// Dense `n × n` row-major transit nanoseconds.
     Dense { n: usize, nanos: Vec<u64> },
+    /// The fat-tree fabric: transit is a pure function of
+    /// `(src, dst, bytes, departure)`, so per-worker slices can route their
+    /// own racks' traffic in any order with bit-identical results.
+    Fabric(FatTreeFabric),
 }
 
 impl ArrivalTable {
@@ -147,14 +152,46 @@ impl ArrivalTable {
                 }
                 ArrivalTable::Dense { n, nanos }
             }
+            ParallelSwitch::Fabric(f) => {
+                assert!(
+                    f.n_nodes() >= n,
+                    "fabric was built for {} nodes, cluster has {}",
+                    f.n_nodes(),
+                    n
+                );
+                ArrivalTable::Fabric(f.clone())
+            }
         }
     }
 
     #[inline]
-    fn transit_nanos(&self, src: usize, dst: usize) -> u64 {
+    fn transit_nanos(&self, src: usize, dst: usize, bytes: u32, departure: SimTime) -> u64 {
         match self {
             ArrivalTable::Perfect => 0,
             ArrivalTable::Dense { n, nanos } => nanos[src * n + dst],
+            ArrivalTable::Fabric(f) => {
+                f.transit_nanos(src as u32, dst as u32, bytes, departure.as_nanos())
+            }
+        }
+    }
+}
+
+/// One worker's (= one fabric slice's) per-link load accumulator. Each
+/// worker writes only its own slot (relaxed adds — the slot is effectively
+/// thread-private during the quantum), and the barrier-root leader drains
+/// every slot with `swap(0)` inside the barrier's exclusive section.
+/// Commutative sums only: the merged totals are independent of worker count
+/// and routing order.
+struct LinkSlot {
+    bytes: Vec<AtomicU64>,
+    packets: Vec<AtomicU64>,
+}
+
+impl LinkSlot {
+    fn new(n_links: usize) -> Self {
+        Self {
+            bytes: (0..n_links).map(|_| AtomicU64::new(0)).collect(),
+            packets: (0..n_links).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 }
@@ -168,6 +205,8 @@ struct ShardObsSlot {
 
 /// Per-worker accounting, entirely thread-private.
 struct WorkerCtx {
+    /// This worker's index (= its shard, = its fabric slice).
+    w: usize,
     /// Stragglers recorded in the current quantum.
     stragglers: StragglerStats,
     /// Run-total straggler tally, returned at worker exit.
@@ -205,6 +244,10 @@ struct SharedSharded<R> {
     shard_obs: Vec<CachePadded<ShardObsSlot>>,
     /// Per-node idle-tail (vt lag) for the quantum, in sim ns.
     lag_slots: Vec<CachePadded<AtomicU64>>,
+    /// Per-worker fabric link-load slices, sized `m × n_links`. Empty (and
+    /// the recording path compiled out) unless the switch is a fabric *and*
+    /// the recorder is enabled.
+    fabric_slots: Vec<LinkSlot>,
     /// End of the current quantum in sim ns; `Q_END_STOP` means stop.
     q_end: AtomicU64,
     /// Number of nodes whose program has finished.
@@ -215,16 +258,19 @@ struct SharedSharded<R> {
 }
 
 impl<R: Recorder> SharedSharded<R> {
-    /// Routes one fragment from global node `src` departing at `departure`,
-    /// with `q_end` the sender's current quantum edge. The effective
-    /// delivery time is `max(arrival, q_end)` — fully deterministic, no
-    /// reads of receiver state.
+    /// Routes one fragment of `bytes` bytes from global node `src` departing
+    /// at `departure`, with `q_end` the sender's current quantum edge. The
+    /// effective delivery time is `max(arrival, q_end)` — fully
+    /// deterministic, no reads of receiver state: transit is a pure function
+    /// of `(src, dst, bytes, departure)` for every supported switch, so
+    /// neither worker count nor routing order can change an arrival.
     #[allow(clippy::too_many_arguments)]
     fn route(
         &self,
         ctx: &mut WorkerCtx,
         src: usize,
         dst: Destination,
+        bytes: u32,
         departure: SimTime,
         q_end: SimTime,
         meta: MessageMeta,
@@ -232,13 +278,23 @@ impl<R: Recorder> SharedSharded<R> {
     ) {
         let base = self.nic.earliest_arrival(departure);
         match dst {
-            Destination::Unicast(d) => {
-                self.deliver(ctx, src, d.index(), base, q_end, meta, frag_index)
-            }
+            Destination::Unicast(d) => self.deliver(
+                ctx,
+                src,
+                d.index(),
+                bytes,
+                departure,
+                base,
+                q_end,
+                meta,
+                frag_index,
+            ),
             Destination::Broadcast => {
+                // Per-destination transit is independent: each fan-out copy
+                // gets its own path and its own (src, dst)-keyed delay.
                 for t in 0..self.shard_of.len() {
                     if t != src {
-                        self.deliver(ctx, src, t, base, q_end, meta, frag_index);
+                        self.deliver(ctx, src, t, bytes, departure, base, q_end, meta, frag_index);
                     }
                 }
             }
@@ -252,13 +308,29 @@ impl<R: Recorder> SharedSharded<R> {
         ctx: &mut WorkerCtx,
         src: usize,
         t: usize,
+        bytes: u32,
+        departure: SimTime,
         base: SimTime,
         q_end: SimTime,
         meta: MessageMeta,
         frag_index: u32,
     ) {
         ctx.quantum_packets += 1;
-        let arrival = base + SimDuration::from_nanos(self.arrivals.transit_nanos(src, t));
+        let arrival =
+            base + SimDuration::from_nanos(self.arrivals.transit_nanos(src, t, bytes, departure));
+        if R::ENABLED && !self.fabric_slots.is_empty() {
+            if let ArrivalTable::Fabric(f) = &self.arrivals {
+                // Observation only (never feeds timing): bump this slice's
+                // counters along the packet's path. Relaxed is enough — the
+                // slot is written by this worker alone during the quantum
+                // and drained by the leader inside the barrier.
+                let slot = &self.fabric_slots[ctx.w];
+                for &link in f.path(src as u32, t as u32).links() {
+                    slot.bytes[link as usize].fetch_add(bytes as u64, Ordering::Relaxed);
+                    slot.packets[link as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let eff = if arrival < q_end {
             ctx.stragglers.record(q_end - arrival);
             q_end
@@ -321,6 +393,12 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
     }
     let policy = config.sync.build();
     let q0 = policy.initial_quantum();
+    // Fabric link-load slices exist only when there is something to record
+    // them into; otherwise the whole path is a dead (compiled-out) branch.
+    let n_links = match &config.switch {
+        ParallelSwitch::Fabric(f) if R::ENABLED => f.n_links(),
+        _ => 0,
+    };
     let leader = LeaderState {
         policy,
         quanta: 0,
@@ -331,6 +409,7 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
         rec: recorder,
         waits: Vec::with_capacity(n),
         lags: Vec::with_capacity(n),
+        link_load: LinkLoad::new(n_links),
     };
     let start = Instant::now();
     let shared = SharedSharded {
@@ -348,6 +427,11 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
         lag_slots: (0..n)
             .map(|_| CachePadded::new(AtomicU64::new(0)))
             .collect(),
+        fabric_slots: if n_links > 0 {
+            (0..m).map(|_| LinkSlot::new(n_links)).collect()
+        } else {
+            Vec::new()
+        },
         q_end: AtomicU64::new(q0.as_nanos()),
         done: AtomicU64::new(0),
         overflow: AtomicBool::new(false),
@@ -429,6 +513,7 @@ fn worker_thread<R: Recorder>(
         })
         .collect();
     let mut ctx = WorkerCtx {
+        w,
         stragglers: StragglerStats::default(),
         run_stragglers: StragglerStats::default(),
         quantum_packets: 0,
@@ -520,7 +605,7 @@ fn advance_node<R: Recorder>(
                 for k in 0..frag_count {
                     let sz = shared.nic.fragment_size(bytes, k);
                     slot.sim += shared.nic.serialization_delay(sz);
-                    shared.route(ctx, slot.global, dest, slot.sim, q_end, meta, k);
+                    shared.route(ctx, slot.global, dest, sz, slot.sim, q_end, meta, k);
                 }
             }
             Action::WaitUntil(t) => {
@@ -642,6 +727,26 @@ fn leader_step<R: Recorder>(
             barrier_wait_ns: &leader.waits,
             vt_lag_ns: &leader.lags,
         });
+        if !shared.fabric_slots.is_empty() {
+            // Drain every slice's per-link counters into the merge scratch.
+            // Safe: the leader runs inside the barrier's exclusive section,
+            // all workers parked. swap(0) leaves the slots ready for the
+            // next quantum, and the sums are commutative, so the merged
+            // totals are independent of M and of routing order.
+            leader.link_load.clear();
+            for slot in &shared.fabric_slots {
+                for link in 0..leader.link_load.n_links() {
+                    leader.link_load.add(
+                        link,
+                        slot.bytes[link].swap(0, Ordering::Relaxed),
+                        slot.packets[link].swap(0, Ordering::Relaxed),
+                    );
+                }
+            }
+            leader
+                .rec
+                .record_link_load(leader.link_load.bytes(), leader.link_load.packets());
+        }
     }
     leader.quanta += 1;
     leader.total_packets += np;
@@ -843,6 +948,121 @@ mod tests {
         let spec = ping_pong(2, 2, 64);
         let r = run_sharded(spec.programs, &cfg(SyncConfig::ground_truth()), Some(64));
         assert_eq!(r.workers, 2);
+    }
+
+    #[test]
+    fn builder_clamps_oversized_shard_counts_and_rejects_zero() {
+        use crate::sim::{EngineKind, SimError};
+        let spec = ping_pong(2, 2, 64);
+        // m > n clamps to n instead of spawning idle workers.
+        let report = Sim::new(spec.programs.clone())
+            .engine(EngineKind::Sharded)
+            .shards(64)
+            .sync(SyncConfig::ground_truth())
+            .run();
+        let sharded = report.detail.as_sharded().expect("sharded engine");
+        assert_eq!(sharded.workers, 2);
+        // m = 0 is a configuration error, not a panic.
+        let err = Sim::new(spec.programs)
+            .engine(EngineKind::Sharded)
+            .shards(0)
+            .sync(SyncConfig::ground_truth())
+            .try_run()
+            .unwrap_err();
+        assert_eq!(err, SimError::ZeroShards);
+        assert!(err.to_string().contains("at least one worker"));
+    }
+
+    /// A small two-rack fabric: 6 nodes, 2 per rack, 2 uplink planes.
+    fn small_fabric(n: usize) -> FatTreeFabric {
+        let cfg = aqs_net::FabricConfig::fat_tree()
+            .with_rack_size(2)
+            .with_uplinks_per_rack(2);
+        FatTreeFabric::new(cfg, n)
+    }
+
+    #[test]
+    fn fabric_switch_matches_deterministic_engine() {
+        use crate::sim::SimSwitch;
+        let spec = ping_pong(6, 12, 4096);
+        let det = Sim::new(spec.programs.clone())
+            .config(ClusterConfig::new(SyncConfig::ground_truth()).with_seed(11))
+            .switch(SimSwitch::Fabric(
+                aqs_net::FabricConfig::fat_tree()
+                    .with_rack_size(2)
+                    .with_uplinks_per_rack(2),
+            ))
+            .run();
+        let r = run_sharded(
+            spec.programs,
+            &cfg(SyncConfig::ground_truth()).with_switch(ParallelSwitch::Fabric(small_fabric(6))),
+            Some(3),
+        );
+        assert_eq!(r.sim_end, det.sim_end);
+        assert_eq!(r.total_packets, det.total_packets);
+        assert_eq!(r.stragglers.count(), 0, "safe quantum must be race-free");
+    }
+
+    #[test]
+    fn fabric_results_are_identical_for_every_worker_count() {
+        // The stateful-looking fabric is epoch-keyed pure, so even under
+        // unsafe quanta (stragglers present) the outcome is M-independent.
+        let spec = ping_pong(6, 25, 4096);
+        let mk = || {
+            cfg(SyncConfig::fixed_micros(1000)).with_switch(ParallelSwitch::Fabric(small_fabric(6)))
+        };
+        let reference = run_sharded(spec.programs.clone(), &mk(), Some(1));
+        assert!(reference.stragglers.count() > 0, "workload must straggle");
+        for m in 2..=6 {
+            let r = run_sharded(spec.programs.clone(), &mk(), Some(m));
+            assert_eq!(r.sim_end, reference.sim_end, "workers={m}");
+            assert_eq!(r.total_quanta, reference.total_quanta, "workers={m}");
+            assert_eq!(r.total_packets, reference.total_packets, "workers={m}");
+            assert_eq!(
+                r.stragglers.total_delay(),
+                reference.stragglers.total_delay(),
+                "workers={m}"
+            );
+            for (a, b) in r.per_node.iter().zip(reference.per_node.iter()) {
+                assert_eq!(a.finish_sim, b.finish_sim, "workers={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_link_load_is_recorded_and_m_independent() {
+        use aqs_obs::{FlightRecorder, ObsConfig};
+        let fabric = small_fabric(6);
+        let n_links = fabric.n_links();
+        let spec = burst(6, 50_000, 4096);
+        let run = |m| {
+            run_sharded_impl(
+                spec.programs.clone(),
+                &cfg(SyncConfig::ground_truth())
+                    .with_switch(ParallelSwitch::Fabric(fabric.clone())),
+                Some(m),
+                FlightRecorder::new(6, ObsConfig::new()),
+            )
+        };
+        let (r1, fr1) = run(1);
+        let (r3, fr3) = run(3);
+        assert_eq!(r1.sim_end, r3.sim_end);
+        let l1 = fr1.link_load().expect("fabric run records link load");
+        let l3 = fr3.link_load().expect("fabric run records link load");
+        assert_eq!(l1.bytes.len(), n_links);
+        assert!(l1.total_bytes() > 0, "traffic must hit the fabric");
+        assert_eq!(l1.bytes, l3.bytes, "link byte totals must be M-independent");
+        assert_eq!(l1.packets, l3.packets);
+        let (hot, hot_bytes) = l1.hottest().expect("some link is hottest");
+        assert!(hot < n_links && hot_bytes > 0);
+        // An unrecorded fabric run must not regress the pooled packet path.
+        let null = run_sharded(
+            spec.programs.clone(),
+            &cfg(SyncConfig::ground_truth()).with_switch(ParallelSwitch::Fabric(fabric.clone())),
+            Some(3),
+        );
+        assert_eq!(null.sim_end, r3.sim_end);
+        assert_eq!(null.total_packets, r3.total_packets);
     }
 
     #[test]

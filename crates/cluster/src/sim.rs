@@ -36,10 +36,14 @@ use crate::parallel::{run_parallel_impl, ParallelConfig, ParallelRunResult, Para
 use crate::result::RunResult;
 use crate::sharded::{run_sharded_impl, ShardedRunResult};
 use aqs_core::SyncConfig;
-use aqs_net::{LatencyMatrixSwitch, PerfectSwitch, StoreAndForwardSwitch, StragglerStats};
+use aqs_net::{
+    FabricConfig, FatTreeFabric, LatencyMatrixSwitch, PerfectSwitch, StoreAndForwardSwitch,
+    StragglerStats,
+};
 use aqs_node::Program;
 use aqs_obs::{FlightRecorder, NullRecorder, ObsConfig, Recorder};
 use aqs_time::{HostDuration, SimDuration, SimTime};
+use std::fmt;
 use std::time::Duration;
 
 /// Which engine executes the simulation.
@@ -93,17 +97,90 @@ pub enum SimSwitch {
     /// Store-and-forward queueing with finite egress bandwidth.
     /// Deterministic engine only (stateful).
     StoreAndForward(StoreAndForwardSwitch),
+    /// A modeled multi-tier fat-tree fabric ([`FatTreeFabric`]): per-link
+    /// bandwidth, epoch-keyed queue occupancy, deterministic ECMP hashing.
+    /// Transit is a pure function of `(src, dst, bytes, departure)`, so it
+    /// is supported by the deterministic, threaded *and* sharded engines —
+    /// with bit-identical results for every worker count.
+    Fabric(FabricConfig),
 }
 
 impl SimSwitch {
-    fn name(&self) -> &'static str {
+    /// Short variant name
+    /// (`Perfect` / `LatencyMatrix` / `StoreAndForward` / `Fabric`).
+    pub fn name(&self) -> &'static str {
         match self {
             SimSwitch::Perfect => "Perfect",
             SimSwitch::LatencyMatrix(_) => "LatencyMatrix",
             SimSwitch::StoreAndForward(_) => "StoreAndForward",
+            SimSwitch::Fabric(_) => "Fabric",
         }
     }
 }
+
+/// A configuration error detected by [`Sim::try_run`] before any engine
+/// starts: the builder accepted the value (setters only store), but the
+/// combination cannot describe a runnable simulation.
+///
+/// [`Sim::run`] panics with this error's [`Display`](fmt::Display) text;
+/// callers that must not crash on a bad request (a job server validating
+/// client configs) should use [`Sim::try_run`] and handle the error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Fewer than two programs were given.
+    TooFewNodes {
+        /// The number of programs provided.
+        n: usize,
+    },
+    /// Program at position `index` was built for a different rank.
+    RankMismatch {
+        /// Position in the program vector.
+        index: usize,
+        /// The rank the program was built for.
+        rank: u32,
+    },
+    /// [`Sim::shards`] was called with zero workers.
+    ZeroShards,
+    /// The selected engine does not support the selected [`SimSwitch`].
+    UnsupportedSwitch {
+        /// The engine that rejected the switch.
+        engine: EngineKind,
+        /// The switch's name (as in [`SimSwitch`]).
+        switch: &'static str,
+        /// Why the combination is unsupported.
+        reason: &'static str,
+    },
+    /// The fabric configuration failed [`FabricConfig::validate`].
+    InvalidFabric(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TooFewNodes { n } => {
+                write!(f, "a cluster needs at least 2 nodes, got {n}")
+            }
+            SimError::RankMismatch { index, rank } => {
+                write!(f, "program {index} is for rank {rank}, want rank {index}")
+            }
+            SimError::ZeroShards => write!(f, "a sharded run needs at least one worker"),
+            SimError::UnsupportedSwitch {
+                engine,
+                switch,
+                reason,
+            } => write!(
+                f,
+                "the {} engine does not support the {switch} switch ({reason})",
+                engine.name()
+            ),
+            SimError::InvalidFabric(reason) => {
+                write!(f, "invalid fabric configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Wall-clock of a run — modelled host time (deterministic and optimistic
 /// engines) or real elapsed time (threaded engine).
@@ -393,15 +470,15 @@ impl Sim {
     }
 
     /// Sharded engine: number of worker threads (shards). Defaults to the
-    /// host's available parallelism; always clamped to the node count.
-    /// Functional results are identical for every value.
+    /// host's available parallelism; always clamped to the node count
+    /// (`min(m, n)`), so over-asking is harmless. Functional results are
+    /// identical for every value.
     ///
-    /// # Panics
-    ///
-    /// Panics if `m` is zero.
+    /// Zero is rejected by [`Sim::run`]/[`Sim::try_run`] with
+    /// [`SimError::ZeroShards`] — the setter itself never panics, so a job
+    /// server can surface the error instead of crashing.
     #[must_use]
     pub fn shards(mut self, m: usize) -> Self {
-        assert!(m >= 1, "a sharded run needs at least one worker");
         self.shards = Some(m);
         self
     }
@@ -419,13 +496,35 @@ impl Sim {
     ///
     /// # Panics
     ///
-    /// Panics if fewer than two programs were given, if program *i* is not
-    /// for rank *i*, if the selected engine does not support the selected
-    /// [`SimSwitch`], or on the engine's own failure modes (deadlock,
-    /// quantum-cap overflow, window non-convergence).
+    /// Panics with a [`SimError`]'s message on any configuration error
+    /// (fewer than two programs, program *i* not for rank *i*, zero shards,
+    /// an engine/switch combination the engine does not support), or on the
+    /// engine's own failure modes (deadlock, quantum-cap overflow, window
+    /// non-convergence). Use [`Sim::try_run`] to get configuration errors
+    /// as values instead.
     pub fn run(self) -> RunReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the simulation, returning configuration errors instead of
+    /// panicking on them.
+    ///
+    /// Engine-internal failure modes (deadlock, quantum-cap overflow) still
+    /// panic: they indicate a broken *workload*, discovered mid-run, not a
+    /// rejectable configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqs_cluster::{Sim, SimError};
+    ///
+    /// let err = Sim::new(Vec::new()).try_run().unwrap_err();
+    /// assert_eq!(err, SimError::TooFewNodes { n: 0 });
+    /// ```
+    pub fn try_run(self) -> Result<RunReport, SimError> {
+        self.validate()?;
         let n = self.programs.len();
-        match self.obs {
+        Ok(match self.obs {
             Some(oc) => {
                 let rec = FlightRecorder::new(n, oc);
                 let (mut report, rec) = self.dispatch(rec);
@@ -433,7 +532,48 @@ impl Sim {
                 report
             }
             None => self.dispatch(NullRecorder).0,
+        })
+    }
+
+    /// Checks everything that can be rejected before an engine starts.
+    fn validate(&self) -> Result<(), SimError> {
+        if self.programs.len() < 2 {
+            return Err(SimError::TooFewNodes {
+                n: self.programs.len(),
+            });
         }
+        for (i, p) in self.programs.iter().enumerate() {
+            if p.rank().index() != i {
+                return Err(SimError::RankMismatch {
+                    index: i,
+                    rank: p.rank().as_u32(),
+                });
+            }
+        }
+        if self.shards == Some(0) {
+            return Err(SimError::ZeroShards);
+        }
+        match (self.engine, &self.switch) {
+            (EngineKind::Threaded | EngineKind::Sharded, SimSwitch::StoreAndForward(_)) => {
+                return Err(SimError::UnsupportedSwitch {
+                    engine: self.engine,
+                    switch: self.switch.name(),
+                    reason: "stateful models would serialize the packet path",
+                });
+            }
+            (EngineKind::Optimistic, sw) if !matches!(sw, SimSwitch::Perfect) => {
+                return Err(SimError::UnsupportedSwitch {
+                    engine: self.engine,
+                    switch: self.switch.name(),
+                    reason: "it routes with the NIC minimum latency only",
+                });
+            }
+            _ => {}
+        }
+        if let SimSwitch::Fabric(cfg) = &self.switch {
+            cfg.validate().map_err(SimError::InvalidFabric)?;
+        }
+        Ok(())
     }
 
     fn dispatch<R: Recorder>(self, rec: R) -> (RunReport, R) {
@@ -460,6 +600,10 @@ impl Sim {
                     }
                     SimSwitch::LatencyMatrix(m) => run_cluster_impl(programs, &config, m, rec),
                     SimSwitch::StoreAndForward(s) => run_cluster_impl(programs, &config, s, rec),
+                    SimSwitch::Fabric(cfg) => {
+                        let fabric = FatTreeFabric::new(cfg, programs.len());
+                        run_cluster_impl(programs, &config, fabric, rec)
+                    }
                 };
                 let messages = r.per_node.iter().map(|p| p.messages_received).sum();
                 let report = RunReport {
@@ -478,14 +622,14 @@ impl Sim {
                 (report, rec)
             }
             EngineKind::Threaded => {
+                let n = programs.len();
                 let par_switch = match switch {
                     SimSwitch::Perfect => ParallelSwitch::Perfect,
                     SimSwitch::LatencyMatrix(m) => ParallelSwitch::LatencyMatrix(m),
-                    other => panic!(
-                        "the threaded engine does not support the {} switch \
-                         (stateful models would serialize the packet path)",
-                        other.name()
-                    ),
+                    SimSwitch::Fabric(cfg) => ParallelSwitch::Fabric(FatTreeFabric::new(cfg, n)),
+                    SimSwitch::StoreAndForward(_) => {
+                        unreachable!("rejected by Sim::validate before dispatch")
+                    }
                 };
                 let pcfg = ParallelConfig {
                     sync: config.sync.clone(),
@@ -513,14 +657,14 @@ impl Sim {
                 (report, rec)
             }
             EngineKind::Sharded => {
+                let n = programs.len();
                 let par_switch = match switch {
                     SimSwitch::Perfect => ParallelSwitch::Perfect,
                     SimSwitch::LatencyMatrix(m) => ParallelSwitch::LatencyMatrix(m),
-                    other => panic!(
-                        "the sharded engine does not support the {} switch \
-                         (stateful models would serialize the packet path)",
-                        other.name()
-                    ),
+                    SimSwitch::Fabric(cfg) => ParallelSwitch::Fabric(FatTreeFabric::new(cfg, n)),
+                    SimSwitch::StoreAndForward(_) => {
+                        unreachable!("rejected by Sim::validate before dispatch")
+                    }
                 };
                 let pcfg = ParallelConfig {
                     sync: config.sync.clone(),
@@ -548,13 +692,10 @@ impl Sim {
                 (report, rec)
             }
             EngineKind::Optimistic => {
-                if !matches!(switch, SimSwitch::Perfect) {
-                    panic!(
-                        "the optimistic engine routes with the NIC minimum \
-                         latency only and does not support the {} switch",
-                        switch.name()
-                    );
-                }
+                debug_assert!(
+                    matches!(switch, SimSwitch::Perfect),
+                    "rejected by Sim::validate before dispatch"
+                );
                 let ocfg = OptimisticConfig {
                     base: config,
                     window,

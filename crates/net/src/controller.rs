@@ -64,13 +64,31 @@ impl<P: Clone, S: SwitchModel> NetworkController<P, S> {
     ///
     /// # Panics
     ///
-    /// Panics if `n_nodes < 2` — a cluster needs at least two nodes.
+    /// Panics if `n_nodes < 2` — a cluster needs at least two nodes. Callers
+    /// that must not crash on a bad request (a job server validating client
+    /// configs) should use [`try_new`](Self::try_new) instead.
     pub fn new(n_nodes: usize, nic: NicModel, switch: S) -> Self {
-        assert!(
-            n_nodes >= 2,
-            "a cluster needs at least 2 nodes, got {n_nodes}"
-        );
-        Self {
+        Self::try_new(n_nodes, nic, switch).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a controller for `n_nodes` ports, returning a human-readable
+    /// configuration error instead of panicking when `n_nodes < 2`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aqs_net::{NetworkController, NicModel, PerfectSwitch};
+    ///
+    /// let err = NetworkController::<(), _>::try_new(
+    ///     1, NicModel::paper_default(), PerfectSwitch::new(),
+    /// ).unwrap_err();
+    /// assert!(err.contains("at least 2 nodes"));
+    /// ```
+    pub fn try_new(n_nodes: usize, nic: NicModel, switch: S) -> Result<Self, String> {
+        if n_nodes < 2 {
+            return Err(format!("a cluster needs at least 2 nodes, got {n_nodes}"));
+        }
+        Ok(Self {
             n_nodes,
             nic,
             switch,
@@ -81,7 +99,7 @@ impl<P: Clone, S: SwitchModel> NetworkController<P, S> {
             trace: TrafficTrace::disabled(),
             bridge: LearningBridge::new(n_nodes),
             _payload: std::marker::PhantomData,
-        }
+        })
     }
 
     /// Number of ports (nodes).

@@ -12,7 +12,9 @@
 //!   [`NicModel::paper_default`]).
 //! * [`SwitchModel`] implementations — [`PerfectSwitch`] (the paper's
 //!   infinite-bandwidth zero-latency switch), [`StoreAndForwardSwitch`] and
-//!   [`LatencyMatrixSwitch`] for richer topologies.
+//!   [`LatencyMatrixSwitch`] for richer topologies, and [`FatTreeFabric`]:
+//!   a modeled multi-tier fabric with per-link bandwidth, epoch-keyed
+//!   queue occupancy and deterministic ECMP hashing.
 //! * [`NetworkController`] — functional routing (unicast + broadcast), the
 //!   per-quantum packet counter driving the adaptive algorithm, straggler
 //!   accounting and traffic traces (Figure 9's left-hand charts).
@@ -38,6 +40,7 @@
 
 mod bridge;
 mod controller;
+mod fabric;
 mod nic;
 mod packet;
 mod stats;
@@ -45,6 +48,7 @@ mod switch;
 
 pub use bridge::{BridgeDecision, LearningBridge};
 pub use controller::{Delivery, NetworkController};
+pub use fabric::{FabricConfig, FatTreeFabric, LinkLoad, LinkPath, MAX_PATH_LINKS};
 pub use nic::NicModel;
 pub use packet::{Destination, MacAddr, NodeId, Packet, PacketId};
 pub use stats::{StragglerStats, TraceEntry, TrafficTrace};

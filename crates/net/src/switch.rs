@@ -14,6 +14,20 @@ use aqs_time::{SimDuration, SimTime};
 /// Implementations may keep state (e.g. per-egress-port busy times), which is
 /// why `transit_delay` takes `&mut self`. Models must be deterministic:
 /// identical call sequences must produce identical delays.
+///
+/// # Statefulness and parallel engines
+///
+/// That sequence-determinism contract is only strong enough for the
+/// single-threaded deterministic engine. The threaded and sharded engines
+/// route packets in worker- and race-dependent *order*, so a model whose
+/// state mutates per call (like [`StoreAndForwardSwitch`]) would silently
+/// break the sharded engine's bit-identical-for-every-worker-count
+/// guarantee; those engines reject stateful models at configuration time.
+/// A model is safe for every engine only when `transit_delay` is a **pure
+/// function of its arguments** — no influence from call order. The
+/// stateless models here ([`PerfectSwitch`], [`LatencyMatrixSwitch`]) and
+/// the epoch-keyed [`FatTreeFabric`](crate::FatTreeFabric) satisfy that
+/// stronger contract.
 pub trait SwitchModel {
     /// Extra delay (beyond NIC latency) for a frame of `bytes` from `src` to
     /// `dst` entering the fabric at `ingress`.

@@ -100,6 +100,43 @@ pub struct FlightRecorder {
     checkpoints: u64,
     rollbacks: u64,
     wasted_ns: u64,
+    /// Per-fabric-link aggregates, lazily sized on the first
+    /// [`Recorder::record_link_load`] call (empty when the run had no
+    /// modeled fabric): cumulative bytes, cumulative packets, and the peak
+    /// per-quantum bytes seen on each link.
+    link_bytes: Vec<u64>,
+    link_packets: Vec<u64>,
+    link_peak_bytes: Vec<u64>,
+}
+
+/// Per-link load aggregates captured from a modeled fabric, borrowed from a
+/// [`FlightRecorder`] (see [`FlightRecorder::link_load`]). All slices are
+/// indexed by fabric link id and share one length.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkLoadStats<'a> {
+    /// Cumulative bytes per link over the whole run.
+    pub bytes: &'a [u64],
+    /// Cumulative packets per link over the whole run.
+    pub packets: &'a [u64],
+    /// Highest single-quantum byte count seen per link — a proxy for the
+    /// link's worst queue pressure.
+    pub peak_quantum_bytes: &'a [u64],
+}
+
+impl LinkLoadStats<'_> {
+    /// The busiest link by cumulative bytes: `(link id, bytes)`.
+    pub fn hottest(&self) -> Option<(usize, u64)> {
+        self.bytes
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, b)| b)
+    }
+
+    /// Bytes summed over every link.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
 }
 
 impl FlightRecorder {
@@ -129,6 +166,9 @@ impl FlightRecorder {
             checkpoints: 0,
             rollbacks: 0,
             wasted_ns: 0,
+            link_bytes: Vec::new(),
+            link_packets: Vec::new(),
+            link_peak_bytes: Vec::new(),
         }
     }
 
@@ -202,6 +242,19 @@ impl FlightRecorder {
     /// Simulated time re-executed due to rollbacks.
     pub fn wasted_sim(&self) -> SimDuration {
         SimDuration::from_nanos(self.wasted_ns)
+    }
+
+    /// Per-link load aggregates, when the run routed through a modeled
+    /// fabric (`None` otherwise).
+    pub fn link_load(&self) -> Option<LinkLoadStats<'_>> {
+        if self.link_bytes.is_empty() {
+            return None;
+        }
+        Some(LinkLoadStats {
+            bytes: &self.link_bytes,
+            packets: &self.link_packets,
+            peak_quantum_bytes: &self.link_peak_bytes,
+        })
     }
 
     /// Ring samples, oldest first. Each item borrows its per-node lanes
@@ -280,6 +333,25 @@ impl Recorder for FlightRecorder {
         self.checkpoints += n;
     }
 
+    fn record_link_load(&mut self, link_bytes: &[u64], link_packets: &[u64]) {
+        debug_assert_eq!(
+            link_bytes.len(),
+            link_packets.len(),
+            "link lane arity mismatch"
+        );
+        if self.link_bytes.is_empty() {
+            self.link_bytes = vec![0; link_bytes.len()];
+            self.link_packets = vec![0; link_bytes.len()];
+            self.link_peak_bytes = vec![0; link_bytes.len()];
+        }
+        debug_assert_eq!(self.link_bytes.len(), link_bytes.len());
+        for (i, (&b, &p)) in link_bytes.iter().zip(link_packets).enumerate() {
+            self.link_bytes[i] += b;
+            self.link_packets[i] += p;
+            self.link_peak_bytes[i] = self.link_peak_bytes[i].max(b);
+        }
+    }
+
     fn record_rollback(&mut self, wasted: SimDuration) {
         self.rollbacks += 1;
         self.wasted_ns = self.wasted_ns.saturating_add(wasted.as_nanos());
@@ -355,6 +427,20 @@ mod tests {
         assert_eq!(fr.checkpoints(), 4);
         assert_eq!(fr.rollbacks(), 1);
         assert_eq!(fr.wasted_sim(), SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn link_load_accumulates_and_tracks_peaks() {
+        let mut fr = FlightRecorder::new(2, ObsConfig::new());
+        assert!(fr.link_load().is_none(), "no fabric, no link stats");
+        fr.record_link_load(&[100, 0, 50], &[1, 0, 1]);
+        fr.record_link_load(&[40, 700, 0], &[1, 2, 0]);
+        let ll = fr.link_load().expect("link stats recorded");
+        assert_eq!(ll.bytes, &[140, 700, 50]);
+        assert_eq!(ll.packets, &[2, 2, 1]);
+        assert_eq!(ll.peak_quantum_bytes, &[100, 700, 50]);
+        assert_eq!(ll.hottest(), Some((1, 700)));
+        assert_eq!(ll.total_bytes(), 890);
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub trait Recorder: Send + 'static {
     fn record_rollback(&mut self, wasted: SimDuration) {
         let _ = wasted;
     }
+
+    /// Called once per quantum by engines routing through a modeled fabric,
+    /// with the bytes and packets that crossed each fabric link during the
+    /// quantum, indexed by link id. The slices always have the fabric's link
+    /// count as length. These are commutative per-shard sums merged at the
+    /// quantum barrier — observation only, never feeding back into timing.
+    fn record_link_load(&mut self, link_bytes: &[u64], link_packets: &[u64]) {
+        let _ = (link_bytes, link_packets);
+    }
 }
 
 /// The zero-cost default recorder: every method is a no-op and

@@ -38,7 +38,7 @@ echo "==> build bench binaries (not timed)"
 cargo build --release -p aqs-bench --bins
 cargo bench --workspace --no-run
 
-echo "==> shard_scaling smoke sweep (results-match + allocation asserts, no timing gate)"
+echo "==> shard_scaling smoke sweep (results-match + allocation + 4k-node fabric asserts, no timing gate)"
 cargo run --release -q -p aqs-bench --bin shard_scaling -- --smoke
 
 echo "verify: OK"

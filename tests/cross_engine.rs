@@ -225,6 +225,138 @@ fn mailbox_stress_no_drop_no_duplicate() {
     assert!(next.iter().all(|&c| c == PER_PRODUCER));
 }
 
+/// A broadcast workload: each round, rank 0 `send_all`s and every other
+/// rank posts a matching recv, then everyone rendezvous through replies so
+/// the rounds cannot overlap.
+fn broadcast_workload(n: usize, rounds: usize, bytes: u64) -> Vec<aqs::node::Program> {
+    use aqs::node::{ProgramBuilder, Rank, Tag};
+    (0..n)
+        .map(|r| {
+            let mut b = ProgramBuilder::new(Rank::new(r as u32));
+            for round in 0..rounds {
+                let tag = Tag::new(round as u32);
+                if r == 0 {
+                    b = b.send_all(bytes, tag);
+                    for peer in 1..n {
+                        b = b.recv(Some(Rank::new(peer as u32)), tag);
+                    }
+                } else {
+                    b = b.recv(Some(Rank::new(0)), tag).send(Rank::new(0), 8, tag);
+                }
+            }
+            b.build()
+        })
+        .collect()
+}
+
+/// `Destination::Broadcast` under every switch model: the fan-out must
+/// count one packet per fragment per receiver in all four engines, and the
+/// per-destination transits must be independent (the perfect-switch count
+/// equals the non-perfect count; only timing changes).
+#[test]
+fn broadcast_fan_out_counts_identically_across_engines() {
+    let n = 4usize;
+    let rounds = 3usize;
+    let bytes = 20_000u64;
+    let programs = broadcast_workload(n, rounds, bytes);
+    let nic = aqs::net::NicModel::paper_default();
+    // Per round: the broadcast fans each fragment to n-1 receivers, and the
+    // n-1 unicast replies are one fragment each.
+    let frags = nic.fragment_count(bytes) as u64;
+    let expected = rounds as u64 * (n as u64 - 1) * (frags + 1);
+    let det = run(
+        programs.clone(),
+        EngineKind::Deterministic,
+        SyncConfig::ground_truth(),
+    );
+    assert_eq!(det.total_packets, expected);
+    let par = run(
+        programs.clone(),
+        EngineKind::Threaded,
+        SyncConfig::ground_truth(),
+    );
+    let opt = run(
+        programs.clone(),
+        EngineKind::Optimistic,
+        SyncConfig::ground_truth(),
+    );
+    assert_eq!(par.simulated_outcome(), det.simulated_outcome());
+    assert_eq!(opt.total_packets, expected);
+    for workers in [1, 2, 3] {
+        let sh = Sim::new(programs.clone())
+            .engine(EngineKind::Sharded)
+            .shards(workers)
+            .sync(SyncConfig::ground_truth())
+            .seed(1)
+            .max_quanta(50_000_000)
+            .run();
+        assert_eq!(sh.simulated_outcome(), det.simulated_outcome());
+    }
+}
+
+/// Broadcast under the two non-perfect switches: an asymmetric latency
+/// matrix and the fat-tree fabric. Each fan-out copy takes its own
+/// (src, dst)-keyed transit, so receivers see different arrival times — and
+/// the deterministic, threaded, and sharded (every M) engines must still
+/// agree bit for bit, safe quantum and unsafe quantum alike.
+#[test]
+fn broadcast_agrees_under_non_perfect_switches() {
+    use aqs::cluster::SimSwitch;
+    use aqs::net::{FabricConfig, LatencyMatrixSwitch};
+    use aqs::time::SimDuration;
+    let n = 5usize;
+    let programs = broadcast_workload(n, 4, 12_000);
+    let matrix = LatencyMatrixSwitch::from_fn(n, |src, dst| {
+        // Asymmetric on purpose: transit depends on direction.
+        SimDuration::from_nanos(500 + 1_700 * src.index() as u64 + 900 * dst.index() as u64)
+    });
+    let fabric = SimSwitch::Fabric(
+        FabricConfig::fat_tree()
+            .with_rack_size(2)
+            .with_uplinks_per_rack(2),
+    );
+    for switch in [SimSwitch::LatencyMatrix(matrix), fabric] {
+        for sync in [SyncConfig::ground_truth(), SyncConfig::fixed_micros(500)] {
+            let mk = |engine: EngineKind, workers: Option<usize>| {
+                let mut sim = Sim::new(programs.clone())
+                    .engine(engine)
+                    .switch(switch.clone())
+                    .sync(sync.clone())
+                    .seed(1)
+                    .max_quanta(50_000_000);
+                if let Some(m) = workers {
+                    sim = sim.shards(m);
+                }
+                sim.run()
+            };
+            let det = mk(EngineKind::Deterministic, None);
+            let sharded: Vec<RunReport> = [1, 2, 3]
+                .into_iter()
+                .map(|m| mk(EngineKind::Sharded, Some(m)))
+                .collect();
+            for sh in &sharded {
+                assert_eq!(
+                    sh.simulated_outcome(),
+                    sharded[0].simulated_outcome(),
+                    "sharded outcome must be M-independent ({})",
+                    switch.name()
+                );
+            }
+            // Under the safe quantum the sharded timeline is the
+            // deterministic timeline; under the unsafe one it may dilate
+            // (boundary snapping) but functional delivery must match.
+            if sync == SyncConfig::ground_truth() {
+                assert_eq!(sharded[0].simulated_outcome(), det.simulated_outcome());
+                let thr = mk(EngineKind::Threaded, None);
+                assert_eq!(thr.simulated_outcome(), det.simulated_outcome());
+            } else {
+                assert_eq!(sharded[0].total_packets, det.total_packets);
+                assert_eq!(sharded[0].messages_received, det.messages_received);
+            }
+        }
+    }
+}
+
 /// With a long quantum the threaded engine's stragglers depend on real
 /// races, but functional delivery must still be complete.
 #[test]

@@ -13,7 +13,7 @@ use aqs_cluster::{run_workload, BarrierCostModel, ClusterConfig, RunResult};
 use aqs_core::SyncConfig;
 use aqs_metrics::render_table;
 use aqs_time::HostDuration;
-use aqs_workloads::{nas, Scale};
+use aqs_workloads::{NasBench, Scale, Workload};
 use std::time::Instant;
 
 fn speedups(base: ClusterConfig, spec: &aqs_workloads::WorkloadSpec) -> (RunResult, Vec<f64>) {
@@ -38,7 +38,13 @@ fn main() {
 
     let mut rows = Vec::new();
     for n in [4usize, 8, 16, 64] {
-        let spec = with_housekeeping(nas::ep(n, scale));
+        let spec = with_housekeeping(
+            Workload::Nas {
+                bench: NasBench::Ep,
+                scale,
+            }
+            .build(n, 0),
+        );
         // Linear (default): central controller, serial per-node messages.
         let linear = standard_config(42);
         // Logarithmic: tree barrier, cost = base + per_node * log2(n).

@@ -22,7 +22,7 @@ use aqs_cluster::{EngineKind, Sim};
 use aqs_core::SyncConfig;
 use aqs_metrics::render_table;
 use aqs_time::{HostDuration, SimDuration};
-use aqs_workloads::{nas, Scale};
+use aqs_workloads::{NasBench, Scale, Workload};
 use std::time::Instant;
 
 fn main() {
@@ -32,7 +32,13 @@ fn main() {
     };
     let t0 = Instant::now();
     // CG at 4 nodes: periodic communication, so windows converge quickly.
-    let spec = with_housekeeping(nas::cg(4, scale));
+    let spec = with_housekeeping(
+        Workload::Nas {
+            bench: NasBench::Cg,
+            scale,
+        }
+        .build(4, 0),
+    );
     let base = standard_config(42);
     let truth = run_workload(&spec, &base);
     let dyn1 = run_workload(&spec, &base.clone().with_sync(SyncConfig::paper_dyn1()));

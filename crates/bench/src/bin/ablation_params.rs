@@ -14,7 +14,7 @@ use aqs_cluster::{run_workload, Experiment};
 use aqs_core::{AdaptiveConfig, SyncConfig};
 use aqs_metrics::render_table;
 use aqs_time::SimDuration;
-use aqs_workloads::{namd, Scale};
+use aqs_workloads::{Scale, Workload};
 use std::time::Instant;
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
         _ => Scale::Mini,
     };
     let t0 = Instant::now();
-    let spec = namd::namd(8, scale);
+    let spec = Workload::Namd { scale }.build(8, 0);
 
     let incs = [1.01, 1.02, 1.03, 1.05, 1.10, 1.25];
     let decs = [0.02, 0.1, 0.3, 0.7];

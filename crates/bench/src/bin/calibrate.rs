@@ -5,7 +5,7 @@ use aqs_cluster::{paper_sweep, ClusterConfig, Experiment};
 use aqs_core::SyncConfig;
 use aqs_node::CpuModel;
 use aqs_time::SimDuration;
-use aqs_workloads::{namd, nas, with_background_traffic, Scale};
+use aqs_workloads::{with_background_traffic, Scale, Workload};
 use std::time::Instant;
 
 fn main() {
@@ -17,15 +17,10 @@ fn main() {
         Some("full") => Scale::Full,
         _ => Scale::Mini,
     };
-    let spec = match which {
-        "ep" => nas::ep(n, scale),
-        "is" => nas::is(n, scale),
-        "cg" => nas::cg(n, scale),
-        "mg" => nas::mg(n, scale),
-        "lu" => nas::lu(n, scale),
-        "namd" => namd::namd(n, scale),
-        other => panic!("unknown workload {other}"),
-    };
+    let spec = Workload::parse(which)
+        .unwrap_or_else(|| panic!("unknown workload {which}"))
+        .with_scale(scale)
+        .build(n, 42);
     let spec = if args.iter().any(|a| a == "bg") {
         with_background_traffic(spec, SimDuration::from_millis(80), 90, &CpuModel::default())
     } else {

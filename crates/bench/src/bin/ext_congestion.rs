@@ -16,7 +16,7 @@ use aqs_core::SyncConfig;
 use aqs_metrics::render_table;
 use aqs_net::{LatencyMatrixSwitch, StoreAndForwardSwitch};
 use aqs_time::SimDuration;
-use aqs_workloads::{nas, Scale, WorkloadSpec};
+use aqs_workloads::{NasBench, Scale, Workload, WorkloadSpec};
 use std::time::Instant;
 
 fn sweep(name: &str, spec: &WorkloadSpec, switch: SimSwitch) -> Vec<Vec<String>> {
@@ -59,7 +59,13 @@ fn main() {
         _ => Scale::Mini,
     };
     let t0 = Instant::now();
-    let spec = with_housekeeping(nas::is(8, scale));
+    let spec = with_housekeeping(
+        Workload::Nas {
+            bench: NasBench::Is,
+            scale,
+        }
+        .build(8, 0),
+    );
 
     let mut rows = Vec::new();
     rows.extend(sweep("perfect (paper)", &spec, SimSwitch::Perfect));

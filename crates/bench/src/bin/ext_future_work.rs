@@ -18,7 +18,7 @@ use aqs_cluster::{app_metric, run_workload, ClusterConfig, RunResult};
 use aqs_core::{PredictiveConfig, SyncConfig};
 use aqs_metrics::render_table;
 use aqs_node::SamplingModel;
-use aqs_workloads::{nas, Scale, WorkloadSpec};
+use aqs_workloads::{NasBench, Scale, Workload, WorkloadSpec};
 use std::time::Instant;
 
 fn row(label: &str, r: &RunResult, truth: &RunResult, spec: &WorkloadSpec) -> Vec<String> {
@@ -39,7 +39,13 @@ fn main() {
         _ => Scale::Mini,
     };
     let t0 = Instant::now();
-    let spec = with_housekeeping(nas::cg(8, scale));
+    let spec = with_housekeeping(
+        Workload::Nas {
+            bench: NasBench::Cg,
+            scale,
+        }
+        .build(8, 0),
+    );
     let base = standard_config(42);
     let sampling = SamplingModel::typical();
 

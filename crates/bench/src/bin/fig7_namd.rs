@@ -8,7 +8,7 @@
 use aqs_bench::{print_experiment, run_sweep, write_tsv};
 use aqs_cluster::paper_sweep;
 use aqs_metrics::render_bar_chart;
-use aqs_workloads::{namd, Scale};
+use aqs_workloads::{Scale, Workload};
 use std::time::Instant;
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
     let node_counts = [2usize, 4, 8];
     let results: Vec<_> = node_counts
         .iter()
-        .map(|&n| run_sweep(namd::namd(n, scale), 42, paper_sweep()))
+        .map(|&n| run_sweep(Workload::Namd { scale }.build(n, 42), 42, paper_sweep()))
         .collect();
 
     let labels: Vec<String> = results[0]

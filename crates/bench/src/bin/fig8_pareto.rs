@@ -11,7 +11,7 @@
 use aqs_bench::{nas_aggregate, run_sweep, write_tsv};
 use aqs_cluster::paper_sweep;
 use aqs_metrics::{pareto_front, render_scatter_log_y, ParetoPoint};
-use aqs_workloads::{namd, Scale};
+use aqs_workloads::{Scale, Workload};
 use std::time::Instant;
 
 /// How far (multiplicatively, on the speedup axis) a point may sit below
@@ -32,7 +32,7 @@ fn main() {
     };
     let t0 = Instant::now();
     let nas = nas_aggregate(8, scale, 42, paper_sweep());
-    let namd = run_sweep(namd::namd(8, scale), 42, paper_sweep());
+    let namd = run_sweep(Workload::Namd { scale }.build(8, 42), 42, paper_sweep());
 
     let nas_points: Vec<ParetoPoint> = nas
         .labels

@@ -20,7 +20,7 @@ use aqs_cluster::{app_metric, run_workload, ClusterConfig, RunResult};
 use aqs_core::{AdaptiveConfig, SyncConfig};
 use aqs_metrics::{render_table, render_traffic_density};
 use aqs_time::SimDuration;
-use aqs_workloads::{namd, nas, MetricKind, Scale, WorkloadSpec};
+use aqs_workloads::{MetricKind, NasBench, Scale, Workload, WorkloadSpec};
 use std::time::Instant;
 
 /// Paper-published table values for the three benchmarks.
@@ -174,7 +174,11 @@ fn main() {
 
     // EP: accuracy = MOPS error.
     scaleout(
-        nas::ep(n, scale),
+        Workload::Nas {
+            bench: NasBench::Ep,
+            scale,
+        }
+        .build(n, 42),
         dyn_config(1, 100, 1.03),
         "dyn 1:100",
         &[
@@ -201,7 +205,11 @@ fn main() {
     // IS: accuracy = simulated execution (kernel) ratio, i.e. the factor by
     // which the benchmark's self-reported MOPS is off.
     scaleout(
-        nas::is(n, scale),
+        Workload::Nas {
+            bench: NasBench::Is,
+            scale,
+        }
+        .build(n, 42),
         dyn_config(1, 100, 1.03),
         "dyn 1:100",
         &[
@@ -227,7 +235,7 @@ fn main() {
 
     // NAMD: accuracy = wall-clock error (can exceed 100 %).
     scaleout(
-        namd::namd(n, scale),
+        Workload::Namd { scale }.build(n, 42),
         dyn_config(2, 100, 1.05),
         "dyn 2:100",
         &[

@@ -18,7 +18,7 @@
 use aqs_cluster::{EngineKind, RunReport, Sim};
 use aqs_core::SyncConfig;
 use aqs_obs::ObsConfig;
-use aqs_workloads::burst;
+use aqs_workloads::Workload;
 use serde_json::Value;
 
 const NODES: usize = 16;
@@ -46,7 +46,11 @@ fn measure(mut run: impl FnMut() -> RunReport) -> (f64, RunReport) {
 }
 
 fn main() {
-    let spec = burst(NODES, COMPUTE_OPS, BYTES);
+    let spec = Workload::Burst {
+        compute: COMPUTE_OPS,
+        bytes: BYTES,
+    }
+    .build(NODES, 0);
     let mut configs = Vec::new();
     for (label, sync) in policies() {
         let base = || {

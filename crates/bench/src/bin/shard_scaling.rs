@@ -25,7 +25,7 @@ use aqs_core::SyncConfig;
 use aqs_net::{FabricConfig, FatTreeFabric};
 use aqs_node::Program;
 use aqs_obs::ObsConfig;
-use aqs_workloads::{burst, MpiBuilder};
+use aqs_workloads::{MpiBuilder, Workload};
 use serde_json::Value;
 
 const COMPUTE_OPS: u64 = 200_000;
@@ -329,7 +329,11 @@ fn main() {
     let mut configs = Vec::new();
     let mut headline = None;
     for &n in node_counts {
-        let spec = burst(n, COMPUTE_OPS, BYTES);
+        let spec = Workload::Burst {
+            compute: COMPUTE_OPS,
+            bytes: BYTES,
+        }
+        .build(n, 0);
         for (label, sync) in policies() {
             let safe = label == "ground-truth";
             let threaded = (n <= THREADED_MAX_NODES).then(|| {

@@ -16,12 +16,16 @@ use aqs_core::SyncConfig;
 use aqs_metrics::render_table;
 use aqs_node::HostModel;
 use aqs_time::HostDuration;
-use aqs_workloads::uniform_compute;
+use aqs_workloads::Workload;
 use std::time::Instant;
 
 fn main() {
     let t0 = Instant::now();
-    let spec = uniform_compute(2, 26_000_000, 0.0); // 10 ms of guest compute per node
+    let spec = Workload::UniformCompute {
+        ops: 26_000_000,
+        spread: 0.0,
+    }
+    .build(2, 0); // 10 ms of guest compute per node
 
     // Deterministic speeds: node 0 at 30 host-ns/sim-ns, node 1 at 39.
     let fast = HostModel::uniform(30.0, 0.02);

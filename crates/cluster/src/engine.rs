@@ -25,9 +25,9 @@ use crate::progress::ProgressRecorder;
 use crate::result::{NodeResult, RunResult};
 use aqs_core::{QuantumPolicy, QuantumTrace};
 use aqs_des::EventQueue;
-use aqs_net::{Destination, NetworkController, NodeId, PerfectSwitch, StragglerStats, SwitchModel};
+use aqs_net::{Destination, NetworkController, NodeId, StragglerStats, SwitchModel};
 use aqs_node::{Action, HostSpeed, MessageId, MessageMeta, NodeExecutor, Program, SendTarget};
-use aqs_obs::{NullRecorder, QuantumObs, Recorder};
+use aqs_obs::{QuantumObs, Recorder};
 use aqs_rng::Rng;
 use aqs_time::{HostTime, SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -134,43 +134,10 @@ struct Engine<'a, S, R> {
     scratch_lags: Vec<u64>,
 }
 
-/// Runs a cluster of `programs` (one per node, rank *i* on node *i*) under
-/// `config`, on the paper's perfect switch.
-///
-/// # Panics
-///
-/// Panics if fewer than two programs are given, if program *i* is not for
-/// rank *i*, or if the workload deadlocks (a receive that no send can ever
-/// satisfy).
-///
-/// # Examples
-///
-/// See the [crate-level example](crate).
-#[deprecated(
-    since = "0.1.0",
-    note = "use the unified builder: Sim::new(programs).engine(EngineKind::Deterministic).run()"
-)]
-pub fn run_cluster(programs: Vec<Program>, config: &ClusterConfig) -> RunResult {
-    #[allow(deprecated)]
-    run_cluster_with_switch(programs, config, PerfectSwitch::new())
-}
-
-/// [`run_cluster`] with a custom switch timing model.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the unified builder: Sim::new(programs).switch(SimSwitch::..).run()"
-)]
-pub fn run_cluster_with_switch<S: SwitchModel>(
-    programs: Vec<Program>,
-    config: &ClusterConfig,
-    switch: S,
-) -> RunResult {
-    run_cluster_impl(programs, config, switch, NullRecorder).0
-}
-
 /// Engine entry point with an explicit [`Recorder`]: the unified `Sim`
-/// builder dispatches here; the free functions above are thin
-/// `NullRecorder` wrappers.
+/// builder dispatches here. This is the deterministic engine's only entry —
+/// the historical `run_cluster`/`run_cluster_with_switch` free functions
+/// were deleted after five PRs of deprecation.
 pub(crate) fn run_cluster_impl<S: SwitchModel, R: Recorder>(
     programs: Vec<Program>,
     config: &ClusterConfig,
@@ -680,12 +647,18 @@ impl<'a, S: SwitchModel, R: Recorder> Engine<'a, S, R> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // these are the deprecated wrappers' own tests
 mod tests {
     use super::*;
     use crate::config::BarrierCostModel;
     use aqs_core::SyncConfig;
+    use aqs_net::PerfectSwitch;
     use aqs_node::{HostModel, ProgramBuilder, Rank, RegionId, Tag};
+    use aqs_obs::NullRecorder;
+
+    /// Test shorthand for an unrecorded perfect-switch run.
+    fn run_cluster(programs: Vec<Program>, config: &ClusterConfig) -> RunResult {
+        run_cluster_impl(programs, config, PerfectSwitch::new(), NullRecorder).0
+    }
 
     fn ping_pong_programs(rounds: usize) -> Vec<Program> {
         let mut a = ProgramBuilder::new(Rank::new(0)).region_start(RegionId::KERNEL);

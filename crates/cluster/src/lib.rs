@@ -70,8 +70,6 @@ pub mod sharded;
 pub mod sim;
 
 pub use config::{BarrierCostModel, ClusterConfig};
-#[allow(deprecated)]
-pub use engine::{run_cluster, run_cluster_with_switch};
 pub use experiment::{
     app_metric, paper_sweep, run_workload, AppMetric, ConfigOutcome, Experiment, ExperimentResult,
 };

@@ -47,7 +47,7 @@ use crate::result::NodeResult;
 use aqs_node::{
     Action, HostSpeed, MessageId, MessageMeta, NodeExecutor, Program, Rank, SendTarget,
 };
-use aqs_obs::{NullRecorder, QuantumObs, Recorder};
+use aqs_obs::{QuantumObs, Recorder};
 use aqs_rng::Rng;
 use aqs_time::{HostDuration, HostTime, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -206,25 +206,11 @@ struct WindowProfile {
     idle: SimDuration,
 }
 
-/// Runs `programs` under the optimistic scheme.
-///
-/// # Panics
-///
-/// Panics if fewer than two programs are given, if program *i* is not for
-/// rank *i*, if a window fails to converge within the iteration cap, or if
-/// the workload deadlocks (no node can make progress).
-#[deprecated(
-    since = "0.1.0",
-    note = "use the unified builder: Sim::new(programs).engine(EngineKind::Optimistic).run()"
-)]
-pub fn run_optimistic(programs: Vec<Program>, cfg: &OptimisticConfig) -> OptimisticRunResult {
-    run_optimistic_impl(programs, cfg, NullRecorder).0
-}
-
 /// Optimistic engine entry point with an explicit [`Recorder`]: the unified
-/// `Sim` builder dispatches here; [`run_optimistic`] is the `NullRecorder`
-/// wrapper. Windows map onto observability quanta; checkpoint and rollback
-/// events feed the recorder's dedicated counters.
+/// `Sim` builder dispatches here (the historical `run_optimistic` free
+/// function was deleted after five PRs of deprecation). Windows map onto
+/// observability quanta; checkpoint and rollback events feed the
+/// recorder's dedicated counters.
 pub(crate) fn run_optimistic_impl<R: Recorder>(
     programs: Vec<Program>,
     cfg: &OptimisticConfig,

@@ -56,12 +56,13 @@
 
 use aqs_core::{QuantumPolicy, SyncConfig};
 use aqs_net::{
-    Destination, FatTreeFabric, LatencyMatrixSwitch, LinkLoad, NicModel, NodeId, StragglerStats,
+    ChaosOverlay, Destination, FatTreeFabric, LatencyMatrixSwitch, LinkLoad, NicModel, NodeId,
+    StragglerStats,
 };
 use aqs_node::{
     Action, CpuModel, MessageId, MessageMeta, NodeExecutor, Program, Rank, RegionRecord, SendTarget,
 };
-use aqs_obs::{NullRecorder, QuantumObs, Recorder};
+use aqs_obs::{QuantumObs, Recorder};
 use aqs_sync::{ArrivalTimes, CachePadded, LeaderBarrier, Mailbox, MailboxPool};
 use aqs_time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -88,6 +89,11 @@ pub enum ParallelSwitch {
     /// The modeled fat-tree fabric: pure epoch-keyed transit (see
     /// [`FatTreeFabric`]), safe under any routing order.
     Fabric(FatTreeFabric),
+    /// Chaos middleware over another pure model: the wrapped switch computes
+    /// the base transit and the [`ChaosOverlay`] adds its seeded fault delay
+    /// on top. The overlay is itself a pure function of
+    /// `(src, dst, bytes, departure)`, so the determinism guarantee holds.
+    Chaos(ChaosOverlay, Box<ParallelSwitch>),
 }
 
 impl ParallelSwitch {
@@ -99,6 +105,10 @@ impl ParallelSwitch {
             ParallelSwitch::Perfect => SimDuration::ZERO,
             ParallelSwitch::LatencyMatrix(m) => m.latency(src, dst),
             ParallelSwitch::Fabric(f) => f.transit(src, dst, bytes, ingress),
+            ParallelSwitch::Chaos(overlay, inner) => {
+                inner.transit(src, dst, bytes, ingress)
+                    + overlay.extra_delay(src, dst, bytes, ingress)
+            }
         }
     }
 }
@@ -391,25 +401,12 @@ impl<R: Recorder> Shared<R> {
     }
 }
 
-/// Runs `programs` on real threads under `config` and measures wall-clock.
-///
-/// # Panics
-///
-/// Panics if fewer than two programs are given, program *i* is not for rank
-/// *i*, or the quantum cap is exceeded (deadlock guard).
-#[deprecated(
-    since = "0.1.0",
-    note = "use the unified builder: Sim::new(programs).engine(EngineKind::Threaded).run()"
-)]
-pub fn run_parallel(programs: Vec<Program>, config: &ParallelConfig) -> ParallelRunResult {
-    run_parallel_impl(programs, config, NullRecorder).0
-}
-
 /// Threaded engine entry point with an explicit [`Recorder`]: the unified
-/// `Sim` builder dispatches here; [`run_parallel`] is the `NullRecorder`
-/// wrapper. The recorder lives in the leader state, so recording adds no
-/// lock anywhere — per-thread slots are published before the barrier
-/// arrival and merged by that round's leader.
+/// `Sim` builder dispatches here (the historical `run_parallel` free
+/// function was deleted after five PRs of deprecation). The recorder lives
+/// in the leader state, so recording adds no lock anywhere — per-thread
+/// slots are published before the barrier arrival and merged by that
+/// round's leader.
 pub(crate) fn run_parallel_impl<R: Recorder>(
     programs: Vec<Program>,
     config: &ParallelConfig,
@@ -787,15 +784,15 @@ mod tests {
     use crate::config::ClusterConfig;
     use crate::sim::Sim;
     use aqs_node::{ProgramBuilder, RegionId, Tag};
+    use aqs_obs::NullRecorder;
     use aqs_workloads::{burst, ping_pong};
 
     fn cfg(sync: SyncConfig) -> ParallelConfig {
         ParallelConfig::new(sync).with_max_quanta(20_000_000)
     }
 
-    /// Unrecorded engine run with an owned result (what the deprecated
-    /// `run_parallel` wrapper does; its equivalence with the `Sim` builder
-    /// is pinned in `tests/deprecated_wrappers.rs`).
+    /// Unrecorded engine run with an owned result (equivalence with the
+    /// `Sim` builder is pinned in `tests/sim_builder.rs`).
     fn par(programs: Vec<Program>, config: &ParallelConfig) -> ParallelRunResult {
         run_parallel_impl(programs, config, NullRecorder).0
     }

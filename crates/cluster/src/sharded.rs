@@ -57,7 +57,9 @@
 use crate::parallel::{
     busy_work, LeaderState, ParallelConfig, ParallelNodeResult, ParallelSwitch, Q_END_STOP,
 };
-use aqs_net::{Destination, FatTreeFabric, LinkLoad, NicModel, NodeId, StragglerStats};
+use aqs_net::{
+    ChaosOverlay, Destination, FatTreeFabric, LinkLoad, NicModel, NodeId, StragglerStats,
+};
 use aqs_node::{Action, MessageId, MessageMeta, NodeExecutor, Program, SendTarget};
 use aqs_obs::{QuantumObs, Recorder};
 use aqs_sync::{ArrivalTimes, CachePadded, Mailbox, MailboxPool, TreeBarrier};
@@ -128,6 +130,12 @@ enum ArrivalTable {
     /// `(src, dst, bytes, departure)`, so per-worker slices can route their
     /// own racks' traffic in any order with bit-identical results.
     Fabric(FatTreeFabric),
+    /// Chaos middleware over another table: the inner table computes the
+    /// base transit and the overlay adds its seeded fault delay — pure, so
+    /// cross-M identity survives fault injection. The overlay cannot be
+    /// folded into a dense matrix: its delay depends on `bytes` and
+    /// `departure`, not just `(src, dst)`.
+    Chaos(ChaosOverlay, Box<ArrivalTable>),
 }
 
 impl ArrivalTable {
@@ -161,6 +169,9 @@ impl ArrivalTable {
                 );
                 ArrivalTable::Fabric(f.clone())
             }
+            ParallelSwitch::Chaos(overlay, inner) => {
+                ArrivalTable::Chaos(overlay.clone(), Box::new(Self::build(inner, n)))
+            }
         }
     }
 
@@ -171,6 +182,10 @@ impl ArrivalTable {
             ArrivalTable::Dense { n, nanos } => nanos[src * n + dst],
             ArrivalTable::Fabric(f) => {
                 f.transit_nanos(src as u32, dst as u32, bytes, departure.as_nanos())
+            }
+            ArrivalTable::Chaos(overlay, inner) => {
+                inner.transit_nanos(src, dst, bytes, departure)
+                    + overlay.extra_nanos(src as u32, dst as u32, bytes, departure.as_nanos())
             }
         }
     }

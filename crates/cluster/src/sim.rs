@@ -37,8 +37,8 @@ use crate::result::RunResult;
 use crate::sharded::{run_sharded_impl, ShardedRunResult};
 use aqs_core::SyncConfig;
 use aqs_net::{
-    FabricConfig, FatTreeFabric, LatencyMatrixSwitch, PerfectSwitch, StoreAndForwardSwitch,
-    StragglerStats,
+    ChaosConfig, ChaosOverlay, ChaosSwitch, FabricConfig, FatTreeFabric, LatencyMatrixSwitch,
+    PerfectSwitch, StoreAndForwardSwitch, StragglerStats,
 };
 use aqs_node::Program;
 use aqs_obs::{FlightRecorder, NullRecorder, ObsConfig, Recorder};
@@ -152,6 +152,29 @@ pub enum SimError {
     },
     /// The fabric configuration failed [`FabricConfig::validate`].
     InvalidFabric(String),
+    /// The chaos configuration failed [`ChaosConfig::validate`].
+    InvalidChaos(String),
+    /// The selected engine does not support chaos injection.
+    UnsupportedChaos {
+        /// The engine that rejected the chaos overlay.
+        engine: EngineKind,
+    },
+    /// A scenario file could not be parsed (see the `aqs-scenario` crate).
+    ScenarioParse {
+        /// Path of the scenario file.
+        file: String,
+        /// 1-based line where parsing failed (0 when not line-specific).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A scenario file parsed but describes an invalid experiment.
+    ScenarioValidate {
+        /// Path of the scenario file.
+        file: String,
+        /// What is wrong with the scenario.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -175,6 +198,29 @@ impl fmt::Display for SimError {
             ),
             SimError::InvalidFabric(reason) => {
                 write!(f, "invalid fabric configuration: {reason}")
+            }
+            SimError::InvalidChaos(reason) => {
+                write!(f, "invalid chaos configuration: {reason}")
+            }
+            SimError::UnsupportedChaos { engine } => write!(
+                f,
+                "the {} engine does not support chaos injection (it routes with the NIC \
+                 minimum latency only)",
+                engine.name()
+            ),
+            SimError::ScenarioParse {
+                file,
+                line,
+                message,
+            } => {
+                if *line == 0 {
+                    write!(f, "{file}: scenario parse error: {message}")
+                } else {
+                    write!(f, "{file}:{line}: scenario parse error: {message}")
+                }
+            }
+            SimError::ScenarioValidate { file, message } => {
+                write!(f, "{file}: invalid scenario: {message}")
             }
         }
     }
@@ -371,6 +417,7 @@ pub struct Sim {
     max_iterations: u32,
     shards: Option<usize>,
     obs: Option<ObsConfig>,
+    chaos: Option<ChaosConfig>,
 }
 
 impl Sim {
@@ -393,6 +440,7 @@ impl Sim {
             max_iterations: defaults.max_iterations,
             shards: None,
             obs: None,
+            chaos: None,
         }
     }
 
@@ -483,6 +531,21 @@ impl Sim {
         self
     }
 
+    /// Attaches deterministic chaos middleware (seeded link flaps,
+    /// partitions, packet loss, jitter, node pauses, load spikes — see
+    /// [`ChaosConfig`]) on top of the configured switch. The overlay's
+    /// extra delay is a pure function of `(src, dst, bytes, departure)`
+    /// keyed on `(seed, epoch)`, so the same faults replay bit-identically
+    /// on the deterministic, threaded, and sharded engines and for every
+    /// worker count. The optimistic engine routes with the NIC minimum
+    /// latency only and rejects chaos
+    /// ([`SimError::UnsupportedChaos`]).
+    #[must_use]
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
     /// Attaches a quantum-level flight recorder; the report's
     /// [`RunReport::obs`] will carry it. Recording never perturbs simulated
     /// results and adds no lock to any engine's packet path.
@@ -492,22 +555,27 @@ impl Sim {
         self
     }
 
-    /// Runs the simulation.
+    /// Runs the simulation, panicking on configuration errors.
+    ///
+    /// This is the convenience wrapper for tests, benches, and examples
+    /// where a bad configuration is a bug; [`Sim::try_run`] is the primary
+    /// entry point and the one anything driven by external input (the CLI,
+    /// the scenario runner, a job server) should call.
     ///
     /// # Panics
     ///
     /// Panics with a [`SimError`]'s message on any configuration error
     /// (fewer than two programs, program *i* not for rank *i*, zero shards,
-    /// an engine/switch combination the engine does not support), or on the
-    /// engine's own failure modes (deadlock, quantum-cap overflow, window
-    /// non-convergence). Use [`Sim::try_run`] to get configuration errors
-    /// as values instead.
+    /// an engine/switch/chaos combination the engine does not support), or
+    /// on the engine's own failure modes (deadlock, quantum-cap overflow,
+    /// window non-convergence).
     pub fn run(self) -> RunReport {
         self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs the simulation, returning configuration errors instead of
-    /// panicking on them.
+    /// panicking on them. This is the primary entry point — [`Sim::run`]
+    /// is `try_run().unwrap()` in convenience clothing.
     ///
     /// Engine-internal failure modes (deadlock, quantum-cap overflow) still
     /// panic: they indicate a broken *workload*, discovered mid-run, not a
@@ -573,6 +641,14 @@ impl Sim {
         if let SimSwitch::Fabric(cfg) = &self.switch {
             cfg.validate().map_err(SimError::InvalidFabric)?;
         }
+        if let Some(chaos) = &self.chaos {
+            chaos.validate().map_err(SimError::InvalidChaos)?;
+            if self.engine == EngineKind::Optimistic {
+                return Err(SimError::UnsupportedChaos {
+                    engine: self.engine,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -591,18 +667,40 @@ impl Sim {
             max_iterations,
             shards,
             obs: _,
+            chaos,
         } = self;
+        let overlay = chaos.map(|c| ChaosOverlay::new(c).expect("chaos validated before dispatch"));
         match engine {
             EngineKind::Deterministic => {
-                let (r, rec) = match switch {
-                    SimSwitch::Perfect => {
+                let (r, rec) = match (switch, overlay) {
+                    (SimSwitch::Perfect, None) => {
                         run_cluster_impl(programs, &config, PerfectSwitch::new(), rec)
                     }
-                    SimSwitch::LatencyMatrix(m) => run_cluster_impl(programs, &config, m, rec),
-                    SimSwitch::StoreAndForward(s) => run_cluster_impl(programs, &config, s, rec),
-                    SimSwitch::Fabric(cfg) => {
+                    (SimSwitch::Perfect, Some(o)) => {
+                        let sw = ChaosSwitch::new(o, PerfectSwitch::new());
+                        run_cluster_impl(programs, &config, sw, rec)
+                    }
+                    (SimSwitch::LatencyMatrix(m), None) => {
+                        run_cluster_impl(programs, &config, m, rec)
+                    }
+                    (SimSwitch::LatencyMatrix(m), Some(o)) => {
+                        run_cluster_impl(programs, &config, ChaosSwitch::new(o, m), rec)
+                    }
+                    (SimSwitch::StoreAndForward(s), None) => {
+                        run_cluster_impl(programs, &config, s, rec)
+                    }
+                    (SimSwitch::StoreAndForward(s), Some(o)) => {
+                        run_cluster_impl(programs, &config, ChaosSwitch::new(o, s), rec)
+                    }
+                    (SimSwitch::Fabric(cfg), o) => {
                         let fabric = FatTreeFabric::new(cfg, programs.len());
-                        run_cluster_impl(programs, &config, fabric, rec)
+                        match o {
+                            None => run_cluster_impl(programs, &config, fabric, rec),
+                            Some(o) => {
+                                let sw = ChaosSwitch::new(o, fabric);
+                                run_cluster_impl(programs, &config, sw, rec)
+                            }
+                        }
                     }
                 };
                 let messages = r.per_node.iter().map(|p| p.messages_received).sum();
@@ -630,6 +728,10 @@ impl Sim {
                     SimSwitch::StoreAndForward(_) => {
                         unreachable!("rejected by Sim::validate before dispatch")
                     }
+                };
+                let par_switch = match overlay {
+                    Some(o) => ParallelSwitch::Chaos(o, Box::new(par_switch)),
+                    None => par_switch,
                 };
                 let pcfg = ParallelConfig {
                     sync: config.sync.clone(),
@@ -665,6 +767,10 @@ impl Sim {
                     SimSwitch::StoreAndForward(_) => {
                         unreachable!("rejected by Sim::validate before dispatch")
                     }
+                };
+                let par_switch = match overlay {
+                    Some(o) => ParallelSwitch::Chaos(o, Box::new(par_switch)),
+                    None => par_switch,
                 };
                 let pcfg = ParallelConfig {
                     sync: config.sync.clone(),
@@ -783,6 +889,63 @@ mod tests {
         assert!(b.speedup_vs(&a) > 0.0);
         a.wall_clock = WallClock::Modelled(HostDuration::ZERO);
         assert_eq!(b.speedup_vs(&a), 0.0, "zero baseline must not divide");
+    }
+
+    #[test]
+    fn chaos_is_bit_identical_across_engines_and_worker_counts() {
+        let spec = burst(4, 20_000, 4096);
+        let chaos = ChaosConfig::new(42)
+            .with_link_flap(0.1)
+            .with_loss(0.2, SimDuration::from_micros(150))
+            .with_jitter(SimDuration::from_micros(3));
+        let mk = |engine, shards| {
+            let mut sim = Sim::new(spec.programs.clone())
+                .engine(engine)
+                .sync(SyncConfig::ground_truth())
+                .chaos(chaos);
+            if let Some(m) = shards {
+                sim = sim.shards(m);
+            }
+            sim.run().simulated_outcome()
+        };
+        let det = mk(EngineKind::Deterministic, None);
+        assert_eq!(det, mk(EngineKind::Threaded, None));
+        for m in [1, 2, 4] {
+            assert_eq!(det, mk(EngineKind::Sharded, Some(m)), "sharded m={m}");
+        }
+        // Chaos must actually perturb the run, not silently no-op.
+        let clean = Sim::new(spec.programs.clone())
+            .sync(SyncConfig::ground_truth())
+            .run()
+            .simulated_outcome();
+        assert!(det.sim_end > clean.sim_end, "faults must delay completion");
+        assert_eq!(det.messages_received, clean.messages_received);
+    }
+
+    #[test]
+    fn optimistic_rejects_chaos() {
+        let spec = ping_pong(2, 1, 64);
+        let err = Sim::new(spec.programs)
+            .engine(EngineKind::Optimistic)
+            .chaos(ChaosConfig::new(1).with_jitter(SimDuration::from_micros(1)))
+            .try_run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UnsupportedChaos {
+                engine: EngineKind::Optimistic
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_chaos_is_a_typed_error() {
+        let spec = ping_pong(2, 1, 64);
+        let err = Sim::new(spec.programs)
+            .chaos(ChaosConfig::new(1).with_link_flap(2.0))
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidChaos(_)), "got {err:?}");
     }
 
     #[test]

@@ -147,15 +147,6 @@ impl<P: Clone, S: SwitchModel> NetworkController<P, S> {
         self
     }
 
-    /// Enables traffic trace recording (Figure 9 charts).
-    #[deprecated(
-        since = "0.1.0",
-        note = "pass the option at construction time: `NetworkController::new(..).with_trace(true)`"
-    )]
-    pub fn enable_trace(&mut self) {
-        self.trace = TrafficTrace::enabled();
-    }
-
     /// Routes one frame and returns the resulting deliveries (one for
     /// unicast, `n - 1` for broadcast).
     ///
@@ -505,23 +496,6 @@ mod tests {
         assert_eq!(net.trace().total_packets(), 1);
 
         let mut net = ctl(2).with_trace(true);
-        net.route(
-            NodeId::new(0),
-            Destination::Unicast(NodeId::new(1)),
-            64,
-            SimTime::ZERO,
-            0,
-        );
-        assert_eq!(net.trace().entries().len(), 1);
-    }
-
-    // The deprecated mutate-after-construct path must keep working until it
-    // is removed; this is its own regression test.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_enable_trace_still_records() {
-        let mut net = ctl(2);
-        net.enable_trace();
         net.route(
             NodeId::new(0),
             Destination::Unicast(NodeId::new(1)),

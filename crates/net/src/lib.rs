@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod bridge;
+mod chaos;
 mod controller;
 mod fabric;
 mod nic;
@@ -47,6 +48,7 @@ mod stats;
 mod switch;
 
 pub use bridge::{BridgeDecision, LearningBridge};
+pub use chaos::{ChaosConfig, ChaosOverlay, ChaosSwitch};
 pub use controller::{Delivery, NetworkController};
 pub use fabric::{FabricConfig, FatTreeFabric, LinkLoad, LinkPath, MAX_PATH_LINKS};
 pub use nic::NicModel;

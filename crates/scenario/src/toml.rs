@@ -1,0 +1,415 @@
+//! A minimal TOML-subset parser, hand-rolled for the offline build.
+//!
+//! The build container has no cargo registry, so scenario files cannot pull
+//! in the real `toml` crate. This module parses exactly the subset the
+//! scenario schema needs — and rejects everything else with a line-numbered
+//! error:
+//!
+//! * `[table]` headers and `[[array-of-tables]]` headers (one segment,
+//!   bare names only — no dotted keys);
+//! * `key = value` pairs with bare keys;
+//! * values: basic strings (`"…"`, no escape sequences), integers
+//!   (optional sign, `_` separators), floats, booleans, and flat arrays.
+//!
+//! Comments (`#` to end of line, outside strings) and blank lines are
+//! skipped. Duplicate keys and duplicate table headers are errors — a
+//! scenario that says two different things is wrong, not last-writer-wins.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse failure: 1-based line plus what went wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// A parsed value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A flat array of values.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// The value's type name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// One `key = value` entry: the value plus the line it was written on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Item {
+    /// The parsed value.
+    pub value: Value,
+    /// 1-based source line of the entry.
+    pub line: usize,
+}
+
+/// A table: the entries under one `[header]` (or the document root).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    /// Entries in key order.
+    pub entries: BTreeMap<String, Item>,
+    /// 1-based line of the table header (0 for the root table).
+    pub line: usize,
+}
+
+impl Table {
+    /// Looks up an entry.
+    pub fn get(&self, key: &str) -> Option<&Item> {
+        self.entries.get(key)
+    }
+}
+
+/// A parsed document: root entries, named tables, and arrays of tables.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Doc {
+    /// Entries before the first header.
+    pub root: Table,
+    /// `[name]` tables.
+    pub tables: BTreeMap<String, Table>,
+    /// `[[name]]` arrays of tables, in file order.
+    pub arrays: BTreeMap<String, Vec<Table>>,
+}
+
+/// Which table subsequent `key = value` lines land in.
+enum Target {
+    Root,
+    Table(String),
+    Array(String),
+}
+
+/// Parses a document, failing on the first line it cannot understand.
+pub fn parse(src: &str) -> Result<Doc, ParseError> {
+    let mut doc = Doc::default();
+    let mut target = Target::Root;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw, lineno)?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(name) = rest.strip_suffix("]]") else {
+                return err(lineno, "array-of-tables header must end with `]]`");
+            };
+            let name = check_key(name.trim(), lineno)?;
+            if doc.tables.contains_key(&name) {
+                return err(lineno, format!("`{name}` is already a plain table"));
+            }
+            doc.arrays.entry(name.clone()).or_default().push(Table {
+                entries: BTreeMap::new(),
+                line: lineno,
+            });
+            target = Target::Array(name);
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return err(lineno, "table header must end with `]`");
+            };
+            let name = check_key(name.trim(), lineno)?;
+            if doc.tables.contains_key(&name) {
+                return err(lineno, format!("duplicate table `[{name}]`"));
+            }
+            if doc.arrays.contains_key(&name) {
+                return err(lineno, format!("`{name}` is already an array of tables"));
+            }
+            doc.tables.insert(
+                name.clone(),
+                Table {
+                    entries: BTreeMap::new(),
+                    line: lineno,
+                },
+            );
+            target = Target::Table(name);
+        } else {
+            let Some(eq) = find_top_level_eq(line) else {
+                return err(lineno, "expected `key = value`, a `[table]`, or a comment");
+            };
+            let key = check_key(line[..eq].trim(), lineno)?;
+            let value = parse_value(line[eq + 1..].trim(), lineno)?;
+            let table = match &target {
+                Target::Root => &mut doc.root,
+                Target::Table(name) => doc.tables.get_mut(name).expect("current table exists"),
+                Target::Array(name) => doc
+                    .arrays
+                    .get_mut(name)
+                    .and_then(|v| v.last_mut())
+                    .expect("current array table exists"),
+            };
+            if table.entries.contains_key(&key) {
+                return err(lineno, format!("duplicate key `{key}`"));
+            }
+            table.entries.insert(
+                key,
+                Item {
+                    value,
+                    line: lineno,
+                },
+            );
+        }
+    }
+    Ok(doc)
+}
+
+/// Removes a trailing `#` comment, respecting strings. Rejects backslashes
+/// inside strings (escape sequences are outside the subset) and unclosed
+/// strings.
+fn strip_comment(line: &str, lineno: usize) -> Result<&str, ParseError> {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '\\' if in_string => {
+                return err(lineno, "escape sequences in strings are not supported");
+            }
+            '#' if !in_string => return Ok(&line[..i]),
+            _ => {}
+        }
+    }
+    if in_string {
+        return err(lineno, "unclosed string");
+    }
+    Ok(line)
+}
+
+/// Position of the first `=` outside any string, if any.
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '=' if !in_string => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Validates a bare key / table name: `[A-Za-z0-9_-]+`.
+fn check_key(key: &str, lineno: usize) -> Result<String, ParseError> {
+    if key.is_empty() {
+        return err(lineno, "empty key");
+    }
+    if let Some(bad) = key
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || *c == '_' || *c == '-'))
+    {
+        return err(
+            lineno,
+            format!("invalid character `{bad}` in key `{key}` (bare keys only)"),
+        );
+    }
+    Ok(key.to_string())
+}
+
+fn parse_value(s: &str, lineno: usize) -> Result<Value, ParseError> {
+    if s.is_empty() {
+        return err(lineno, "missing value after `=`");
+    }
+    if let Some(rest) = s.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return err(lineno, "unclosed string");
+        };
+        if inner.contains('"') {
+            return err(lineno, "only one string per value");
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(rest) = s.strip_prefix('[') {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return err(lineno, "unclosed array");
+        };
+        let mut items = Vec::new();
+        for part in split_array_items(inner, lineno)? {
+            items.push(parse_value(part.trim(), lineno)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    parse_number(s, lineno)
+}
+
+/// Splits the inside of a (flat or nested) array on top-level commas. A
+/// trailing comma is allowed, empty elements are not.
+fn split_array_items(inner: &str, lineno: usize) -> Result<Vec<&str>, ParseError> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut start = 0usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => {
+                if depth == 0 {
+                    return err(lineno, "unbalanced `]` in array");
+                }
+                depth -= 1;
+            }
+            ',' if !in_string && depth == 0 => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_string {
+        return err(lineno, "unclosed string in array");
+    }
+    if depth != 0 {
+        return err(lineno, "unbalanced `[` in array");
+    }
+    // A trailing comma leaves an empty tail, which is fine; an empty
+    // element *between* commas is caught below.
+    if !inner[start..].trim().is_empty() {
+        parts.push(&inner[start..]);
+    }
+    for p in &parts {
+        if p.trim().is_empty() {
+            return err(lineno, "empty array element");
+        }
+    }
+    Ok(parts)
+}
+
+fn parse_number(s: &str, lineno: usize) -> Result<Value, ParseError> {
+    let cleaned: String = s.chars().filter(|c| *c != '_').collect();
+    let looks_float = cleaned.contains(['.', 'e', 'E']);
+    if looks_float {
+        if let Ok(f) = cleaned.parse::<f64>() {
+            if !f.is_finite() {
+                return err(lineno, format!("non-finite float `{s}`"));
+            }
+            return Ok(Value::Float(f));
+        }
+    } else if let Ok(i) = cleaned.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    err(lineno, format!("cannot parse value `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_subset() {
+        let doc = parse(
+            r#"
+# a scenario
+name = "demo"      # trailing comment
+nodes = 8
+ratio = 0.25
+big = 1_000_000
+flag = true
+
+[chaos]
+loss = 0.1
+shards = [1, 2, 4]
+names = ["a", "b"]
+
+[[phases]]
+workload = "gossip"
+
+[[phases]]
+workload = "burst"
+compute = -5
+"#,
+        )
+        .expect("parses");
+        assert_eq!(
+            doc.root.get("name").unwrap().value,
+            Value::Str("demo".into())
+        );
+        assert_eq!(doc.root.get("nodes").unwrap().value, Value::Int(8));
+        assert_eq!(doc.root.get("ratio").unwrap().value, Value::Float(0.25));
+        assert_eq!(doc.root.get("big").unwrap().value, Value::Int(1_000_000));
+        assert_eq!(doc.root.get("flag").unwrap().value, Value::Bool(true));
+        let chaos = &doc.tables["chaos"];
+        assert_eq!(chaos.get("loss").unwrap().value, Value::Float(0.1));
+        assert_eq!(
+            chaos.get("shards").unwrap().value,
+            Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(4)])
+        );
+        let phases = &doc.arrays["phases"];
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[1].get("compute").unwrap().value, Value::Int(-5));
+    }
+
+    #[test]
+    fn errors_carry_the_line_number() {
+        for (src, want_line, want_fragment) in [
+            ("nodes 8", 1, "expected `key = value`"),
+            ("\nname = \"a\"\nname = \"b\"", 3, "duplicate key"),
+            ("[a]\nx = 1\n[a]", 3, "duplicate table"),
+            ("[[p]]\n[p]", 2, "already an array of tables"),
+            ("[p]\n[[p]]", 2, "already a plain table"),
+            ("x = \"unclosed", 1, "unclosed string"),
+            ("x = \"a\\n\"", 1, "escape sequences"),
+            ("x = [1, ]2", 1, "unclosed array"),
+            ("x = [1,,2]", 1, "empty array element"),
+            ("x = 1.2.3", 1, "cannot parse"),
+            ("x =", 1, "missing value"),
+            ("a.b = 1", 1, "invalid character `.`"),
+            ("[t", 1, "must end with `]`"),
+            ("x = nan", 1, "cannot parse"),
+        ] {
+            let e = parse(src).expect_err(src);
+            assert_eq!(e.line, want_line, "{src}: {e}");
+            assert!(e.message.contains(want_fragment), "{src}: {e}");
+        }
+    }
+
+    #[test]
+    fn comments_do_not_hide_inside_strings() {
+        let doc = parse("x = \"a # b\"").unwrap();
+        assert_eq!(doc.root.get("x").unwrap().value, Value::Str("a # b".into()));
+    }
+
+    #[test]
+    fn trailing_comma_in_array_is_allowed() {
+        let doc = parse("x = [1, 2,]").unwrap();
+        assert_eq!(
+            doc.root.get("x").unwrap().value,
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+}

@@ -40,9 +40,13 @@ mod micro;
 mod mpi;
 pub mod namd;
 pub mod nas;
+pub mod production;
 mod spec;
+mod workload;
 
 pub use background::with_background_traffic;
 pub use micro::{burst, ping_pong, uniform_compute};
 pub use mpi::MpiBuilder;
+pub use production::{gossip, ml_allreduce, parameter_server, rpc_fanout};
 pub use spec::{MetricKind, Scale, WorkloadSpec};
+pub use workload::{NasBench, Workload};

@@ -339,6 +339,91 @@ impl MpiBuilder {
         }
     }
 
+    /// One round of directed point-to-point traffic: **all sends are
+    /// scheduled before any receive**, each edge on its own fresh tag, so
+    /// the round cannot deadlock under the eager send model no matter how
+    /// the edges overlap. Edges are `(src, dst, bytes)`; duplicate edges
+    /// are fine (each gets its own tag).
+    ///
+    /// This is the primitive under the gossip and incast generators: build
+    /// the round's edge list any way you like (seeded peer sampling,
+    /// fan-in, fan-out), then commit it atomically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge is out of range or a self-loop.
+    pub fn exchange_round(&mut self, edges: &[(usize, usize, u64)]) {
+        let mut recvs = Vec::with_capacity(edges.len());
+        for &(src, dst, bytes) in edges {
+            assert!(src < self.n && dst < self.n, "rank out of range");
+            assert_ne!(src, dst, "exchange edge to self");
+            let tag = self.fresh_tag();
+            self.ops[src].push(Op::Send {
+                dst: SendTarget::Rank(Rank::new(dst as u32)),
+                bytes,
+                tag,
+            });
+            recvs.push((dst, src, tag));
+        }
+        for (dst, src, tag) in recvs {
+            self.ops[dst].push(Op::Recv {
+                src: Some(Rank::new(src as u32)),
+                tag,
+            });
+        }
+    }
+
+    /// Scatter-gather RPC: `root` fans a `req_bytes` request out to every
+    /// target, each target receives it, runs its `ops` of service compute,
+    /// and answers with `resp_bytes`; `root` then collects all responses —
+    /// the classic microservice fan-out whose response wave is an incast
+    /// at the root. Deadlock-free: the root's sends are all scheduled
+    /// before its first receive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target equals `root` or is out of range.
+    pub fn rpc_fanout(
+        &mut self,
+        root: usize,
+        targets: &[(usize, u64)],
+        req_bytes: u64,
+        resp_bytes: u64,
+    ) {
+        assert!(root < self.n, "root out of range");
+        let mut replies = Vec::with_capacity(targets.len());
+        for &(t, ops) in targets {
+            assert!(t < self.n, "target out of range");
+            assert_ne!(t, root, "rpc target is the root");
+            let req = self.fresh_tag();
+            let resp = self.fresh_tag();
+            self.ops[root].push(Op::Send {
+                dst: SendTarget::Rank(Rank::new(t as u32)),
+                bytes: req_bytes,
+                tag: req,
+            });
+            self.ops[t].push(Op::Recv {
+                src: Some(Rank::new(root as u32)),
+                tag: req,
+            });
+            if ops > 0 {
+                self.ops[t].push(Op::Compute { ops });
+            }
+            self.ops[t].push(Op::Send {
+                dst: SendTarget::Rank(Rank::new(root as u32)),
+                bytes: resp_bytes,
+                tag: resp,
+            });
+            replies.push((t, resp));
+        }
+        for (t, resp) in replies {
+            self.ops[root].push(Op::Recv {
+                src: Some(Rank::new(t as u32)),
+                tag: resp,
+            });
+        }
+    }
+
     /// Marks the start of a timed region on every rank.
     pub fn region_start_all(&mut self, region: RegionId) {
         for r in 0..self.n {

@@ -1,0 +1,283 @@
+//! Production-shaped traffic: the patterns the paper never evaluated.
+//!
+//! The paper's benchmarks are HPC kernels (NAS, NAMD). The ROADMAP's next
+//! tier asks how the adaptive quantum behaves under *datacenter* traffic —
+//! ML training collectives, microservice RPC fan-out with incast, and
+//! gossip replication. Each generator here reproduces the documented
+//! communication shape of its production counterpart, seeded so peer
+//! selection and service-time skew replay bit-identically, and built
+//! strictly round-based (**all sends scheduled before any receive** within
+//! a round) so no pattern can deadlock under the eager send model.
+
+use crate::mpi::MpiBuilder;
+use crate::spec::{MetricKind, WorkloadSpec};
+use aqs_node::RegionId;
+use aqs_rng::SplitMix64;
+
+/// ML data-parallel training: per step, imbalanced forward/backward
+/// compute followed by `buckets` gradient-bucket allreduces (the
+/// DDP/Horovod bucketed pattern — overlapping many mid-size allreduces,
+/// not one giant one). `seed` drives the per-step compute skew (stragglers
+/// from data loading and kernel jitter).
+///
+/// # Examples
+///
+/// ```
+/// let spec = aqs_workloads::ml_allreduce(4, 2, 2, 262_144, 100_000, 7);
+/// assert_eq!(spec.name, "ml-allreduce");
+/// ```
+pub fn ml_allreduce(
+    n: usize,
+    steps: usize,
+    buckets: usize,
+    bucket_bytes: u64,
+    compute: u64,
+    seed: u64,
+) -> WorkloadSpec {
+    assert!(
+        steps > 0 && buckets > 0,
+        "steps and buckets must be nonzero"
+    );
+    let mut m = MpiBuilder::new(n);
+    // Parameter broadcast before the timed region (rank 0 holds the
+    // initial model).
+    m.bcast(0, bucket_bytes * buckets as u64);
+    m.region_start_all(RegionId::KERNEL);
+    for s in 0..steps {
+        // Forward + backward with per-rank skew reseeded every step.
+        m.compute_all_imbalanced(compute, 0.08, seed ^ (s as u64).wrapping_mul(0x5851));
+        // Bucketed gradient exchange; a small combine cost per round.
+        for _ in 0..buckets {
+            m.allreduce(bucket_bytes, 64);
+        }
+    }
+    m.region_end_all(RegionId::KERNEL);
+    WorkloadSpec::new("ml-allreduce", m.build(), MetricKind::KernelTime)
+}
+
+/// Parameter-server training: workers (ranks `1..n`) push `push_bytes` of
+/// gradients at rank 0 — a pure incast — the server applies the update,
+/// then broadcasts fresh parameters. `seed` skews worker compute.
+///
+/// # Examples
+///
+/// ```
+/// let spec = aqs_workloads::parameter_server(4, 3, 131_072, 50_000, 9);
+/// assert_eq!(spec.n_ranks(), 4);
+/// ```
+pub fn parameter_server(
+    n: usize,
+    steps: usize,
+    push_bytes: u64,
+    compute: u64,
+    seed: u64,
+) -> WorkloadSpec {
+    assert!(steps > 0, "steps must be nonzero");
+    let mut m = MpiBuilder::new(n);
+    m.bcast(0, push_bytes);
+    m.region_start_all(RegionId::KERNEL);
+    for s in 0..steps {
+        m.compute_all_imbalanced(compute, 0.1, seed ^ (s as u64).wrapping_mul(0x2545));
+        // Every worker pushes at the server in the same round: incast.
+        let edges: Vec<(usize, usize, u64)> = (1..n).map(|w| (w, 0usize, push_bytes)).collect();
+        m.exchange_round(&edges);
+        // Server-side update, then fresh parameters to everyone.
+        m.compute(0, compute / 2);
+        m.bcast(0, push_bytes);
+    }
+    m.region_end_all(RegionId::KERNEL);
+    WorkloadSpec::new("parameter-server", m.build(), MetricKind::KernelTime)
+}
+
+/// Microservice RPC fan-out: per request, a rotating frontend fans out to
+/// `fanout` seeded backends, each runs heavy-tailed service compute (a
+/// deterministic Pareto-ish draw: most calls cheap, a few 10× — the tail
+/// that drives datacenter latency), and the response wave converges on the
+/// frontend as an incast.
+///
+/// # Examples
+///
+/// ```
+/// let spec = aqs_workloads::rpc_fanout(8, 4, 3, 2_048, 16_384, 50_000, 11);
+/// assert_eq!(spec.name, "rpc-fanout");
+/// ```
+pub fn rpc_fanout(
+    n: usize,
+    requests: usize,
+    fanout: usize,
+    request_bytes: u64,
+    response_bytes: u64,
+    service_ops: u64,
+    seed: u64,
+) -> WorkloadSpec {
+    assert!(requests > 0, "requests must be nonzero");
+    assert!(
+        fanout >= 1 && fanout < n,
+        "fanout must be in [1, n), got {fanout} for n={n}"
+    );
+    let mut m = MpiBuilder::new(n);
+    let mut rng = SplitMix64::new(seed ^ 0x0052_5043); // "RPC"
+    m.region_start_all(RegionId::KERNEL);
+    for r in 0..requests {
+        let front = r % n;
+        // Sample `fanout` distinct backends != front.
+        let mut targets: Vec<(usize, u64)> = Vec::with_capacity(fanout);
+        while targets.len() < fanout {
+            let b = (rng.next_u64() % n as u64) as usize;
+            if b != front && !targets.iter().any(|&(t, _)| t == b) {
+                // Heavy tail: 1 in 8 calls is a 10× outlier.
+                let ops = if rng.next_u64().is_multiple_of(8) {
+                    service_ops * 10
+                } else {
+                    service_ops / 2 + rng.next_u64() % service_ops.max(1)
+                };
+                targets.push((b, ops));
+            }
+        }
+        m.rpc_fanout(front, &targets, request_bytes, response_bytes);
+    }
+    m.region_end_all(RegionId::KERNEL);
+    WorkloadSpec::new("rpc-fanout", m.build(), MetricKind::KernelTime)
+}
+
+/// Gossip replication: every round, each node pushes a `digest_bytes`
+/// digest to `fanout` seeded peers; every `sync_every` rounds one seeded
+/// pair runs a large anti-entropy exchange. The low-rate all-to-all
+/// background shape of Cassandra/Serf-style membership and replication.
+///
+/// # Examples
+///
+/// ```
+/// let spec = aqs_workloads::gossip(6, 4, 2, 1_024, 13);
+/// assert_eq!(spec.name, "gossip");
+/// ```
+pub fn gossip(
+    n: usize,
+    rounds: usize,
+    fanout: usize,
+    digest_bytes: u64,
+    seed: u64,
+) -> WorkloadSpec {
+    assert!(rounds > 0, "rounds must be nonzero");
+    assert!(
+        fanout >= 1 && fanout < n,
+        "fanout must be in [1, n), got {fanout} for n={n}"
+    );
+    let mut m = MpiBuilder::new(n);
+    let mut rng = SplitMix64::new(seed ^ 0x474F_5353); // "GOSS"
+    let sync_every = 4;
+    m.region_start_all(RegionId::KERNEL);
+    for round in 0..rounds {
+        // Digest-processing work between rounds.
+        m.compute_all_imbalanced(20_000, 0.05, seed ^ round as u64);
+        let mut edges: Vec<(usize, usize, u64)> = Vec::with_capacity(n * fanout);
+        for src in 0..n {
+            let mut peers: Vec<usize> = Vec::with_capacity(fanout);
+            while peers.len() < fanout {
+                let p = (rng.next_u64() % n as u64) as usize;
+                if p != src && !peers.contains(&p) {
+                    peers.push(p);
+                }
+            }
+            for p in peers {
+                edges.push((src, p, digest_bytes));
+            }
+        }
+        m.exchange_round(&edges);
+        // Anti-entropy: a seeded pair reconciles with a bulk exchange.
+        if round % sync_every == sync_every - 1 {
+            let a = (rng.next_u64() % n as u64) as usize;
+            let b = (a + 1 + (rng.next_u64() % (n as u64 - 1)) as usize) % n;
+            m.exchange_round(&[(a, b, digest_bytes * 64), (b, a, digest_bytes * 64)]);
+        }
+    }
+    m.region_end_all(RegionId::KERNEL);
+    WorkloadSpec::new("gossip", m.build(), MetricKind::KernelTime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqs_node::{Op, SendTarget};
+    use std::collections::HashMap;
+
+    /// Every receive must have a matching send (same src, dst, tag).
+    fn check_matched(spec: &WorkloadSpec) {
+        let mut sends: HashMap<(u32, u32, u32), usize> = HashMap::new();
+        let mut recvs: HashMap<(u32, u32, u32), usize> = HashMap::new();
+        for p in &spec.programs {
+            for op in p.ops() {
+                match *op {
+                    Op::Send {
+                        dst: SendTarget::Rank(d),
+                        tag,
+                        ..
+                    } => {
+                        *sends
+                            .entry((p.rank().as_u32(), d.as_u32(), tag.as_u32()))
+                            .or_default() += 1
+                    }
+                    Op::Recv { src: Some(s), tag } => {
+                        *recvs
+                            .entry((s.as_u32(), p.rank().as_u32(), tag.as_u32()))
+                            .or_default() += 1
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(sends, recvs, "unmatched traffic in {}", spec.name);
+    }
+
+    #[test]
+    fn generators_are_matched_and_seed_deterministic() {
+        for n in [2usize, 4, 7, 8] {
+            let builds: Vec<WorkloadSpec> = vec![
+                ml_allreduce(n, 2, 2, 65_536, 50_000, 42),
+                parameter_server(n, 2, 32_768, 40_000, 42),
+                rpc_fanout(n, 3, (n - 1).min(3), 1_024, 8_192, 30_000, 42),
+                gossip(n, 4, (n - 1).min(2), 512, 42),
+            ];
+            for spec in &builds {
+                check_matched(spec);
+                assert_eq!(spec.n_ranks(), n);
+            }
+        }
+        // Same seed → identical programs; different seed → different ones.
+        let a = rpc_fanout(8, 4, 3, 1_024, 8_192, 30_000, 1);
+        let b = rpc_fanout(8, 4, 3, 1_024, 8_192, 30_000, 1);
+        let c = rpc_fanout(8, 4, 3, 1_024, 8_192, 30_000, 2);
+        for (x, y) in a.programs.iter().zip(&b.programs) {
+            assert_eq!(x.ops(), y.ops());
+        }
+        assert!(a
+            .programs
+            .iter()
+            .zip(&c.programs)
+            .any(|(x, y)| x.ops() != y.ops()));
+    }
+
+    #[test]
+    fn parameter_server_is_an_incast() {
+        let spec = parameter_server(8, 1, 4_096, 10_000, 3);
+        // All 7 workers target rank 0 in the push round.
+        let server_recvs = spec.programs[0].recv_count();
+        assert!(server_recvs >= 7, "server saw {server_recvs} receives");
+    }
+
+    #[test]
+    fn rpc_fanout_has_heavy_tail() {
+        let spec = rpc_fanout(8, 16, 3, 1_024, 8_192, 30_000, 5);
+        let max_op = spec
+            .programs
+            .iter()
+            .flat_map(|p| p.ops())
+            .filter_map(|op| match op {
+                Op::Compute { ops } => Some(*ops),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert_eq!(max_op, 300_000, "the 10× outlier must appear");
+    }
+}

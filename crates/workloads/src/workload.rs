@@ -1,0 +1,362 @@
+//! The unified workload API: one enum, one `build` entry point.
+//!
+//! Historically every workload had its own free-function constructor with
+//! its own signature (`ping_pong(n, rounds, bytes)`, `nas::is(n, scale)`,
+//! `namd(n, scale)`, …), so scenarios, benches, and the conformance
+//! harness each hard-wired their own dispatch. [`Workload`] folds them —
+//! micro, NAS, NAMD, and the production generators — behind one value type
+//! with a single [`Workload::build`] entry: everything that generates
+//! traffic goes through it.
+
+use crate::spec::{Scale, WorkloadSpec};
+use crate::{micro, namd, nas, production};
+
+/// One of the six NAS Parallel Benchmarks the paper evaluates (plus FT
+/// from the extended set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NasBench {
+    /// Embarrassingly parallel.
+    Ep,
+    /// Integer sort (the paper's worst-case accuracy benchmark).
+    Is,
+    /// Conjugate gradient.
+    Cg,
+    /// Multigrid.
+    Mg,
+    /// LU factorization wavefront.
+    Lu,
+    /// 3-D FFT (extended set).
+    Ft,
+}
+
+impl NasBench {
+    /// Lowercase benchmark name (`ep` / `is` / `cg` / `mg` / `lu` / `ft`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            NasBench::Ep => "ep",
+            NasBench::Is => "is",
+            NasBench::Cg => "cg",
+            NasBench::Mg => "mg",
+            NasBench::Lu => "lu",
+            NasBench::Ft => "ft",
+        }
+    }
+}
+
+/// A workload description: which traffic generator to run and with what
+/// parameters. Turn it into programs with [`Workload::build`].
+///
+/// # Examples
+///
+/// ```
+/// use aqs_workloads::Workload;
+///
+/// let spec = Workload::parse("rpc-fanout").unwrap().build(8, 42);
+/// assert_eq!(spec.n_ranks(), 8);
+/// // Same (workload, n, seed) → bit-identical programs.
+/// let again = Workload::parse("rpc-fanout").unwrap().build(8, 42);
+/// for (a, b) in spec.programs.iter().zip(&again.programs) {
+///     assert_eq!(a.ops(), b.ops());
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Workload {
+    /// Two-rank ping-pong (others idle): the paper's Figure 2/3 scenario.
+    PingPong {
+        /// Round trips.
+        rounds: usize,
+        /// Bytes per message.
+        bytes: u64,
+    },
+    /// Compute / all-to-all burst / compute: one brake-accelerate cycle.
+    Burst {
+        /// Ops per compute phase per rank.
+        compute: u64,
+        /// Bytes per pairwise message.
+        bytes: u64,
+    },
+    /// Pure imbalanced compute, no communication.
+    UniformCompute {
+        /// Ops per rank.
+        ops: u64,
+        /// Imbalance spread in `[0, 1)`.
+        spread: f64,
+    },
+    /// A NAS Parallel Benchmark at the given scale.
+    Nas {
+        /// Which benchmark.
+        bench: NasBench,
+        /// Problem scale.
+        scale: Scale,
+    },
+    /// The NAMD-like molecular-dynamics workload.
+    Namd {
+        /// Problem scale.
+        scale: Scale,
+    },
+    /// ML data-parallel training: imbalanced compute + bucketed gradient
+    /// allreduces per step (see [`production::ml_allreduce`]).
+    MlAllreduce {
+        /// Training steps.
+        steps: usize,
+        /// Gradient buckets per step.
+        buckets: usize,
+        /// Bytes per bucket.
+        bucket_bytes: u64,
+        /// Forward+backward ops per step per rank.
+        compute: u64,
+    },
+    /// Parameter-server training: worker pushes incast at rank 0, then a
+    /// parameter broadcast (see [`production::parameter_server`]).
+    ParameterServer {
+        /// Training steps.
+        steps: usize,
+        /// Gradient bytes per worker push.
+        push_bytes: u64,
+        /// Worker ops per step.
+        compute: u64,
+    },
+    /// Microservice RPC fan-out with heavy-tailed service times and incast
+    /// response waves (see [`production::rpc_fanout`]).
+    RpcFanout {
+        /// Requests (frontend rotates over ranks).
+        requests: usize,
+        /// Backends per request.
+        fanout: usize,
+        /// Request bytes.
+        request_bytes: u64,
+        /// Response bytes.
+        response_bytes: u64,
+        /// Median-ish service compute ops.
+        service_ops: u64,
+    },
+    /// Gossip replication: seeded digest pushes plus periodic anti-entropy
+    /// bulk exchanges (see [`production::gossip`]).
+    Gossip {
+        /// Gossip rounds.
+        rounds: usize,
+        /// Peers contacted per node per round.
+        fanout: usize,
+        /// Digest bytes.
+        digest_bytes: u64,
+    },
+}
+
+impl Workload {
+    /// Builds one program per rank for an `n`-node cluster. `seed` drives
+    /// every stochastic choice a generator makes (compute skew, peer
+    /// sampling, service-time tails); generators without any randomness
+    /// (the deterministic NAS/micro patterns) ignore it. Same
+    /// `(workload, n, seed)` → bit-identical programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or a parameter is out of range for `n` (e.g. a
+    /// fan-out of `n` or more).
+    pub fn build(&self, n: usize, seed: u64) -> WorkloadSpec {
+        match *self {
+            Workload::PingPong { rounds, bytes } => micro::ping_pong(n, rounds, bytes),
+            Workload::Burst { compute, bytes } => micro::burst(n, compute, bytes),
+            Workload::UniformCompute { ops, spread } => micro::uniform_compute(n, ops, spread),
+            Workload::Nas { bench, scale } => match bench {
+                NasBench::Ep => nas::ep(n, scale),
+                NasBench::Is => nas::is(n, scale),
+                NasBench::Cg => nas::cg(n, scale),
+                NasBench::Mg => nas::mg(n, scale),
+                NasBench::Lu => nas::lu(n, scale),
+                NasBench::Ft => nas::ft(n, scale),
+            },
+            Workload::Namd { scale } => namd::namd(n, scale),
+            Workload::MlAllreduce {
+                steps,
+                buckets,
+                bucket_bytes,
+                compute,
+            } => production::ml_allreduce(n, steps, buckets, bucket_bytes, compute, seed),
+            Workload::ParameterServer {
+                steps,
+                push_bytes,
+                compute,
+            } => production::parameter_server(n, steps, push_bytes, compute, seed),
+            Workload::RpcFanout {
+                requests,
+                fanout,
+                request_bytes,
+                response_bytes,
+                service_ops,
+            } => production::rpc_fanout(
+                n,
+                requests,
+                fanout.min(n - 1),
+                request_bytes,
+                response_bytes,
+                service_ops,
+                seed,
+            ),
+            Workload::Gossip {
+                rounds,
+                fanout,
+                digest_bytes,
+            } => production::gossip(n, rounds, fanout.min(n - 1), digest_bytes, seed),
+        }
+    }
+
+    /// The workload's display name (matches [`WorkloadSpec::name`] except
+    /// for NAS, which reports the uppercase benchmark).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::PingPong { .. } => "ping-pong",
+            Workload::Burst { .. } => "burst",
+            Workload::UniformCompute { .. } => "compute",
+            Workload::Nas { bench, .. } => bench.name(),
+            Workload::Namd { .. } => "namd",
+            Workload::MlAllreduce { .. } => "ml-allreduce",
+            Workload::ParameterServer { .. } => "parameter-server",
+            Workload::RpcFanout { .. } => "rpc-fanout",
+            Workload::Gossip { .. } => "gossip",
+        }
+    }
+
+    /// Parses a workload name into its default-parameter description —
+    /// the single lookup the CLI and scenario files share. Accepted names:
+    /// `ep is cg mg lu ft namd pingpong burst compute ml-allreduce
+    /// parameter-server rpc-fanout gossip` (dashes and underscores are
+    /// interchangeable).
+    pub fn parse(name: &str) -> Option<Workload> {
+        let name = name.to_ascii_lowercase().replace('_', "-");
+        Some(match name.as_str() {
+            "ep" => Workload::Nas {
+                bench: NasBench::Ep,
+                scale: Scale::Mini,
+            },
+            "is" => Workload::Nas {
+                bench: NasBench::Is,
+                scale: Scale::Mini,
+            },
+            "cg" => Workload::Nas {
+                bench: NasBench::Cg,
+                scale: Scale::Mini,
+            },
+            "mg" => Workload::Nas {
+                bench: NasBench::Mg,
+                scale: Scale::Mini,
+            },
+            "lu" => Workload::Nas {
+                bench: NasBench::Lu,
+                scale: Scale::Mini,
+            },
+            "ft" => Workload::Nas {
+                bench: NasBench::Ft,
+                scale: Scale::Mini,
+            },
+            "namd" => Workload::Namd { scale: Scale::Mini },
+            "pingpong" | "ping-pong" => Workload::PingPong {
+                rounds: 100,
+                bytes: 64,
+            },
+            "burst" => Workload::Burst {
+                compute: 100_000,
+                bytes: 1024,
+            },
+            "compute" | "uniform-compute" => Workload::UniformCompute {
+                ops: 1_000_000,
+                spread: 0.1,
+            },
+            "ml-allreduce" | "allreduce" => Workload::MlAllreduce {
+                steps: 4,
+                buckets: 4,
+                bucket_bytes: 262_144,
+                compute: 400_000,
+            },
+            "parameter-server" => Workload::ParameterServer {
+                steps: 4,
+                push_bytes: 131_072,
+                compute: 300_000,
+            },
+            "rpc-fanout" => Workload::RpcFanout {
+                requests: 16,
+                fanout: 3,
+                request_bytes: 2_048,
+                response_bytes: 16_384,
+                service_ops: 50_000,
+            },
+            "gossip" => Workload::Gossip {
+                rounds: 8,
+                fanout: 2,
+                digest_bytes: 1_024,
+            },
+            _ => return None,
+        })
+    }
+
+    /// Applies a scale override where the workload has one (NAS and NAMD);
+    /// other workloads are returned unchanged.
+    #[must_use]
+    pub fn with_scale(self, scale: Scale) -> Self {
+        match self {
+            Workload::Nas { bench, .. } => Workload::Nas { bench, scale },
+            Workload::Namd { .. } => Workload::Namd { scale },
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_round_trips_through_parse_and_build() {
+        for name in [
+            "ep",
+            "is",
+            "cg",
+            "mg",
+            "lu",
+            "ft",
+            "namd",
+            "pingpong",
+            "burst",
+            "compute",
+            "ml-allreduce",
+            "parameter-server",
+            "rpc_fanout",
+            "gossip",
+        ] {
+            let w = Workload::parse(name)
+                .unwrap_or_else(|| panic!("{name} must parse"))
+                .with_scale(Scale::Tiny);
+            let spec = w.build(4, 7);
+            assert_eq!(spec.n_ranks(), 4, "{name}");
+            assert!(spec.programs.iter().any(|p| !p.is_empty()), "{name}");
+        }
+        assert!(Workload::parse("no-such-workload").is_none());
+    }
+
+    #[test]
+    fn seed_only_matters_for_seeded_generators() {
+        let nas = Workload::parse("is").unwrap().with_scale(Scale::Tiny);
+        let a = nas.build(4, 1);
+        let b = nas.build(4, 2);
+        for (x, y) in a.programs.iter().zip(&b.programs) {
+            assert_eq!(x.ops(), y.ops(), "NAS ignores the seed");
+        }
+        let g = Workload::parse("gossip").unwrap();
+        let ga = g.build(4, 1);
+        let gb = g.build(4, 2);
+        assert!(
+            ga.programs
+                .iter()
+                .zip(&gb.programs)
+                .any(|(x, y)| x.ops() != y.ops()),
+            "gossip must consume the seed"
+        );
+    }
+
+    #[test]
+    fn fanout_is_clamped_to_cluster_size() {
+        // Default fanout 3 on a 3-node cluster must clamp to 2, not panic.
+        let spec = Workload::parse("rpc-fanout").unwrap().build(3, 1);
+        assert_eq!(spec.n_ranks(), 3);
+    }
+}

@@ -34,6 +34,17 @@ cargo run --release -q -p aqs-check --bin conformance -- \
 rm -f conformance.log.jsonl
 rm -rf conformance-artifacts
 
+echo "==> scenario gate: corpus with chaos on, bit-identical across engines"
+for f in scenarios/*.toml; do
+    cargo run --release -q --bin aqs -- scenario run "$f"
+done
+for f in scenarios/malformed/*.toml; do
+    if cargo run --release -q --bin aqs -- scenario run "$f" 2>/dev/null; then
+        echo "malformed scenario $f was accepted" >&2
+        exit 1
+    fi
+done
+
 echo "==> build bench binaries (not timed)"
 cargo build --release -p aqs-bench --bins
 cargo bench --workspace --no-run

@@ -7,6 +7,7 @@
 //! aqs export-spec --workload is --nodes 8 --out spec.json     # dump a workload as JSON
 //! aqs run-spec --file spec.json [--policy p] [--seed N]       # run a JSON workload
 //! aqs check [--cases N] [--seed S] [--engines …]               # conformance campaign
+//! aqs scenario run <file.toml>                                # multi-phase scenario + chaos
 //! aqs policies                                                # list built-in policies
 //! ```
 
@@ -16,7 +17,7 @@ use aqs::cluster::{
 use aqs::core::{PredictiveConfig, SyncConfig};
 use aqs::metrics::render_table;
 use aqs::time::SimDuration;
-use aqs::workloads::{namd, nas, ping_pong, Scale, WorkloadSpec};
+use aqs::workloads::{Scale, Workload, WorkloadSpec};
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -30,6 +31,7 @@ fn usage() -> ! {
          aqs export-spec --workload <…> --nodes <n> --out <file> [--scale …]\n  \
          aqs run-spec --file <file> [--policy <p>] [--seed N]\n  \
          aqs check {}\n  \
+         aqs scenario run <file.toml>\n  \
          aqs policies\n\n\
          policies: truth | fixed:<µs> | dyn1 | dyn2 | dyn:<min_µs>:<max_µs>:<inc>:<dec> | pred",
         aqs::check::cli::USAGE
@@ -66,25 +68,21 @@ fn parse_scale(flags: &HashMap<String, String>) -> Scale {
     }
 }
 
-fn parse_workload(flags: &HashMap<String, String>, n: usize, scale: Scale) -> WorkloadSpec {
-    match flags.get("workload").map(String::as_str) {
-        Some("ep") => nas::ep(n, scale),
-        Some("is") => nas::is(n, scale),
-        Some("cg") => nas::cg(n, scale),
-        Some("mg") => nas::mg(n, scale),
-        Some("lu") => nas::lu(n, scale),
-        Some("ft") => nas::ft(n, scale),
-        Some("namd") => namd::namd(n, scale),
-        Some("pingpong") => ping_pong(n, 20, 9000),
-        Some(other) => {
-            eprintln!("unknown workload: {other}");
-            usage();
-        }
-        None => {
-            eprintln!("--workload is required");
-            usage();
-        }
-    }
+fn parse_workload(
+    flags: &HashMap<String, String>,
+    n: usize,
+    scale: Scale,
+    seed: u64,
+) -> WorkloadSpec {
+    let Some(name) = flags.get("workload") else {
+        eprintln!("--workload is required");
+        usage();
+    };
+    let Some(workload) = Workload::parse(name) else {
+        eprintln!("unknown workload: {name}");
+        usage();
+    };
+    workload.with_scale(scale).build(n, seed)
 }
 
 fn parse_policy(spec: &str) -> SyncConfig {
@@ -136,7 +134,7 @@ fn nodes_and_seed(flags: &HashMap<String, String>) -> (usize, u64) {
 fn cmd_run(flags: HashMap<String, String>) {
     let (n, seed) = nodes_and_seed(&flags);
     let scale = parse_scale(&flags);
-    let spec = parse_workload(&flags, n, scale);
+    let spec = parse_workload(&flags, n, scale, seed);
     let policy = parse_policy(flags.get("policy").map(String::as_str).unwrap_or("dyn1"));
     let base = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(seed);
     let truth = run_workload(&spec, &base);
@@ -165,7 +163,7 @@ fn cmd_run(flags: HashMap<String, String>) {
 fn cmd_sweep(flags: HashMap<String, String>) {
     let (n, seed) = nodes_and_seed(&flags);
     let scale = parse_scale(&flags);
-    let spec = parse_workload(&flags, n, scale);
+    let spec = parse_workload(&flags, n, scale, seed);
     let base = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(seed);
     let result = Experiment::new(spec, base, paper_sweep()).run();
     println!(
@@ -193,7 +191,7 @@ fn cmd_sweep(flags: HashMap<String, String>) {
 fn cmd_optimistic(flags: HashMap<String, String>) {
     let (n, seed) = nodes_and_seed(&flags);
     let scale = parse_scale(&flags);
-    let spec = parse_workload(&flags, n, scale);
+    let spec = parse_workload(&flags, n, scale, seed);
     let window: u64 = flags
         .get("window-us")
         .map(|s| s.parse().unwrap_or_else(|_| usage()))
@@ -232,9 +230,9 @@ fn cmd_optimistic(flags: HashMap<String, String>) {
 }
 
 fn cmd_export_spec(flags: HashMap<String, String>) {
-    let (n, _) = nodes_and_seed(&flags);
+    let (n, seed) = nodes_and_seed(&flags);
     let scale = parse_scale(&flags);
-    let spec = parse_workload(&flags, n, scale);
+    let spec = parse_workload(&flags, n, scale, seed);
     let Some(out) = flags.get("out") else {
         eprintln!("--out <file> is required");
         usage();
@@ -289,6 +287,57 @@ fn cmd_run_spec(flags: HashMap<String, String>) {
     );
 }
 
+/// `aqs scenario run <file.toml>` — executes a declarative multi-phase
+/// scenario (with optional chaos injection) on every engine × worker-count
+/// combination it configures, and checks its property assertions. Exits 1
+/// with the typed error's file/line context on a bad scenario, 2 on usage.
+fn cmd_scenario(rest: &[String]) {
+    let (sub, file) = match rest {
+        [sub, file] => (sub.as_str(), file.as_str()),
+        _ => {
+            eprintln!("usage: aqs scenario run <file.toml>");
+            exit(2);
+        }
+    };
+    if sub != "run" {
+        eprintln!("unknown scenario subcommand `{sub}` (expected `run`)");
+        exit(2);
+    }
+    let report = match aqs::scenario::run_scenario_file(file) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "scenario {} — {} nodes, {} phase(s){}",
+        report.name,
+        report.nodes,
+        report.phases,
+        if report.chaos { ", chaos on" } else { "" }
+    );
+    println!(
+        "  outcome : sim_end {}  messages {}  packets {}  stragglers {}",
+        report.outcome.sim_end,
+        report.outcome.messages_received,
+        report.outcome.total_packets,
+        report.outcome.straggler_count
+    );
+    for run in &report.runs {
+        println!(
+            "  run     : {:<16} quanta {:>8}  wall {:.3}s",
+            run.label,
+            run.report.total_quanta,
+            run.report.wall_clock.as_secs_f64()
+        );
+    }
+    for check in &report.checks {
+        println!("  check   : {check}");
+    }
+    println!("  PASS");
+}
+
 fn cmd_policies() {
     println!("built-in synchronization policies:");
     println!("  truth                          fixed 1µs quantum (safe bound, ground truth)");
@@ -306,6 +355,11 @@ fn main() {
     };
     // `check` has its own flag grammar (boolean flags); dispatch before the
     // key-value parser.
+    // `scenario` takes a positional file, not key-value flags.
+    if cmd == "scenario" {
+        cmd_scenario(rest);
+        return;
+    }
     if cmd == "check" {
         match aqs::check::cli::run(rest) {
             Ok(code) => exit(code),

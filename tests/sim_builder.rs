@@ -1,0 +1,61 @@
+//! The `Sim` builder is the engines' only entry point (the historical
+//! `run_cluster`/`run_cluster_with_switch`/`run_parallel`/`run_optimistic`
+//! free functions are gone). These tests pin the builder behaviors their
+//! equivalence tests used to cover: determinism of repeated runs, the
+//! default switch being exactly an explicit `Perfect`, and switch models
+//! composing with policies.
+
+use aqs::cluster::{ClusterConfig, RunReport, Sim, SimSwitch};
+use aqs::core::SyncConfig;
+use aqs::net::LatencyMatrixSwitch;
+use aqs::time::SimDuration;
+use aqs::workloads::{burst, ping_pong};
+
+fn assert_identical(a: &RunReport, b: &RunReport) {
+    assert_eq!(a.simulated_outcome(), b.simulated_outcome());
+    assert_eq!(a.total_quanta, b.total_quanta);
+    assert_eq!(a.stragglers.count(), b.stragglers.count());
+    assert_eq!(a.stragglers.total_delay(), b.stragglers.total_delay());
+}
+
+#[test]
+fn repeated_builder_runs_are_bit_identical() {
+    for sync in [SyncConfig::ground_truth(), SyncConfig::paper_dyn1()] {
+        let spec = burst(4, 50_000, 2048);
+        let config = ClusterConfig::new(sync).with_seed(9);
+        let a = Sim::new(spec.programs.clone()).config(config.clone()).run();
+        let b = Sim::new(spec.programs).config(config).run();
+        assert_identical(&a, &b);
+    }
+}
+
+#[test]
+fn latency_matrix_runs_deterministically_under_adaptive_policy() {
+    let spec = ping_pong(2, 25, 4096);
+    let config = ClusterConfig::new(SyncConfig::paper_dyn2()).with_seed(3);
+    let matrix = LatencyMatrixSwitch::uniform(2, SimDuration::from_micros(2));
+    let mk = || {
+        Sim::new(spec.programs.clone())
+            .config(config.clone())
+            .switch(SimSwitch::LatencyMatrix(matrix.clone()))
+            .run()
+    };
+    let a = mk();
+    let b = mk();
+    assert_identical(&a, &b);
+    // The 2 µs matrix must actually slow the run down vs the perfect switch.
+    let perfect = Sim::new(spec.programs.clone()).config(config.clone()).run();
+    assert!(a.sim_end > perfect.sim_end);
+}
+
+#[test]
+fn default_switch_is_exactly_perfect() {
+    let spec = ping_pong(2, 10, 512);
+    let config = ClusterConfig::new(SyncConfig::ground_truth()).with_seed(5);
+    let explicit = Sim::new(spec.programs.clone())
+        .config(config.clone())
+        .switch(SimSwitch::Perfect)
+        .run();
+    let default = Sim::new(spec.programs).config(config).run();
+    assert_identical(&explicit, &default);
+}

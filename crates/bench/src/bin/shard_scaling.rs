@@ -20,7 +20,9 @@
 //! assertions only (no JSON written, no timing gate) — the CI entry point.
 
 use aqs_cluster::parallel::ParallelRunResult;
-use aqs_cluster::{EngineKind, ShardedRunResult, Sim, SimSwitch};
+use aqs_cluster::{
+    EngineKind, HybridPolicy, ShardedOptimisticRunResult, ShardedRunResult, Sim, SimSwitch,
+};
 use aqs_core::SyncConfig;
 use aqs_net::{FabricConfig, FatTreeFabric};
 use aqs_node::Program;
@@ -315,6 +317,200 @@ fn fabric_sweep(smoke: bool, worker_counts: &[usize]) -> Option<Value> {
     ]))
 }
 
+/// Mixed-straggler tier parameters: one shard's nodes run tight dependency
+/// chains (every quantum above the safe bound makes them straggle), the
+/// rest heavy compute with sparse exchanges. `host_work_per_op > 0` makes
+/// every re-executed quantum cost real wall time, so rollback waste is
+/// visible on the clock, not just in the counters.
+const MIXED_NODES: usize = 64;
+const MIXED_WORKERS: usize = 4;
+const MIXED_QUANTUM_US: u64 = 200;
+const MIXED_HOST_WORK: f64 = 1.0;
+const MIXED_CHAIN_ROUNDS: usize = 250;
+const MIXED_CHAIN_COMPUTE: u64 = 20_000;
+const MIXED_QUIET_ROUNDS: usize = 40;
+const MIXED_QUIET_COMPUTE: u64 = 150_000;
+
+/// The mixed straggler workload: the first quarter of the ranks — exactly
+/// shard 0 at `MIXED_WORKERS` — ping-pong in pairs with small compute
+/// between rounds, so a 200 µs window holds several chain hops and the
+/// optimistic fixed point keeps discovering in-window arrivals. The other
+/// three quarters run long compute with one sparse ring exchange per round:
+/// their packets land comfortably across window edges.
+fn mixed_straggler_workload(n: usize) -> Vec<Program> {
+    let mut b = MpiBuilder::new(n);
+    let chatty = n / 4;
+    for _ in 0..MIXED_CHAIN_ROUNDS {
+        for r in 0..chatty {
+            b.compute(r, MIXED_CHAIN_COMPUTE);
+        }
+        for pair in (0..chatty).step_by(2) {
+            b.p2p(pair, pair + 1, 512);
+            b.p2p(pair + 1, pair, 512);
+        }
+    }
+    for _ in 0..MIXED_QUIET_ROUNDS {
+        for r in chatty..n {
+            b.compute(r, MIXED_QUIET_COMPUTE);
+        }
+        for r in chatty..n {
+            let next = if r + 1 == n { chatty } else { r + 1 };
+            b.p2p(r, next, 4096);
+        }
+    }
+    b.build()
+}
+
+fn run_rollback(programs: Vec<Program>, hybrid: bool) -> ShardedOptimisticRunResult {
+    let mut sim = Sim::new(programs)
+        .engine(if hybrid {
+            EngineKind::Hybrid
+        } else {
+            EngineKind::ShardedOptimistic
+        })
+        .shards(MIXED_WORKERS)
+        .sync(SyncConfig::fixed_micros(MIXED_QUANTUM_US))
+        .host_work_per_op(MIXED_HOST_WORK)
+        .max_quanta(MAX_QUANTA);
+    if hybrid {
+        sim = sim.hybrid_policy(HybridPolicy {
+            degrade_after: 1,
+            recover_after: 4,
+        });
+    }
+    sim.run()
+        .detail
+        .as_sharded_optimistic()
+        .expect("rollback engine ran")
+        .clone()
+}
+
+fn rollback_obj(label: &str, wall: f64, r: &ShardedOptimisticRunResult) -> Value {
+    Value::Object(vec![
+        ("engine".into(), Value::Str(label.into())),
+        ("workers".into(), Value::U64(MIXED_WORKERS as u64)),
+        ("wall_secs".into(), Value::F64(wall)),
+        ("windows".into(), Value::U64(r.windows)),
+        ("total_packets".into(), Value::U64(r.total_packets)),
+        ("checkpoints".into(), Value::U64(r.checkpoints)),
+        ("rollbacks".into(), Value::U64(r.rollbacks)),
+        ("wasted_sim_ns".into(), Value::U64(r.wasted_sim.as_nanos())),
+        ("degraded_windows".into(), Value::U64(r.degraded_windows)),
+        (
+            "conservative_windows".into(),
+            Value::U64(r.conservative_windows),
+        ),
+        (
+            "mode_switches".into(),
+            Value::U64(r.mode_events.len() as u64),
+        ),
+        ("stragglers".into(), Value::U64(r.stragglers.count())),
+        ("sim_end_ns".into(), Value::U64(r.sim_end.as_nanos())),
+    ])
+}
+
+/// The hybrid headline tier: sharded-optimistic vs hybrid on the mixed
+/// straggler workload. The smoke gate checks the deterministic counters
+/// only — the hybrid must actually degrade its chatty shard, roll back
+/// less, and waste less re-executed simulated time than pure optimistic
+/// execution, while both conserve every message the deterministic engine
+/// delivers. The full sweep additionally times both and asserts the hybrid
+/// wins on wall clock (re-execution costs real host work here).
+fn hybrid_sweep(smoke: bool, iterations: u32) -> Option<Value> {
+    let programs = mixed_straggler_workload(MIXED_NODES);
+    let det_messages = Sim::new(programs.clone())
+        .sync(SyncConfig::fixed_micros(MIXED_QUANTUM_US))
+        .max_quanta(MAX_QUANTA)
+        .run()
+        .messages_received;
+
+    let iterations = if smoke { 1 } else { iterations };
+    let (opt_wall, opt) = measure(
+        iterations,
+        || run_rollback(programs.clone(), false),
+        |r| r.wall.as_secs_f64(),
+    );
+    let (hyb_wall, hyb) = measure(
+        iterations,
+        || run_rollback(programs.clone(), true),
+        |r| r.wall.as_secs_f64(),
+    );
+
+    for (label, r) in [("sharded-optimistic", &opt), ("hybrid", &hyb)] {
+        assert_eq!(
+            r.messages_received_total(),
+            det_messages,
+            "{label}: lost messages on the mixed straggler workload"
+        );
+    }
+    assert!(
+        opt.rollbacks > 0,
+        "the chatty shard must straggle under the unsafe quantum"
+    );
+    assert!(
+        hyb.conservative_windows > 0 && !hyb.mode_events.is_empty(),
+        "the hybrid must actually degrade the chatty shard"
+    );
+    assert!(
+        hyb.rollbacks < opt.rollbacks,
+        "hybrid must roll back less than pure optimistic \
+         ({} vs {})",
+        hyb.rollbacks,
+        opt.rollbacks
+    );
+    assert!(
+        hyb.wasted_sim < opt.wasted_sim,
+        "hybrid must waste less re-executed simulated time \
+         ({} vs {})",
+        hyb.wasted_sim,
+        opt.wasted_sim
+    );
+    println!(
+        "mixed-straggler n={MIXED_NODES} m={MIXED_WORKERS} q={MIXED_QUANTUM_US}us: \
+         optimistic {opt_wall:>8.4}s ({or} rollbacks, {ow} wasted)  \
+         hybrid {hyb_wall:>8.4}s ({hr} rollbacks, {hw} wasted, {hc} conservative windows)",
+        or = opt.rollbacks,
+        ow = opt.wasted_sim,
+        hr = hyb.rollbacks,
+        hw = hyb.wasted_sim,
+        hc = hyb.conservative_windows,
+    );
+    if smoke {
+        return None;
+    }
+    assert!(
+        hyb_wall < opt_wall,
+        "hybrid must beat pure optimistic wall clock on the mixed straggler \
+         workload ({hyb_wall:.4}s vs {opt_wall:.4}s)"
+    );
+    Some(Value::Object(vec![
+        (
+            "workload".into(),
+            Value::Object(vec![
+                ("kind".into(), Value::Str("mixed-straggler".into())),
+                ("nodes".into(), Value::U64(MIXED_NODES as u64)),
+                ("chain_rounds".into(), Value::U64(MIXED_CHAIN_ROUNDS as u64)),
+                ("chain_compute_ops".into(), Value::U64(MIXED_CHAIN_COMPUTE)),
+                ("quiet_rounds".into(), Value::U64(MIXED_QUIET_ROUNDS as u64)),
+                ("quiet_compute_ops".into(), Value::U64(MIXED_QUIET_COMPUTE)),
+                ("host_work_per_op".into(), Value::F64(MIXED_HOST_WORK)),
+            ]),
+        ),
+        ("policy".into(), Value::Str("fixed-200us".into())),
+        (
+            "runs".into(),
+            Value::Array(vec![
+                rollback_obj("sharded-optimistic", opt_wall, &opt),
+                rollback_obj("hybrid", hyb_wall, &hyb),
+            ]),
+        ),
+        (
+            "hybrid_speedup_vs_optimistic".into(),
+            Value::F64(opt_wall / hyb_wall.max(1e-12)),
+        ),
+    ]))
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let avail = std::thread::available_parallelism()
@@ -471,9 +667,12 @@ fn main() {
     );
 
     let fabric_section = fabric_sweep(smoke, &worker_counts);
+    let hybrid_section = hybrid_sweep(smoke, iterations);
 
     if smoke {
-        println!("smoke sweep passed (results-match + allocation + fabric assertions only)");
+        println!(
+            "smoke sweep passed (results-match + allocation + fabric + hybrid assertions only)"
+        );
         return;
     }
 
@@ -502,6 +701,10 @@ fn main() {
         (
             "fabric".into(),
             fabric_section.expect("full sweep builds the fabric section"),
+        ),
+        (
+            "hybrid".into(),
+            hybrid_section.expect("full sweep builds the hybrid section"),
         ),
     ]);
     let json = serde_json::to_string_pretty(&doc).expect("render json");

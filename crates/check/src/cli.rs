@@ -6,7 +6,7 @@ use crate::runner::{run_conformance, ConformanceOpts};
 
 /// Flag summary for usage messages.
 pub const USAGE: &str = "[--cases N] [--seed S] \
-     [--engines all|det|det,threaded|det,sharded] \
+     [--engines all|det|det,threaded|det,sharded|sharded-optimistic,hybrid] \
      [--time-budget SECS] [--log FILE] [--artifacts DIR] [--no-shrink]";
 
 /// Parses `args`, runs the campaign, writes any requested artifacts, and
@@ -112,23 +112,31 @@ fn parse_seed(s: &str) -> Result<u64, String> {
 }
 
 /// `--engines` narrows the differential vote: the deterministic engine
-/// always runs (it anchors the ground truth); `threaded`, `optimistic`, and
-/// `sharded` are opt-outable.
+/// always runs (it anchors the ground truth); `threaded`, `optimistic`,
+/// `sharded`, `sharded-optimistic`, and `hybrid` are opt-outable.
 fn apply_engines(opts: &mut ConformanceOpts, spec: &str) -> Result<(), String> {
     opts.check.threaded = false;
     opts.check.optimistic = false;
     opts.check.sharded = false;
+    opts.check.sharded_optimistic = false;
+    opts.check.hybrid = false;
     for part in spec.split(',') {
         match part {
             "all" => {
                 opts.check.threaded = true;
                 opts.check.optimistic = true;
                 opts.check.sharded = true;
+                opts.check.sharded_optimistic = true;
+                opts.check.hybrid = true;
             }
             "det" | "deterministic" => {}
             "threaded" => opts.check.threaded = true,
             "optimistic" => opts.check.optimistic = true,
             "sharded" => opts.check.sharded = true,
+            "sharded-optimistic" | "sharded_optimistic" => {
+                opts.check.sharded_optimistic = true;
+            }
+            "hybrid" => opts.check.hybrid = true,
             other => return Err(format!("unknown engine: {other}")),
         }
     }
@@ -176,6 +184,15 @@ mod tests {
         assert!(!opts.check.threaded);
         let (opts, ..) = parse(&argv("--engines all")).expect("parses");
         assert!(opts.check.sharded && opts.check.threaded && opts.check.optimistic);
+    }
+
+    #[test]
+    fn rollback_engines_are_selectable_and_part_of_all() {
+        let (opts, ..) = parse(&argv("--engines sharded-optimistic,hybrid")).expect("parses");
+        assert!(opts.check.sharded_optimistic && opts.check.hybrid);
+        assert!(!opts.check.sharded && !opts.check.threaded && !opts.check.optimistic);
+        let (opts, ..) = parse(&argv("--engines all")).expect("parses");
+        assert!(opts.check.sharded_optimistic && opts.check.hybrid);
     }
 
     #[test]

@@ -41,10 +41,19 @@ pub struct CheckOpts {
     /// Run the sharded engine (differential + invariants + cross-M
     /// identity), once per entry of [`shard_counts`](Self::shard_counts).
     pub sharded: bool,
-    /// Worker counts the sharded engine is exercised with. The engine clamps
-    /// each to the node count, so oversized entries still run (as one worker
-    /// per node) — deliberately, since results must not depend on M.
+    /// Run the sharded-optimistic engine (differential + rollback-property
+    /// invariants), once per entry of [`shard_counts`](Self::shard_counts).
+    pub sharded_optimistic: bool,
+    /// Run the hybrid engine (differential + rollback-property invariants),
+    /// once per entry of [`shard_counts`](Self::shard_counts).
+    pub hybrid: bool,
+    /// Worker counts the sharded engines are exercised with. The engines
+    /// clamp each to the node count, so oversized entries still run (as one
+    /// worker per node) — deliberately, since results must not depend on M.
     pub shard_counts: Vec<usize>,
+    /// Cascade depth bound handed to the sharded-optimistic and hybrid
+    /// engines; the rollback-depth oracle checks runs against it.
+    pub cascade_bound: u32,
     /// Override the threaded/sharded engines' quantum cap (deadlock guard).
     /// The default is derived from the ground-truth run and generous;
     /// mutation tests lower it so injected deadlocks fail fast.
@@ -57,7 +66,10 @@ impl Default for CheckOpts {
             threaded: true,
             optimistic: true,
             sharded: true,
+            sharded_optimistic: true,
+            hybrid: true,
             shard_counts: vec![1, 2, 3],
+            cascade_bound: 8,
             quanta_cap: None,
         }
     }
@@ -128,6 +140,43 @@ pub fn check_case_with(case: &CaseSpec, opts: &CheckOpts) -> Result<(), String> 
                     truth_end_ns,
                     sh.total_packets,
                     truth.total_packets,
+                ));
+            }
+        }
+    }
+    for (enabled, kind) in [
+        (opts.sharded_optimistic, EngineKind::ShardedOptimistic),
+        (opts.hybrid, EngineKind::Hybrid),
+    ] {
+        if !enabled {
+            continue;
+        }
+        for &m in &opts.shard_counts {
+            let label = format!("{} ground truth (M={m})", kind.name());
+            let r = run_guarded(&label, || {
+                sim_for(case, SyncConfig::ground_truth())
+                    .engine(kind)
+                    .shards(m)
+                    .cascade_bound(opts.cascade_bound)
+                    .max_quanta(cap)
+                    .run()
+            })?;
+            if r.simulated_outcome() != truth {
+                return Err(format!(
+                    "differential: {label} diverged from deterministic \
+                     (sim_end {} vs {}, packets {} vs {})",
+                    r.sim_end.as_nanos(),
+                    truth_end_ns,
+                    r.total_packets,
+                    truth.total_packets,
+                ));
+            }
+            let d = r.detail.as_sharded_optimistic().expect("opt detail");
+            if d.rollbacks != 0 {
+                return Err(format!(
+                    "{label}: safe quantum produced {} rollbacks (Q ≤ T forbids \
+                     in-window arrivals entirely)",
+                    d.rollbacks
                 ));
             }
         }
@@ -214,6 +263,166 @@ pub fn check_case_with(case: &CaseSpec, opts: &CheckOpts) -> Result<(), String> 
                 }
             }
         }
+    }
+
+    // Phase C: rollback-property tier. The sharded-optimistic and hybrid
+    // engines run the case's own policy, where windows above the safe bound
+    // legitimately roll back; the run must still obey the rollback
+    // invariants (GVT monotone and committing exactly at window edges,
+    // depth within the cascade bound, wasted-sim equal to the re-executed
+    // quanta, recorder parity) and — when it never degraded a shard — land
+    // on the ground-truth timeline exactly. Outcomes are *not* compared
+    // across M here: which shard degrades depends on the partition.
+    for (enabled, kind) in [
+        (opts.sharded_optimistic, EngineKind::ShardedOptimistic),
+        (opts.hybrid, EngineKind::Hybrid),
+    ] {
+        if !enabled {
+            continue;
+        }
+        for &m in &opts.shard_counts {
+            let label = format!("{} policy run (M={m})", kind.name());
+            let r = run_guarded(&label, || {
+                sim_for(case, case.policy.sync_config())
+                    .engine(kind)
+                    .shards(m)
+                    .cascade_bound(opts.cascade_bound)
+                    .max_quanta(cap)
+                    .record(ObsConfig::new().with_ring_capacity(OBS_RING))
+                    .run()
+            })?;
+            check_policy_run(&label, &r, case, lo, hi)?;
+            conservation(&label, &r, exp_packets, exp_receives)?;
+            check_rollback_run(&label, &r, opts.cascade_bound, &truth)?;
+        }
+    }
+    Ok(())
+}
+
+/// The rollback-property oracles on one sharded-optimistic or hybrid run:
+///
+/// * GVT is monotonically non-decreasing and every window commits with GVT
+///   exactly at its edge — so no committed event is ever rolled back, and
+///   the committed horizon covers `sim_end`;
+/// * rollback depth never exceeds the configured cascade bound;
+/// * `wasted_sim` equals the re-executed quanta (Σ window length × nodes
+///   re-executed, straight from the run's traces);
+/// * the flight recorder's rollback counters agree with the result, per
+///   shard and in total;
+/// * a run that never degraded a shard and never snapped a packet must
+///   reproduce the ground-truth timeline exactly.
+fn check_rollback_run(
+    label: &str,
+    report: &RunReport,
+    cascade_bound: u32,
+    truth: &aqs_cluster::SimulatedOutcome,
+) -> Result<(), String> {
+    let d = report
+        .detail
+        .as_sharded_optimistic()
+        .ok_or_else(|| format!("{label}: report carries no sharded-optimistic detail"))?;
+    if d.cascade_bound != cascade_bound {
+        return Err(format!(
+            "{label}: configured cascade bound {cascade_bound} but the run reports {}",
+            d.cascade_bound
+        ));
+    }
+    if d.max_rollback_depth > cascade_bound {
+        return Err(format!(
+            "{label}: rollback depth {} exceeds the cascade bound {cascade_bound}",
+            d.max_rollback_depth
+        ));
+    }
+    if !d.traces_truncated {
+        if d.gvt_trace.len() as u64 != d.windows {
+            return Err(format!(
+                "{label}: {} windows committed but the GVT trace has {} entries",
+                d.windows,
+                d.gvt_trace.len()
+            ));
+        }
+        let mut edge = 0u64;
+        let mut prev = 0u64;
+        for (k, (&gvt, &len)) in d.gvt_trace.iter().zip(&d.window_len_trace).enumerate() {
+            edge += len;
+            if gvt < prev {
+                return Err(format!(
+                    "{label}: GVT retreated from {prev} to {gvt} at window #{k}"
+                ));
+            }
+            prev = gvt;
+            if gvt != edge {
+                return Err(format!(
+                    "{label}: window #{k} committed with GVT {gvt} ns, not its \
+                     edge {edge} ns — a committed event could still roll back"
+                ));
+            }
+        }
+        if edge < report.sim_end.as_nanos() {
+            return Err(format!(
+                "{label}: committed GVT stopped at {edge} ns, short of sim_end {} ns",
+                report.sim_end.as_nanos()
+            ));
+        }
+        let replayed: u64 = d
+            .window_len_trace
+            .iter()
+            .zip(&d.reexec_trace)
+            .map(|(&len, &k)| len * u64::from(k))
+            .sum();
+        if d.wasted_sim.as_nanos() != replayed {
+            return Err(format!(
+                "{label}: wasted_sim {} ns but the traces re-executed {replayed} ns",
+                d.wasted_sim.as_nanos()
+            ));
+        }
+        let reexec_nodes: u64 = d.reexec_trace.iter().map(|&k| u64::from(k)).sum();
+        if reexec_nodes != d.rollbacks {
+            return Err(format!(
+                "{label}: {} rollbacks counted but the traces re-executed {reexec_nodes} nodes",
+                d.rollbacks
+            ));
+        }
+    }
+    if let Some(fr) = &report.obs {
+        if fr.rollbacks() != d.rollbacks
+            || fr.checkpoints() != d.checkpoints
+            || fr.wasted_sim() != d.wasted_sim
+        {
+            return Err(format!(
+                "{label}: flight recorder disagrees with the result \
+                 (rollbacks {} vs {}, checkpoints {} vs {}, wasted {} vs {} ns)",
+                fr.rollbacks(),
+                d.rollbacks,
+                fr.checkpoints(),
+                d.checkpoints,
+                fr.wasted_sim().as_nanos(),
+                d.wasted_sim.as_nanos(),
+            ));
+        }
+        let shard = fr
+            .shard_rollback_stats()
+            .ok_or_else(|| format!("{label}: recorder holds no per-shard rollback lanes"))?;
+        if shard.rollbacks.iter().sum::<u64>() != d.rollbacks
+            || shard.checkpoints.iter().sum::<u64>() != d.checkpoints
+            || shard.wasted_ns.iter().sum::<u64>() != d.wasted_sim.as_nanos()
+        {
+            return Err(format!(
+                "{label}: per-shard rollback lanes do not sum to the run totals"
+            ));
+        }
+    }
+    if d.degraded_windows == 0
+        && report.stragglers.count() == 0
+        && report.simulated_outcome() != *truth
+    {
+        return Err(format!(
+            "{label}: never degraded, never snapped, yet diverged from the \
+             ground-truth timeline (sim_end {} vs {} ns) — a committed event \
+             was rolled back or restored from a stale checkpoint",
+            report.sim_end.as_nanos(),
+            truth.sim_end.as_nanos(),
+        ));
     }
     Ok(())
 }

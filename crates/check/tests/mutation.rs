@@ -84,6 +84,8 @@ fn det_only() -> CheckOpts {
         threaded: false,
         optimistic: false,
         sharded: false,
+        sharded_optimistic: false,
+        hybrid: false,
         ..CheckOpts::default()
     }
 }
@@ -94,6 +96,21 @@ fn sharded_only() -> CheckOpts {
     CheckOpts {
         threaded: false,
         optimistic: false,
+        sharded_optimistic: false,
+        hybrid: false,
+        ..CheckOpts::default()
+    }
+}
+
+/// Rollback-engine-only oracle runs, for faults planted in the
+/// sharded-optimistic substrate. The quantum cap is lowered so faults that
+/// starve a receiver fail fast, and injected deadlocks stay cheap.
+fn rollback_only() -> CheckOpts {
+    CheckOpts {
+        threaded: false,
+        optimistic: false,
+        sharded: false,
+        quanta_cap: Some(10_000),
         ..CheckOpts::default()
     }
 }
@@ -193,6 +210,8 @@ fn mailbox_drop_is_detected_and_shrunk() {
         threaded: true,
         optimistic: false,
         sharded: false,
+        sharded_optimistic: false,
+        hybrid: false,
         quanta_cap: Some(10_000),
         ..CheckOpts::default()
     };
@@ -210,10 +229,62 @@ fn mailbox_drop_is_detected_in_the_sharded_engine() {
     let opts = CheckOpts {
         threaded: false,
         optimistic: false,
+        sharded_optimistic: false,
+        hybrid: false,
         // Keep the injected deadlock cheap: the cap only needs to exceed
         // any honest run's quantum count for these small cases.
         quanta_cap: Some(10_000),
         ..CheckOpts::default()
     };
     detect_and_shrink("mailbox-drop-sharded", &opts, 50);
+}
+
+#[test]
+fn stale_checkpoint_restore_is_detected_and_shrunk() {
+    let _w = window();
+    let _g = Armed;
+    // A rollback restores the second-newest ring entry: the node replays a
+    // whole committed window on top of itself. The exactness oracle (an
+    // undegraded, snap-free run must land on the ground-truth timeline) or
+    // conservation fires.
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::StaleCheckpointRestore);
+    detect_and_shrink("stale-checkpoint-restore", &rollback_only(), 200);
+}
+
+#[test]
+fn gvt_from_one_shard_is_detected_and_shrunk() {
+    let _w = window();
+    let _g = Armed;
+    // GVT taken from shard 0's LVT alone: a window commits while another
+    // shard still holds a violation, silently dropping its scheduled
+    // re-execution — its receiver starves (quantum cap) or the run loses
+    // messages (conservation).
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::GvtFromOneShard);
+    detect_and_shrink("gvt-from-one-shard", &rollback_only(), 200);
+}
+
+#[test]
+fn rollback_mailbox_skip_is_detected_and_shrunk() {
+    let _w = window();
+    let _g = Armed;
+    // A rollback re-delivers only the delta fragments: the restored node
+    // never re-receives its window-start deliveries and blocks forever, or
+    // finishes short on messages.
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::RollbackMailboxSkip);
+    detect_and_shrink("rollback-mailbox-skip", &rollback_only(), 200);
+}
+
+#[test]
+fn hybrid_switch_drop_is_detected_and_shrunk() {
+    let _w = window();
+    let _g = Armed;
+    // The conservative/optimistic mode switch drops the shard's carried
+    // in-flight fragments. A tight cascade bound forces switches often, so
+    // the lossy transition is reachable by small cases.
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::HybridSwitchDrop);
+    let opts = CheckOpts {
+        cascade_bound: 1,
+        ..rollback_only()
+    };
+    detect_and_shrink("hybrid-switch-drop", &opts, 200);
 }

@@ -24,6 +24,27 @@ pub enum Fault {
     /// the true sum). Detected by the shrink-on-packet direction invariant
     /// on the recorded quanta.
     LeaderNpSkip = 2,
+    /// The sharded optimistic engine restores a rollback from the
+    /// second-newest checkpoint ring entry instead of the newest — node
+    /// state jumps back one extra window, replaying (and double-counting)
+    /// work that was already committed. Detected by the ground-truth
+    /// differential and conservation oracles.
+    StaleCheckpointRestore = 3,
+    /// The sharded optimistic leader computes GVT from shard 0's LVT alone
+    /// instead of reducing the minimum across shards — windows commit while
+    /// another shard still holds a violation. Detected by the
+    /// rollback-property oracles (a degraded/clean run must reproduce the
+    /// ground-truth timeline exactly) and the cross-engine differential.
+    GvtFromOneShard = 4,
+    /// A rollback re-delivers only the *delta* fragments instead of
+    /// rebuilding the node's full inbound set — previously delivered
+    /// messages vanish from the re-execution. Detected by conservation (the
+    /// run loses receives) or the quantum cap (receivers deadlock waiting).
+    RollbackMailboxSkip = 5,
+    /// The hybrid policy's conservative/optimistic mode switch drops the
+    /// shard's carried in-flight fragments at the transition. Detected by
+    /// conservation or the quantum cap, exactly like a lossy mailbox.
+    HybridSwitchDrop = 6,
 }
 
 static ARMED: AtomicU64 = AtomicU64::new(0);

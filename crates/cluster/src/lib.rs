@@ -21,9 +21,13 @@
 //!   nodes) and its functional results are bit-identical for every M.
 //!
 //! There is also [`optimistic`], a checkpoint/rollback engine that trades
-//! conservative barriers for speculative re-execution.
+//! conservative barriers for speculative re-execution, and
+//! [`sharded_optimistic`] — the optimistic mechanism rebuilt on the sharded
+//! substrate: per-shard checkpoint rings, barrier-leader GVT reduction,
+//! rollback confined to the offending shard by a cascade bound, and the
+//! adaptive conservative/optimistic [`HybridPolicy`].
 //!
-//! All four are driven through one entry point: the [`Sim`] builder.
+//! All six are driven through one entry point: the [`Sim`] builder.
 //!
 //! # Quick start
 //!
@@ -67,6 +71,7 @@ pub mod parallel;
 mod progress;
 mod result;
 pub mod sharded;
+pub mod sharded_optimistic;
 pub mod sim;
 
 pub use config::{BarrierCostModel, ClusterConfig};
@@ -76,6 +81,7 @@ pub use experiment::{
 pub use progress::ProgressRecorder;
 pub use result::{NodeResult, RunResult};
 pub use sharded::ShardedRunResult;
+pub use sharded_optimistic::{HybridPolicy, ModeEvent, ShardedOptimisticRunResult};
 pub use sim::{
     EngineDetail, EngineKind, RunReport, Sim, SimError, SimSwitch, SimulatedOutcome, WallClock,
 };

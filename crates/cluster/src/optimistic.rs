@@ -135,21 +135,21 @@ pub struct OptimisticRunResult {
 
 /// One fragment known to be heading to a node.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct Inbound {
-    arrival: SimTime,
-    meta_id: MessageId,
-    frag_index: u32,
-    meta: MessageMetaOrd,
+pub(crate) struct Inbound {
+    pub(crate) arrival: SimTime,
+    pub(crate) meta_id: MessageId,
+    pub(crate) frag_index: u32,
+    pub(crate) meta: MessageMetaOrd,
 }
 
 /// `MessageMeta` with a total order (for canonical inbound-set comparison).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct MessageMetaOrd {
-    src: u32,
-    seq: u64,
-    tag: u32,
-    bytes: u64,
-    frag_count: u32,
+pub(crate) struct MessageMetaOrd {
+    pub(crate) src: u32,
+    pub(crate) seq: u64,
+    pub(crate) tag: u32,
+    pub(crate) bytes: u64,
+    pub(crate) frag_count: u32,
 }
 
 impl From<MessageMeta> for MessageMetaOrd {
@@ -165,7 +165,7 @@ impl From<MessageMeta> for MessageMetaOrd {
 }
 
 impl MessageMetaOrd {
-    fn to_meta(self) -> MessageMeta {
+    pub(crate) fn to_meta(self) -> MessageMeta {
         MessageMeta {
             id: MessageId {
                 src: Rank::new(self.src),

@@ -121,7 +121,7 @@ struct ShardInFlight {
 /// Precomputed switch transit: the per-packet lookup is one indexed load of
 /// a nanosecond count (dense matrix) or a pure SoA computation (fabric) —
 /// no enum dispatch over trait objects, no bounds assert, no allocation.
-enum ArrivalTable {
+pub(crate) enum ArrivalTable {
     /// Perfect switch: zero transit, nothing to look up.
     Perfect,
     /// Dense `n × n` row-major transit nanoseconds.
@@ -139,7 +139,7 @@ enum ArrivalTable {
 }
 
 impl ArrivalTable {
-    fn build(switch: &ParallelSwitch, n: usize) -> Self {
+    pub(crate) fn build(switch: &ParallelSwitch, n: usize) -> Self {
         match switch {
             ParallelSwitch::Perfect => ArrivalTable::Perfect,
             ParallelSwitch::LatencyMatrix(m) => {
@@ -176,7 +176,13 @@ impl ArrivalTable {
     }
 
     #[inline]
-    fn transit_nanos(&self, src: usize, dst: usize, bytes: u32, departure: SimTime) -> u64 {
+    pub(crate) fn transit_nanos(
+        &self,
+        src: usize,
+        dst: usize,
+        bytes: u32,
+        departure: SimTime,
+    ) -> u64 {
         match self {
             ArrivalTable::Perfect => 0,
             ArrivalTable::Dense { n, nanos } => nanos[src * n + dst],
@@ -366,7 +372,7 @@ impl<R: Recorder> SharedSharded<R> {
 
 /// Balanced contiguous partition of `n` nodes over `m` shards: the first
 /// `n % m` shards get one extra node.
-fn partition(n: usize, m: usize) -> Vec<std::ops::Range<usize>> {
+pub(crate) fn partition(n: usize, m: usize) -> Vec<std::ops::Range<usize>> {
     let base = n / m;
     let rem = n % m;
     let mut ranges = Vec::with_capacity(m);

@@ -1,4 +1,4 @@
-//! The unified engine API: one builder, four engines, one report.
+//! The unified engine API: one builder, six engines, one report.
 //!
 //! Historically each engine had its own free-function entry point
 //! (`run_cluster`, `run_cluster_with_switch`, `run_parallel`,
@@ -35,6 +35,9 @@ use crate::optimistic::{run_optimistic_impl, OptimisticConfig, OptimisticRunResu
 use crate::parallel::{run_parallel_impl, ParallelConfig, ParallelRunResult, ParallelSwitch};
 use crate::result::RunResult;
 use crate::sharded::{run_sharded_impl, ShardedRunResult};
+use crate::sharded_optimistic::{
+    run_sharded_optimistic_impl, HybridPolicy, ShardedOptimisticOpts, ShardedOptimisticRunResult,
+};
 use aqs_core::SyncConfig;
 use aqs_net::{
     ChaosConfig, ChaosOverlay, ChaosSwitch, FabricConfig, FatTreeFabric, LatencyMatrixSwitch,
@@ -64,17 +67,30 @@ pub enum EngineKind {
     /// quantum-edge-deterministic delivery. Real wall-clock; functional
     /// results are bit-identical for every worker count.
     Sharded,
+    /// The optimistic mechanism rebuilt on the sharded substrate: per-shard
+    /// checkpoint rings, GVT reduced by the tree-barrier leader, rollback
+    /// confined to the offending shard by a cascade bound (past the bound
+    /// the shard degrades to conservative execution for one window).
+    ShardedOptimistic,
+    /// The sharded-optimistic engine with the adaptive [`HybridPolicy`]:
+    /// each shard independently switches between conservative and
+    /// optimistic execution based on its observed straggler rate and
+    /// rollback waste. Bit-identical to the deterministic engine under the
+    /// safe quantum (`Q ≤ T`).
+    Hybrid,
 }
 
 impl EngineKind {
-    /// Short lowercase name
-    /// (`deterministic` / `threaded` / `optimistic` / `sharded`).
+    /// Short lowercase name (`deterministic` / `threaded` / `optimistic` /
+    /// `sharded` / `sharded-optimistic` / `hybrid`).
     pub fn name(&self) -> &'static str {
         match self {
             EngineKind::Deterministic => "deterministic",
             EngineKind::Threaded => "threaded",
             EngineKind::Optimistic => "optimistic",
             EngineKind::Sharded => "sharded",
+            EngineKind::ShardedOptimistic => "sharded-optimistic",
+            EngineKind::Hybrid => "hybrid",
         }
     }
 }
@@ -262,6 +278,9 @@ pub enum EngineDetail {
     Optimistic(OptimisticRunResult),
     /// Full sharded-engine result.
     Sharded(Box<ShardedRunResult>),
+    /// Full sharded-optimistic result (both the pure and hybrid kinds; the
+    /// result's `hybrid` flag tells them apart).
+    ShardedOptimistic(Box<ShardedOptimisticRunResult>),
 }
 
 impl EngineDetail {
@@ -293,6 +312,15 @@ impl EngineDetail {
     pub fn as_sharded(&self) -> Option<&ShardedRunResult> {
         match self {
             EngineDetail::Sharded(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The sharded-optimistic result, if this run used that engine (in
+    /// either its pure or hybrid form).
+    pub fn as_sharded_optimistic(&self) -> Option<&ShardedOptimisticRunResult> {
+        match self {
+            EngineDetail::ShardedOptimistic(r) => Some(r),
             _ => None,
         }
     }
@@ -382,6 +410,11 @@ impl RunReport {
                 .iter()
                 .map(|n| (n.rank.as_u32(), n.finish_sim, n.ops, n.messages_received))
                 .collect(),
+            EngineDetail::ShardedOptimistic(r) => r
+                .per_node
+                .iter()
+                .map(|n| (n.rank.as_u32(), n.finish_sim, n.ops, n.messages_received))
+                .collect(),
         };
         SimulatedOutcome {
             sim_end: self.sim_end,
@@ -416,6 +449,9 @@ pub struct Sim {
     gvt_cost: HostDuration,
     max_iterations: u32,
     shards: Option<usize>,
+    cascade_bound: u32,
+    ring_depth: usize,
+    hybrid_policy: HybridPolicy,
     obs: Option<ObsConfig>,
     chaos: Option<ChaosConfig>,
 }
@@ -439,6 +475,9 @@ impl Sim {
             gvt_cost: defaults.gvt_cost,
             max_iterations: defaults.max_iterations,
             shards: None,
+            cascade_bound: 8,
+            ring_depth: 4,
+            hybrid_policy: HybridPolicy::default(),
             obs: None,
             chaos: None,
         }
@@ -528,6 +567,32 @@ impl Sim {
     #[must_use]
     pub fn shards(mut self, m: usize) -> Self {
         self.shards = Some(m);
+        self
+    }
+
+    /// Sharded-optimistic engines: how many re-executions a shard may take
+    /// within one window before it is frozen and degraded to conservative
+    /// execution for the next window. Zero means every violation degrades
+    /// immediately (fully conservative after the first straggler).
+    #[must_use]
+    pub fn cascade_bound(mut self, bound: u32) -> Self {
+        self.cascade_bound = bound;
+        self
+    }
+
+    /// Sharded-optimistic engines: checkpoint ring depth per shard (how
+    /// many window-start snapshots are retained). Clamped to at least 1.
+    #[must_use]
+    pub fn checkpoint_ring(mut self, depth: usize) -> Self {
+        self.ring_depth = depth;
+        self
+    }
+
+    /// Hybrid engine: the adaptive conservative/optimistic switching policy
+    /// (ignored by every other engine).
+    #[must_use]
+    pub fn hybrid_policy(mut self, policy: HybridPolicy) -> Self {
+        self.hybrid_policy = policy;
         self
     }
 
@@ -622,7 +687,13 @@ impl Sim {
             return Err(SimError::ZeroShards);
         }
         match (self.engine, &self.switch) {
-            (EngineKind::Threaded | EngineKind::Sharded, SimSwitch::StoreAndForward(_)) => {
+            (
+                EngineKind::Threaded
+                | EngineKind::Sharded
+                | EngineKind::ShardedOptimistic
+                | EngineKind::Hybrid,
+                SimSwitch::StoreAndForward(_),
+            ) => {
                 return Err(SimError::UnsupportedSwitch {
                     engine: self.engine,
                     switch: self.switch.name(),
@@ -666,6 +737,9 @@ impl Sim {
             gvt_cost,
             max_iterations,
             shards,
+            cascade_bound,
+            ring_depth,
+            hybrid_policy,
             obs: _,
             chaos,
         } = self;
@@ -793,6 +867,50 @@ impl Sim {
                     total_quanta: r.total_quanta,
                     wall_clock: WallClock::Real(r.wall),
                     detail: EngineDetail::Sharded(Box::new(r)),
+                    obs: None,
+                };
+                (report, rec)
+            }
+            EngineKind::ShardedOptimistic | EngineKind::Hybrid => {
+                let n = programs.len();
+                let par_switch = match switch {
+                    SimSwitch::Perfect => ParallelSwitch::Perfect,
+                    SimSwitch::LatencyMatrix(m) => ParallelSwitch::LatencyMatrix(m),
+                    SimSwitch::Fabric(cfg) => ParallelSwitch::Fabric(FatTreeFabric::new(cfg, n)),
+                    SimSwitch::StoreAndForward(_) => {
+                        unreachable!("rejected by Sim::validate before dispatch")
+                    }
+                };
+                let par_switch = match overlay {
+                    Some(o) => ParallelSwitch::Chaos(o, Box::new(par_switch)),
+                    None => par_switch,
+                };
+                let pcfg = ParallelConfig {
+                    sync: config.sync.clone(),
+                    nic: config.nic,
+                    cpu: config.cpu,
+                    switch: par_switch,
+                    host_work_per_op,
+                    max_quanta,
+                };
+                let opts = ShardedOptimisticOpts {
+                    cascade_bound,
+                    ring_depth,
+                    hybrid: (engine == EngineKind::Hybrid).then_some(hybrid_policy),
+                };
+                let sync_label = pcfg.sync.build().label();
+                let (r, rec) = run_sharded_optimistic_impl(programs, &pcfg, shards, opts, rec);
+                let report = RunReport {
+                    engine,
+                    sync_label,
+                    n_nodes: r.per_node.len(),
+                    sim_end: r.sim_end,
+                    total_packets: r.total_packets,
+                    messages_received: r.messages_received_total(),
+                    stragglers: r.stragglers,
+                    total_quanta: r.windows,
+                    wall_clock: WallClock::Real(r.wall),
+                    detail: EngineDetail::ShardedOptimistic(Box::new(r)),
                     obs: None,
                 };
                 (report, rec)

@@ -31,11 +31,32 @@ fn sample_value(s: &crate::QuantumObs<'_>) -> Value {
 
 impl FlightRecorder {
     /// Renders the ring as JSON Lines: one object per retained quantum,
-    /// oldest first.
+    /// oldest first. A run that used a rollback-capable engine (the shard
+    /// rollback lanes are populated) appends one trailing
+    /// `"event":"rollbacks"` object with the run's cumulative checkpoint,
+    /// rollback, and wasted-sim counters plus their per-shard attribution.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for s in self.samples() {
             let line = serde_json::to_string(&sample_value(&s)).expect("sample serializes");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if let Some(stats) = self.shard_rollback_stats() {
+            let lane = |v: &[u64]| Value::Array(v.iter().map(|&x| Value::U64(x)).collect());
+            let summary = Value::Object(vec![
+                ("event".into(), Value::Str("rollbacks".into())),
+                ("checkpoints".into(), Value::U64(self.checkpoints())),
+                ("rollbacks".into(), Value::U64(self.rollbacks())),
+                (
+                    "wasted_sim_ns".into(),
+                    Value::U64(self.wasted_sim().as_nanos()),
+                ),
+                ("shard_checkpoints".into(), lane(stats.checkpoints)),
+                ("shard_rollbacks".into(), lane(stats.rollbacks)),
+                ("shard_wasted_ns".into(), lane(stats.wasted_ns)),
+            ]);
+            let line = serde_json::to_string(&summary).expect("summary serializes");
             out.push_str(&line);
             out.push('\n');
         }
@@ -122,6 +143,38 @@ mod tests {
         assert_eq!(
             get("vt_lag_ns"),
             serde_json::Value::Array(vec![serde_json::Value::U64(0), serde_json::Value::U64(900)])
+        );
+    }
+
+    #[test]
+    fn rollback_runs_append_one_summary_line() {
+        // Conservative runs (no shard lanes) must emit nothing extra.
+        assert_eq!(recorded().to_jsonl().lines().count(), 1);
+
+        let mut fr = recorded();
+        fr.record_checkpoints(1);
+        fr.record_rollback(SimDuration::from_micros(3));
+        fr.record_shard_rollbacks(&[1, 0], &[1, 0], &[3_000, 0]);
+        let jsonl = fr.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let v: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        let serde_json::Value::Object(fields) = v else {
+            panic!("expected object");
+        };
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("event"), serde_json::Value::Str("rollbacks".into()));
+        assert_eq!(get("rollbacks"), serde_json::Value::U64(1));
+        assert_eq!(get("wasted_sim_ns"), serde_json::Value::U64(3_000));
+        assert_eq!(
+            get("shard_rollbacks"),
+            serde_json::Value::Array(vec![serde_json::Value::U64(1), serde_json::Value::U64(0)])
         );
     }
 

@@ -107,6 +107,13 @@ pub struct FlightRecorder {
     link_bytes: Vec<u64>,
     link_packets: Vec<u64>,
     link_peak_bytes: Vec<u64>,
+    /// Per-shard rollback attribution, lazily sized on the first
+    /// [`Recorder::record_shard_rollbacks`] call (empty when the run had no
+    /// sharded optimistic engine): cumulative checkpoints, rollbacks, and
+    /// wasted simulated nanoseconds per shard.
+    shard_checkpoints: Vec<u64>,
+    shard_rollbacks: Vec<u64>,
+    shard_wasted_ns: Vec<u64>,
 }
 
 /// Per-link load aggregates captured from a modeled fabric, borrowed from a
@@ -136,6 +143,46 @@ impl LinkLoadStats<'_> {
     /// Bytes summed over every link.
     pub fn total_bytes(&self) -> u64 {
         self.bytes.iter().sum()
+    }
+}
+
+/// Per-shard rollback attribution captured from a sharded optimistic run,
+/// borrowed from a [`FlightRecorder`] (see
+/// [`FlightRecorder::shard_rollback_stats`]). All slices are indexed by
+/// shard and share one length.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardRollbackStats<'a> {
+    /// Cumulative checkpoints taken per shard over the whole run.
+    pub checkpoints: &'a [u64],
+    /// Cumulative rollbacks per shard over the whole run.
+    pub rollbacks: &'a [u64],
+    /// Cumulative wasted (re-executed) simulated nanoseconds per shard.
+    pub wasted_ns: &'a [u64],
+}
+
+impl ShardRollbackStats<'_> {
+    /// Rollbacks summed over every shard.
+    pub fn total_rollbacks(&self) -> u64 {
+        self.rollbacks.iter().sum()
+    }
+
+    /// Checkpoints summed over every shard.
+    pub fn total_checkpoints(&self) -> u64 {
+        self.checkpoints.iter().sum()
+    }
+
+    /// Wasted simulated nanoseconds summed over every shard.
+    pub fn total_wasted_ns(&self) -> u64 {
+        self.wasted_ns.iter().sum()
+    }
+
+    /// The shard that rolled back most: `(shard id, rollbacks)`.
+    pub fn worst_shard(&self) -> Option<(usize, u64)> {
+        self.rollbacks
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, r)| r)
     }
 }
 
@@ -169,6 +216,9 @@ impl FlightRecorder {
             link_bytes: Vec::new(),
             link_packets: Vec::new(),
             link_peak_bytes: Vec::new(),
+            shard_checkpoints: Vec::new(),
+            shard_rollbacks: Vec::new(),
+            shard_wasted_ns: Vec::new(),
         }
     }
 
@@ -254,6 +304,19 @@ impl FlightRecorder {
             bytes: &self.link_bytes,
             packets: &self.link_packets,
             peak_quantum_bytes: &self.link_peak_bytes,
+        })
+    }
+
+    /// Per-shard rollback attribution, when the run used a sharded
+    /// optimistic engine (`None` otherwise).
+    pub fn shard_rollback_stats(&self) -> Option<ShardRollbackStats<'_>> {
+        if self.shard_rollbacks.is_empty() {
+            return None;
+        }
+        Some(ShardRollbackStats {
+            checkpoints: &self.shard_checkpoints,
+            rollbacks: &self.shard_rollbacks,
+            wasted_ns: &self.shard_wasted_ns,
         })
     }
 
@@ -356,6 +419,35 @@ impl Recorder for FlightRecorder {
         self.rollbacks += 1;
         self.wasted_ns = self.wasted_ns.saturating_add(wasted.as_nanos());
     }
+
+    fn record_shard_rollbacks(
+        &mut self,
+        checkpoints: &[u64],
+        rollbacks: &[u64],
+        wasted_ns: &[u64],
+    ) {
+        debug_assert_eq!(
+            checkpoints.len(),
+            rollbacks.len(),
+            "shard lane arity mismatch"
+        );
+        debug_assert_eq!(
+            rollbacks.len(),
+            wasted_ns.len(),
+            "shard lane arity mismatch"
+        );
+        if self.shard_rollbacks.is_empty() {
+            self.shard_checkpoints = vec![0; rollbacks.len()];
+            self.shard_rollbacks = vec![0; rollbacks.len()];
+            self.shard_wasted_ns = vec![0; rollbacks.len()];
+        }
+        debug_assert_eq!(self.shard_rollbacks.len(), rollbacks.len());
+        for (i, ((&c, &r), &w)) in checkpoints.iter().zip(rollbacks).zip(wasted_ns).enumerate() {
+            self.shard_checkpoints[i] += c;
+            self.shard_rollbacks[i] += r;
+            self.shard_wasted_ns[i] = self.shard_wasted_ns[i].saturating_add(w);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -441,6 +533,25 @@ mod tests {
         assert_eq!(ll.peak_quantum_bytes, &[100, 700, 50]);
         assert_eq!(ll.hottest(), Some((1, 700)));
         assert_eq!(ll.total_bytes(), 890);
+    }
+
+    #[test]
+    fn shard_rollback_lanes_accumulate_per_shard() {
+        let mut fr = FlightRecorder::new(4, ObsConfig::new());
+        assert!(
+            fr.shard_rollback_stats().is_none(),
+            "no sharded optimistic run, no shard stats"
+        );
+        fr.record_shard_rollbacks(&[2, 2], &[1, 0], &[500, 0]);
+        fr.record_shard_rollbacks(&[2, 2], &[0, 3], &[0, 900]);
+        let st = fr.shard_rollback_stats().expect("shard stats recorded");
+        assert_eq!(st.checkpoints, &[4, 4]);
+        assert_eq!(st.rollbacks, &[1, 3]);
+        assert_eq!(st.wasted_ns, &[500, 900]);
+        assert_eq!(st.total_checkpoints(), 8);
+        assert_eq!(st.total_rollbacks(), 4);
+        assert_eq!(st.total_wasted_ns(), 1400);
+        assert_eq!(st.worst_shard(), Some((1, 3)));
     }
 
     #[test]

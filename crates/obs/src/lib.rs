@@ -47,6 +47,6 @@ mod hist;
 mod recorder;
 mod render;
 
-pub use flight::{FlightRecorder, LinkLoadStats, ObsConfig};
+pub use flight::{FlightRecorder, LinkLoadStats, ObsConfig, ShardRollbackStats};
 pub use hist::{Log2Histogram, LOG2_BUCKETS};
 pub use recorder::{NullRecorder, QuantumObs, Recorder};

@@ -59,6 +59,22 @@ pub trait Recorder: Send + 'static {
         let _ = wasted;
     }
 
+    /// Called by sharded optimistic engines once per committed window with
+    /// that window's per-shard checkpoint, rollback, and wasted-sim tallies,
+    /// indexed by shard. The slices always share the worker count as length.
+    /// Aggregate totals still flow through
+    /// [`record_checkpoints`](Self::record_checkpoints) and
+    /// [`record_rollback`](Self::record_rollback); this hook only attributes
+    /// them to shards.
+    fn record_shard_rollbacks(
+        &mut self,
+        checkpoints: &[u64],
+        rollbacks: &[u64],
+        wasted_ns: &[u64],
+    ) {
+        let _ = (checkpoints, rollbacks, wasted_ns);
+    }
+
     /// Called once per quantum by engines routing through a modeled fabric,
     /// with the bytes and packets that crossed each fabric link during the
     /// quantum, indexed by link id. The slices always have the fabric's link

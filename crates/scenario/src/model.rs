@@ -348,10 +348,15 @@ fn parse_engine(name: &str, file: &str, line: usize) -> Result<EngineKind, SimEr
         "threaded" => Ok(EngineKind::Threaded),
         "sharded" => Ok(EngineKind::Sharded),
         "optimistic" => Ok(EngineKind::Optimistic),
+        "sharded-optimistic" => Ok(EngineKind::ShardedOptimistic),
+        "hybrid" => Ok(EngineKind::Hybrid),
         other => Err(perr(
             file,
             line,
-            format!("unknown engine `{other}` (deterministic | threaded | sharded | optimistic)"),
+            format!(
+                "unknown engine `{other}` (deterministic | threaded | sharded | optimistic \
+                 | sharded-optimistic | hybrid)"
+            ),
         )),
     }
 }
@@ -926,6 +931,37 @@ min_messages = 10
         assert!(sc.asserts.zero_stragglers);
         assert_eq!(sc.asserts.min_messages, Some(10));
         assert!(matches!(sc.topology, Topology::LatencyMatrix { .. }));
+    }
+
+    #[test]
+    fn rollback_engines_parse_and_accept_chaos() {
+        // The blanket chaos rejection is scoped to the plain optimistic
+        // engine (which routes with NIC minimum latency and bypasses the
+        // switch): the checkpointing engines route every packet through the
+        // chaos overlay like the conservative ones do.
+        let sc = Scenario::from_str(
+            r#"
+name = "rollback"
+nodes = 4
+engines = ["deterministic", "sharded-optimistic", "hybrid"]
+[[phases]]
+workload = "burst"
+[chaos]
+loss = 0.1
+retransmit_us = 100
+"#,
+            "<test>",
+        )
+        .expect("parses");
+        assert_eq!(
+            sc.engines,
+            vec![
+                EngineKind::Deterministic,
+                EngineKind::ShardedOptimistic,
+                EngineKind::Hybrid,
+            ]
+        );
+        assert!(sc.chaos.is_some());
     }
 
     #[test]

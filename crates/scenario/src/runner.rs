@@ -89,7 +89,13 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
 
     let mut runs = Vec::new();
     for &engine in &scenario.engines {
-        let worker_counts: Vec<Option<usize>> = if engine == EngineKind::Sharded {
+        // Every engine on the sharded substrate sweeps the configured worker
+        // counts; the single-timeline engines run once.
+        let sharded_substrate = matches!(
+            engine,
+            EngineKind::Sharded | EngineKind::ShardedOptimistic | EngineKind::Hybrid
+        );
+        let worker_counts: Vec<Option<usize>> = if sharded_substrate {
             scenario.shards.iter().map(|m| Some(*m)).collect()
         } else {
             vec![None]

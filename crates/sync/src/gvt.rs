@@ -1,0 +1,128 @@
+//! Global-virtual-time reduction for the sharded optimistic engine.
+//!
+//! Each shard publishes its local virtual time (LVT) into a cache-padded
+//! slot; the tree-barrier leader reduces the minimum inside its exclusive
+//! closure and commits the result into a monotone GVT cell. The cell refuses
+//! to move backwards, so a correct engine produces a non-decreasing GVT
+//! trace by construction and the rollback-property oracle only has to check
+//! the published trace, not re-derive it.
+
+use crate::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-shard LVT slots plus a monotone GVT cell, reduced by the barrier
+/// leader.
+///
+/// Workers call [`publish_lvt`](GvtReduction::publish_lvt) before arriving at
+/// the barrier; the leader (inside its exclusive closure, so the barrier's
+/// release/acquire edges make every slot visible) calls
+/// [`reduce`](GvtReduction::reduce) to fold the minimum and advance the GVT
+/// cell.
+#[derive(Debug)]
+pub struct GvtReduction {
+    lvt: Vec<CachePadded<AtomicU64>>,
+    gvt: AtomicU64,
+}
+
+impl GvtReduction {
+    /// A reduction over `shards` participants, GVT starting at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "gvt reduction needs at least one shard");
+        GvtReduction {
+            lvt: (0..shards)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            gvt: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of participating shards.
+    pub fn shards(&self) -> usize {
+        self.lvt.len()
+    }
+
+    /// Publishes shard `id`'s local virtual time for the round being closed.
+    ///
+    /// Relaxed store: callers publish before a barrier arrival whose AcqRel
+    /// chain the leader acquires, exactly like the barrier's own timed
+    /// arrival slots.
+    pub fn publish_lvt(&self, id: usize, lvt_ns: u64) {
+        self.lvt[id].store(lvt_ns, Ordering::Relaxed);
+    }
+
+    /// Shard `id`'s last published LVT.
+    pub fn lvt(&self, id: usize) -> u64 {
+        self.lvt[id].load(Ordering::Relaxed)
+    }
+
+    /// Leader-only: reduces the minimum over every shard's published LVT,
+    /// advances the monotone GVT cell to it, and returns the (possibly
+    /// unchanged) committed GVT.
+    ///
+    /// The cell never moves backwards: a reduction below the current GVT
+    /// leaves it in place, so the sequence of returned values is
+    /// non-decreasing regardless of what the shards publish.
+    pub fn reduce(&self) -> u64 {
+        let min = self
+            .lvt
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .min()
+            .expect("at least one shard");
+        let cur = self.gvt.load(Ordering::Relaxed);
+        if min > cur {
+            self.gvt.store(min, Ordering::Relaxed);
+            min
+        } else {
+            cur
+        }
+    }
+
+    /// The last committed GVT.
+    pub fn gvt(&self) -> u64 {
+        self.gvt.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_takes_the_minimum_lvt() {
+        let g = GvtReduction::new(3);
+        g.publish_lvt(0, 30);
+        g.publish_lvt(1, 10);
+        g.publish_lvt(2, 20);
+        assert_eq!(g.reduce(), 10);
+        assert_eq!(g.gvt(), 10);
+        assert_eq!(g.shards(), 3);
+        assert_eq!(g.lvt(1), 10);
+    }
+
+    #[test]
+    fn gvt_never_moves_backwards() {
+        let g = GvtReduction::new(2);
+        g.publish_lvt(0, 100);
+        g.publish_lvt(1, 100);
+        assert_eq!(g.reduce(), 100);
+        // A stale (lower) publication must not drag GVT back.
+        g.publish_lvt(0, 40);
+        assert_eq!(g.reduce(), 100);
+        assert_eq!(g.gvt(), 100);
+        // Progress resumes once every shard moves past the old GVT.
+        g.publish_lvt(0, 150);
+        g.publish_lvt(1, 120);
+        assert_eq!(g.reduce(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = GvtReduction::new(0);
+    }
+}

@@ -18,6 +18,9 @@
 //!   (participants combine within fixed groups, group representatives meet at
 //!   the root), so wide barriers don't funnel every arrival through one
 //!   contended counter.
+//! * [`GvtReduction`] — per-shard local-virtual-time slots plus a monotone
+//!   global-virtual-time cell, reduced by the barrier leader inside its
+//!   exclusive closure (the sharded optimistic engine's commit handshake).
 //! * [`CachePadded`] — pads per-thread hot counters to their own cache line.
 //!
 //! Both barriers spin briefly before yielding; the spin budget is tunable via
@@ -33,6 +36,9 @@ use std::mem::MaybeUninit;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+pub mod gvt;
+pub use gvt::GvtReduction;
 
 #[cfg(feature = "schedule-fuzz")]
 pub mod fuzz;

@@ -27,12 +27,20 @@ echo "==> conformance harness: mutation + schedule-fuzz tiers"
 cargo test -p aqs-check --features fault-inject -q
 cargo test -p aqs-check --features schedule-fuzz -q
 
-echo "==> conformance smoke gate: 200 cases x 4 engines"
+echo "==> conformance smoke gate: 200 cases x every engine"
 cargo run --release -q -p aqs-check --bin conformance -- \
     --cases 200 --seed 0xA5 --time-budget 300 \
     --log conformance.log.jsonl --artifacts conformance-artifacts
 rm -f conformance.log.jsonl
 rm -rf conformance-artifacts
+
+echo "==> rollback-property smoke gate: 200 cases, sharded-optimistic + hybrid"
+cargo run --release -q -p aqs-check --bin conformance -- \
+    --cases 200 --seed 0xB0117 --engines sharded-optimistic,hybrid \
+    --time-budget 300 \
+    --log rollback.log.jsonl --artifacts rollback-artifacts
+rm -f rollback.log.jsonl
+rm -rf rollback-artifacts
 
 echo "==> scenario gate: corpus with chaos on, bit-identical across engines"
 for f in scenarios/*.toml; do
@@ -49,7 +57,7 @@ echo "==> build bench binaries (not timed)"
 cargo build --release -p aqs-bench --bins
 cargo bench --workspace --no-run
 
-echo "==> shard_scaling smoke sweep (results-match + allocation + 4k-node fabric asserts, no timing gate)"
+echo "==> shard_scaling smoke sweep (results-match + allocation + 4k-node fabric + hybrid asserts, no timing gate)"
 cargo run --release -q -p aqs-bench --bin shard_scaling -- --smoke
 
 echo "verify: OK"

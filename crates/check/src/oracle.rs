@@ -18,7 +18,7 @@
 //! failures rather than aborting the whole campaign.
 
 use crate::gen::{CaseSpec, PolicySpec};
-use aqs_cluster::{ClusterConfig, EngineKind, RunReport, Sim};
+use aqs_cluster::{ClusterConfig, EngineKind, RunReport, Sim, SimError, SimSnapshot};
 use aqs_core::SyncConfig;
 use aqs_net::NicModel;
 use aqs_node::{Op, SendTarget};
@@ -58,6 +58,14 @@ pub struct CheckOpts {
     /// The default is derived from the ground-truth run and generous;
     /// mutation tests lower it so injected deadlocks fail fast.
     pub quanta_cap: Option<u64>,
+    /// Run the crash/resume oracle: snapshot the ground-truth run at its
+    /// midpoint barrier, round-trip the snapshot through the wire codec,
+    /// and resume on every enabled engine at every shard count — each
+    /// resumed run must land on the uninterrupted outcome bit-for-bit. The
+    /// deterministic engine is additionally resumed mid-way through the
+    /// case's *policy* run, where resume equality must hold even though
+    /// engines legitimately dilate time.
+    pub resume: bool,
 }
 
 impl Default for CheckOpts {
@@ -71,6 +79,7 @@ impl Default for CheckOpts {
             shard_counts: vec![1, 2, 3],
             cascade_bound: 8,
             quanta_cap: None,
+            resume: true,
         }
     }
 }
@@ -199,6 +208,13 @@ pub fn check_case_with(case: &CaseSpec, opts: &CheckOpts) -> Result<(), String> 
         }
     }
 
+    // Phase A½: crash/resume conformance. Cut the ground-truth run at its
+    // midpoint barrier, round-trip the snapshot through the wire codec, and
+    // resume on every enabled engine at every shard count.
+    if opts.resume {
+        check_resume_truth(case, opts, &det_truth, &truth, cap)?;
+    }
+
     // Phase B: the case's own policy, where dilation is allowed but must
     // obey the paper's invariants.
     let det_pol = run_guarded("det policy run", || {
@@ -208,6 +224,9 @@ pub fn check_case_with(case: &CaseSpec, opts: &CheckOpts) -> Result<(), String> 
     })?;
     check_policy_run("det policy run", &det_pol, case, lo, hi)?;
     conservation("det policy run", &det_pol, exp_packets, exp_receives)?;
+    if opts.resume {
+        check_resume_policy(case, &det_pol)?;
+    }
     // Stragglers-vs-dilation: dilation only ever happens by snapping a
     // delivery forward, which records a straggler. Zero stragglers ⟹ the
     // timeline is the ground-truth timeline.
@@ -425,6 +444,140 @@ fn check_rollback_run(
         ));
     }
     Ok(())
+}
+
+/// The crash/resume oracle on the ground-truth run: capture a snapshot at
+/// the run's midpoint quantum edge, serialize and reparse it (so the wire
+/// codec sits on the tested path), then resume every enabled engine at
+/// every shard count from that one snapshot. Under the safe quantum a
+/// resumed run must be indistinguishable from the uninterrupted one, so
+/// each resume must land on `truth` bit-for-bit.
+///
+/// All builders here carry `max_quanta(cap)`, which is part of the spec
+/// fingerprint; the engine choice and shard count are deliberately not, so
+/// the single deterministic capture seeds every engine.
+fn check_resume_truth(
+    case: &CaseSpec,
+    opts: &CheckOpts,
+    det_truth: &RunReport,
+    truth: &aqs_cluster::SimulatedOutcome,
+    cap: u64,
+) -> Result<(), String> {
+    if det_truth.total_quanta < 2 {
+        // No interior barrier to cut at: the run fits in one quantum.
+        return Ok(());
+    }
+    let cut = det_truth.total_quanta / 2;
+    let capture = sim_for(case, SyncConfig::ground_truth()).max_quanta(cap);
+    let snap = capture
+        .snapshot_at(cut)
+        .map_err(|e| format!("ground-truth snapshot at quantum {cut}: {e}"))?;
+    let snap = SimSnapshot::from_bytes(&snap.to_bytes())
+        .map_err(|e| format!("ground-truth snapshot wire round trip: {e}"))?;
+
+    let det_res = resume_guarded("det ground-truth resume", || capture.resume(&snap))?;
+    resume_differential("det ground-truth resume", &det_res, truth, cut)?;
+
+    let mut engines: Vec<(EngineKind, &[usize])> = Vec::new();
+    if opts.threaded {
+        // The threaded engine spawns one worker per node regardless of M.
+        engines.push((EngineKind::Threaded, &[1]));
+    }
+    for (enabled, kind) in [
+        (opts.sharded, EngineKind::Sharded),
+        (opts.sharded_optimistic, EngineKind::ShardedOptimistic),
+        (opts.hybrid, EngineKind::Hybrid),
+    ] {
+        if enabled {
+            engines.push((kind, &opts.shard_counts));
+        }
+    }
+    for (kind, counts) in engines {
+        for &m in counts {
+            let label = format!("{} ground-truth resume (M={m})", kind.name());
+            let r = resume_guarded(&label, || {
+                sim_for(case, SyncConfig::ground_truth())
+                    .engine(kind)
+                    .shards(m)
+                    .cascade_bound(opts.cascade_bound)
+                    .max_quanta(cap)
+                    .resume(&snap)
+            })?;
+            resume_differential(&label, &r, truth, cut)?;
+        }
+    }
+    Ok(())
+}
+
+/// Strong deterministic resume equality under the case's *own* policy:
+/// even where engines legitimately dilate time, cutting the deterministic
+/// run at a quantum edge and resuming it must reproduce the uninterrupted
+/// policy run exactly (the snapshot carries the policy's adaptive state).
+fn check_resume_policy(case: &CaseSpec, det_pol: &RunReport) -> Result<(), String> {
+    if det_pol.total_quanta < 2 {
+        return Ok(());
+    }
+    let cut = det_pol.total_quanta / 2;
+    let spec = sim_for(case, case.policy.sync_config());
+    let snap = spec
+        .snapshot_at(cut)
+        .map_err(|e| format!("policy snapshot at quantum {cut}: {e}"))?;
+    let snap = SimSnapshot::from_bytes(&snap.to_bytes())
+        .map_err(|e| format!("policy snapshot wire round trip: {e}"))?;
+    let resumed = resume_guarded("det policy resume", || spec.resume(&snap))?;
+    let truth = det_pol.simulated_outcome();
+    resume_differential("det policy resume", &resumed, &truth, cut)?;
+    if resumed.total_quanta != det_pol.total_quanta {
+        return Err(format!(
+            "det policy resume: {} total quanta, uninterrupted run had {} — the \
+             resumed policy diverged even though the outcome agrees",
+            resumed.total_quanta, det_pol.total_quanta,
+        ));
+    }
+    Ok(())
+}
+
+/// Compares a resumed run's functional outcome against the uninterrupted
+/// truth, naming the cut point on failure.
+fn resume_differential(
+    label: &str,
+    resumed: &RunReport,
+    truth: &aqs_cluster::SimulatedOutcome,
+    cut: u64,
+) -> Result<(), String> {
+    let outcome = resumed.simulated_outcome();
+    if outcome != *truth {
+        return Err(format!(
+            "resume differential: {label} (cut at quantum {cut}) diverged from \
+             the uninterrupted run (sim_end {} vs {}, packets {} vs {}, \
+             received {} vs {})",
+            outcome.sim_end.as_nanos(),
+            truth.sim_end.as_nanos(),
+            outcome.total_packets,
+            truth.total_packets,
+            outcome.messages_received,
+            truth.messages_received,
+        ));
+    }
+    Ok(())
+}
+
+/// Runs a snapshot resume, converting both a panic and a typed engine error
+/// into an `Err` naming the run.
+fn resume_guarded(
+    label: &str,
+    f: impl FnOnce() -> Result<RunReport, SimError>,
+) -> Result<RunReport, String> {
+    catch_unwind(AssertUnwindSafe(f))
+        .map_err(|p| {
+            let msg = p
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| p.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            format!("{label}: engine panicked: {msg}")
+        })?
+        .map_err(|e| format!("{label}: {e}"))
 }
 
 /// Runs the threaded and sharded engines `rounds` times each under the

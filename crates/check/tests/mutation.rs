@@ -16,6 +16,8 @@
 #![cfg(feature = "fault-inject")]
 
 use aqs_check::{check_case_with, shrink, CaseSpec, CheckOpts};
+use aqs_cluster::{ClusterConfig, Sim, SimError, SimSnapshot};
+use aqs_core::SyncConfig;
 use std::sync::Mutex;
 
 static FAULT_WINDOW: Mutex<()> = Mutex::new(());
@@ -272,6 +274,102 @@ fn rollback_mailbox_skip_is_detected_and_shrunk() {
     // finishes short on messages.
     aqs_cluster::fault::arm(aqs_cluster::fault::Fault::RollbackMailboxSkip);
     detect_and_shrink("rollback-mailbox-skip", &rollback_only(), 200);
+}
+
+/// A healthy simulation plus a mid-run snapshot of it, for the
+/// snapshot-corruption faults below. The faults fire inside the serializer
+/// (`SimSnapshot::to_bytes`), so one fixed case reaches every one of them;
+/// seed/index are known-good (hundreds of quanta under ground truth).
+fn snapshot_probe() -> (Sim, SimSnapshot) {
+    let case = CaseSpec::generate(0x5EED_0CA7, 0);
+    let sim = Sim::new(case.programs())
+        .config(ClusterConfig::new(SyncConfig::ground_truth()).with_seed(case.seed))
+        .switch(case.switch());
+    let snap = sim
+        .snapshot_at(5)
+        .expect("healthy case snapshots at quantum 5");
+    (sim, snap)
+}
+
+#[test]
+fn truncated_snapshot_is_rejected_with_a_format_error() {
+    let _w = window();
+    let _g = Armed;
+    let (_, snap) = snapshot_probe();
+    // The serializer loses its tail (a partial write / torn crash): the
+    // frame's declared payload length no longer matches the bytes.
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::SnapshotTruncate);
+    let bytes = snap.to_bytes();
+    assert!(matches!(
+        SimSnapshot::from_bytes(&bytes),
+        Err(SimError::SnapshotFormat { .. })
+    ));
+}
+
+#[test]
+fn flipped_checksum_byte_is_rejected_with_a_checksum_error() {
+    let _w = window();
+    let _g = Armed;
+    let (_, snap) = snapshot_probe();
+    // One payload byte flips after the checksum was computed (bit rot,
+    // bad sector): FNV over the payload no longer matches the header.
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::SnapshotChecksumFlip);
+    let bytes = snap.to_bytes();
+    assert!(matches!(
+        SimSnapshot::from_bytes(&bytes),
+        Err(SimError::SnapshotChecksum { .. })
+    ));
+}
+
+#[test]
+fn stale_fingerprint_is_rejected_at_resume() {
+    let _w = window();
+    let _g = Armed;
+    let (sim, snap) = snapshot_probe();
+    // A stale epoch header: the frame is internally consistent (magic,
+    // version, checksum all pass) but claims a different simulation spec —
+    // only the resume-time fingerprint comparison can catch it.
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::SnapshotStaleFingerprint);
+    let bytes = snap.to_bytes();
+    let stale = SimSnapshot::from_bytes(&bytes)
+        .expect("a stale-epoch frame still decodes — the codec alone cannot see it");
+    assert!(matches!(
+        sim.resume(&stale),
+        Err(SimError::SnapshotSpecMismatch { .. })
+    ));
+}
+
+#[test]
+fn skipped_rng_stream_is_rejected_with_a_probe_error() {
+    let _w = window();
+    let _g = Armed;
+    let (_, snap) = snapshot_probe();
+    // Node 0's RNG stream is advanced one draw but its probe word is kept:
+    // the state words stay individually plausible, so only the per-node
+    // probe check can detect the skewed stream.
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::SnapshotRngSkip);
+    let bytes = snap.to_bytes();
+    assert!(matches!(
+        SimSnapshot::from_bytes(&bytes),
+        Err(SimError::SnapshotRngStream { node: 0 })
+    ));
+}
+
+#[test]
+fn snapshot_corruption_is_detected_by_the_conformance_oracle() {
+    let _w = window();
+    let _g = Armed;
+    // End to end: with the checksum fault armed, the oracle's own
+    // crash/resume phase (which wire round-trips every snapshot) must fail
+    // the very first case — the corruption never reaches an engine.
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::SnapshotChecksumFlip);
+    let case = CaseSpec::generate(0x5EED_0CA7, 0);
+    let err = check_case_with(&case, &det_only())
+        .expect_err("armed snapshot corruption must fail the oracle");
+    assert!(
+        err.contains("checksum"),
+        "oracle failure does not name the checksum corruption: {err}"
+    );
 }
 
 #[test]

@@ -1,0 +1,96 @@
+//! Resume-equivalence property tier: running a generated case to
+//! completion must be bit-identical (via
+//! [`aqs_cluster::RunReport::simulated_outcome`]) to snapshotting it at a
+//! random interior quantum edge and resuming — for the deterministic
+//! engine and for every parallel engine at every
+//! [`CheckOpts::shard_counts`] entry, all seeded from the *same* wire
+//! round-tripped snapshot.
+//!
+//! The cut point is drawn per case from the run's own quantum count, so
+//! over the sweep the snapshot lands early, mid-run, and on the final
+//! barrier alike.
+
+use aqs_check::{CaseSpec, CheckOpts};
+use aqs_cluster::{ClusterConfig, EngineKind, Sim, SimSnapshot};
+use aqs_core::SyncConfig;
+use proptest::prelude::*;
+
+/// Quantum cap for the parallel engines. Part of the spec fingerprint, so
+/// every builder in this file must carry the same value.
+const CAP: u64 = 2_000_000;
+
+/// The ground-truth simulation for a case; under the safe 1 µs quantum all
+/// five engines agree bit-for-bit, so one deterministic snapshot seeds
+/// them all.
+fn ground_truth_sim(case: &CaseSpec) -> Sim {
+    Sim::new(case.programs())
+        .config(ClusterConfig::new(SyncConfig::ground_truth()).with_seed(case.seed))
+        .switch(case.switch())
+        .max_quanta(CAP)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn resume_at_a_random_quantum_is_bit_identical(
+        index in 0u64..400,
+        cut_draw in 0u64..u64::MAX,
+    ) {
+        let case = CaseSpec::generate(0x5EED_0CA7, index);
+        let spec = ground_truth_sim(&case);
+        let full = spec
+            .clone()
+            .try_run()
+            .unwrap_or_else(|e| panic!("case {}: uninterrupted run failed: {e}", case.tag()));
+        // A one-quantum run has no interior barrier to cut at.
+        if full.total_quanta >= 2 {
+            let cut = 1 + cut_draw % (full.total_quanta - 1);
+            let truth = full.simulated_outcome();
+            let snap = spec
+                .snapshot_at(cut)
+                .unwrap_or_else(|e| panic!("case {}: snapshot at {cut}: {e}", case.tag()));
+            // The wire codec sits on the tested path: what resumes is what
+            // a crashed process would reload from disk.
+            let snap = SimSnapshot::from_bytes(&snap.to_bytes())
+                .unwrap_or_else(|e| panic!("case {}: wire round trip: {e}", case.tag()));
+            prop_assert_eq!(snap.quanta(), cut);
+
+            let det = spec
+                .resume(&snap)
+                .unwrap_or_else(|e| panic!("case {}: det resume at {cut}: {e}", case.tag()));
+            prop_assert_eq!(
+                det.simulated_outcome(), truth.clone(),
+                "case {}: det resume at quantum {} diverged", case.tag(), cut
+            );
+
+            for kind in [
+                EngineKind::Threaded,
+                EngineKind::Sharded,
+                EngineKind::ShardedOptimistic,
+                EngineKind::Hybrid,
+            ] {
+                for &m in &CheckOpts::default().shard_counts {
+                    let r = spec
+                        .clone()
+                        .engine(kind)
+                        .shards(m)
+                        .resume(&snap)
+                        .unwrap_or_else(|e| panic!(
+                            "case {}: {} (M={m}) resume at {cut}: {e}",
+                            case.tag(),
+                            kind.name()
+                        ));
+                    prop_assert_eq!(
+                        r.simulated_outcome(), truth.clone(),
+                        "case {}: {} (M={}) resume at quantum {} diverged",
+                        case.tag(), kind.name(), m, cut
+                    );
+                    if kind == EngineKind::Threaded {
+                        // One worker per node regardless of M; once is enough.
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

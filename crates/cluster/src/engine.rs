@@ -23,6 +23,8 @@
 use crate::config::ClusterConfig;
 use crate::progress::ProgressRecorder;
 use crate::result::{NodeResult, RunResult};
+use crate::sim::SimError;
+use crate::snapshot::{FragSnap, InFlightSnap, NodeSnap, SnapshotBody, StragglerSnap};
 use aqs_core::{QuantumPolicy, QuantumTrace};
 use aqs_des::EventQueue;
 use aqs_net::{Destination, NetworkController, NodeId, StragglerStats, SwitchModel};
@@ -132,6 +134,22 @@ struct Engine<'a, S, R> {
     /// Scratch lanes for sample assembly, reused across quanta.
     scratch_waits: Vec<u64>,
     scratch_lags: Vec<u64>,
+    /// This engine was seeded from a snapshot (skip the initial resample —
+    /// the restored RNG streams already sit past their barrier draw).
+    resumed: bool,
+    /// Capture a snapshot after this many completed quanta, if set.
+    capture_at: Option<u64>,
+    /// The captured state, once the capture point is reached.
+    captured: Option<SnapshotBody>,
+}
+
+/// How a deterministic-engine run ended: it either ran to completion or
+/// stopped at a requested quantum edge with a captured snapshot body.
+pub(crate) enum DetOutcome<R> {
+    /// The run completed.
+    Finished(Box<RunResult>, R),
+    /// The run stopped at the capture point.
+    Captured(Box<SnapshotBody>),
 }
 
 /// Engine entry point with an explicit [`Recorder`]: the unified `Sim`
@@ -143,12 +161,59 @@ pub(crate) fn run_cluster_impl<S: SwitchModel, R: Recorder>(
     config: &ClusterConfig,
     switch: S,
     recorder: R,
-) -> (RunResult, R) {
+) -> Result<(RunResult, R), SimError> {
+    match run_cluster_det(programs, config, switch, recorder, None, None)? {
+        DetOutcome::Finished(r, rec) => Ok((*r, rec)),
+        DetOutcome::Captured(_) => unreachable!("no capture was requested"),
+    }
+}
+
+/// The full deterministic entry: optionally seed the engine from a snapshot
+/// body, optionally stop-and-capture after `capture_at` completed quanta.
+pub(crate) fn run_cluster_det<S: SwitchModel, R: Recorder>(
+    programs: Vec<Program>,
+    config: &ClusterConfig,
+    switch: S,
+    recorder: R,
+    resume: Option<&SnapshotBody>,
+    capture_at: Option<u64>,
+) -> Result<DetOutcome<R>, SimError> {
     assert!(programs.len() >= 2, "a cluster needs at least 2 nodes");
     for (i, p) in programs.iter().enumerate() {
         assert_eq!(p.rank().index(), i, "program {i} is for {}", p.rank());
     }
-    Engine::new(programs, config, switch, recorder).run()
+    let mut engine = match resume {
+        None => Engine::new(programs, config, switch, recorder),
+        Some(body) => Engine::resumed(programs, config, switch, recorder, body)?,
+    };
+    engine.capture_at = capture_at;
+    engine.run()
+}
+
+fn frag_to_snap(f: &OutFrag) -> FragSnap {
+    FragSnap {
+        departure: f.departure,
+        dst: match f.dst {
+            Destination::Unicast(id) => Some(id.index() as u32),
+            Destination::Broadcast => None,
+        },
+        bytes: f.bytes,
+        meta: f.meta,
+        frag_index: f.frag_index,
+    }
+}
+
+fn frag_from_snap(f: &FragSnap) -> OutFrag {
+    OutFrag {
+        departure: f.departure,
+        dst: match f.dst {
+            Some(r) => Destination::Unicast(NodeId::new(r)),
+            None => Destination::Broadcast,
+        },
+        bytes: f.bytes,
+        meta: f.meta,
+        frag_index: f.frag_index,
+    }
 }
 
 impl<'a, S: SwitchModel, R: Recorder> Engine<'a, S, R> {
@@ -207,12 +272,124 @@ impl<'a, S: SwitchModel, R: Recorder> Engine<'a, S, R> {
             q_stragglers: StragglerStats::default(),
             scratch_waits: Vec::with_capacity(n),
             scratch_lags: Vec::with_capacity(n),
+            resumed: false,
+            capture_at: None,
+            captured: None,
         }
     }
 
-    fn run(mut self) -> (RunResult, R) {
-        for node in &mut self.nodes {
-            node.speed.resample();
+    /// Rebuilds an engine from a snapshot body: every node sits anchored at
+    /// the captured cut (`sim == q_start`, `host == now`), in-flight
+    /// fragments are re-scheduled at their captured controller-arrival
+    /// times, and all whole-run counters continue from their captured
+    /// values. Running the result is bit-identical to never having stopped.
+    fn resumed(
+        programs: Vec<Program>,
+        cfg: &'a ClusterConfig,
+        switch: S,
+        rec: R,
+        body: &SnapshotBody,
+    ) -> Result<Self, SimError> {
+        let n = programs.len();
+        if body.nodes.len() != n {
+            return Err(SimError::snapshot_format(format!(
+                "snapshot has {} nodes, simulation has {n}",
+                body.nodes.len()
+            )));
+        }
+        let mut net = NetworkController::new(n, cfg.nic, switch).with_trace(cfg.record_traffic);
+        net.restore_counters(
+            body.next_packet_id,
+            body.total_packets,
+            body.stragglers.restore()?,
+        );
+        let mut policy = cfg.sync.build();
+        policy
+            .load_state(&body.policy_state)
+            .map_err(SimError::snapshot_format)?;
+        let mut n_finished = 0;
+        let mut nodes = Vec::with_capacity(n);
+        for (i, (p, ns)) in programs.into_iter().zip(&body.nodes).enumerate() {
+            let exec = NodeExecutor::from_state(p, cfg.cpu, ns.exec.clone())
+                .map_err(|e| SimError::snapshot_format(format!("node {i}: {e}")))?;
+            let speed = HostSpeed::from_state(cfg.host_for(i), ns.speed)
+                .ok_or_else(|| SimError::snapshot_format(format!("node {i}: invalid RNG state")))?;
+            if ns.done {
+                n_finished += 1;
+            }
+            nodes.push(Node {
+                exec,
+                speed,
+                sim: body.q_start,
+                host: body.now_host,
+                seg: None,
+                pending: ns
+                    .pending
+                    .map(|(remaining, idle)| Pending { remaining, idle }),
+                at_barrier: false,
+                blocked_no_candidate: ns.blocked_no_candidate,
+                gen: 0,
+                outgoing: ns.outgoing.iter().map(frag_from_snap).collect(),
+                msg_seq: ns.msg_seq,
+                done: ns.done,
+                finish_host: ns.finish_host,
+                idle_from: None,
+            });
+        }
+        let mut engine = Self {
+            cfg,
+            nodes,
+            net,
+            queue: EventQueue::new(),
+            policy,
+            q_len: body.q_len,
+            q_start: body.q_start,
+            q_end: body.q_start + body.q_len,
+            barrier_arrived: 0,
+            barrier_latest: HostTime::ZERO,
+            quanta: QuantumTrace::resumed(cfg.record_quanta, body.quanta, body.quanta_total_length),
+            progress: if cfg.record_progress {
+                ProgressRecorder::new(4096)
+            } else {
+                ProgressRecorder::disabled()
+            },
+            in_flight_frags: 0,
+            n_finished,
+            finished: false,
+            final_host: HostTime::ZERO,
+            rec,
+            q_index: body.q_index,
+            q_stragglers: StragglerStats::default(),
+            scratch_waits: Vec::with_capacity(n),
+            scratch_lags: Vec::with_capacity(n),
+            resumed: true,
+            capture_at: None,
+            captured: None,
+        };
+        // Re-schedule in-flight fragments FIRST (before any segment events):
+        // they were scheduled before the cut in the uninterrupted run, so
+        // re-creating them first reproduces the FIFO tie-break order.
+        for f in &body.in_flight {
+            if f.src as usize >= n {
+                return Err(SimError::snapshot_format(format!(
+                    "in-flight fragment from node {} of {n}",
+                    f.src
+                )));
+            }
+            engine.in_flight_frags += 1;
+            engine.queue.schedule(
+                f.due_host,
+                Ev::FragAtController(Box::new(frag_from_snap(&f.frag)), NodeId::new(f.src)),
+            );
+        }
+        Ok(engine)
+    }
+
+    fn run(mut self) -> Result<DetOutcome<R>, SimError> {
+        if !self.resumed {
+            for node in &mut self.nodes {
+                node.speed.resample();
+            }
         }
         for i in 0..self.nodes.len() {
             if self.finished {
@@ -220,22 +397,27 @@ impl<'a, S: SwitchModel, R: Recorder> Engine<'a, S, R> {
             }
             self.advance_node(i);
         }
-        while !self.finished {
+        while !self.finished && self.captured.is_none() {
             let Some((time, ev)) = self.queue.pop() else {
-                panic!(
-                    "event queue drained with {} of {} programs unfinished — \
-                     engine invariant violated",
-                    self.nodes.len() - self.n_finished,
-                    self.nodes.len()
-                );
+                return Err(SimError::EngineInvariant {
+                    detail: format!(
+                        "event queue drained with {} of {} programs unfinished",
+                        self.nodes.len() - self.n_finished,
+                        self.nodes.len()
+                    ),
+                });
             };
             match ev {
                 Ev::NodeYield { node, gen } => self.on_node_yield(node, gen, time),
                 Ev::FragAtController(frag, src) => self.on_frag(*frag, src, time),
-                Ev::BarrierDone => self.on_barrier_done(time),
+                Ev::BarrierDone => self.on_barrier_done(time)?,
             }
         }
-        self.into_result()
+        if let Some(body) = self.captured.take() {
+            return Ok(DetOutcome::Captured(Box::new(body)));
+        }
+        let (result, rec) = self.into_result();
+        Ok(DetOutcome::Finished(Box::new(result), rec))
     }
 
     /// Drives node `i` forward from its anchored position until a segment
@@ -438,7 +620,7 @@ impl<'a, S: SwitchModel, R: Recorder> Engine<'a, S, R> {
         }
     }
 
-    fn on_barrier_done(&mut self, now: HostTime) {
+    fn on_barrier_done(&mut self, now: HostTime) -> Result<(), SimError> {
         let np = self.net.end_quantum();
         self.quanta.record(self.q_start, self.q_len, np);
         self.progress.record(now, self.q_end);
@@ -468,7 +650,7 @@ impl<'a, S: SwitchModel, R: Recorder> Engine<'a, S, R> {
             self.q_index += 1;
             self.q_stragglers = StragglerStats::default();
         }
-        self.check_deadlock(np);
+        self.check_deadlock(np)?;
         self.q_len = self.policy.next_quantum(np);
         self.q_start = self.q_end;
         self.q_end = self.q_start + self.q_len;
@@ -481,20 +663,91 @@ impl<'a, S: SwitchModel, R: Recorder> Engine<'a, S, R> {
             node.idle_from = None;
             node.speed.resample();
         }
+        // The cut point: every node sits exactly at the quantum edge
+        // (`sim == q_start`), the policy has already chosen the next
+        // quantum, and host speeds are freshly resampled. Capturing here
+        // and never running the advance loop leaves the run resumable
+        // with zero divergence.
+        if self.capture_at == Some(self.quanta.total_quanta()) {
+            self.captured = Some(self.capture(now));
+            return Ok(());
+        }
         for i in 0..self.nodes.len() {
             if self.finished {
-                return;
+                return Ok(());
             }
             self.advance_node(i);
+        }
+        Ok(())
+    }
+
+    /// Serializes the full engine state at the quantum-edge cut point.
+    ///
+    /// Must only be called from [`on_barrier_done`](Self::on_barrier_done)
+    /// after the per-node reset loop: every node is anchored at
+    /// `sim == q_start`, `host == now`, with no active segment, so none of
+    /// that per-segment state needs to be stored. The event queue holds only
+    /// in-flight fragments (and stale, generation-invalidated yields), which
+    /// are drained in pop order so resume can re-schedule them with the
+    /// same FIFO tie-breaks.
+    fn capture(&mut self, now: HostTime) -> SnapshotBody {
+        let mut in_flight = Vec::with_capacity(self.in_flight_frags);
+        while let Some((time, ev)) = self.queue.pop() {
+            if let Ev::FragAtController(frag, src) = ev {
+                in_flight.push(InFlightSnap {
+                    due_host: time,
+                    src: src.index() as u32,
+                    frag: frag_to_snap(&frag),
+                });
+            }
+        }
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let speed = n.speed.export_state();
+                // One draw from a *clone* of the captured stream. Restore
+                // verifies this word before trusting the stream, catching
+                // skipped or reordered draws that a checksum cannot see.
+                let rng_probe = aqs_rng::Rng::from_state(speed.rng)
+                    .expect("live RNG state is valid")
+                    .next_u64();
+                NodeSnap {
+                    exec: n.exec.export_state(),
+                    speed,
+                    rng_probe,
+                    msg_seq: n.msg_seq,
+                    pending: n.pending.as_ref().map(|p| (p.remaining, p.idle)),
+                    outgoing: n.outgoing.iter().map(frag_to_snap).collect(),
+                    done: n.done,
+                    finish_host: n.finish_host,
+                    blocked_no_candidate: n.blocked_no_candidate,
+                }
+            })
+            .collect();
+        SnapshotBody {
+            fingerprint: 0, // stamped by the caller in sim.rs
+            quanta: self.quanta.total_quanta(),
+            now_host: now,
+            q_start: self.q_start,
+            q_len: self.q_len,
+            policy_state: self.policy.save_state(),
+            quanta_total_length: self.quanta.total_length(),
+            q_index: self.q_index,
+            next_packet_id: self.net.next_packet_id(),
+            total_packets: self.net.total_packets(),
+            stragglers: StragglerSnap::capture(self.net.stragglers()),
+            nodes,
+            in_flight,
         }
     }
 
     /// A quantum with zero packets, zero in-flight fragments and every
     /// unfinished node blocked with no candidate message can never make
     /// progress: the workload deadlocked.
-    fn check_deadlock(&self, np: u64) {
+    fn check_deadlock(&self, np: u64) -> Result<(), SimError> {
         if np != 0 || self.in_flight_frags != 0 {
-            return;
+            return Ok(());
         }
         let stuck = self.nodes.iter().all(|n| {
             n.done || (n.blocked_no_candidate && n.pending.is_none() && n.outgoing.is_empty())
@@ -506,8 +759,11 @@ impl<'a, S: SwitchModel, R: Recorder> Engine<'a, S, R> {
                 .filter(|n| !n.done)
                 .map(|n| format!("{} at op {}", n.exec.rank(), n.exec.pc()))
                 .collect();
-            panic!("workload deadlock: no packets in flight and nodes blocked: {blocked:?}");
+            return Err(SimError::Deadlock {
+                nodes: format!("{blocked:?}"),
+            });
         }
+        Ok(())
     }
 
     /// Receiver's simulated position at host time `h`.
@@ -657,7 +913,10 @@ mod tests {
 
     /// Test shorthand for an unrecorded perfect-switch run.
     fn run_cluster(programs: Vec<Program>, config: &ClusterConfig) -> RunResult {
-        run_cluster_impl(programs, config, PerfectSwitch::new(), NullRecorder).0
+        match run_cluster_impl(programs, config, PerfectSwitch::new(), NullRecorder) {
+            Ok((result, _)) => result,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     fn ping_pong_programs(rounds: usize) -> Vec<Program> {
@@ -1016,7 +1275,8 @@ mod tests {
             &cfg,
             PerfectSwitch::new(),
             FlightRecorder::new(2, ObsConfig::new()),
-        );
+        )
+        .expect("run succeeds");
         assert_eq!(
             fr.total_packets(),
             result.total_packets,

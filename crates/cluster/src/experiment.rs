@@ -86,14 +86,20 @@ pub fn app_metric(result: &RunResult, kind: MetricKind) -> AppMetric {
 }
 
 /// Runs one workload under one configuration.
+///
+/// # Panics
+///
+/// Panics if the engine reports an error (deadlocked workload).
 pub fn run_workload(spec: &WorkloadSpec, config: &ClusterConfig) -> RunResult {
-    run_cluster_impl(
+    match run_cluster_impl(
         spec.programs.clone(),
         config,
         PerfectSwitch::new(),
         NullRecorder,
-    )
-    .0
+    ) {
+        Ok((r, _)) => r,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// One non-baseline configuration's outcome.

@@ -45,6 +45,24 @@ pub enum Fault {
     /// shard's carried in-flight fragments at the transition. Detected by
     /// conservation or the quantum cap, exactly like a lossy mailbox.
     HybridSwitchDrop = 6,
+    /// The snapshot writer truncates the frame mid-payload (a crash between
+    /// `write` and `fsync`). Detected by the frame-length check in
+    /// [`SimSnapshot::from_bytes`](crate::SimSnapshot::from_bytes), which
+    /// reports a typed format error instead of resuming from garbage.
+    SnapshotTruncate = 7,
+    /// A payload byte is flipped after the checksum was computed (bit rot,
+    /// torn write). Detected by the FNV-1a checksum verification.
+    SnapshotChecksumFlip = 8,
+    /// The snapshot carries a stale spec fingerprint — the frame is
+    /// internally consistent but describes a different simulation epoch.
+    /// Detected by the fingerprint comparison in
+    /// [`Sim::resume`](crate::Sim::resume).
+    SnapshotStaleFingerprint = 9,
+    /// A node's RNG stream is silently advanced one draw between capture
+    /// and serialization (a skipped stream). The state words stay
+    /// plausible; only the per-node probe word can tell. Detected by the
+    /// probe check in `from_bytes`.
+    SnapshotRngSkip = 10,
 }
 
 static ARMED: AtomicU64 = AtomicU64::new(0);

@@ -73,6 +73,7 @@ mod result;
 pub mod sharded;
 pub mod sharded_optimistic;
 pub mod sim;
+pub mod snapshot;
 
 pub use config::{BarrierCostModel, ClusterConfig};
 pub use experiment::{
@@ -83,5 +84,7 @@ pub use result::{NodeResult, RunResult};
 pub use sharded::ShardedRunResult;
 pub use sharded_optimistic::{HybridPolicy, ModeEvent, ShardedOptimisticRunResult};
 pub use sim::{
-    EngineDetail, EngineKind, RunReport, Sim, SimError, SimSwitch, SimulatedOutcome, WallClock,
+    EngineDetail, EngineKind, RunReport, Sim, SimError, SimSwitch, SimulatedOutcome, SnapshotStep,
+    WallClock,
 };
+pub use snapshot::SimSnapshot;

@@ -44,6 +44,7 @@
 
 use crate::config::ClusterConfig;
 use crate::result::NodeResult;
+use crate::sim::{EngineKind, SimError};
 use aqs_node::{
     Action, HostSpeed, MessageId, MessageMeta, NodeExecutor, Program, Rank, SendTarget,
 };
@@ -73,6 +74,9 @@ pub struct OptimisticConfig {
     pub gvt_cost: HostDuration,
     /// Fixed-point iteration cap per window.
     pub max_iterations: u32,
+    /// Hard cap on windows (deadlock guard): a workload blocked on a
+    /// receive nothing will satisfy would otherwise free-run forever.
+    pub max_windows: u64,
 }
 
 impl OptimisticConfig {
@@ -86,6 +90,7 @@ impl OptimisticConfig {
             rollback_cost: HostDuration::from_secs(30),
             gvt_cost: HostDuration::from_micros(500),
             max_iterations: 256,
+            max_windows: u64::MAX,
         }
     }
 
@@ -215,7 +220,7 @@ pub(crate) fn run_optimistic_impl<R: Recorder>(
     programs: Vec<Program>,
     cfg: &OptimisticConfig,
     mut rec: R,
-) -> (OptimisticRunResult, R) {
+) -> Result<(OptimisticRunResult, R), SimError> {
     assert!(programs.len() >= 2, "a cluster needs at least 2 nodes");
     for (i, p) in programs.iter().enumerate() {
         assert_eq!(p.rank().index(), i, "program {i} is for {}", p.rank());
@@ -256,6 +261,12 @@ pub(crate) fn run_optimistic_impl<R: Recorder>(
     while nodes.iter().any(|s| !s.done) {
         let window_end = window_start + cfg.window;
         windows += 1;
+        if windows > cfg.max_windows {
+            return Err(SimError::QuantumCapExceeded {
+                engine: EngineKind::Optimistic,
+                max_quanta: cfg.max_windows,
+            });
+        }
         for speed in &mut speeds {
             speed.resample();
         }
@@ -297,12 +308,12 @@ pub(crate) fn run_optimistic_impl<R: Recorder>(
         let mut iterations = 0u32;
         loop {
             iterations += 1;
-            assert!(
-                iterations <= cfg.max_iterations,
-                "optimistic window at {window_start} failed to converge \
-                 within {} iterations (window too long for this traffic?)",
-                cfg.max_iterations
-            );
+            if iterations > cfg.max_iterations {
+                return Err(SimError::WindowNonConvergence {
+                    window_start,
+                    max_iterations: cfg.max_iterations,
+                });
+            }
             let inbound_now = compute_inbound(&sends, &carried, n, window_end, nic.min_latency());
             let mut changed = false;
             for i in 0..n {
@@ -421,7 +432,7 @@ pub(crate) fn run_optimistic_impl<R: Recorder>(
         total_packets,
         per_node,
     };
-    (result, rec)
+    Ok((result, rec))
 }
 
 /// Routes one sent fragment to its receiver(s) with exact arrival times.
@@ -682,7 +693,8 @@ mod tests {
             spec.programs.clone(),
             &free_costs(50),
             FlightRecorder::new(2, ObsConfig::new()),
-        );
+        )
+        .expect("run succeeds");
         assert_eq!(fr.total_quanta(), r.windows);
         assert_eq!(fr.checkpoints(), r.checkpoints);
         assert_eq!(fr.rollbacks(), r.rollbacks);
@@ -700,5 +712,49 @@ mod tests {
         // A deep in-window chain with a tiny iteration budget.
         let spec = ping_pong(2, 50, 64);
         let _ = opt_free(spec.programs, 1000).max_iterations(3).run();
+    }
+
+    #[test]
+    fn non_convergence_is_a_typed_error() {
+        use crate::sim::SimError;
+        let spec = ping_pong(2, 50, 64);
+        let err = opt_free(spec.programs, 1000)
+            .max_iterations(3)
+            .try_run()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::WindowNonConvergence {
+                    max_iterations: 3,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn a_deadlocked_workload_hits_the_window_cap_as_a_typed_error() {
+        use crate::sim::SimError;
+        // Rank 0 waits for a message rank 1 never sends; without the window
+        // cap the free-running loop would never terminate.
+        let starved = aqs_node::ProgramBuilder::new(Rank::new(0))
+            .recv(Some(Rank::new(1)), aqs_node::Tag::new(0))
+            .build();
+        let silent = aqs_node::ProgramBuilder::new(Rank::new(1))
+            .compute(10)
+            .build();
+        let err = opt_free(vec![starved, silent], 50)
+            .max_quanta(100)
+            .try_run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::QuantumCapExceeded {
+                engine: EngineKind::Optimistic,
+                max_quanta: 100,
+            }
+        );
     }
 }

@@ -54,6 +54,8 @@
 //! assert_eq!(report.messages_received, 1);
 //! ```
 
+use crate::sim::{EngineKind, SimError};
+use crate::snapshot::ResumeSeed;
 use aqs_core::{QuantumPolicy, SyncConfig};
 use aqs_net::{
     ChaosOverlay, Destination, FatTreeFabric, LatencyMatrixSwitch, LinkLoad, NicModel, NodeId,
@@ -401,30 +403,157 @@ impl<R: Recorder> Shared<R> {
     }
 }
 
+/// Initial state of one node thread: a fresh executor at sim time zero, or
+/// a restored executor at the snapshot's cut point.
+struct NodeInit {
+    exec: NodeExecutor,
+    sim: SimTime,
+    msg_seq: u64,
+    pending: Option<SimDuration>,
+    done: bool,
+}
+
+/// Routes the snapshot's cut-in-flight fragments ahead of the first resumed
+/// quantum: every receiver copy gets `arrival = max(computed arrival,
+/// q_start)` — the deterministic analog of what the live engine would have
+/// delivered, exact under the safe quantum (arrivals can never precede the
+/// cut when `Q ≤ T`). Returns per-node injected fragments, the delivered
+/// copy count (folded into the run's packet total), and any straggler
+/// records the snapping produced.
+fn route_seed_frags(
+    seed: &ResumeSeed,
+    nic: &NicModel,
+    switch: &ParallelSwitch,
+    n: usize,
+) -> Result<(Vec<Vec<InFlight>>, u64, StragglerStats), SimError> {
+    let mut injected: Vec<Vec<InFlight>> = (0..n).map(|_| Vec::new()).collect();
+    let mut count = 0u64;
+    let mut stragglers = StragglerStats::default();
+    for pf in &seed.frags {
+        let src = pf.src as usize;
+        if src >= n {
+            return Err(SimError::snapshot_format(format!(
+                "in-flight fragment from node {src}, but the cluster has {n} nodes"
+            )));
+        }
+        let base = nic.earliest_arrival(pf.frag.departure);
+        let deliver_to =
+            |t: usize, injected: &mut Vec<Vec<InFlight>>, stragglers: &mut StragglerStats| {
+                let arrival = base
+                    + switch.transit(
+                        NodeId::new(src as u32),
+                        NodeId::new(t as u32),
+                        pf.frag.bytes,
+                        pf.frag.departure,
+                    );
+                let eff = arrival.max(seed.q_start);
+                if eff > arrival {
+                    stragglers.record(eff - arrival);
+                }
+                injected[t].push(InFlight {
+                    meta: pf.frag.meta,
+                    frag_index: pf.frag.frag_index,
+                    arrival: eff,
+                });
+            };
+        match pf.frag.dst {
+            Some(r) => {
+                let t = r as usize;
+                if t >= n {
+                    return Err(SimError::snapshot_format(format!(
+                        "in-flight fragment for node {t}, but the cluster has {n} nodes"
+                    )));
+                }
+                deliver_to(t, &mut injected, &mut stragglers);
+                count += 1;
+            }
+            None => {
+                for t in (0..n).filter(|&t| t != src) {
+                    deliver_to(t, &mut injected, &mut stragglers);
+                    count += 1;
+                }
+            }
+        }
+    }
+    Ok((injected, count, stragglers))
+}
+
 /// Threaded engine entry point with an explicit [`Recorder`]: the unified
 /// `Sim` builder dispatches here (the historical `run_parallel` free
 /// function was deleted after five PRs of deprecation). The recorder lives
 /// in the leader state, so recording adds no lock anywhere — per-thread
 /// slots are published before the barrier arrival and merged by that
 /// round's leader.
+///
+/// With `resume`, the run starts at the snapshot's cut instead of time
+/// zero: executors, RNG-independent pending work, the policy's adaptive
+/// state, and the cut's in-flight fragments are all restored, and the run
+/// counters continue from their captured values.
 pub(crate) fn run_parallel_impl<R: Recorder>(
     programs: Vec<Program>,
     config: &ParallelConfig,
     recorder: R,
-) -> (ParallelRunResult, R) {
+    resume: Option<&ResumeSeed>,
+) -> Result<(ParallelRunResult, R), SimError> {
     assert!(programs.len() >= 2, "a cluster needs at least 2 nodes");
     for (i, p) in programs.iter().enumerate() {
         assert_eq!(p.rank().index(), i, "program {i} is for {}", p.rank());
     }
     let n = programs.len();
-    let policy = config.sync.build();
+    if let Some(s) = resume {
+        if s.nodes.len() != n {
+            return Err(SimError::snapshot_format(format!(
+                "snapshot has {} nodes, simulation has {n}",
+                s.nodes.len()
+            )));
+        }
+    }
+    let mut policy = config.sync.build();
     let q0 = policy.initial_quantum();
+    if let Some(s) = resume {
+        policy
+            .load_state(&s.policy_state)
+            .map_err(SimError::snapshot_format)?;
+    }
+    let q_start = resume.map_or(SimTime::ZERO, |s| s.q_start);
+    let q_end0 = resume.map_or(q0.as_nanos(), |s| (s.q_start + s.q_len).as_nanos());
+    let (injected, inject_count, inject_stragglers) = match resume {
+        Some(s) => route_seed_frags(s, &config.nic, &config.switch, n)?,
+        None => (Vec::new(), 0, StragglerStats::default()),
+    };
+    let mut inits = Vec::with_capacity(n);
+    let mut n_done = 0u64;
+    for (i, program) in programs.into_iter().enumerate() {
+        inits.push(match resume {
+            Some(s) => {
+                let ns = &s.nodes[i];
+                if ns.done {
+                    n_done += 1;
+                }
+                NodeInit {
+                    exec: NodeExecutor::from_state(program, config.cpu, ns.exec.clone())
+                        .map_err(|e| SimError::snapshot_format(format!("node {i}: {e}")))?,
+                    sim: s.q_start,
+                    msg_seq: ns.msg_seq,
+                    pending: ns.pending,
+                    done: ns.done,
+                }
+            }
+            None => NodeInit {
+                exec: NodeExecutor::new(program, config.cpu),
+                sim: SimTime::ZERO,
+                msg_seq: 0,
+                pending: None,
+                done: false,
+            },
+        });
+    }
     let leader = LeaderState {
         policy,
-        quanta: 0,
-        total_packets: 0,
-        q_start_nanos: 0,
-        q_end_nanos: q0.as_nanos(),
+        quanta: resume.map_or(0, |s| s.quanta),
+        total_packets: resume.map_or(0, |s| s.total_packets) + inject_count,
+        q_start_nanos: q_start.as_nanos(),
+        q_end_nanos: q_end0,
         max_quanta: config.max_quanta,
         rec: recorder,
         waits: Vec::with_capacity(n),
@@ -440,24 +569,30 @@ pub(crate) fn run_parallel_impl<R: Recorder>(
             .map(|_| CachePadded::new(ObsSlot::default()))
             .collect(),
         sim_pos: (0..n)
-            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .map(|_| CachePadded::new(AtomicU64::new(q_start.as_nanos())))
             .collect(),
         mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
         np_slots: (0..n)
             .map(|_| CachePadded::new(AtomicU64::new(0)))
             .collect(),
-        q_end: AtomicU64::new(q0.as_nanos()),
-        done: AtomicU64::new(0),
+        q_end: AtomicU64::new(q_end0),
+        done: AtomicU64::new(n_done),
         overflow: AtomicBool::new(false),
         barrier: LeaderBarrier::new(n, leader),
     };
+    let mut inject_pool = MailboxPool::default();
+    for (t, frags) in injected.into_iter().enumerate() {
+        for f in frags {
+            shared.mailboxes[t].push_pooled(f, &mut inject_pool);
+        }
+    }
     let joined: Vec<(ParallelNodeResult, StragglerStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = programs
+        let handles: Vec<_> = inits
             .into_iter()
             .enumerate()
-            .map(|(i, program)| {
+            .map(|(i, init)| {
                 let shared = &shared;
-                scope.spawn(move || node_thread(i, program, config, shared))
+                scope.spawn(move || node_thread(i, init, config, shared))
             })
             .collect();
         handles
@@ -465,14 +600,17 @@ pub(crate) fn run_parallel_impl<R: Recorder>(
             .map(|h| h.join().expect("node thread panicked"))
             .collect()
     });
-    assert!(
-        !shared.overflow.load(Ordering::Acquire),
-        "quantum cap exceeded: workload deadlock?"
-    );
+    if shared.overflow.load(Ordering::Acquire) {
+        return Err(SimError::QuantumCapExceeded {
+            engine: EngineKind::Threaded,
+            max_quanta: config.max_quanta,
+        });
+    }
     let wall = start.elapsed();
     // Merge the per-thread run totals in deterministic (node) order — the
     // histogram merge is commutative anyway, but determinism is free here.
-    let mut stragglers = StragglerStats::default();
+    let mut stragglers = resume.map_or_else(StragglerStats::default, |s| s.stragglers);
+    stragglers.merge(&inject_stragglers);
     let mut results = Vec::with_capacity(joined.len());
     for (node, thread_stragglers) in joined {
         stragglers.merge(&thread_stragglers);
@@ -492,7 +630,7 @@ pub(crate) fn run_parallel_impl<R: Recorder>(
         stragglers,
         per_node: results,
     };
-    (result, leader.rec)
+    Ok((result, leader.rec))
 }
 
 /// Burns approximately `ns` nanoseconds of real CPU time.
@@ -517,21 +655,25 @@ pub(crate) fn busy_work(ns: f64) {
 /// thread's run-total straggler tally (merged by the caller after join).
 fn node_thread<R: Recorder>(
     i: usize,
-    program: Program,
+    init: NodeInit,
     config: &ParallelConfig,
     shared: &Shared<R>,
 ) -> (ParallelNodeResult, StragglerStats) {
-    let mut exec = NodeExecutor::new(program, config.cpu);
+    let NodeInit {
+        mut exec,
+        mut sim,
+        mut msg_seq,
+        pending: pending0,
+        done,
+    } = init;
     let mut ctx = ThreadCtx::default();
     let mut inbox: Vec<InFlight> = Vec::new();
-    let mut sim = SimTime::ZERO;
-    let mut msg_seq = 0u64;
-    let mut done_reported = false;
+    let mut done_reported = done;
     /// An op that did not fit in the previous quantum.
     struct Pending {
         remaining: SimDuration,
     }
-    let mut pending: Option<Pending> = None;
+    let mut pending: Option<Pending> = pending0.map(|remaining| Pending { remaining });
     // The published position is clamped to the current quantum boundary:
     // a multi-quantum op (e.g. serializing a jumbo fragment) runs `sim`
     // ahead of `q_end`, but that run-ahead is provisional — letting peers
@@ -794,7 +936,10 @@ mod tests {
     /// Unrecorded engine run with an owned result (equivalence with the
     /// `Sim` builder is pinned in `tests/sim_builder.rs`).
     fn par(programs: Vec<Program>, config: &ParallelConfig) -> ParallelRunResult {
-        run_parallel_impl(programs, config, NullRecorder).0
+        match run_parallel_impl(programs, config, NullRecorder, None) {
+            Ok((r, _)) => r,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     #[test]
@@ -942,7 +1087,9 @@ mod tests {
             spec.programs.clone(),
             &cfg(SyncConfig::ground_truth()),
             FlightRecorder::new(4, ObsConfig::new()),
-        );
+            None,
+        )
+        .expect("run succeeds");
         assert_eq!(fr.total_packets(), r.total_packets);
         assert_eq!(fr.total_quanta(), r.total_quanta);
         assert_eq!(fr.total_stragglers(), r.stragglers.count());

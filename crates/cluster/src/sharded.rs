@@ -57,6 +57,8 @@
 use crate::parallel::{
     busy_work, LeaderState, ParallelConfig, ParallelNodeResult, ParallelSwitch, Q_END_STOP,
 };
+use crate::sim::{EngineKind, SimError};
+use crate::snapshot::ResumeSeed;
 use aqs_net::{
     ChaosOverlay, Destination, FatTreeFabric, LinkLoad, NicModel, NodeId, StragglerStats,
 };
@@ -385,25 +387,121 @@ pub(crate) fn partition(n: usize, m: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
+/// Initial state of one node simulator inside a shard: a fresh executor at
+/// sim time zero, or a restored executor at the snapshot's cut point.
+struct ShardNodeInit {
+    global: usize,
+    exec: NodeExecutor,
+    sim: SimTime,
+    msg_seq: u64,
+    pending: Option<SimDuration>,
+    done: bool,
+}
+
+/// Routes the snapshot's cut-in-flight fragments ahead of the first resumed
+/// quantum. The effective delivery time is `max(arrival, q_start)` — the
+/// *same* rule the uninterrupted run applied at route time, because every
+/// captured fragment departed during the quantum that ended at the cut, so
+/// the sender's `q_end` then equals the resumed run's `q_start` now. The
+/// straggler records this snapping produces are therefore bit-identical to
+/// the uninterrupted run's, for any policy.
+fn route_seed_frags(
+    seed: &ResumeSeed,
+    nic: &NicModel,
+    arrivals: &ArrivalTable,
+    shard_of: &[u32],
+    m: usize,
+) -> Result<(Vec<Vec<ShardInFlight>>, u64, StragglerStats), SimError> {
+    let n = shard_of.len();
+    let mut injected: Vec<Vec<ShardInFlight>> = (0..m).map(|_| Vec::new()).collect();
+    let mut count = 0u64;
+    let mut stragglers = StragglerStats::default();
+    for pf in &seed.frags {
+        let src = pf.src as usize;
+        if src >= n {
+            return Err(SimError::snapshot_format(format!(
+                "in-flight fragment from node {src}, but the cluster has {n} nodes"
+            )));
+        }
+        let base = nic.earliest_arrival(pf.frag.departure);
+        let deliver_to =
+            |t: usize, injected: &mut Vec<Vec<ShardInFlight>>, stragglers: &mut StragglerStats| {
+                let arrival = base
+                    + SimDuration::from_nanos(arrivals.transit_nanos(
+                        src,
+                        t,
+                        pf.frag.bytes,
+                        pf.frag.departure,
+                    ));
+                let eff = if arrival < seed.q_start {
+                    stragglers.record(seed.q_start - arrival);
+                    seed.q_start
+                } else {
+                    arrival
+                };
+                injected[shard_of[t] as usize].push(ShardInFlight {
+                    dst: t as u32,
+                    meta: pf.frag.meta,
+                    frag_index: pf.frag.frag_index,
+                    arrival: eff,
+                });
+            };
+        match pf.frag.dst {
+            Some(r) => {
+                let t = r as usize;
+                if t >= n {
+                    return Err(SimError::snapshot_format(format!(
+                        "in-flight fragment for node {t}, but the cluster has {n} nodes"
+                    )));
+                }
+                deliver_to(t, &mut injected, &mut stragglers);
+                count += 1;
+            }
+            None => {
+                for t in (0..n).filter(|&t| t != src) {
+                    deliver_to(t, &mut injected, &mut stragglers);
+                    count += 1;
+                }
+            }
+        }
+    }
+    Ok((injected, count, stragglers))
+}
+
 /// Sharded engine entry point with an explicit [`Recorder`]; the unified
 /// `Sim` builder dispatches here. `workers` of `None` uses the host's
 /// available parallelism; the count is clamped to `[1, n]`.
 ///
+/// With `resume`, the run starts at the snapshot's cut instead of time
+/// zero; because delivery is quantum-edge-deterministic, the resumed run is
+/// bit-identical to the uninterrupted one for every worker count and any
+/// policy.
+///
 /// # Panics
 ///
-/// Panics if fewer than two programs are given, program *i* is not for rank
-/// *i*, or the quantum cap is exceeded (deadlock guard).
+/// Panics if fewer than two programs are given or program *i* is not for
+/// rank *i*. A quantum-cap overflow (deadlock guard) is a typed
+/// [`SimError::QuantumCapExceeded`], not a panic.
 pub(crate) fn run_sharded_impl<R: Recorder>(
     programs: Vec<Program>,
     config: &ParallelConfig,
     workers: Option<usize>,
     recorder: R,
-) -> (ShardedRunResult, R) {
+    resume: Option<&ResumeSeed>,
+) -> Result<(ShardedRunResult, R), SimError> {
     assert!(programs.len() >= 2, "a cluster needs at least 2 nodes");
     for (i, p) in programs.iter().enumerate() {
         assert_eq!(p.rank().index(), i, "program {i} is for {}", p.rank());
     }
     let n = programs.len();
+    if let Some(s) = resume {
+        if s.nodes.len() != n {
+            return Err(SimError::snapshot_format(format!(
+                "snapshot has {} nodes, simulation has {n}",
+                s.nodes.len()
+            )));
+        }
+    }
     let m = workers.unwrap_or_else(default_workers).clamp(1, n);
     let ranges = partition(n, m);
     let mut shard_of = vec![0u32; n];
@@ -412,8 +510,49 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
             *slot = s as u32;
         }
     }
-    let policy = config.sync.build();
+    let mut policy = config.sync.build();
     let q0 = policy.initial_quantum();
+    if let Some(s) = resume {
+        policy
+            .load_state(&s.policy_state)
+            .map_err(SimError::snapshot_format)?;
+    }
+    let q_start = resume.map_or(SimTime::ZERO, |s| s.q_start);
+    let q_end0 = resume.map_or(q0.as_nanos(), |s| (s.q_start + s.q_len).as_nanos());
+    let arrivals = ArrivalTable::build(&config.switch, n);
+    let (injected, inject_count, inject_stragglers) = match resume {
+        Some(s) => route_seed_frags(s, &config.nic, &arrivals, &shard_of, m)?,
+        None => (Vec::new(), 0, StragglerStats::default()),
+    };
+    let mut inits: Vec<Option<ShardNodeInit>> = Vec::with_capacity(n);
+    let mut n_done = 0u64;
+    for (i, program) in programs.into_iter().enumerate() {
+        inits.push(Some(match resume {
+            Some(s) => {
+                let ns = &s.nodes[i];
+                if ns.done {
+                    n_done += 1;
+                }
+                ShardNodeInit {
+                    global: i,
+                    exec: NodeExecutor::from_state(program, config.cpu, ns.exec.clone())
+                        .map_err(|e| SimError::snapshot_format(format!("node {i}: {e}")))?,
+                    sim: s.q_start,
+                    msg_seq: ns.msg_seq,
+                    pending: ns.pending,
+                    done: ns.done,
+                }
+            }
+            None => ShardNodeInit {
+                global: i,
+                exec: NodeExecutor::new(program, config.cpu),
+                sim: SimTime::ZERO,
+                msg_seq: 0,
+                pending: None,
+                done: false,
+            },
+        }));
+    }
     // Fabric link-load slices exist only when there is something to record
     // them into; otherwise the whole path is a dead (compiled-out) branch.
     let n_links = match &config.switch {
@@ -422,10 +561,10 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
     };
     let leader = LeaderState {
         policy,
-        quanta: 0,
-        total_packets: 0,
-        q_start_nanos: 0,
-        q_end_nanos: q0.as_nanos(),
+        quanta: resume.map_or(0, |s| s.quanta),
+        total_packets: resume.map_or(0, |s| s.total_packets) + inject_count,
+        q_start_nanos: q_start.as_nanos(),
+        q_end_nanos: q_end0,
         max_quanta: config.max_quanta,
         rec: recorder,
         waits: Vec::with_capacity(n),
@@ -435,7 +574,7 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
     let start = Instant::now();
     let shared = SharedSharded {
         nic: config.nic,
-        arrivals: ArrivalTable::build(&config.switch, n),
+        arrivals,
         start,
         shard_of,
         mailboxes: (0..m).map(|_| Mailbox::new()).collect(),
@@ -453,21 +592,26 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
         } else {
             Vec::new()
         },
-        q_end: AtomicU64::new(q0.as_nanos()),
-        done: AtomicU64::new(0),
+        q_end: AtomicU64::new(q_end0),
+        done: AtomicU64::new(n_done),
         overflow: AtomicBool::new(false),
         barrier: TreeBarrier::new(m, leader),
     };
-    let mut programs: Vec<Option<Program>> = programs.into_iter().map(Some).collect();
+    let mut inject_pool = MailboxPool::new();
+    for (s, frags) in injected.into_iter().enumerate() {
+        for f in frags {
+            shared.mailboxes[s].push_pooled(f, &mut inject_pool);
+        }
+    }
     type WorkerOutput = (Vec<ParallelNodeResult>, StragglerStats, u64);
     let joined: Vec<WorkerOutput> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .enumerate()
             .map(|(w, range)| {
-                let shard: Vec<(usize, Program)> = range
+                let shard: Vec<ShardNodeInit> = range
                     .clone()
-                    .map(|i| (i, programs[i].take().expect("each program taken once")))
+                    .map(|i| inits[i].take().expect("each node init taken once"))
                     .collect();
                 let shared = &shared;
                 scope.spawn(move || worker_thread(w, shard, config, shared))
@@ -478,14 +622,17 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     });
-    assert!(
-        !shared.overflow.load(Ordering::Acquire),
-        "quantum cap exceeded: workload deadlock?"
-    );
+    if shared.overflow.load(Ordering::Acquire) {
+        return Err(SimError::QuantumCapExceeded {
+            engine: EngineKind::Sharded,
+            max_quanta: config.max_quanta,
+        });
+    }
     let wall = start.elapsed();
     // Shards are contiguous and joined in shard order, so flattening yields
     // rank order; the straggler merge is deterministic for the same reason.
-    let mut stragglers = StragglerStats::default();
+    let mut stragglers = resume.map_or_else(StragglerStats::default, |s| s.stragglers);
+    stragglers.merge(&inject_stragglers);
     let mut per_node = Vec::with_capacity(n);
     let mut pool_heap_allocs = 0;
     for (nodes, worker_stragglers, worker_allocs) in joined {
@@ -509,7 +656,7 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
         workers: m,
         pool_heap_allocs,
     };
-    (result, leader.rec)
+    Ok((result, leader.rec))
 }
 
 /// Runs one shard to completion; returns its nodes' results (in rank
@@ -517,20 +664,20 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
 /// heap-allocation count.
 fn worker_thread<R: Recorder>(
     w: usize,
-    shard: Vec<(usize, Program)>,
+    shard: Vec<ShardNodeInit>,
     config: &ParallelConfig,
     shared: &SharedSharded<R>,
 ) -> (Vec<ParallelNodeResult>, StragglerStats, u64) {
-    let base = shard.first().map(|(i, _)| *i).unwrap_or(0);
+    let base = shard.first().map(|init| init.global).unwrap_or(0);
     let mut slots: Vec<NodeSlot> = shard
         .into_iter()
-        .map(|(global, program)| NodeSlot {
-            exec: NodeExecutor::new(program, config.cpu),
-            global,
-            sim: SimTime::ZERO,
-            msg_seq: 0,
-            pending: None,
-            done_reported: false,
+        .map(|init| NodeSlot {
+            exec: init.exec,
+            global: init.global,
+            sim: init.sim,
+            msg_seq: init.msg_seq,
+            pending: init.pending,
+            done_reported: init.done,
         })
         .collect();
     let mut ctx = WorkerCtx {
@@ -815,7 +962,10 @@ mod tests {
         config: &ParallelConfig,
         workers: Option<usize>,
     ) -> ShardedRunResult {
-        run_sharded_impl(programs, config, workers, NullRecorder).0
+        match run_sharded_impl(programs, config, workers, NullRecorder, None) {
+            Ok((r, _)) => r,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     #[test]
@@ -1063,7 +1213,9 @@ mod tests {
                     .with_switch(ParallelSwitch::Fabric(fabric.clone())),
                 Some(m),
                 FlightRecorder::new(6, ObsConfig::new()),
+                None,
             )
+            .expect("run succeeds")
         };
         let (r1, fr1) = run(1);
         let (r3, fr3) = run(3);
@@ -1095,7 +1247,9 @@ mod tests {
             &cfg(SyncConfig::ground_truth()),
             Some(2),
             FlightRecorder::new(4, ObsConfig::new()),
-        );
+            None,
+        )
+        .expect("run succeeds");
         assert_eq!(fr.total_packets(), r.total_packets);
         assert_eq!(fr.total_quanta(), r.total_quanta);
         assert_eq!(fr.total_stragglers(), r.stragglers.count());

@@ -59,6 +59,8 @@
 
 use crate::parallel::{busy_work, ParallelConfig, ParallelNodeResult};
 use crate::sharded::{default_workers, partition, ArrivalTable};
+use crate::sim::{EngineKind, SimError};
+use crate::snapshot::ResumeSeed;
 use aqs_core::QuantumPolicy;
 use aqs_net::StragglerStats;
 use aqs_node::{Action, MessageId, MessageMeta, NodeExecutor, Program, SendTarget};
@@ -341,46 +343,171 @@ fn divergence_nanos(a: &[Inbound], b: &[Inbound]) -> u64 {
     }
 }
 
+/// Routes the snapshot's cut-in-flight fragments into per-node [`Inbound`]
+/// sets ahead of the first resumed window. Arrivals before the cut are
+/// snapped to it (the conservative straggler rule, recorded); the caller
+/// partitions the sets by the first window edge exactly like
+/// `commit_window`'s open-next-window path.
+fn route_seed_frags(
+    seed: &ResumeSeed,
+    nic: &aqs_net::NicModel,
+    arrivals: &ArrivalTable,
+    n: usize,
+) -> Result<(Vec<Vec<Inbound>>, u64, StragglerStats), SimError> {
+    let mut injected: Vec<Vec<Inbound>> = vec![Vec::new(); n];
+    let mut count = 0u64;
+    let mut stragglers = StragglerStats::default();
+    for pf in &seed.frags {
+        let src = pf.src as usize;
+        if src >= n {
+            return Err(SimError::snapshot_format(format!(
+                "in-flight fragment from node {src}, but the cluster has {n} nodes"
+            )));
+        }
+        let base = nic.earliest_arrival(pf.frag.departure);
+        let deliver_to =
+            |t: usize, injected: &mut Vec<Vec<Inbound>>, stragglers: &mut StragglerStats| {
+                let arrival = base
+                    + SimDuration::from_nanos(arrivals.transit_nanos(
+                        src,
+                        t,
+                        pf.frag.bytes,
+                        pf.frag.departure,
+                    ));
+                let eff = if arrival < seed.q_start {
+                    stragglers.record(seed.q_start - arrival);
+                    seed.q_start
+                } else {
+                    arrival
+                };
+                injected[t].push(Inbound {
+                    arrival: eff,
+                    meta_id: pf.frag.meta.id,
+                    frag_index: pf.frag.frag_index,
+                    meta: pf.frag.meta.into(),
+                });
+            };
+        match pf.frag.dst {
+            Some(r) => {
+                let t = r as usize;
+                if t >= n {
+                    return Err(SimError::snapshot_format(format!(
+                        "in-flight fragment for node {t}, but the cluster has {n} nodes"
+                    )));
+                }
+                deliver_to(t, &mut injected, &mut stragglers);
+                count += 1;
+            }
+            None => {
+                for t in (0..n).filter(|&t| t != src) {
+                    deliver_to(t, &mut injected, &mut stragglers);
+                    count += 1;
+                }
+            }
+        }
+    }
+    Ok((injected, count, stragglers))
+}
+
 /// Sharded-optimistic engine entry point with an explicit [`Recorder`];
 /// the unified `Sim` builder dispatches here. `workers` of `None` uses the
 /// host's available parallelism; the count is clamped to `[1, n]`.
 ///
+/// With `resume`, the run starts at the snapshot's cut instead of time
+/// zero: restored node states seed the first checkpoint, the cut's
+/// in-flight fragments become the first window's base inbound sets (or
+/// carried fragments, if they land past its edge), and the run counters
+/// continue from their captured values.
+///
 /// # Panics
 ///
-/// Panics if fewer than two programs are given, program *i* is not for
-/// rank *i*, or the window cap is exceeded (deadlock guard).
+/// Panics if fewer than two programs are given or program *i* is not for
+/// rank *i*. A window-cap overflow (deadlock guard) is a typed
+/// [`SimError::QuantumCapExceeded`], not a panic.
 pub(crate) fn run_sharded_optimistic_impl<R: Recorder>(
     programs: Vec<Program>,
     config: &ParallelConfig,
     workers: Option<usize>,
     opts: ShardedOptimisticOpts,
     recorder: R,
-) -> (ShardedOptimisticRunResult, R) {
+    resume: Option<&ResumeSeed>,
+) -> Result<(ShardedOptimisticRunResult, R), SimError> {
     assert!(programs.len() >= 2, "a cluster needs at least 2 nodes");
     for (i, p) in programs.iter().enumerate() {
         assert_eq!(p.rank().index(), i, "program {i} is for {}", p.rank());
     }
     let n = programs.len();
+    if let Some(s) = resume {
+        if s.nodes.len() != n {
+            return Err(SimError::snapshot_format(format!(
+                "snapshot has {} nodes, simulation has {n}",
+                s.nodes.len()
+            )));
+        }
+    }
     let m = workers.unwrap_or_else(default_workers).clamp(1, n);
     let ranges = partition(n, m);
-    let policy = config.sync.build();
+    let mut policy = config.sync.build();
     let q0 = policy.initial_quantum();
+    if let Some(s) = resume {
+        policy
+            .load_state(&s.policy_state)
+            .map_err(SimError::snapshot_format)?;
+    }
+    let q_start_nanos = resume.map_or(0, |s| s.q_start.as_nanos());
+    let q_end0 = resume.map_or(q0.as_nanos(), |s| (s.q_start + s.q_len).as_nanos());
     let hybrid = opts.hybrid.is_some();
+    let engine_kind = if hybrid {
+        EngineKind::Hybrid
+    } else {
+        EngineKind::ShardedOptimistic
+    };
     let cascade_bound = opts.cascade_bound;
+    let arrivals = ArrivalTable::build(&config.switch, n);
+    let (injected, inject_count, inject_stragglers) = match resume {
+        Some(s) => route_seed_frags(s, &config.nic, &arrivals, n)?,
+        None => (vec![Vec::new(); n], 0, StragglerStats::default()),
+    };
+    let mut states_init: Vec<Option<OptNodeState>> = Vec::with_capacity(n);
+    for (i, program) in programs.into_iter().enumerate() {
+        states_init.push(Some(match resume {
+            Some(s) => {
+                let ns = &s.nodes[i];
+                OptNodeState {
+                    exec: NodeExecutor::from_state(program, config.cpu, ns.exec.clone())
+                        .map_err(|e| SimError::snapshot_format(format!("node {i}: {e}")))?,
+                    sim: s.q_start,
+                    pending: ns.pending,
+                    msg_seq: ns.msg_seq,
+                }
+            }
+            None => OptNodeState {
+                exec: NodeExecutor::new(program, config.cpu),
+                sim: SimTime::ZERO,
+                pending: None,
+                msg_seq: 0,
+            },
+        }));
+    }
+    let mut run_stragglers = resume.map_or_else(StragglerStats::default, |s| s.stragglers);
+    run_stragglers.merge(&inject_stragglers);
     let mut leader = OptLeader {
         policy,
         rec: recorder,
         n,
-        windows: 0,
-        q_start_nanos: 0,
-        q_end_nanos: q0.as_nanos(),
+        windows: resume.map_or(0, |s| s.quanta),
+        q_start_nanos,
+        q_end_nanos: q_end0,
         max_quanta: config.max_quanta,
         base: vec![Vec::new(); n],
         used: vec![Vec::new(); n],
         sends: vec![Vec::new(); n],
         carried: vec![Vec::new(); n],
         scheduled: vec![true; n],
-        done: vec![false; n],
+        done: resume.map_or_else(
+            || vec![false; n],
+            |s| s.nodes.iter().map(|x| x.done).collect(),
+        ),
         reexecs: vec![0; m],
         frozen: vec![false; m],
         conservative: vec![false; m],
@@ -392,11 +519,11 @@ pub(crate) fn run_sharded_optimistic_impl<R: Recorder>(
         shard_waste: vec![0; m],
         window_reexec_nodes: 0,
         repeat_rounds: 0,
-        total_packets: 0,
+        total_packets: resume.map_or(0, |s| s.total_packets) + inject_count,
         checkpoints: 0,
         rollbacks: 0,
         wasted_ns: 0,
-        stragglers: StragglerStats::default(),
+        stragglers: run_stragglers,
         max_depth: 0,
         degraded_windows: 0,
         conservative_windows: 0,
@@ -406,6 +533,18 @@ pub(crate) fn run_sharded_optimistic_impl<R: Recorder>(
         traces_truncated: false,
         mode_events: Vec::new(),
     };
+    // Partition the injected fragments by the first window edge exactly
+    // like `commit_window`'s open-next-window path: arrivals inside the
+    // window become the round-0 base/used sets, the rest stay carried.
+    for (i, frags) in injected.into_iter().enumerate() {
+        let (mut inside, rest): (Vec<Inbound>, Vec<Inbound>) = frags
+            .into_iter()
+            .partition(|e| e.arrival.as_nanos() < q_end0);
+        inside.sort();
+        leader.carried[i] = rest;
+        leader.base[i] = inside.clone();
+        leader.used[i] = inside;
+    }
     // The first window checkpoints every shard (all start optimistic).
     for (s, range) in ranges.iter().enumerate() {
         leader.shard_ckpt[s] = range.len() as u64;
@@ -422,7 +561,7 @@ pub(crate) fn run_sharded_optimistic_impl<R: Recorder>(
                 sends: vec![Vec::new(); len],
                 done: vec![false; len],
                 run: vec![true; len],
-                inbound: vec![Vec::new(); len],
+                inbound: range.clone().map(|g| leader.used[g].clone()).collect(),
                 conservative: false,
             })
         })
@@ -430,24 +569,23 @@ pub(crate) fn run_sharded_optimistic_impl<R: Recorder>(
     let start = Instant::now();
     let shared = SharedOpt {
         nic: config.nic,
-        arrivals: ArrivalTable::build(&config.switch, n),
+        arrivals,
         opts,
         ranges: ranges.clone(),
         cells,
         gvt: GvtReduction::new(m),
-        control: AtomicU64::new(q0.as_nanos()),
+        control: AtomicU64::new(q_end0),
         overflow: AtomicBool::new(false),
         barrier: TreeBarrier::new(m, leader),
     };
-    let mut programs: Vec<Option<Program>> = programs.into_iter().map(Some).collect();
     let joined: Vec<Vec<ParallelNodeResult>> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .enumerate()
             .map(|(w, range)| {
-                let shard: Vec<Program> = range
+                let shard: Vec<OptNodeState> = range
                     .clone()
-                    .map(|i| programs[i].take().expect("each program taken once"))
+                    .map(|i| states_init[i].take().expect("each node state taken once"))
                     .collect();
                 let shared = &shared;
                 scope.spawn(move || worker_thread(w, shard, config, shared))
@@ -458,10 +596,12 @@ pub(crate) fn run_sharded_optimistic_impl<R: Recorder>(
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     });
-    assert!(
-        !shared.overflow.load(Ordering::Acquire),
-        "quantum cap exceeded: workload deadlock?"
-    );
+    if shared.overflow.load(Ordering::Acquire) {
+        return Err(SimError::QuantumCapExceeded {
+            engine: engine_kind,
+            max_quanta: config.max_quanta,
+        });
+    }
     let wall = start.elapsed();
     let mut per_node = Vec::with_capacity(n);
     for nodes in joined {
@@ -495,25 +635,17 @@ pub(crate) fn run_sharded_optimistic_impl<R: Recorder>(
         workers: m,
         hybrid,
     };
-    (result, leader.rec)
+    Ok((result, leader.rec))
 }
 
 /// Runs one shard to completion; returns its nodes' results in rank order.
 fn worker_thread<R: Recorder>(
     w: usize,
-    shard: Vec<Program>,
+    shard: Vec<OptNodeState>,
     config: &ParallelConfig,
     shared: &SharedOpt<R>,
 ) -> Vec<ParallelNodeResult> {
-    let mut states: Vec<OptNodeState> = shard
-        .into_iter()
-        .map(|program| OptNodeState {
-            exec: NodeExecutor::new(program, config.cpu),
-            sim: SimTime::ZERO,
-            pending: None,
-            msg_seq: 0,
-        })
-        .collect();
+    let mut states: Vec<OptNodeState> = shard;
     let mut ring: VecDeque<Vec<OptNodeState>> = VecDeque::new();
     let mut window_end = SimTime::ZERO;
     loop {

@@ -30,7 +30,7 @@
 //! ```
 
 use crate::config::ClusterConfig;
-use crate::engine::run_cluster_impl;
+use crate::engine::{run_cluster_det, DetOutcome};
 use crate::optimistic::{run_optimistic_impl, OptimisticConfig, OptimisticRunResult};
 use crate::parallel::{run_parallel_impl, ParallelConfig, ParallelRunResult, ParallelSwitch};
 use crate::result::RunResult;
@@ -38,6 +38,7 @@ use crate::sharded::{run_sharded_impl, ShardedRunResult};
 use crate::sharded_optimistic::{
     run_sharded_optimistic_impl, HybridPolicy, ShardedOptimisticOpts, ShardedOptimisticRunResult,
 };
+use crate::snapshot::{ResumeSeed, SimSnapshot, SnapshotBody};
 use aqs_core::SyncConfig;
 use aqs_net::{
     ChaosConfig, ChaosOverlay, ChaosSwitch, FabricConfig, FatTreeFabric, LatencyMatrixSwitch,
@@ -191,6 +192,87 @@ pub enum SimError {
         /// What is wrong with the scenario.
         message: String,
     },
+    /// The workload deadlocked: a quantum completed with zero packets, zero
+    /// in-flight fragments, and every unfinished node blocked on a receive
+    /// that nothing will ever satisfy.
+    Deadlock {
+        /// Debug list of the blocked nodes and their program counters.
+        nodes: String,
+    },
+    /// The run exceeded its quantum cap without finishing — on the parallel
+    /// engines this is how an unsatisfiable receive manifests.
+    QuantumCapExceeded {
+        /// The engine that hit the cap.
+        engine: EngineKind,
+        /// The quantum cap that was exhausted.
+        max_quanta: u64,
+    },
+    /// The optimistic engine's fixed-point iteration failed to converge
+    /// within its cap — the free-run window is too long for this traffic.
+    WindowNonConvergence {
+        /// Simulated start of the window that failed to converge.
+        window_start: SimTime,
+        /// The iteration cap that was exhausted ([`Sim::max_iterations`]).
+        max_iterations: u32,
+    },
+    /// An internal engine invariant failed. Always a bug, never a workload
+    /// property — reported as an error (not a panic) so a resident server
+    /// survives it.
+    EngineInvariant {
+        /// What was violated.
+        detail: String,
+    },
+    /// A snapshot's bytes are structurally invalid: bad magic, unsupported
+    /// version, truncated payload, or a field that fails validation on
+    /// restore.
+    SnapshotFormat {
+        /// What is wrong with the snapshot.
+        detail: String,
+    },
+    /// A snapshot's payload checksum does not match: the bytes were
+    /// corrupted after capture.
+    SnapshotChecksum {
+        /// Checksum stored in the header.
+        expected: u64,
+        /// Checksum of the payload as read.
+        actual: u64,
+    },
+    /// A snapshot was captured from a different simulation spec (programs,
+    /// config, switch, or chaos differ) and cannot seed this one.
+    SnapshotSpecMismatch {
+        /// Fingerprint stored in the snapshot.
+        snapshot: u64,
+        /// Fingerprint of the simulation being resumed.
+        sim: u64,
+    },
+    /// A node's restored RNG stream fails its probe check: the stream was
+    /// advanced or rewound relative to capture time.
+    SnapshotRngStream {
+        /// The node whose stream failed the probe.
+        node: usize,
+    },
+    /// [`Sim::snapshot_at`] asked for a quantum edge past the end of the
+    /// run.
+    SnapshotQuantumUnreachable {
+        /// The requested quantum edge.
+        requested: u64,
+        /// Quanta the run actually completed.
+        completed: u64,
+    },
+    /// The engine does not support snapshot/resume.
+    SnapshotUnsupported {
+        /// The engine that cannot snapshot or resume.
+        engine: EngineKind,
+    },
+}
+
+impl SimError {
+    /// Shorthand for a [`SimError::SnapshotFormat`] with the given detail.
+    pub(crate) fn snapshot_format(detail: impl Into<String>) -> Self {
+        SimError::SnapshotFormat {
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -238,6 +320,60 @@ impl fmt::Display for SimError {
             SimError::ScenarioValidate { file, message } => {
                 write!(f, "{file}: invalid scenario: {message}")
             }
+            SimError::Deadlock { nodes } => {
+                write!(
+                    f,
+                    "workload deadlock: no packets in flight and nodes blocked: {nodes}"
+                )
+            }
+            SimError::QuantumCapExceeded { engine, max_quanta } => write!(
+                f,
+                "quantum cap exceeded: the {} engine ran {max_quanta} quanta without \
+                 finishing — workload deadlock?",
+                engine.name()
+            ),
+            SimError::WindowNonConvergence {
+                window_start,
+                max_iterations,
+            } => write!(
+                f,
+                "optimistic window at {window_start} failed to converge within \
+                 {max_iterations} iterations (window too long for this traffic?)"
+            ),
+            SimError::EngineInvariant { detail } => {
+                write!(f, "engine invariant violated: {detail}")
+            }
+            SimError::SnapshotFormat { detail } => {
+                write!(f, "invalid snapshot: {detail}")
+            }
+            SimError::SnapshotChecksum { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected:#018x}, \
+                 payload hashes to {actual:#018x}"
+            ),
+            SimError::SnapshotSpecMismatch { snapshot, sim } => write!(
+                f,
+                "snapshot is from a different simulation spec \
+                 (snapshot fingerprint {snapshot:#018x}, this sim {sim:#018x})"
+            ),
+            SimError::SnapshotRngStream { node } => write!(
+                f,
+                "snapshot RNG stream for node {node} fails its probe check \
+                 (stream advanced or rewound since capture)"
+            ),
+            SimError::SnapshotQuantumUnreachable {
+                requested,
+                completed,
+            } => write!(
+                f,
+                "cannot snapshot at quantum {requested}: the run finished \
+                 after {completed} quanta"
+            ),
+            SimError::SnapshotUnsupported { engine } => write!(
+                f,
+                "the {} engine does not support snapshot/resume",
+                engine.name()
+            ),
         }
     }
 }
@@ -656,15 +792,22 @@ impl Sim {
     /// ```
     pub fn try_run(self) -> Result<RunReport, SimError> {
         self.validate()?;
+        self.run_with(None)
+    }
+
+    /// Shared tail of [`Sim::try_run`] and [`Sim::resume`]: wires up the
+    /// recorder and dispatches, optionally seeding the engine from a
+    /// snapshot body. The caller has already validated.
+    fn run_with(self, resume: Option<&SnapshotBody>) -> Result<RunReport, SimError> {
         let n = self.programs.len();
         Ok(match self.obs {
             Some(oc) => {
                 let rec = FlightRecorder::new(n, oc);
-                let (mut report, rec) = self.dispatch(rec);
+                let (mut report, rec) = self.dispatch(rec, resume)?;
                 report.obs = Some(rec);
                 report
             }
-            None => self.dispatch(NullRecorder).0,
+            None => self.dispatch(NullRecorder, resume)?.0,
         })
     }
 
@@ -723,7 +866,11 @@ impl Sim {
         Ok(())
     }
 
-    fn dispatch<R: Recorder>(self, rec: R) -> (RunReport, R) {
+    fn dispatch<R: Recorder>(
+        self,
+        rec: R,
+        resume: Option<&SnapshotBody>,
+    ) -> Result<(RunReport, R), SimError> {
         let Sim {
             programs,
             engine,
@@ -744,54 +891,21 @@ impl Sim {
             chaos,
         } = self;
         let overlay = chaos.map(|c| ChaosOverlay::new(c).expect("chaos validated before dispatch"));
-        match engine {
+        // The parallel engines resume from a routed seed (the cut's
+        // in-flight fragments plus restored node states); the deterministic
+        // engine consumes the body directly.
+        let seed: Option<ResumeSeed> = match resume {
+            Some(body) if engine != EngineKind::Deterministic => Some(body.seed()?),
+            _ => None,
+        };
+        Ok(match engine {
             EngineKind::Deterministic => {
-                let (r, rec) = match (switch, overlay) {
-                    (SimSwitch::Perfect, None) => {
-                        run_cluster_impl(programs, &config, PerfectSwitch::new(), rec)
-                    }
-                    (SimSwitch::Perfect, Some(o)) => {
-                        let sw = ChaosSwitch::new(o, PerfectSwitch::new());
-                        run_cluster_impl(programs, &config, sw, rec)
-                    }
-                    (SimSwitch::LatencyMatrix(m), None) => {
-                        run_cluster_impl(programs, &config, m, rec)
-                    }
-                    (SimSwitch::LatencyMatrix(m), Some(o)) => {
-                        run_cluster_impl(programs, &config, ChaosSwitch::new(o, m), rec)
-                    }
-                    (SimSwitch::StoreAndForward(s), None) => {
-                        run_cluster_impl(programs, &config, s, rec)
-                    }
-                    (SimSwitch::StoreAndForward(s), Some(o)) => {
-                        run_cluster_impl(programs, &config, ChaosSwitch::new(o, s), rec)
-                    }
-                    (SimSwitch::Fabric(cfg), o) => {
-                        let fabric = FatTreeFabric::new(cfg, programs.len());
-                        match o {
-                            None => run_cluster_impl(programs, &config, fabric, rec),
-                            Some(o) => {
-                                let sw = ChaosSwitch::new(o, fabric);
-                                run_cluster_impl(programs, &config, sw, rec)
-                            }
-                        }
-                    }
+                let (r, rec) = match run_det(programs, &config, switch, overlay, rec, resume, None)?
+                {
+                    DetOutcome::Finished(r, rec) => (*r, rec),
+                    DetOutcome::Captured(_) => unreachable!("no capture was requested"),
                 };
-                let messages = r.per_node.iter().map(|p| p.messages_received).sum();
-                let report = RunReport {
-                    engine,
-                    sync_label: r.sync_label.clone(),
-                    n_nodes: r.n_nodes,
-                    sim_end: r.sim_end,
-                    total_packets: r.total_packets,
-                    messages_received: messages,
-                    stragglers: r.stragglers,
-                    total_quanta: r.total_quanta,
-                    wall_clock: WallClock::Modelled(r.host_elapsed),
-                    detail: EngineDetail::Deterministic(Box::new(r)),
-                    obs: None,
-                };
-                (report, rec)
+                (det_report(r), rec)
             }
             EngineKind::Threaded => {
                 let n = programs.len();
@@ -816,7 +930,7 @@ impl Sim {
                     max_quanta,
                 };
                 let sync_label = pcfg.sync.build().label();
-                let (r, rec) = run_parallel_impl(programs, &pcfg, rec);
+                let (r, rec) = run_parallel_impl(programs, &pcfg, rec, seed.as_ref())?;
                 let report = RunReport {
                     engine,
                     sync_label,
@@ -855,7 +969,7 @@ impl Sim {
                     max_quanta,
                 };
                 let sync_label = pcfg.sync.build().label();
-                let (r, rec) = run_sharded_impl(programs, &pcfg, shards, rec);
+                let (r, rec) = run_sharded_impl(programs, &pcfg, shards, rec, seed.as_ref())?;
                 let report = RunReport {
                     engine,
                     sync_label,
@@ -899,7 +1013,8 @@ impl Sim {
                     hybrid: (engine == EngineKind::Hybrid).then_some(hybrid_policy),
                 };
                 let sync_label = pcfg.sync.build().label();
-                let (r, rec) = run_sharded_optimistic_impl(programs, &pcfg, shards, opts, rec);
+                let (r, rec) =
+                    run_sharded_optimistic_impl(programs, &pcfg, shards, opts, rec, seed.as_ref())?;
                 let report = RunReport {
                     engine,
                     sync_label,
@@ -920,6 +1035,11 @@ impl Sim {
                     matches!(switch, SimSwitch::Perfect),
                     "rejected by Sim::validate before dispatch"
                 );
+                if resume.is_some() {
+                    return Err(SimError::SnapshotUnsupported {
+                        engine: EngineKind::Optimistic,
+                    });
+                }
                 let ocfg = OptimisticConfig {
                     base: config,
                     window,
@@ -927,8 +1047,9 @@ impl Sim {
                     rollback_cost,
                     gvt_cost,
                     max_iterations,
+                    max_windows: max_quanta,
                 };
-                let (r, rec) = run_optimistic_impl(programs, &ocfg, rec);
+                let (r, rec) = run_optimistic_impl(programs, &ocfg, rec)?;
                 let messages = r.per_node.iter().map(|p| p.messages_received).sum();
                 let report = RunReport {
                     engine,
@@ -945,7 +1066,249 @@ impl Sim {
                 };
                 (report, rec)
             }
+        })
+    }
+
+    /// The spec fingerprint stamped into snapshots and compared at
+    /// [`Sim::resume`]: a hash of everything that defines the *simulated
+    /// world* — programs, base config, switch, host-work factor, quantum
+    /// cap, and chaos plan. The engine choice, shard count, and
+    /// optimistic-engine tuning knobs are deliberately excluded so a
+    /// snapshot captured once resumes on any supporting engine.
+    pub fn fingerprint(&self) -> u64 {
+        let mut spec = String::from("aqs-spec-v1");
+        for part in [
+            format!("{:?}", self.programs),
+            format!("{:?}", self.config),
+            format!("{:?}", self.switch),
+            format!("{:?}", self.host_work_per_op),
+            format!("{:?}", self.max_quanta),
+            format!("{:?}", self.chaos),
+        ] {
+            spec.push('\x1f');
+            spec.push_str(&part);
         }
+        crate::snapshot::fnv1a(spec.as_bytes())
+    }
+
+    /// Captures a snapshot of this simulation's state at the edge of
+    /// completed quantum `quantum` (so `1` is the earliest capturable cut).
+    ///
+    /// The capture run executes the deterministic engine on a clone of this
+    /// builder; at a quantum edge every engine agrees on the simulated
+    /// state, so the snapshot resumes on any engine that supports it. The
+    /// builder itself is untouched — capture is a read-only probe.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Sim::try_run`] rejects, plus
+    /// [`SimError::SnapshotUnsupported`] for the optimistic engine (it has
+    /// no quantum edges) and [`SimError::SnapshotQuantumUnreachable`] when
+    /// the run finishes before `quantum` quanta complete.
+    pub fn snapshot_at(&self, quantum: u64) -> Result<SimSnapshot, SimError> {
+        self.validate()?;
+        if self.engine == EngineKind::Optimistic {
+            return Err(SimError::SnapshotUnsupported {
+                engine: EngineKind::Optimistic,
+            });
+        }
+        let fingerprint = self.fingerprint();
+        let probe = self.clone();
+        let overlay = probe
+            .chaos
+            .map(|c| ChaosOverlay::new(c).expect("chaos validated above"));
+        match run_det(
+            probe.programs,
+            &probe.config,
+            probe.switch,
+            overlay,
+            NullRecorder,
+            None,
+            Some(quantum),
+        )? {
+            DetOutcome::Captured(mut body) => {
+                body.fingerprint = fingerprint;
+                Ok(SimSnapshot { body: *body })
+            }
+            DetOutcome::Finished(r, _) => Err(SimError::SnapshotQuantumUnreachable {
+                requested: quantum,
+                completed: r.total_quanta,
+            }),
+        }
+    }
+
+    /// Resumes this simulation from `snapshot` on the configured engine and
+    /// runs it to completion.
+    ///
+    /// The report is bit-identical in its [`RunReport::simulated_outcome`]
+    /// to an uninterrupted run of the same builder; counters that describe
+    /// the whole run (packets, quanta, stragglers) continue from the
+    /// snapshot, while recorded traces ([`Sim::record`]) cover only the
+    /// resumed suffix.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Sim::try_run`] rejects, plus
+    /// [`SimError::SnapshotSpecMismatch`] when the snapshot's fingerprint
+    /// is not this builder's [`Sim::fingerprint`], and
+    /// [`SimError::SnapshotUnsupported`] for the optimistic engine.
+    pub fn resume(&self, snapshot: &SimSnapshot) -> Result<RunReport, SimError> {
+        self.validate()?;
+        if self.engine == EngineKind::Optimistic {
+            return Err(SimError::SnapshotUnsupported {
+                engine: EngineKind::Optimistic,
+            });
+        }
+        let expected = self.fingerprint();
+        if snapshot.body.fingerprint != expected {
+            return Err(SimError::SnapshotSpecMismatch {
+                snapshot: snapshot.body.fingerprint,
+                sim: expected,
+            });
+        }
+        self.clone().run_with(Some(&snapshot.body))
+    }
+
+    /// Advances the simulation by at most `quanta` more quanta on the
+    /// deterministic engine, starting from `from` (or from time zero), and
+    /// returns either the next snapshot or the finished report.
+    ///
+    /// This is the checkpointed-execution primitive the resident job server
+    /// builds on: run a chunk, persist the returned snapshot, repeat — a
+    /// crash loses at most one chunk of work.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Sim::resume`] rejects; `quanta` of zero is a
+    /// [`SimError::SnapshotFormat`] configuration error.
+    pub fn step_snapshot(
+        &self,
+        from: Option<&SimSnapshot>,
+        quanta: u64,
+    ) -> Result<SnapshotStep, SimError> {
+        self.validate()?;
+        if quanta == 0 {
+            return Err(SimError::snapshot_format(
+                "step_snapshot needs a positive quantum budget",
+            ));
+        }
+        let fingerprint = self.fingerprint();
+        if let Some(s) = from {
+            if s.body.fingerprint != fingerprint {
+                return Err(SimError::SnapshotSpecMismatch {
+                    snapshot: s.body.fingerprint,
+                    sim: fingerprint,
+                });
+            }
+        }
+        let capture_at = from.map_or(0, |s| s.body.quanta) + quanta;
+        let probe = self.clone();
+        let overlay = probe
+            .chaos
+            .map(|c| ChaosOverlay::new(c).expect("chaos validated above"));
+        match run_det(
+            probe.programs,
+            &probe.config,
+            probe.switch,
+            overlay,
+            NullRecorder,
+            from.map(|s| &s.body),
+            Some(capture_at),
+        )? {
+            DetOutcome::Captured(mut body) => {
+                body.fingerprint = fingerprint;
+                Ok(SnapshotStep::Snapshot(SimSnapshot { body: *body }))
+            }
+            DetOutcome::Finished(r, _) => Ok(SnapshotStep::Finished(Box::new(det_report(*r)))),
+        }
+    }
+}
+
+/// What one [`Sim::step_snapshot`] chunk produced.
+#[derive(Debug)]
+pub enum SnapshotStep {
+    /// The chunk's quantum budget ran out at this cut; persist and continue.
+    Snapshot(SimSnapshot),
+    /// The run finished inside the chunk.
+    Finished(Box<RunReport>),
+}
+
+/// The deterministic engine's switch/overlay dispatch: instantiates the
+/// statically-typed switch model and hands everything to
+/// [`run_cluster_det`].
+fn run_det<R: Recorder>(
+    programs: Vec<Program>,
+    config: &ClusterConfig,
+    switch: SimSwitch,
+    overlay: Option<ChaosOverlay>,
+    rec: R,
+    resume: Option<&SnapshotBody>,
+    capture_at: Option<u64>,
+) -> Result<DetOutcome<R>, SimError> {
+    let n = programs.len();
+    match (switch, overlay) {
+        (SimSwitch::Perfect, None) => run_cluster_det(
+            programs,
+            config,
+            PerfectSwitch::new(),
+            rec,
+            resume,
+            capture_at,
+        ),
+        (SimSwitch::Perfect, Some(o)) => {
+            let sw = ChaosSwitch::new(o, PerfectSwitch::new());
+            run_cluster_det(programs, config, sw, rec, resume, capture_at)
+        }
+        (SimSwitch::LatencyMatrix(m), None) => {
+            run_cluster_det(programs, config, m, rec, resume, capture_at)
+        }
+        (SimSwitch::LatencyMatrix(m), Some(o)) => run_cluster_det(
+            programs,
+            config,
+            ChaosSwitch::new(o, m),
+            rec,
+            resume,
+            capture_at,
+        ),
+        (SimSwitch::StoreAndForward(s), None) => {
+            run_cluster_det(programs, config, s, rec, resume, capture_at)
+        }
+        (SimSwitch::StoreAndForward(s), Some(o)) => run_cluster_det(
+            programs,
+            config,
+            ChaosSwitch::new(o, s),
+            rec,
+            resume,
+            capture_at,
+        ),
+        (SimSwitch::Fabric(cfg), o) => {
+            let fabric = FatTreeFabric::new(cfg, n);
+            match o {
+                None => run_cluster_det(programs, config, fabric, rec, resume, capture_at),
+                Some(o) => {
+                    let sw = ChaosSwitch::new(o, fabric);
+                    run_cluster_det(programs, config, sw, rec, resume, capture_at)
+                }
+            }
+        }
+    }
+}
+
+/// Folds a deterministic-engine [`RunResult`] into the unified report.
+fn det_report(r: RunResult) -> RunReport {
+    let messages = r.per_node.iter().map(|p| p.messages_received).sum();
+    RunReport {
+        engine: EngineKind::Deterministic,
+        sync_label: r.sync_label.clone(),
+        n_nodes: r.n_nodes,
+        sim_end: r.sim_end,
+        total_packets: r.total_packets,
+        messages_received: messages,
+        stragglers: r.stragglers,
+        total_quanta: r.total_quanta,
+        wall_clock: WallClock::Modelled(r.host_elapsed),
+        detail: EngineDetail::Deterministic(Box::new(r)),
+        obs: None,
     }
 }
 
@@ -1077,5 +1440,181 @@ mod tests {
                 1_000_000_000,
             )))
             .run();
+    }
+
+    /// Strong equality for the deterministic engine: every field an
+    /// uninterrupted run and a resumed run must agree on (recorded quantum
+    /// traces are suffix-only on resume and deliberately excluded).
+    fn det_strong(report: &RunReport) -> (SimulatedOutcome, u64, WallClock) {
+        (
+            report.simulated_outcome(),
+            report.total_quanta,
+            report.wall_clock,
+        )
+    }
+
+    #[test]
+    fn det_resume_is_bit_identical_under_an_adaptive_policy() {
+        let spec = burst(4, 20_000, 1024);
+        let sim = Sim::new(spec.programs.clone()).sync(SyncConfig::paper_dyn1());
+        let full = sim.clone().run();
+        assert!(full.total_quanta > 4, "need a mid-run cut");
+        for cut in [1, full.total_quanta / 2, full.total_quanta - 1] {
+            let snap = sim.snapshot_at(cut).expect("capturable cut");
+            assert_eq!(snap.quanta(), cut);
+            let resumed = sim.resume(&snap).expect("resume succeeds");
+            assert_eq!(det_strong(&resumed), det_strong(&full), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn det_resume_survives_a_serialization_round_trip() {
+        let spec = ping_pong(3, 10, 4096);
+        let sim = Sim::new(spec.programs.clone()).sync(SyncConfig::paper_dyn2());
+        let full = sim.clone().run();
+        let snap = sim.snapshot_at(2).expect("capturable cut");
+        let bytes = snap.to_bytes();
+        let back = SimSnapshot::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, snap);
+        let resumed = sim.resume(&back).expect("resume succeeds");
+        assert_eq!(det_strong(&resumed), det_strong(&full));
+    }
+
+    #[test]
+    fn every_parallel_engine_resumes_bit_identically_under_ground_truth() {
+        let spec = burst(5, 2_000, 1024);
+        let base = Sim::new(spec.programs.clone()).sync(SyncConfig::ground_truth());
+        let full_det = base.clone().run();
+        let snap = base
+            .snapshot_at(full_det.total_quanta / 2)
+            .expect("capturable cut");
+        for kind in [
+            EngineKind::Threaded,
+            EngineKind::Sharded,
+            EngineKind::ShardedOptimistic,
+            EngineKind::Hybrid,
+        ] {
+            for m in [1, 2, 5] {
+                if kind == EngineKind::Threaded && m != 1 {
+                    continue; // the threaded engine has no shard knob
+                }
+                let mut sim = base.clone().engine(kind);
+                if kind != EngineKind::Threaded {
+                    sim = sim.shards(m);
+                }
+                let full = sim.clone().run();
+                let resumed = sim.resume(&snap).expect("resume succeeds");
+                assert_eq!(
+                    resumed.simulated_outcome(),
+                    full.simulated_outcome(),
+                    "kind={kind:?} m={m}"
+                );
+                assert_eq!(
+                    resumed.simulated_outcome(),
+                    full_det.simulated_outcome(),
+                    "kind={kind:?} m={m} vs det"
+                );
+                assert_eq!(resumed.total_quanta, full.total_quanta);
+            }
+        }
+    }
+
+    #[test]
+    fn step_snapshot_chunks_reach_the_uninterrupted_outcome() {
+        let spec = ping_pong(2, 20, 2048);
+        let sim = Sim::new(spec.programs.clone()).sync(SyncConfig::paper_dyn1());
+        let full = sim.clone().run();
+        let mut cursor: Option<SimSnapshot> = None;
+        let mut chunks = 0u32;
+        let finished = loop {
+            match sim.step_snapshot(cursor.as_ref(), 3).expect("step") {
+                SnapshotStep::Snapshot(s) => {
+                    assert!(s.quanta() > cursor.as_ref().map_or(0, |c| c.quanta()));
+                    cursor = Some(s);
+                    chunks += 1;
+                    assert!(chunks < 10_000, "runaway chunk loop");
+                }
+                SnapshotStep::Finished(report) => break report,
+            }
+        };
+        assert!(chunks > 1, "the workload must span several chunks");
+        assert_eq!(det_strong(&finished), det_strong(&full));
+    }
+
+    #[test]
+    fn engine_failure_modes_are_typed_errors_not_panics() {
+        use aqs_node::{ProgramBuilder, Rank, Tag};
+        // Rank 0 waits for a message rank 1 never sends.
+        let starved = ProgramBuilder::new(Rank::new(0))
+            .recv(Some(Rank::new(1)), Tag::new(0))
+            .build();
+        let silent = ProgramBuilder::new(Rank::new(1)).compute(10).build();
+        let programs = vec![starved, silent];
+        // The deterministic engine proves the deadlock and names the nodes.
+        let err = Sim::new(programs.clone())
+            .sync(SyncConfig::fixed_micros(10))
+            .try_run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }), "got {err:?}");
+        // The parallel engines hit their quantum cap instead.
+        for kind in [
+            EngineKind::Threaded,
+            EngineKind::Sharded,
+            EngineKind::ShardedOptimistic,
+            EngineKind::Hybrid,
+        ] {
+            let err = Sim::new(programs.clone())
+                .engine(kind)
+                .sync(SyncConfig::ground_truth())
+                .max_quanta(50)
+                .shards(2)
+                .try_run()
+                .unwrap_err();
+            assert_eq!(
+                err,
+                SimError::QuantumCapExceeded {
+                    engine: kind,
+                    max_quanta: 50,
+                },
+                "kind={kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_errors_are_typed() {
+        let spec = ping_pong(2, 2, 64);
+        let sim = Sim::new(spec.programs.clone()).sync(SyncConfig::ground_truth());
+        let completed = sim.clone().run().total_quanta;
+        let err = sim.snapshot_at(completed + 10).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::SnapshotQuantumUnreachable {
+                requested: completed + 10,
+                completed,
+            }
+        );
+        // A snapshot from a different spec is rejected by fingerprint.
+        let snap = sim.snapshot_at(1).expect("capturable cut");
+        let other = Sim::new(spec.programs.clone()).sync(SyncConfig::fixed_micros(7));
+        let err = other.resume(&snap).unwrap_err();
+        assert!(
+            matches!(err, SimError::SnapshotSpecMismatch { .. }),
+            "got {err:?}"
+        );
+        // The optimistic engine has no quantum edges to cut at.
+        let opt = sim.clone().engine(EngineKind::Optimistic);
+        assert_eq!(
+            opt.snapshot_at(1).unwrap_err(),
+            SimError::SnapshotUnsupported {
+                engine: EngineKind::Optimistic
+            }
+        );
+        assert_eq!(
+            opt.resume(&snap).unwrap_err(),
+            SimError::SnapshotUnsupported {
+                engine: EngineKind::Optimistic
+            }
+        );
     }
 }

@@ -236,6 +236,27 @@ impl QuantumPolicy for AdaptiveQuantum {
         self.quiet_streak = 0;
         self.shrink_count = 0;
     }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![
+            self.current_ns.to_bits(),
+            self.quiet_streak,
+            self.shrink_count,
+        ]
+    }
+
+    fn load_state(&mut self, state: &[u64]) -> Result<(), String> {
+        let [current, quiet, shrinks] = state else {
+            return Err(format!(
+                "adaptive policy expects 3 state words, got {}",
+                state.len()
+            ));
+        };
+        self.current_ns = f64::from_bits(*current);
+        self.quiet_streak = *quiet;
+        self.shrink_count = *shrinks;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -85,6 +85,21 @@ impl QuantumPolicy for ThresholdAdaptive {
     fn reset(&mut self) {
         self.current_ns = self.config.min_quantum.as_nanos() as f64;
     }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![self.current_ns.to_bits()]
+    }
+
+    fn load_state(&mut self, state: &[u64]) -> Result<(), String> {
+        let [current] = state else {
+            return Err(format!(
+                "threshold policy expects 1 state word, got {}",
+                state.len()
+            ));
+        };
+        self.current_ns = f64::from_bits(*current);
+        Ok(())
+    }
 }
 
 /// Adaptive quantum driven by an EWMA of the packet count.
@@ -171,6 +186,22 @@ impl QuantumPolicy for EwmaAdaptive {
     fn reset(&mut self) {
         self.ewma = 0.0;
         self.current_ns = self.config.min_quantum.as_nanos() as f64;
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![self.current_ns.to_bits(), self.ewma.to_bits()]
+    }
+
+    fn load_state(&mut self, state: &[u64]) -> Result<(), String> {
+        let [current, ewma] = state else {
+            return Err(format!(
+                "ewma policy expects 2 state words, got {}",
+                state.len()
+            ));
+        };
+        self.current_ns = f64::from_bits(*current);
+        self.ewma = f64::from_bits(*ewma);
+        Ok(())
     }
 }
 

@@ -32,6 +32,29 @@ pub trait QuantumPolicy: fmt::Debug + Send {
     /// Restores the initial state, so one policy value can drive several
     /// runs.
     fn reset(&mut self);
+
+    /// Serializes the policy's mutable state as opaque words, for a
+    /// quantum-edge snapshot. Floating-point state is encoded via
+    /// `f64::to_bits` so the round trip is exact. Stateless policies return
+    /// an empty vector (the default).
+    fn save_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Self::save_state`] on a freshly built
+    /// policy of the same configuration. Rejects a word count that does not
+    /// match what `save_state` produces (a corrupt or mismatched snapshot).
+    fn load_state(&mut self, state: &[u64]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "stateless policy `{}` given {} state words",
+                self.label(),
+                state.len()
+            ))
+        }
+    }
 }
 
 /// Serializable description of a synchronization policy.
@@ -161,6 +184,50 @@ mod tests {
         let p = SyncConfig::Predictive(PredictiveConfig::default_1_1000()).build();
         assert_eq!(p.initial_quantum(), SimDuration::from_micros(1));
         assert!(p.label().starts_with("pred"));
+    }
+
+    #[test]
+    fn save_load_state_resumes_every_policy_mid_stream() {
+        let configs = [
+            SyncConfig::fixed_micros(10),
+            SyncConfig::paper_dyn1(),
+            SyncConfig::Threshold {
+                config: AdaptiveConfig::paper_dyn1(),
+                threshold: 2,
+            },
+            SyncConfig::Ewma {
+                config: AdaptiveConfig::paper_dyn2(),
+                alpha: 0.5,
+            },
+            SyncConfig::Predictive(PredictiveConfig::default_1_1000()),
+        ];
+        let traffic: Vec<u64> = (0..40).map(|i| [0, 0, 3, 0, 0, 0, 7, 0][i % 8]).collect();
+        for cfg in &configs {
+            let mut live = cfg.build();
+            for &np in &traffic[..25] {
+                live.next_quantum(np);
+            }
+            let saved = live.save_state();
+            let mut resumed = cfg.build();
+            resumed.load_state(&saved).expect("state loads");
+            for &np in &traffic[25..] {
+                assert_eq!(
+                    live.next_quantum(np),
+                    resumed.next_quantum(np),
+                    "policy {} diverged after resume",
+                    cfg.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_state_word_count_is_rejected() {
+        let mut p = SyncConfig::paper_dyn1().build();
+        assert!(p.load_state(&[1, 2]).is_err());
+        let mut f = SyncConfig::fixed_micros(1).build();
+        assert!(f.load_state(&[1]).is_err());
+        assert!(f.load_state(&[]).is_ok());
     }
 
     #[test]

@@ -186,6 +186,33 @@ impl QuantumPolicy for PredictiveQuantum {
         self.open_gap_ns = 0.0;
         self.in_gap = false;
     }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![
+            self.current_ns.to_bits(),
+            u64::from(self.predicted_gap_ns.is_some()),
+            self.predicted_gap_ns.unwrap_or(0.0).to_bits(),
+            self.open_gap_ns.to_bits(),
+            u64::from(self.in_gap),
+        ]
+    }
+
+    fn load_state(&mut self, state: &[u64]) -> Result<(), String> {
+        let [current, has_gap, gap, open_gap, in_gap] = state else {
+            return Err(format!(
+                "predictive policy expects 5 state words, got {}",
+                state.len()
+            ));
+        };
+        if *has_gap > 1 || *in_gap > 1 {
+            return Err("predictive policy: boolean state word out of range".to_string());
+        }
+        self.current_ns = f64::from_bits(*current);
+        self.predicted_gap_ns = (*has_gap == 1).then(|| f64::from_bits(*gap));
+        self.open_gap_ns = f64::from_bits(*open_gap);
+        self.in_gap = *in_gap == 1;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -64,6 +64,24 @@ impl QuantumTrace {
         }
     }
 
+    /// A trace resumed from a snapshot: the counters restart at the values
+    /// the interrupted run had accumulated, so `total_quanta` keeps its
+    /// whole-run meaning. Per-quantum records cover only the post-resume
+    /// suffix (the prefix lives in the snapshotted run's trace).
+    pub fn resumed(enabled: bool, total_quanta: u64, total_length: SimDuration) -> Self {
+        Self {
+            enabled,
+            records: Vec::new(),
+            total_quanta,
+            total_length,
+        }
+    }
+
+    /// Accumulated quantum length (counted even when disabled).
+    pub fn total_length(&self) -> SimDuration {
+        self.total_length
+    }
+
     /// Records one completed quantum.
     pub fn record(&mut self, start: SimTime, length: SimDuration, packets: u64) {
         let index = self.total_quanta;

@@ -284,6 +284,28 @@ impl<P: Clone, S: SwitchModel> NetworkController<P, S> {
     pub fn into_trace(self) -> TrafficTrace {
         self.trace
     }
+
+    /// Next packet id to be assigned (snapshot capture).
+    #[inline]
+    pub fn next_packet_id(&self) -> u64 {
+        self.next_packet_id
+    }
+
+    /// Restores run-cumulative counters from a quantum-edge snapshot: packet
+    /// id stream position, lifetime packet total, and straggler statistics.
+    /// The per-quantum counter restarts at zero — a snapshot is always taken
+    /// at a quantum edge, right after [`Self::end_quantum`].
+    pub fn restore_counters(
+        &mut self,
+        next_packet_id: u64,
+        total_packets: u64,
+        stragglers: StragglerStats,
+    ) {
+        self.next_packet_id = next_packet_id;
+        self.total_packets = total_packets;
+        self.packets_this_quantum = 0;
+        self.stragglers = stragglers;
+    }
 }
 
 #[cfg(test)]

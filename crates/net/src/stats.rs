@@ -79,6 +79,26 @@ impl StragglerStats {
         &self.delay_hist
     }
 
+    /// Rebuilds an accumulator from its raw parts, for snapshot restore.
+    /// Returns `None` when the parts are inconsistent (histogram count does
+    /// not match `count`).
+    pub fn from_parts(
+        count: u64,
+        total_delay: SimDuration,
+        max_delay: SimDuration,
+        delay_hist: Log2Histogram,
+    ) -> Option<Self> {
+        if delay_hist.count() != count {
+            return None;
+        }
+        Some(Self {
+            count,
+            total_delay,
+            max_delay,
+            delay_hist,
+        })
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &StragglerStats) {
         self.count += other.count;

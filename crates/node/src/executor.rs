@@ -1,7 +1,7 @@
 //! The resumable node executor: a node program as a pull-based state machine.
 
 use crate::cpu::CpuModel;
-use crate::mailbox::{Mailbox, MatchOutcome, MessageMeta};
+use crate::mailbox::{Mailbox, MailboxState, MatchOutcome, MessageMeta};
 use crate::program::{Op, Program, Rank, RegionId, SendTarget, Tag};
 use aqs_time::{SimDuration, SimTime};
 use std::collections::HashMap;
@@ -275,6 +275,75 @@ impl NodeExecutor {
     pub fn pc(&self) -> usize {
         self.pc
     }
+
+    /// Captures the interpreter position and receive-side state for a
+    /// snapshot. The program and CPU model are configuration and are
+    /// reconstructed on resume. Open regions are emitted sorted by id.
+    pub fn export_state(&self) -> ExecutorState {
+        let mut open_regions: Vec<(RegionId, SimTime)> =
+            self.open_regions.iter().map(|(&r, &t)| (r, t)).collect();
+        open_regions.sort_by_key(|&(r, _)| r);
+        ExecutorState {
+            pc: self.pc as u64,
+            ops_executed: self.ops_executed,
+            messages_received: self.messages_received,
+            pending_overhead: self.pending_overhead,
+            open_regions,
+            regions: self.regions.clone(),
+            finish_time: self.finish_time,
+            mailbox: self.mailbox.export_state(),
+        }
+    }
+
+    /// Rebuilds an executor captured by [`Self::export_state`] over the same
+    /// (configuration-derived) program and CPU model.
+    pub fn from_state(
+        program: Program,
+        cpu: CpuModel,
+        state: ExecutorState,
+    ) -> Result<Self, String> {
+        if state.pc as usize > program.ops().len() {
+            return Err(format!(
+                "pc {} beyond program length {}",
+                state.pc,
+                program.ops().len()
+            ));
+        }
+        Ok(Self {
+            program,
+            cpu,
+            pc: state.pc as usize,
+            mailbox: Mailbox::from_state(state.mailbox)?,
+            ops_executed: state.ops_executed,
+            messages_received: state.messages_received,
+            pending_overhead: state.pending_overhead,
+            open_regions: state.open_regions.into_iter().collect(),
+            regions: state.regions,
+            finish_time: state.finish_time,
+        })
+    }
+}
+
+/// The dynamic state of a [`NodeExecutor`], as captured by
+/// [`NodeExecutor::export_state`] at a quantum edge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutorState {
+    /// Program counter.
+    pub pc: u64,
+    /// Abstract operations retired so far.
+    pub ops_executed: u64,
+    /// Messages fully received and consumed so far.
+    pub messages_received: u64,
+    /// Receive-completion overhead still to charge.
+    pub pending_overhead: SimDuration,
+    /// Open timed regions, sorted by region id.
+    pub open_regions: Vec<(RegionId, SimTime)>,
+    /// Closed region instances, in completion order.
+    pub regions: Vec<RegionRecord>,
+    /// Completion time, if the program already finished.
+    pub finish_time: Option<SimTime>,
+    /// Receive-side state.
+    pub mailbox: MailboxState,
 }
 
 #[cfg(test)]
@@ -466,6 +535,58 @@ mod tests {
         assert_eq!(e.next_action(SimTime::from_micros(99)), Action::Finished);
         // Finish time is the first observation.
         assert_eq!(e.finish_time(), Some(SimTime::from_micros(9)));
+    }
+
+    #[test]
+    fn state_round_trip_resumes_mid_program() {
+        let p = ProgramBuilder::new(Rank::new(0))
+            .region_start(RegionId::KERNEL)
+            .compute(1000)
+            .recv(Some(Rank::new(1)), Tag::new(3))
+            .compute(500)
+            .region_end(RegionId::KERNEL)
+            .build();
+        let mut e = NodeExecutor::new(p.clone(), cpu());
+        let mut t = SimTime::ZERO;
+        // Run up to the blocked receive, then deliver and stop mid-stream.
+        while let Action::Advance { dur, .. } = e.next_action(t) {
+            t += dur;
+        }
+        assert_eq!(e.next_action(t), Action::Blocked);
+        e.deliver_fragment(meta(1, 0, 3), 0, t + SimDuration::from_micros(1));
+        let state = e.export_state();
+        let mut r = NodeExecutor::from_state(p, cpu(), state).expect("valid state");
+        assert_eq!(r.pc(), e.pc());
+        assert_eq!(r.open_region_count(), 1);
+        // Both finish identically from here.
+        let (mut ta, mut tb) = (t, t);
+        loop {
+            let (a, b) = (e.next_action(ta), r.next_action(tb));
+            assert_eq!(a, b);
+            match a {
+                Action::Advance { dur, .. } => {
+                    ta += dur;
+                    tb += dur;
+                }
+                Action::WaitUntil(w) => {
+                    ta = w;
+                    tb = w;
+                }
+                Action::Finished => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(e.regions(), r.regions());
+        assert_eq!(e.messages_received(), r.messages_received());
+    }
+
+    #[test]
+    fn out_of_range_pc_is_rejected() {
+        let p = ProgramBuilder::new(Rank::new(0)).compute(10).build();
+        let e = NodeExecutor::new(p.clone(), cpu());
+        let mut state = e.export_state();
+        state.pc = 99;
+        assert!(NodeExecutor::from_state(p, cpu(), state).is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   will also have dynamically changing speeds"), and it is what creates
 //!   stragglers.
 
-use aqs_rng::{Ar1, Rng};
+use aqs_rng::{Ar1, Rng, RngState};
 use aqs_time::{HostDuration, SimDuration};
 use serde::{Deserialize, Serialize};
 
@@ -181,6 +181,43 @@ impl HostSpeed {
     pub fn model(&self) -> &HostModel {
         &self.model
     }
+
+    /// Captures the dynamic speed state — RNG position, AR(1) drift value,
+    /// and the current jitter — for a quantum-edge snapshot.
+    pub fn export_state(&self) -> HostSpeedState {
+        HostSpeedState {
+            rng: self.rng.state(),
+            drift_value: self.drift.value(),
+            jitter: self.jitter,
+        }
+    }
+
+    /// Rebuilds the speed state captured by [`Self::export_state`] under the
+    /// same (configuration-derived) model. Returns `None` when the RNG state
+    /// words are invalid, i.e. the snapshot bytes are corrupt.
+    pub fn from_state(model: HostModel, state: HostSpeedState) -> Option<Self> {
+        let mut drift = Ar1::new(0.0, model.drift_phi, model.drift_sigma);
+        drift.set_value(state.drift_value);
+        Some(Self {
+            model,
+            drift,
+            rng: Rng::from_state(state.rng)?,
+            jitter: state.jitter,
+        })
+    }
+}
+
+/// The dynamic part of a [`HostSpeed`] — everything [`HostSpeed::resample`]
+/// reads or writes. The static [`HostModel`] is reconstructed from
+/// configuration on resume and deliberately not part of this state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HostSpeedState {
+    /// The node's private RNG stream position.
+    pub rng: RngState,
+    /// Current AR(1) log-speed drift value.
+    pub drift_value: f64,
+    /// Current multiplicative jitter.
+    pub jitter: f64,
 }
 
 #[cfg(test)]
@@ -252,5 +289,22 @@ mod tests {
     #[should_panic(expected = "idle_factor")]
     fn bad_idle_factor_rejected() {
         let _ = HostModel::new(30.0, 0.0, 0.1, 0.5, 0.1);
+    }
+
+    #[test]
+    fn speed_state_round_trip_resumes_the_jitter_stream() {
+        let model = HostModel::default();
+        let mut live = HostSpeed::new(model, Rng::substream(9, 4));
+        for _ in 0..17 {
+            live.resample();
+        }
+        let state = live.export_state();
+        let mut resumed = HostSpeed::from_state(model, state).expect("valid state");
+        assert_eq!(live.slowdown(), resumed.slowdown());
+        for _ in 0..50 {
+            live.resample();
+            resumed.resample();
+            assert_eq!(live.slowdown(), resumed.slowdown());
+        }
     }
 }

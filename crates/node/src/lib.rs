@@ -45,8 +45,10 @@ mod program;
 mod sampling;
 
 pub use cpu::CpuModel;
-pub use executor::{Action, NodeExecutor, RegionRecord};
-pub use host::{HostModel, HostSpeed};
-pub use mailbox::{Mailbox, MatchOutcome, MessageId, MessageMeta};
+pub use executor::{Action, ExecutorState, NodeExecutor, RegionRecord};
+pub use host::{HostModel, HostSpeed, HostSpeedState};
+pub use mailbox::{
+    AssemblingState, Mailbox, MailboxState, MatchOutcome, MessageId, MessageMeta, ReadyState,
+};
 pub use program::{Op, Program, ProgramBuilder, Rank, RegionId, SendTarget, Tag};
 pub use sampling::{SampleMode, SamplingModel};

@@ -208,6 +208,118 @@ impl Mailbox {
     pub fn completed_total(&self) -> u64 {
         self.completed_total
     }
+
+    /// Captures the full receive-side state for a snapshot.
+    ///
+    /// Partially assembled messages are emitted sorted by message id (the
+    /// internal map iterates in arbitrary order); the ready list is emitted
+    /// **verbatim** — [`Self::match_recv`] removes with `swap_remove`, so
+    /// replaying an identical run requires the identical vector layout.
+    pub fn export_state(&self) -> MailboxState {
+        let mut assembling: Vec<AssemblingState> = self
+            .assembling
+            .values()
+            .map(|a| AssemblingState {
+                meta: a.meta,
+                received_mask: a.received_mask.clone(),
+                latest_arrival: a.latest_arrival,
+            })
+            .collect();
+        assembling.sort_by_key(|a| a.meta.id);
+        MailboxState {
+            assembling,
+            ready: self
+                .ready
+                .iter()
+                .map(|r| ReadyState {
+                    meta: r.meta,
+                    ready_at: r.ready_at,
+                })
+                .collect(),
+            completed_total: self.completed_total,
+        }
+    }
+
+    /// Rebuilds a mailbox captured by [`Self::export_state`], validating the
+    /// structural invariants a corrupt snapshot could violate.
+    pub fn from_state(state: MailboxState) -> Result<Self, String> {
+        let mut assembling = HashMap::with_capacity(state.assembling.len());
+        for a in state.assembling {
+            if a.received_mask.len() != a.meta.frag_count as usize {
+                return Err(format!(
+                    "message {}: mask length {} != frag_count {}",
+                    a.meta.id,
+                    a.received_mask.len(),
+                    a.meta.frag_count
+                ));
+            }
+            let received = a.received_mask.iter().filter(|&&b| b).count() as u32;
+            if received == 0 || received >= a.meta.frag_count {
+                return Err(format!(
+                    "message {}: {} of {} fragments is not a partial assembly",
+                    a.meta.id, received, a.meta.frag_count
+                ));
+            }
+            if assembling
+                .insert(
+                    a.meta.id,
+                    Assembling {
+                        meta: a.meta,
+                        received_mask: a.received_mask,
+                        received,
+                        latest_arrival: a.latest_arrival,
+                    },
+                )
+                .is_some()
+            {
+                return Err(format!("duplicate assembling message {}", a.meta.id));
+            }
+        }
+        Ok(Self {
+            assembling,
+            ready: state
+                .ready
+                .into_iter()
+                .map(|r| Ready {
+                    meta: r.meta,
+                    ready_at: r.ready_at,
+                })
+                .collect(),
+            completed_total: state.completed_total,
+        })
+    }
+}
+
+/// One partially assembled message inside a [`MailboxState`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssemblingState {
+    /// Message metadata.
+    pub meta: MessageMeta,
+    /// Which fragments have arrived (`frag_count` entries).
+    pub received_mask: Vec<bool>,
+    /// Latest fragment arrival seen so far.
+    pub latest_arrival: SimTime,
+}
+
+/// One completed-but-unconsumed message inside a [`MailboxState`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReadyState {
+    /// Message metadata.
+    pub meta: MessageMeta,
+    /// When the message became available.
+    pub ready_at: SimTime,
+}
+
+/// The full receive-side state of one node, as captured by
+/// [`Mailbox::export_state`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MailboxState {
+    /// In-flight reassembly, sorted by message id.
+    pub assembling: Vec<AssemblingState>,
+    /// Completed messages in the mailbox's exact (swap_remove-shaped) order.
+    pub ready: Vec<ReadyState>,
+    /// Lifetime completion counter.
+    pub completed_total: u64,
 }
 
 #[cfg(test)]
@@ -312,6 +424,55 @@ mod tests {
         mb.deliver_fragment(meta(1, 0, 0, 1), 0, t);
         let out = mb.match_recv(None, Tag::new(0), SimTime::MAX);
         assert!(matches!(out, MatchOutcome::Matched(m, _) if m.id.src == Rank::new(1)));
+    }
+
+    #[test]
+    fn state_round_trip_preserves_matching_order() {
+        let mut mb = Mailbox::new();
+        // Two ready messages (one consumed to shift swap_remove layout) and
+        // one partial assembly.
+        mb.deliver_fragment(meta(1, 0, 0, 1), 0, SimTime::from_micros(1));
+        mb.deliver_fragment(meta(2, 0, 0, 1), 0, SimTime::from_micros(2));
+        mb.deliver_fragment(meta(3, 0, 0, 1), 0, SimTime::from_micros(3));
+        mb.match_recv(Some(Rank::new(1)), Tag::new(0), SimTime::MAX);
+        mb.deliver_fragment(meta(1, 1, 0, 3), 0, SimTime::from_micros(4));
+        mb.deliver_fragment(meta(1, 1, 0, 3), 2, SimTime::from_micros(6));
+        let mut restored = Mailbox::from_state(mb.export_state()).expect("valid state");
+        assert_eq!(restored.completed_total(), mb.completed_total());
+        assert_eq!(restored.ready_len(), mb.ready_len());
+        assert_eq!(restored.assembling_len(), 1);
+        // Identical matching decisions after the round trip.
+        let a = mb.match_recv(None, Tag::new(0), SimTime::MAX);
+        let b = restored.match_recv(None, Tag::new(0), SimTime::MAX);
+        assert_eq!(a, b);
+        assert_eq!(
+            restored.deliver_fragment(meta(1, 1, 0, 3), 1, SimTime::from_micros(9)),
+            mb.deliver_fragment(meta(1, 1, 0, 3), 1, SimTime::from_micros(9)),
+        );
+    }
+
+    #[test]
+    fn corrupt_states_are_rejected() {
+        let bad_mask = MailboxState {
+            assembling: vec![AssemblingState {
+                meta: meta(1, 0, 0, 3),
+                received_mask: vec![true],
+                latest_arrival: SimTime::ZERO,
+            }],
+            ready: vec![],
+            completed_total: 0,
+        };
+        assert!(Mailbox::from_state(bad_mask).is_err());
+        let complete_marked_partial = MailboxState {
+            assembling: vec![AssemblingState {
+                meta: meta(1, 0, 0, 2),
+                received_mask: vec![true, true],
+                latest_arrival: SimTime::ZERO,
+            }],
+            ready: vec![],
+            completed_total: 0,
+        };
+        assert!(Mailbox::from_state(complete_marked_partial).is_err());
     }
 
     #[test]

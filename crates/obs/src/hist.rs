@@ -81,6 +81,19 @@ impl Log2Histogram {
         }
     }
 
+    /// Rebuilds a histogram from its raw parts, for snapshot restore. The
+    /// sample count is re-derived from the buckets; returns `None` when the
+    /// bucket counts overflow `u64` (a corrupt snapshot).
+    pub fn from_parts(counts: [u64; LOG2_BUCKETS], sum: u64, max: u64) -> Option<Self> {
+        let n: u64 = counts.iter().try_fold(0u64, |acc, &c| acc.checked_add(c))?;
+        Some(Self {
+            counts,
+            n,
+            sum,
+            max,
+        })
+    }
+
     /// Records one sample.
     #[inline]
     pub fn record(&mut self, value: u64) {

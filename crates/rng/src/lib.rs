@@ -107,6 +107,22 @@ impl Xoshiro256StarStar {
         Self { s }
     }
 
+    /// Returns the raw 256-bit state, for checkpointing a stream position.
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator at an exact stream position captured by
+    /// [`Self::state`]. Returns `None` for the all-zero state, which is the
+    /// one position no valid stream can occupy.
+    pub fn from_state(s: [u64; 4]) -> Option<Self> {
+        if s.iter().all(|&w| w == 0) {
+            return None;
+        }
+        Some(Self { s })
+    }
+
     /// Returns the next 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -171,6 +187,16 @@ pub struct Rng {
     spare_normal: Option<f64>,
 }
 
+/// An exact [`Rng`] stream position, capturable mid-stream and restorable
+/// bit-for-bit — the unit of RNG state a simulation snapshot carries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RngState {
+    /// xoshiro256** state words.
+    pub s: [u64; 4],
+    /// Banked Box–Muller deviate, if the last [`Rng::normal`] left one.
+    pub spare_normal: Option<f64>,
+}
+
 impl Rng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
@@ -201,6 +227,25 @@ impl Rng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.inner.next_u64()
+    }
+
+    /// Captures the exact stream position, including any banked Box–Muller
+    /// deviate, so the stream can be resumed bit-for-bit.
+    pub fn state(&self) -> RngState {
+        RngState {
+            s: self.inner.state(),
+            spare_normal: self.spare_normal,
+        }
+    }
+
+    /// Rebuilds a generator at a position captured by [`Self::state`].
+    /// Returns `None` for the all-zero xoshiro state (never produced by a
+    /// valid stream — seeing it means the snapshot bytes are corrupt).
+    pub fn from_state(state: RngState) -> Option<Self> {
+        Some(Self {
+            inner: Xoshiro256StarStar::from_state(state.s)?,
+            spare_normal: state.spare_normal,
+        })
     }
 
     /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
@@ -403,13 +448,20 @@ impl Ar1 {
     pub fn value(&self) -> f64 {
         self.value
     }
+
+    /// Overwrites the current value, restoring a checkpointed process
+    /// position (the mean/phi/sigma parameters come from configuration).
+    #[inline]
+    pub fn set_value(&mut self, value: f64) {
+        self.value = value;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     // Explicit import: proptest's prelude also globs a `Rng` trait, and an
     // explicit name wins over a glob.
-    use super::{Ar1, Rng, SplitMix64, Xoshiro256StarStar};
+    use super::{Ar1, Rng, RngState, SplitMix64, Xoshiro256StarStar};
     use proptest::prelude::*;
 
     #[test]
@@ -524,6 +576,41 @@ mod tests {
             p.step(&mut rng);
         }
         assert!((p.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_exact_stream() {
+        let mut rng = Rng::seed_from_u64(41);
+        // Burn an odd number of normals so a spare deviate is banked.
+        let _ = rng.normal();
+        let saved = rng.state();
+        let expected: Vec<f64> = (0..8).map(|_| rng.normal()).collect();
+        let mut resumed = Rng::from_state(saved).expect("valid state");
+        let got: Vec<f64> = (0..8).map(|_| resumed.normal()).collect();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn all_zero_state_is_rejected() {
+        assert!(Xoshiro256StarStar::from_state([0; 4]).is_none());
+        let bad = RngState {
+            s: [0; 4],
+            spare_normal: None,
+        };
+        assert!(Rng::from_state(bad).is_none());
+    }
+
+    #[test]
+    fn ar1_set_value_restores_the_process() {
+        let mut rng = Rng::seed_from_u64(31);
+        let mut p = Ar1::new(1.0, 0.9, 0.2);
+        p.step(&mut rng);
+        let (v, rs) = (p.value(), rng.state());
+        let expected = p.step(&mut rng);
+        let mut q = Ar1::new(1.0, 0.9, 0.2);
+        q.set_value(v);
+        let mut rng2 = Rng::from_state(rs).unwrap();
+        assert_eq!(q.step(&mut rng2), expected);
     }
 
     #[test]

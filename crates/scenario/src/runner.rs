@@ -38,13 +38,30 @@ pub struct ScenarioReport {
 /// Why a scenario execution failed.
 #[derive(Clone, Debug)]
 pub enum ScenarioError {
-    /// A run was rejected or the scenario file was invalid.
+    /// The scenario file was invalid (parse/validation), before any run.
     Sim(SimError),
+    /// One engine run failed mid-scenario. The label names the engine ×
+    /// worker-count combination; when the failure reproduces on a single
+    /// phase in isolation, `phase` names the first phase that does.
+    Run {
+        /// The scenario that failed.
+        scenario: String,
+        /// The engine run that failed (`sharded m=2`, …).
+        label: String,
+        /// First phase reproducing the failure in isolation, as
+        /// `(index, workload name)` — `None` when the failure only
+        /// manifests with the phases concatenated.
+        phase: Option<(usize, String)>,
+        /// The engine's typed error (boxed to keep the `Err` variant
+        /// small — `clippy::result_large_err`).
+        error: Box<SimError>,
+    },
     /// The runs completed but an assertion failed.
     Assert {
         /// The scenario that failed.
         scenario: String,
-        /// Every failed assertion, one message each.
+        /// Every failed assertion, one message each (each names the
+        /// assertion and the offending run).
         failures: Vec<String>,
     },
 }
@@ -53,6 +70,18 @@ impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScenarioError::Sim(e) => write!(f, "{e}"),
+            ScenarioError::Run {
+                scenario,
+                label,
+                phase,
+                error,
+            } => {
+                write!(f, "scenario `{scenario}`: run `{label}` failed")?;
+                if let Some((i, name)) = phase {
+                    write!(f, " in phase {i} ({name})")?;
+                }
+                write!(f, ": {error}")
+            }
             ScenarioError::Assert { scenario, failures } => {
                 write!(
                     f,
@@ -74,6 +103,32 @@ impl From<SimError> for ScenarioError {
     fn from(e: SimError) -> Self {
         ScenarioError::Sim(e)
     }
+}
+
+/// Replays each phase in isolation on the deterministic engine and returns
+/// the first one that reproduces a failure. A deadlock or cap overflow in
+/// the concatenated run is almost always one phase's workload; naming it
+/// turns "scenario failed" into an actionable report. Phases are capped at
+/// a generous quantum budget so a hung phase attributes instead of hanging
+/// the attribution.
+fn attribute_failing_phase(scenario: &Scenario) -> Option<(usize, String)> {
+    for (i, phase) in scenario.phases.iter().enumerate() {
+        let spec = phase
+            .workload
+            .build(scenario.nodes, scenario.seed + i as u64);
+        let mut sim = Sim::new(spec.programs)
+            .sync(scenario.policy.clone())
+            .seed(scenario.seed)
+            .max_quanta(10_000_000)
+            .switch(scenario.topology.switch(scenario.nodes));
+        if let Some(chaos) = scenario.chaos {
+            sim = sim.chaos(chaos);
+        }
+        if sim.try_run().is_err() {
+            return Some((i, phase.workload.name().to_string()));
+        }
+    }
+    None
 }
 
 /// Loads, runs, and checks the scenario at `path`.
@@ -116,7 +171,26 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
                 }
                 None => engine.name().to_string(),
             };
-            let report = sim.try_run()?;
+            let report = match sim.try_run() {
+                Ok(r) => r,
+                Err(error) => {
+                    // Only engine-runtime failures can be a phase's fault;
+                    // configuration rejections concern the whole scenario.
+                    let phase = match &error {
+                        SimError::Deadlock { .. }
+                        | SimError::QuantumCapExceeded { .. }
+                        | SimError::WindowNonConvergence { .. }
+                        | SimError::EngineInvariant { .. } => attribute_failing_phase(scenario),
+                        _ => None,
+                    };
+                    return Err(ScenarioError::Run {
+                        scenario: scenario.name.clone(),
+                        label,
+                        phase,
+                        error: Box::new(error),
+                    });
+                }
+            };
             runs.push(EngineRun { label, report });
         }
     }
@@ -205,8 +279,8 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
     if let Some(min) = asserts.min_messages {
         if outcome.messages_received < min {
             failures.push(format!(
-                "min_messages: only {} messages received (need at least {min})",
-                outcome.messages_received
+                "min_messages: `{}` received only {} messages (need at least {min})",
+                runs[0].label, outcome.messages_received
             ));
         } else {
             checks.push(format!(
@@ -220,8 +294,8 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
         let cap_nanos = ms.saturating_mul(1_000_000);
         if outcome.sim_end.as_nanos() > cap_nanos {
             failures.push(format!(
-                "max_sim_ms: simulated end {} exceeds {ms} ms",
-                outcome.sim_end
+                "max_sim_ms: `{}` simulated end {} exceeds {ms} ms",
+                runs[0].label, outcome.sim_end
             ));
         } else {
             checks.push(format!("max_sim_ms: {} <= {ms} ms", outcome.sim_end));
@@ -328,6 +402,46 @@ max_sim_ms = 0
             }
             other => panic!("wrong error: {other}"),
         }
+    }
+
+    #[test]
+    fn failed_run_names_the_engine_combination() {
+        // The optimistic engine rejects a latency-matrix topology at run
+        // time; the error must say which run died, not just bubble the
+        // bare SimError.
+        let err = run_scenario(&scenario(
+            r#"
+name = "bad-combo"
+nodes = 4
+engines = ["optimistic"]
+[topology]
+kind = "latency-matrix"
+latency_us = 5
+[[phases]]
+workload = "pingpong"
+rounds = 2
+"#,
+        ))
+        .expect_err("must fail");
+        match &err {
+            ScenarioError::Run {
+                scenario,
+                label,
+                phase,
+                error,
+            } => {
+                assert_eq!(scenario, "bad-combo");
+                assert_eq!(label, "optimistic");
+                assert_eq!(*phase, None, "a config rejection is not a phase's fault");
+                assert!(
+                    matches!(**error, SimError::UnsupportedSwitch { .. }),
+                    "got {error:?}"
+                );
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        let text = err.to_string();
+        assert!(text.contains("run `optimistic` failed"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! A minimal one-shot client for the JSONL protocol, shared by the CLI
+//! and the integration tests.
+
+use serde_json::Value;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Sends one request to `addr` and returns the one-line response.
+pub fn request(addr: &str, req: &Value) -> io::Result<Value> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut text = serde_json::to_string(req)
+        .map_err(|e| io::Error::other(format!("request serializes: {e}")))?;
+    text.push('\n');
+    writer.write_all(text.as_bytes())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection without responding",
+        ));
+    }
+    serde_json::from_str(&line).map_err(|e| io::Error::other(format!("response is not JSON: {e}")))
+}

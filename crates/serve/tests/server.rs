@@ -1,0 +1,386 @@
+//! End-to-end tests of the resident job server's fault envelope, all over
+//! real TCP connections against an in-process server.
+
+use aqs_serve::client::request;
+use aqs_serve::protocol::{get_bool, get_str, get_u64, obj};
+use aqs_serve::{ServeConfig, Server};
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "aqs-serve-test-{name}-{}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn start(name: &str, tweak: impl FnOnce(&mut ServeConfig)) -> (Server, String, PathBuf) {
+    let mut cfg = ServeConfig {
+        journal: tmp_journal(name),
+        ..Default::default()
+    };
+    let journal = cfg.journal.clone();
+    tweak(&mut cfg);
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.addr().to_string();
+    (server, addr, journal)
+}
+
+fn submit_fields(extra: Vec<(&str, Value)>) -> Value {
+    let mut fields = vec![
+        ("op", Value::Str("submit".to_string())),
+        ("workload", Value::Str("pingpong".to_string())),
+        ("nodes", Value::U64(2)),
+        ("policy", Value::Str("dyn1".to_string())),
+        ("seed", Value::U64(7)),
+    ];
+    fields.extend(extra);
+    obj(fields)
+}
+
+fn wait_for(addr: &str, job: u64) -> Value {
+    let resp = request(
+        addr,
+        &obj(vec![
+            ("op", Value::Str("wait".to_string())),
+            ("job", Value::U64(job)),
+        ]),
+    )
+    .expect("wait round-trips");
+    assert_eq!(get_bool(&resp, "ok"), Some(true), "wait failed: {resp:?}");
+    resp.get("job_record")
+        .cloned()
+        .expect("wait returns the job record")
+}
+
+fn error_kind(record: &Value) -> String {
+    let err = record.get("error").expect("failed job carries an error");
+    get_str(err, "kind").expect("error has a kind").to_string()
+}
+
+#[test]
+fn healthy_job_matches_a_direct_run_bit_for_bit() {
+    let (server, addr, journal) = start("healthy", |_| {});
+    let resp = request(&addr, &submit_fields(vec![])).unwrap();
+    assert_eq!(get_bool(&resp, "ok"), Some(true), "submit failed: {resp:?}");
+    let job = get_u64(&resp, "job").unwrap();
+    let record = wait_for(&addr, job);
+    assert_eq!(get_str(&record, "state"), Some("done"));
+    let outcome = record.get("outcome").unwrap();
+
+    // The same case run directly, without the server or checkpointing.
+    let case = aqs_serve::CaseJob {
+        workload: "pingpong".to_string(),
+        nodes: 2,
+        policy: "dyn1".to_string(),
+        seed: 7,
+        scale: "tiny".to_string(),
+        inject_panic: false,
+    };
+    let direct = aqs_serve::jobs::build_sim(&case).unwrap().run();
+    assert_eq!(
+        outcome,
+        &aqs_serve::jobs::outcome_value(&direct),
+        "server outcome diverged from a direct run"
+    );
+    server.stop();
+    let _ = std::fs::remove_file(journal);
+}
+
+#[test]
+fn a_panicking_job_is_retried_then_fails_typed_and_the_server_survives() {
+    let (server, addr, journal) = start("panic", |cfg| {
+        cfg.max_attempts = 3;
+        cfg.backoff_base_ms = 1;
+    });
+    let resp = request(
+        &addr,
+        &submit_fields(vec![("inject_panic", Value::Bool(true))]),
+    )
+    .unwrap();
+    let job = get_u64(&resp, "job").unwrap();
+    let record = wait_for(&addr, job);
+    assert_eq!(get_str(&record, "state"), Some("failed"));
+    assert_eq!(error_kind(&record), "panicked");
+    assert_eq!(get_u64(&record, "attempts"), Some(3), "retries exhausted");
+    let detail = get_str(record.get("error").unwrap(), "detail").unwrap();
+    assert!(
+        detail.contains("injected panic"),
+        "failure record lost the panic message: {detail}"
+    );
+
+    // The server is still healthy: a fresh job on the same server runs.
+    let resp = request(&addr, &submit_fields(vec![])).unwrap();
+    let job = get_u64(&resp, "job").unwrap();
+    let record = wait_for(&addr, job);
+    assert_eq!(get_str(&record, "state"), Some("done"));
+    server.stop();
+    let _ = std::fs::remove_file(journal);
+}
+
+#[test]
+fn a_job_past_its_deadline_fails_with_a_typed_deadline_error() {
+    let (server, addr, journal) = start("deadline", |cfg| {
+        // One-quantum chunks make deadline checks frequent; `full`-scale
+        // cg is long enough to blow a 30 ms budget many times over.
+        cfg.chunk_quanta = 1;
+    });
+    let resp = request(
+        &addr,
+        &obj(vec![
+            ("op", Value::Str("submit".to_string())),
+            ("workload", Value::Str("cg".to_string())),
+            ("nodes", Value::U64(8)),
+            ("policy", Value::Str("truth".to_string())),
+            ("scale", Value::Str("full".to_string())),
+            ("deadline_ms", Value::U64(30)),
+        ]),
+    )
+    .unwrap();
+    let job = get_u64(&resp, "job").unwrap();
+    let record = wait_for(&addr, job);
+    assert_eq!(get_str(&record, "state"), Some("failed"), "{record:?}");
+    assert_eq!(error_kind(&record), "deadline_exceeded");
+    server.stop();
+    let _ = std::fs::remove_file(journal);
+}
+
+#[test]
+fn quota_and_queue_limits_shed_load_with_typed_rejections() {
+    let (server, addr, journal) = start("quota", |cfg| {
+        cfg.workers = 1;
+        cfg.tenant_cap = 2;
+        cfg.queue_cap = 3;
+        // Slow jobs keep the queue occupied while the burst lands.
+        cfg.chunk_quanta = 1;
+    });
+    let slow = |tenant: &str| {
+        obj(vec![
+            ("op", Value::Str("submit".to_string())),
+            ("workload", Value::Str("cg".to_string())),
+            ("nodes", Value::U64(8)),
+            ("policy", Value::Str("truth".to_string())),
+            ("scale", Value::Str("full".to_string())),
+            ("tenant", Value::Str(tenant.to_string())),
+            ("deadline_ms", Value::U64(2_000)),
+        ])
+    };
+    // Tenant `a` fills its quota of 2.
+    for _ in 0..2 {
+        let r = request(&addr, &slow("a")).unwrap();
+        assert_eq!(get_bool(&r, "ok"), Some(true), "{r:?}");
+    }
+    let r = request(&addr, &slow("a")).unwrap();
+    assert_eq!(get_bool(&r, "ok"), Some(false));
+    assert_eq!(
+        get_str(r.get("error").unwrap(), "kind"),
+        Some("quota_exceeded")
+    );
+
+    // Other tenants fill the queue; the next submission is shed.
+    let mut last = None;
+    for t in ["b", "c", "d", "e", "f"] {
+        last = Some(request(&addr, &slow(t)).unwrap());
+        if get_bool(last.as_ref().unwrap(), "ok") == Some(false) {
+            break;
+        }
+    }
+    let last = last.unwrap();
+    assert_eq!(get_bool(&last, "ok"), Some(false), "burst was never shed");
+    assert_eq!(
+        get_str(last.get("error").unwrap(), "kind"),
+        Some("overloaded")
+    );
+
+    // Typed rejections, not a wedged server: stats still answers.
+    let stats = request(&addr, &obj(vec![("op", Value::Str("stats".to_string()))])).unwrap();
+    assert_eq!(get_bool(&stats, "ok"), Some(true));
+    server.stop();
+    let _ = std::fs::remove_file(journal);
+}
+
+#[test]
+fn unknown_jobs_and_malformed_requests_get_typed_rejections() {
+    let (server, addr, journal) = start("badreq", |_| {});
+    let r = request(
+        &addr,
+        &obj(vec![
+            ("op", Value::Str("status".to_string())),
+            ("job", Value::U64(999)),
+        ]),
+    )
+    .unwrap();
+    assert_eq!(
+        get_str(r.get("error").unwrap(), "kind"),
+        Some("unknown_job")
+    );
+    let r = request(
+        &addr,
+        &obj(vec![("op", Value::Str("frobnicate".to_string()))]),
+    )
+    .unwrap();
+    assert_eq!(
+        get_str(r.get("error").unwrap(), "kind"),
+        Some("bad_request")
+    );
+    let r = request(
+        &addr,
+        &obj(vec![
+            ("op", Value::Str("submit".to_string())),
+            ("workload", Value::Str("no-such".to_string())),
+        ]),
+    )
+    .unwrap();
+    assert_eq!(
+        get_str(r.get("error").unwrap(), "kind"),
+        Some("bad_request")
+    );
+    server.stop();
+    let _ = std::fs::remove_file(journal);
+}
+
+#[test]
+fn recovery_resumes_from_the_journaled_snapshot_bit_identically() {
+    let journal = tmp_journal("recover");
+    let case = aqs_serve::CaseJob {
+        workload: "cg".to_string(),
+        nodes: 4,
+        policy: "dyn1".to_string(),
+        seed: 11,
+        scale: "mini".to_string(),
+        inject_panic: false,
+    };
+
+    // Forge the journal a crashed server would leave behind: a submitted
+    // job plus one mid-run snapshot, and no terminal record. Using the
+    // journal API directly stands in for `kill -9` — nothing after the
+    // snapshot ever reached disk.
+    let snap = aqs_serve::jobs::build_sim(&case)
+        .unwrap()
+        .snapshot_at(40)
+        .unwrap();
+    {
+        let (mut j, initial) = aqs_serve::Journal::open(&journal).unwrap();
+        assert!(initial.is_empty());
+        j.append(&obj(vec![
+            ("ev", Value::Str("submit".to_string())),
+            ("job", Value::U64(1)),
+            ("tenant", Value::Str("default".to_string())),
+            ("deadline_ms", Value::U64(0)),
+            ("spec", aqs_serve::JobSpec::Case(case.clone()).to_value()),
+        ]))
+        .unwrap();
+        j.append(&obj(vec![
+            ("ev", Value::Str("snapshot".to_string())),
+            ("job", Value::U64(1)),
+            ("quanta", Value::U64(snap.quanta())),
+            (
+                "bytes",
+                Value::Str(aqs_serve::journal::to_hex(&snap.to_bytes())),
+            ),
+        ]))
+        .unwrap();
+    }
+    // Torn tail on top: the crash hit mid-append.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .unwrap();
+        f.write_all(&[0xAA; 7]).unwrap();
+    }
+
+    let cfg = ServeConfig {
+        journal: journal.clone(),
+        ..Default::default()
+    };
+    let server = Server::start(cfg).expect("recovery tolerates the torn tail");
+    let addr = server.addr().to_string();
+    let record = wait_for(&addr, 1);
+    assert_eq!(get_str(&record, "state"), Some("done"), "{record:?}");
+    let outcome = record.get("outcome").cloned().unwrap();
+
+    let direct = aqs_serve::jobs::build_sim(&case).unwrap().run();
+    assert_eq!(
+        outcome,
+        aqs_serve::jobs::outcome_value(&direct),
+        "resumed run diverged from an uninterrupted one"
+    );
+    server.stop();
+
+    // Terminal results survive yet another restart.
+    let cfg = ServeConfig {
+        journal: journal.clone(),
+        ..Default::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr().to_string();
+    let r = request(
+        &addr,
+        &obj(vec![
+            ("op", Value::Str("status".to_string())),
+            ("job", Value::U64(1)),
+        ]),
+    )
+    .unwrap();
+    let record = r.get("job_record").unwrap();
+    assert_eq!(get_str(record, "state"), Some("done"));
+    assert_eq!(record.get("outcome"), Some(&outcome));
+    server.stop();
+    let _ = std::fs::remove_file(journal);
+}
+
+#[test]
+fn a_failed_scenario_job_carries_the_scenario_error_in_its_record() {
+    // A scenario file whose assertion cannot hold: max_sim_ms = 0.
+    let mut scenario = std::env::temp_dir();
+    scenario.push(format!(
+        "aqs-serve-test-scenario-{}.toml",
+        std::process::id()
+    ));
+    std::fs::write(
+        &scenario,
+        r#"
+name = "doomed"
+nodes = 2
+
+[[phases]]
+workload = "pingpong"
+rounds = 5
+
+[asserts]
+max_sim_ms = 0
+"#,
+    )
+    .unwrap();
+
+    let (server, addr, journal) = start("scenario", |_| {});
+    let resp = request(
+        &addr,
+        &obj(vec![
+            ("op", Value::Str("submit".to_string())),
+            (
+                "scenario",
+                Value::Str(scenario.to_string_lossy().to_string()),
+            ),
+        ]),
+    )
+    .unwrap();
+    assert_eq!(get_bool(&resp, "ok"), Some(true), "{resp:?}");
+    let job = get_u64(&resp, "job").unwrap();
+    let record = wait_for(&addr, job);
+    assert_eq!(get_str(&record, "state"), Some("failed"));
+    assert_eq!(error_kind(&record), "scenario");
+    let detail = get_str(record.get("error").unwrap(), "detail").unwrap();
+    assert!(
+        detail.contains("doomed"),
+        "failure record does not name the scenario: {detail}"
+    );
+    server.stop();
+    let _ = std::fs::remove_file(journal);
+    let _ = std::fs::remove_file(scenario);
+}

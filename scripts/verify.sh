@@ -53,6 +53,9 @@ for f in scenarios/malformed/*.toml; do
     fi
 done
 
+echo "==> job-server smoke gate: panic/deadline/quota envelope + SIGKILL resume"
+./scripts/serve_smoke.sh
+
 echo "==> build bench binaries (not timed)"
 cargo build --release -p aqs-bench --bins
 cargo bench --workspace --no-run

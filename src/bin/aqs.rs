@@ -8,6 +8,9 @@
 //! aqs run-spec --file spec.json [--policy p] [--seed N]       # run a JSON workload
 //! aqs check [--cases N] [--seed S] [--engines …]               # conformance campaign
 //! aqs scenario run <file.toml>                                # multi-phase scenario + chaos
+//! aqs serve [--addr A] [--journal F] [--workers N]            # resident job server
+//! aqs submit --addr A --workload cg … [--wait 1]              # enqueue a job
+//! aqs job <status|wait|list|stats|shutdown> [--addr A] [--id N]
 //! aqs policies                                                # list built-in policies
 //! ```
 
@@ -32,6 +35,12 @@ fn usage() -> ! {
          aqs run-spec --file <file> [--policy <p>] [--seed N]\n  \
          aqs check {}\n  \
          aqs scenario run <file.toml>\n  \
+         aqs serve [--addr <host:port>] [--journal <file>] [--workers N] [--queue-cap N] \
+         [--tenant-cap N] [--deadline-ms N] [--max-attempts N] [--chunk-quanta N]\n  \
+         aqs submit --addr <host:port> (--workload <…> | --scenario <file.toml>) \
+         [--nodes N] [--policy <p>] [--seed N] [--scale …] [--tenant T] [--deadline-ms N] \
+         [--wait 1]\n  \
+         aqs job <status|wait|list|stats|shutdown> [--addr <host:port>] [--id N]\n  \
          aqs policies\n\n\
          policies: truth | fixed:<µs> | dyn1 | dyn2 | dyn:<min_µs>:<max_µs>:<inc>:<dec> | pred",
         aqs::check::cli::USAGE
@@ -338,6 +347,140 @@ fn cmd_scenario(rest: &[String]) {
     println!("  PASS");
 }
 
+/// Default server address shared by `serve`, `submit`, and `job`.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7077";
+
+fn flag_u64(flags: &HashMap<String, String>, key: &str) -> Option<u64> {
+    flags
+        .get(key)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+}
+
+/// `aqs serve` — run the resident job server until a `shutdown` request.
+fn cmd_serve(flags: HashMap<String, String>) {
+    let mut cfg = aqs::serve::ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string()),
+        ..Default::default()
+    };
+    if let Some(journal) = flags.get("journal") {
+        cfg.journal = journal.into();
+    }
+    if let Some(n) = flag_u64(&flags, "workers") {
+        cfg.workers = n as usize;
+    }
+    if let Some(n) = flag_u64(&flags, "queue-cap") {
+        cfg.queue_cap = n as usize;
+    }
+    if let Some(n) = flag_u64(&flags, "tenant-cap") {
+        cfg.tenant_cap = n as usize;
+    }
+    if let Some(n) = flag_u64(&flags, "deadline-ms") {
+        cfg.default_deadline_ms = n;
+    }
+    if let Some(n) = flag_u64(&flags, "max-attempts") {
+        cfg.max_attempts = n as u32;
+    }
+    if let Some(n) = flag_u64(&flags, "chunk-quanta") {
+        cfg.chunk_quanta = n;
+    }
+    let journal = cfg.journal.clone();
+    let server = aqs::serve::Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        exit(1);
+    });
+    println!(
+        "serving on {} (journal {})",
+        server.addr(),
+        journal.display()
+    );
+    server.join();
+    println!("server stopped");
+}
+
+fn serve_request(addr: &str, req: &serde_json::Value) -> serde_json::Value {
+    aqs::serve::client::request(addr, req).unwrap_or_else(|e| {
+        eprintln!("cannot reach server at {addr}: {e}");
+        exit(1);
+    })
+}
+
+/// Prints a protocol response and exits 1 on a typed rejection.
+fn print_response(resp: &serde_json::Value) {
+    println!(
+        "{}",
+        serde_json::to_string(resp).expect("response serializes")
+    );
+    if aqs::serve::protocol::get_bool(resp, "ok") != Some(true) {
+        exit(1);
+    }
+}
+
+/// `aqs submit` — enqueue one job, optionally waiting for its outcome.
+fn cmd_submit(flags: HashMap<String, String>) {
+    use serde_json::Value;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string());
+    let mut fields = vec![("op", Value::Str("submit".to_string()))];
+    for key in ["workload", "policy", "scale", "tenant", "scenario"] {
+        if let Some(v) = flags.get(key) {
+            fields.push((key, Value::Str(v.clone())));
+        }
+    }
+    for key in ["nodes", "seed", "deadline_ms"] {
+        if let Some(n) = flag_u64(&flags, &key.replace('_', "-")) {
+            fields.push((key, Value::U64(n)));
+        }
+    }
+    if flags.contains_key("inject-panic") {
+        fields.push(("inject_panic", Value::Bool(true)));
+    }
+    let resp = serve_request(&addr, &aqs::serve::protocol::obj(fields));
+    if flags.contains_key("wait") {
+        if let Some(id) = aqs::serve::protocol::get_u64(&resp, "job") {
+            let resp = serve_request(
+                &addr,
+                &aqs::serve::protocol::obj(vec![
+                    ("op", Value::Str("wait".to_string())),
+                    ("job", Value::U64(id)),
+                ]),
+            );
+            print_response(&resp);
+            return;
+        }
+    }
+    print_response(&resp);
+}
+
+/// `aqs job <status|wait|list|stats|shutdown>` — query or control the
+/// server.
+fn cmd_job(rest: &[String]) {
+    use serde_json::Value;
+    let Some((op, rest)) = rest.split_first() else {
+        eprintln!("usage: aqs job <status|wait|list|stats|shutdown> [--addr <host:port>] [--id N]");
+        exit(2);
+    };
+    if !["status", "wait", "list", "stats", "shutdown"].contains(&op.as_str()) {
+        eprintln!("unknown job subcommand `{op}`");
+        exit(2);
+    }
+    let flags = parse_flags(rest);
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_string());
+    let mut fields = vec![("op", Value::Str(op.clone()))];
+    if let Some(id) = flag_u64(&flags, "id") {
+        fields.push(("job", Value::U64(id)));
+    }
+    let resp = serve_request(&addr, &aqs::serve::protocol::obj(fields));
+    print_response(&resp);
+}
+
 fn cmd_policies() {
     println!("built-in synchronization policies:");
     println!("  truth                          fixed 1µs quantum (safe bound, ground truth)");
@@ -360,6 +503,11 @@ fn main() {
         cmd_scenario(rest);
         return;
     }
+    // `job` takes a positional subcommand before its flags.
+    if cmd == "job" {
+        cmd_job(rest);
+        return;
+    }
     if cmd == "check" {
         match aqs::check::cli::run(rest) {
             Ok(code) => exit(code),
@@ -376,6 +524,8 @@ fn main() {
         "optimistic" => cmd_optimistic(flags),
         "export-spec" => cmd_export_spec(flags),
         "run-spec" => cmd_run_spec(flags),
+        "serve" => cmd_serve(flags),
+        "submit" => cmd_submit(flags),
         "policies" => cmd_policies(),
         _ => usage(),
     }

@@ -56,6 +56,7 @@ pub use aqs_node as node;
 pub use aqs_obs as obs;
 pub use aqs_rng as rng;
 pub use aqs_scenario as scenario;
+pub use aqs_serve as serve;
 pub use aqs_sync as sync;
 pub use aqs_time as time;
 pub use aqs_workloads as workloads;

@@ -6,7 +6,10 @@
 //! back to back as the baseline wherever it is viable (≤ 256 nodes — past
 //! that, one OS thread per node is deep into the oversubscription cliff).
 //! Also measures the pooled packet path's allocation counter differentially
-//! to show that routing a packet allocates nothing in steady state. Writes
+//! to show that routing a packet allocates nothing in steady state, and
+//! runs the active-set tiers — an idle-heavy rpc-incast at 64k nodes with
+//! the wake wheel on vs the forced full sweep (≥3× gate), plus a 256k-node
+//! active-set-only tier with its own zero-allocation differential. Writes
 //! `BENCH_shard.json` at the repo root; the schema is documented in
 //! EXPERIMENTS.md.
 //!
@@ -317,6 +320,212 @@ fn fabric_sweep(smoke: bool, worker_counts: &[usize]) -> Option<Value> {
                 ("max_peak_quantum_bytes".into(), Value::U64(peak)),
             ]),
         ),
+    ]))
+}
+
+/// Idle-heavy tier parameters: microservice RPC incast where per wave only
+/// the `IDLE_FRONTS` frontends plus their `IDLE_FANOUT` seeded backends are
+/// hot — well under 1 % of a 64k-node cluster — while everyone else parks
+/// after the first quantum. This is the workload shape the active-set
+/// scheduler exists for: the full sweep pays O(total nodes) per quantum
+/// regardless, the wake wheel pays O(active nodes). Waves are serialized
+/// per frontend (each recv-all gates the next request), so peak in-flight
+/// traffic is constant in `waves` — the axis the steady-state allocation
+/// differential scales along.
+const IDLE_FANOUT: usize = 64;
+const IDLE_FRONTS: usize = 24;
+const IDLE_REQUEST_BYTES: u64 = 2_048;
+const IDLE_RESPONSE_BYTES: u64 = 16_384;
+const IDLE_SERVICE_OPS: u64 = 50_000;
+const IDLE_QUANTUM_US: u64 = 5;
+
+fn idle_workload(n: usize, waves: usize) -> Vec<Program> {
+    aqs_workloads::rpc_incast(
+        n,
+        IDLE_FRONTS,
+        waves,
+        IDLE_FANOUT,
+        IDLE_REQUEST_BYTES,
+        IDLE_RESPONSE_BYTES,
+        IDLE_SERVICE_OPS,
+        11,
+    )
+    .programs
+}
+
+fn run_idle(programs: Vec<Program>, workers: usize, full_sweep: bool) -> ShardedRunResult {
+    Sim::new(programs)
+        .engine(EngineKind::Sharded)
+        .shards(workers)
+        .sync(SyncConfig::fixed_micros(IDLE_QUANTUM_US))
+        .force_full_sweep(full_sweep)
+        .max_quanta(MAX_QUANTA)
+        .run()
+        .detail
+        .as_sharded()
+        .expect("sharded engine ran")
+        .clone()
+}
+
+fn idle_obj(r: &ShardedRunResult, wall: f64) -> Value {
+    let Value::Object(mut fields) = engine_obj(
+        wall,
+        r.total_quanta,
+        r.total_packets,
+        r.stragglers.count(),
+        r.sim_end.as_nanos(),
+    ) else {
+        unreachable!("engine_obj returns an object")
+    };
+    fields.push(("nodes_executed".into(), Value::U64(r.nodes_executed)));
+    fields.push(("pool_heap_allocs".into(), Value::U64(r.pool_heap_allocs)));
+    Value::Object(fields)
+}
+
+/// The active-set headline tiers: the rpc-incast workload at 64k nodes with
+/// the wake wheel on vs [`Sim::force_full_sweep`] (the pre-active-set
+/// engine), then 256k nodes on the active set alone with a zero-allocation
+/// differential. Bit-identity between the two modes is asserted at every
+/// tier that runs both; the full sweep asserts the structural ≥3× win at
+/// 64k and writes the before/after numbers into `BENCH_shard.json`.
+/// `--smoke` checks identity and the activity ratio at 4k nodes only — no
+/// timing gate, CI machines are noisy.
+fn active_set_sweep(smoke: bool, workers: usize) -> Option<Value> {
+    // Identity tier (every mode): cheap enough for CI, and the assertion
+    // is the one that matters — the scheduler must never change the
+    // simulation, only skip provably idle polls.
+    let n0 = 4096;
+    let programs = idle_workload(n0, 1);
+    let full = run_idle(programs.clone(), workers, true);
+    let active = run_idle(programs, workers, false);
+    assert!(
+        sharded_outcome_eq(&active, &full),
+        "active-set outcome diverged from the full sweep at {n0} nodes"
+    );
+    let swept = full.nodes_executed;
+    assert_eq!(
+        swept,
+        n0 as u64 * full.total_quanta,
+        "full sweep must execute every node every quantum"
+    );
+    assert!(
+        active.nodes_executed < swept / 10,
+        "rpc-incast must be idle-heavy: active set executed {} of {swept} sweep slots",
+        active.nodes_executed
+    );
+    println!(
+        "active-set identity at n={n0}: {} of {swept} node executions ({:.2}% active), \
+         outcomes bit-identical",
+        active.nodes_executed,
+        100.0 * active.nodes_executed as f64 / swept as f64,
+    );
+    if smoke {
+        return None;
+    }
+
+    let mut tiers = Vec::new();
+    // 64k before/after tier: the win must be structural (the sweep pays
+    // O(total), the wheel O(active)), so a single iteration per mode is
+    // enough for a ≥3× gate with a wide margin.
+    let n = 65_536;
+    let programs = idle_workload(n, 1);
+    let full = run_idle(programs.clone(), workers, true);
+    let active = run_idle(programs, workers, false);
+    assert!(
+        sharded_outcome_eq(&active, &full),
+        "active-set outcome diverged from the full sweep at {n} nodes"
+    );
+    let (full_wall, active_wall) = (full.wall.as_secs_f64(), active.wall.as_secs_f64());
+    let speedup = full_wall / active_wall.max(1e-12);
+    assert!(
+        speedup >= 3.0,
+        "active set must beat the full sweep ≥3x at {n} nodes, got {speedup:.2}x \
+         ({active_wall:.4}s vs {full_wall:.4}s)"
+    );
+    println!(
+        "active-set n={n} workers={workers}: full sweep {full_wall:>8.4}s, \
+         active set {active_wall:>8.4}s ({speedup:.1}x), {} of {} node executions",
+        active.nodes_executed, full.nodes_executed,
+    );
+    tiers.push(Value::Object(vec![
+        ("nodes".into(), Value::U64(n as u64)),
+        ("full_sweep".into(), idle_obj(&full, full_wall)),
+        ("active_set".into(), idle_obj(&active, active_wall)),
+        ("speedup_active_vs_sweep".into(), Value::F64(speedup)),
+        (
+            "activity_ratio".into(),
+            Value::F64(active.nodes_executed as f64 / full.nodes_executed as f64),
+        ),
+    ]));
+
+    // 256k tier: active set only (the full sweep is the engine this tier
+    // exists to retire), with the allocation differential run at full
+    // scale — 4× the waves (same frontends, same peak in-flight incast,
+    // 4× the packets) must not add pool allocations beyond the per-worker
+    // warm-up jitter. The shared pool depot is what makes this hold: each
+    // wave's incast migrates mailbox nodes into the receiving workers'
+    // pools, and the depot recirculates the overflow back to the senders.
+    let n = 262_144;
+    let active = run_idle(idle_workload(n, 1), workers, false);
+    let long = run_idle(idle_workload(n, 4), workers, false);
+    let extra_packets = long.total_packets - active.total_packets;
+    let extra_allocs = long
+        .pool_heap_allocs
+        .saturating_sub(active.pool_heap_allocs);
+    assert!(extra_packets > 0, "long run must route more packets");
+    // Warm-up is identical (wave 1 of both runs is the same seeded
+    // traffic), so any surplus is a steady-state leak. The allowance is a
+    // constant per worker — drain-timing jitter can strand a fraction of a
+    // pool working set — never proportional to the extra packets: 3× the
+    // packets at ~0.25 allocs each would blow this bound a hundredfold.
+    let jitter = 128 * workers as u64;
+    assert!(
+        extra_allocs <= jitter,
+        "steady-state packet routing performed heap allocations at {n} nodes: \
+         +{extra_allocs} pool allocations over +{extra_packets} packets \
+         (jitter bound {jitter})"
+    );
+    println!(
+        "active-set n={n} workers={workers}: {:>8.4}s, {} node executions over {} quanta, \
+         +{extra_packets} packets -> +{extra_allocs} pool allocations",
+        active.wall.as_secs_f64(),
+        active.nodes_executed,
+        active.total_quanta,
+    );
+    tiers.push(Value::Object(vec![
+        ("nodes".into(), Value::U64(n as u64)),
+        (
+            "active_set".into(),
+            idle_obj(&active, active.wall.as_secs_f64()),
+        ),
+        (
+            "activity_ratio".into(),
+            Value::F64(active.nodes_executed as f64 / (n as u64 * active.total_quanta) as f64),
+        ),
+        (
+            "steady_state_allocs_per_packet".into(),
+            Value::F64(extra_allocs as f64 / extra_packets as f64),
+        ),
+    ]));
+
+    Some(Value::Object(vec![
+        (
+            "workload".into(),
+            Value::Object(vec![
+                ("kind".into(), Value::Str("rpc-incast".into())),
+                ("fronts".into(), Value::U64(IDLE_FRONTS as u64)),
+                ("fanout".into(), Value::U64(IDLE_FANOUT as u64)),
+                ("request_bytes".into(), Value::U64(IDLE_REQUEST_BYTES)),
+                ("response_bytes".into(), Value::U64(IDLE_RESPONSE_BYTES)),
+                ("service_ops".into(), Value::U64(IDLE_SERVICE_OPS)),
+            ]),
+        ),
+        (
+            "policy".into(),
+            Value::Str(format!("fixed-{IDLE_QUANTUM_US}us")),
+        ),
+        ("workers".into(), Value::U64(workers as u64)),
+        ("tiers".into(), Value::Array(tiers)),
     ]))
 }
 
@@ -672,12 +881,15 @@ fn main() {
         short.pool_heap_allocs, short.total_packets,
     );
 
+    let m_max = *worker_counts.last().expect("at least one worker count");
+    let active_set_section = active_set_sweep(smoke, m_max);
     let fabric_section = fabric_sweep(smoke, &worker_counts);
     let hybrid_section = hybrid_sweep(smoke, iterations);
 
     if smoke {
         println!(
-            "smoke sweep passed (results-match + allocation + fabric + hybrid assertions only)"
+            "smoke sweep passed (results-match + allocation + active-set + fabric + hybrid \
+             assertions only)"
         );
         return;
     }
@@ -704,6 +916,10 @@ fn main() {
             Value::F64(extra_allocs as f64 / extra_packets as f64),
         ),
         ("configs".into(), Value::Array(configs)),
+        (
+            "active_set".into(),
+            active_set_section.expect("full sweep builds the active-set section"),
+        ),
         (
             "fabric".into(),
             fabric_section.expect("full sweep builds the fabric section"),

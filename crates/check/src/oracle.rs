@@ -255,6 +255,7 @@ pub fn check_case_with(case: &CaseSpec, opts: &CheckOpts) -> Result<(), String> 
         // for *every* policy (deliveries are fixed at the sender's quantum
         // edge), so policy-run outcomes must be bit-identical across M too.
         let mut baseline: Option<(usize, aqs_cluster::SimulatedOutcome)> = None;
+        let mut active_exec: Option<u64> = None;
         for &m in &opts.shard_counts {
             let label = format!("sharded policy run (M={m})");
             let sh_pol = run_guarded(&label, || {
@@ -267,9 +268,17 @@ pub fn check_case_with(case: &CaseSpec, opts: &CheckOpts) -> Result<(), String> 
             })?;
             check_policy_run(&label, &sh_pol, case, lo, hi)?;
             conservation(&label, &sh_pol, exp_packets, exp_receives)?;
+            let executed = sh_pol
+                .detail
+                .as_sharded()
+                .ok_or_else(|| format!("{label}: report carries no sharded detail"))?
+                .nodes_executed;
             let outcome = sh_pol.simulated_outcome();
             match &baseline {
-                None => baseline = Some((m, outcome)),
+                None => {
+                    baseline = Some((m, outcome));
+                    active_exec = Some(executed);
+                }
                 Some((m0, base)) => {
                     if outcome != *base {
                         return Err(format!(
@@ -279,7 +288,64 @@ pub fn check_case_with(case: &CaseSpec, opts: &CheckOpts) -> Result<(), String> 
                             base.sim_end.as_nanos(),
                         ));
                     }
+                    if executed != active_exec.expect("set with baseline") {
+                        return Err(format!(
+                            "{label}: active-set executed {executed} nodes, M={m0} \
+                             executed {} — the wake schedule depends on the \
+                             partition",
+                            active_exec.expect("set with baseline"),
+                        ));
+                    }
                 }
+            }
+        }
+        // Active-set oracle: force the legacy full sweep on the first
+        // worker count and require a bit-identical outcome. A node the
+        // worklist skipped in quantum k therefore observed no event in
+        // quantum k — if it could have acted (an executor step, a timer, a
+        // delivery), the full sweep would have taken it and the timelines
+        // would differ. The executed-node accounting is pinned both ways:
+        // the sweep runs everyone every quantum, the active set never runs
+        // more.
+        if let Some((m0, base)) = &baseline {
+            let label = format!("sharded full-sweep policy run (M={m0})");
+            let fs = run_guarded(&label, || {
+                sim_for(case, case.policy.sync_config())
+                    .engine(EngineKind::Sharded)
+                    .shards(*m0)
+                    .max_quanta(cap)
+                    .force_full_sweep(true)
+                    .run()
+            })?;
+            if fs.simulated_outcome() != *base {
+                return Err(format!(
+                    "active-set oracle: {label} diverged from the active-set run \
+                     (sim_end {} vs {}, packets {} vs {}) — a skipped node \
+                     observed an event in a skipped quantum",
+                    fs.sim_end.as_nanos(),
+                    base.sim_end.as_nanos(),
+                    fs.total_packets,
+                    base.total_packets,
+                ));
+            }
+            let d = fs
+                .detail
+                .as_sharded()
+                .ok_or_else(|| format!("{label}: report carries no sharded detail"))?;
+            let swept = case.n_nodes as u64 * fs.total_quanta;
+            if d.nodes_executed != swept {
+                return Err(format!(
+                    "{label}: full sweep executed {} nodes, expected n × quanta = {swept}",
+                    d.nodes_executed
+                ));
+            }
+            let active = active_exec.expect("set with baseline");
+            if active > d.nodes_executed {
+                return Err(format!(
+                    "active-set oracle: worklist executed {active} nodes, more than \
+                     the full sweep's {}",
+                    d.nodes_executed
+                ));
             }
         }
     }
@@ -299,6 +365,7 @@ pub fn check_case_with(case: &CaseSpec, opts: &CheckOpts) -> Result<(), String> 
         if !enabled {
             continue;
         }
+        let mut first: Option<(usize, aqs_cluster::SimulatedOutcome)> = None;
         for &m in &opts.shard_counts {
             let label = format!("{} policy run (M={m})", kind.name());
             let r = run_guarded(&label, || {
@@ -313,6 +380,34 @@ pub fn check_case_with(case: &CaseSpec, opts: &CheckOpts) -> Result<(), String> 
             check_policy_run(&label, &r, case, lo, hi)?;
             conservation(&label, &r, exp_packets, exp_receives)?;
             check_rollback_run(&label, &r, opts.cascade_bound, &truth)?;
+            if first.is_none() {
+                first = Some((m, r.simulated_outcome()));
+            }
+        }
+        // Active-set oracle for the optimistic substrate: wake-based
+        // window skipping must be invisible next to the forced full sweep
+        // at the same worker count (same partition, same rollback
+        // trajectory).
+        if let Some((m0, base)) = &first {
+            let label = format!("{} full-sweep policy run (M={m0})", kind.name());
+            let fs = run_guarded(&label, || {
+                sim_for(case, case.policy.sync_config())
+                    .engine(kind)
+                    .shards(*m0)
+                    .cascade_bound(opts.cascade_bound)
+                    .max_quanta(cap)
+                    .force_full_sweep(true)
+                    .run()
+            })?;
+            if fs.simulated_outcome() != *base {
+                return Err(format!(
+                    "active-set oracle: {label} diverged from the active-set run \
+                     (sim_end {} vs {}) — a skipped node observed an event in a \
+                     skipped window",
+                    fs.sim_end.as_nanos(),
+                    base.sim_end.as_nanos(),
+                ));
+            }
         }
     }
     Ok(())

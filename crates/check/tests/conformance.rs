@@ -5,7 +5,55 @@
 //! runner → log end to end.
 
 use aqs_check::{check_case, run_conformance, CaseSpec, ConformanceOpts};
+use aqs_cluster::{ClusterConfig, EngineKind, Sim};
+use proptest::prelude::*;
 use serde_json::Value;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// The active-set scheduler is a scheduling optimization, never a
+    /// semantics change: for random generated programs × policies, every
+    /// sharded-substrate engine at every shard count must produce the same
+    /// simulated outcome with the wake wheel on as with
+    /// [`Sim::force_full_sweep`], which executes every node every quantum.
+    /// (The conformance oracle runs this differential too; this test pins
+    /// it independently of oracle internals.)
+    #[test]
+    fn active_set_is_bit_identical_to_forced_full_sweep(index in 0u64..500) {
+        let case = CaseSpec::generate(0x0AC7_15E7, index);
+        let spec = Sim::new(case.programs())
+            .config(ClusterConfig::new(case.policy.sync_config()).with_seed(case.seed))
+            .switch(case.switch())
+            .max_quanta(2_000_000);
+        for kind in [
+            EngineKind::Sharded,
+            EngineKind::ShardedOptimistic,
+            EngineKind::Hybrid,
+        ] {
+            for m in [1usize, 2, 3] {
+                let run = |full_sweep: bool| {
+                    spec.clone()
+                        .engine(kind)
+                        .shards(m)
+                        .force_full_sweep(full_sweep)
+                        .try_run()
+                        .unwrap_or_else(|e| panic!(
+                            "case {}: {} (M={m}, full_sweep={full_sweep}): {e}",
+                            case.tag(),
+                            kind.name()
+                        ))
+                        .simulated_outcome()
+                };
+                prop_assert_eq!(
+                    run(false),
+                    run(true),
+                    "case {}: {} (M={}) active-set diverged from full sweep",
+                    case.tag(), kind.name(), m
+                );
+            }
+        }
+    }
+}
 
 #[test]
 fn fifty_cases_pass_on_all_engines() {

@@ -242,6 +242,25 @@ fn mailbox_drop_is_detected_in_the_sharded_engine() {
 }
 
 #[test]
+fn wake_rearm_skip_is_detected_and_shrunk() {
+    let _w = window();
+    let _g = Armed;
+    // The sharded wake-wheel forgets to re-arm a sleeping node when a
+    // delivery lands beyond the quantum edge: the fragment sits in the
+    // node's pending set but the node is never scheduled again. A blocked
+    // receiver starves (quantum cap) or the run finishes short on messages
+    // (conservation) — and the forced-full-sweep twin run is immune, so the
+    // active-set differential fires too. The cap is lowered so the injected
+    // deadlock fails fast.
+    aqs_cluster::fault::arm(aqs_cluster::fault::Fault::WakeRearmSkip);
+    let opts = CheckOpts {
+        quanta_cap: Some(10_000),
+        ..sharded_only()
+    };
+    detect_and_shrink("wake-rearm-skip", &opts, 200);
+}
+
+#[test]
 fn stale_checkpoint_restore_is_detected_and_shrunk() {
     let _w = window();
     let _g = Armed;

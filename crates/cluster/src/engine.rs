@@ -642,6 +642,7 @@ impl<'a, S: SwitchModel, R: Recorder> Engine<'a, S, R> {
                 start: self.q_start,
                 len: self.q_len,
                 packets: np,
+                active_nodes: self.nodes.len() as u64,
                 stragglers: self.q_stragglers.count(),
                 max_straggler_delay: self.q_stragglers.max_delay(),
                 barrier_wait_ns: &self.scratch_waits,
@@ -877,6 +878,7 @@ impl<'a, S: SwitchModel, R: Recorder> Engine<'a, S, R> {
                 start: self.q_start,
                 len,
                 packets: np,
+                active_nodes: per_node.len() as u64,
                 stragglers: self.q_stragglers.count(),
                 max_straggler_delay: self.q_stragglers.max_delay(),
                 // No barrier ran for the partial quantum: the per-node lanes

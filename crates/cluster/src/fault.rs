@@ -63,6 +63,15 @@ pub enum Fault {
     /// plausible; only the per-node probe word can tell. Detected by the
     /// probe check in `from_bytes`.
     SnapshotRngSkip = 10,
+    /// The sharded engine's wake-wheel forgets to re-arm a sleeping node
+    /// when an inbox delivery lands *beyond* the current quantum edge — the
+    /// fragment sits in the node's pending set but the node is never
+    /// scheduled again unless something else wakes it. Nodes blocked in a
+    /// `Recv` stay parked forever. Detected by conservation (receives are
+    /// lost) or the quantum cap (the cluster deadlocks), and invisible
+    /// under `force_full_sweep`, which is exactly what makes it a
+    /// realistic active-set regression.
+    WakeRearmSkip = 11,
 }
 
 static ARMED: AtomicU64 = AtomicU64::new(0);

@@ -359,6 +359,7 @@ pub(crate) fn run_optimistic_impl<R: Recorder>(
                 start: window_start,
                 len: cfg.window,
                 packets: delivered,
+                active_nodes: n as u64,
                 // Optimism is exact: no delivery is ever late.
                 stragglers: 0,
                 max_straggler_delay: SimDuration::ZERO,

@@ -65,10 +65,11 @@ use aqs_node::{
     Action, CpuModel, MessageId, MessageMeta, NodeExecutor, Program, Rank, RegionRecord, SendTarget,
 };
 use aqs_obs::{QuantumObs, Recorder};
-use aqs_sync::{ArrivalTimes, CachePadded, LeaderBarrier, Mailbox, MailboxPool};
+use aqs_sync::{ArrivalTimes, CachePadded, LeaderBarrier, Mailbox, MailboxPool, PoolDepot};
 use aqs_time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Switch models available to the threaded engine.
@@ -137,6 +138,12 @@ pub struct ParallelConfig {
     /// Hard cap on quanta (guards against deadlocked workloads, which the
     /// threaded engine cannot otherwise detect). `u64::MAX` by default.
     pub max_quanta: u64,
+    /// Forces the sharded engines to execute every node every quantum
+    /// instead of consulting the active-set wake wheel. A debug/differential
+    /// mode: the full sweep is the legacy pre-active-set behavior and the
+    /// oracle baseline that active-set runs must match bit for bit. Ignored
+    /// by engines without active-set scheduling.
+    pub full_sweep: bool,
 }
 
 impl ParallelConfig {
@@ -150,6 +157,7 @@ impl ParallelConfig {
             switch: ParallelSwitch::default(),
             host_work_per_op: 0.0,
             max_quanta: u64::MAX,
+            full_sweep: false,
         }
     }
 
@@ -176,6 +184,13 @@ impl ParallelConfig {
     /// Sets the switch model.
     pub fn with_switch(mut self, switch: ParallelSwitch) -> Self {
         self.switch = switch;
+        self
+    }
+
+    /// Forces the full-sweep (non-active-set) execution path in the sharded
+    /// engines. See [`ParallelConfig::full_sweep`].
+    pub fn with_full_sweep(mut self, full_sweep: bool) -> Self {
+        self.full_sweep = full_sweep;
         self
     }
 }
@@ -266,6 +281,9 @@ pub(crate) struct LeaderState<R> {
     /// Per-link load merge scratch (sharded engine with a fabric switch and
     /// recording enabled; empty — and untouched — otherwise).
     pub(crate) link_load: LinkLoad,
+    /// Per-shard active-node merge scratch (sharded engine with recording
+    /// enabled; empty — and untouched — otherwise).
+    pub(crate) shard_actives: Vec<u64>,
 }
 
 /// Per-thread per-quantum observability publication (written by the owning
@@ -311,6 +329,10 @@ struct Shared<R> {
     sim_pos: Vec<CachePadded<AtomicU64>>,
     /// Per-node incoming fragment queues (lock-free MPSC).
     mailboxes: Vec<Mailbox<InFlight>>,
+    /// Shared overflow depot recirculating mailbox nodes between the node
+    /// threads' pools: under directional traffic (incast) the receiver's
+    /// overflow feeds the senders' refills instead of being freed.
+    depot: Arc<PoolDepot<InFlight>>,
     /// Per-thread packets routed this quantum; the leader sums these into
     /// `np` for the policy and into the run total.
     np_slots: Vec<CachePadded<AtomicU64>>,
@@ -559,6 +581,7 @@ pub(crate) fn run_parallel_impl<R: Recorder>(
         waits: Vec::with_capacity(n),
         lags: Vec::with_capacity(n),
         link_load: LinkLoad::default(),
+        shard_actives: Vec::new(),
     };
     let start = Instant::now();
     let shared = Shared {
@@ -572,6 +595,7 @@ pub(crate) fn run_parallel_impl<R: Recorder>(
             .map(|_| CachePadded::new(AtomicU64::new(q_start.as_nanos())))
             .collect(),
         mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+        depot: Arc::new(PoolDepot::new()),
         np_slots: (0..n)
             .map(|_| CachePadded::new(AtomicU64::new(0)))
             .collect(),
@@ -666,7 +690,13 @@ fn node_thread<R: Recorder>(
         pending: pending0,
         done,
     } = init;
-    let mut ctx = ThreadCtx::default();
+    let mut ctx = ThreadCtx {
+        pool: MailboxPool::with_depot(
+            MailboxPool::<InFlight>::DEFAULT_CAP,
+            Arc::clone(&shared.depot),
+        ),
+        ..ThreadCtx::default()
+    };
     let mut inbox: Vec<InFlight> = Vec::new();
     let mut done_reported = done;
     /// An op that did not fit in the previous quantum.
@@ -804,6 +834,10 @@ fn next_quantum<R: Recorder>(
     // provides the release/acquire edge to the leader, so relaxed stores
     // suffice.
     shared.np_slots[i].store(ctx.quantum_packets, Ordering::Relaxed);
+    // Keep one quantum's worth of this node's sends local; donate drain
+    // surplus to the depot (see the sharded engine's POOL_RETAIN_FLOOR for
+    // the rationale — per-node pools use a smaller floor).
+    ctx.pool.set_retain((ctx.quantum_packets as usize).max(32));
     ctx.quantum_packets = 0;
     if R::ENABLED {
         // Published before the straggler merge below resets `ctx`.
@@ -874,6 +908,7 @@ fn leader_step<R: Recorder>(
             start: SimTime::from_nanos(leader.q_start_nanos),
             len: SimDuration::from_nanos(leader.q_end_nanos - leader.q_start_nanos),
             packets: np,
+            active_nodes: n as u64,
             stragglers: s_count,
             max_straggler_delay: SimDuration::from_nanos(s_max),
             barrier_wait_ns: &leader.waits,

@@ -64,10 +64,13 @@ use aqs_net::{
 };
 use aqs_node::{Action, MessageId, MessageMeta, NodeExecutor, Program, SendTarget};
 use aqs_obs::{QuantumObs, Recorder};
-use aqs_sync::{ArrivalTimes, CachePadded, Mailbox, MailboxPool, TreeBarrier};
+use aqs_sync::{ArrivalTimes, CachePadded, Mailbox, MailboxPool, PoolDepot, TreeBarrier};
 use aqs_time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Outcome of a sharded run. Mirrors
@@ -94,6 +97,13 @@ pub struct ShardedRunResult {
     /// packets in flight per worker, not the number routed, so in steady
     /// state routing a packet allocates nothing.
     pub pool_heap_allocs: u64,
+    /// Node executions summed over all quanta (the active-set work metric).
+    /// A full sweep executes every node every quantum, so this equals
+    /// `n × total_quanta`; the active-set scheduler executes only nodes with
+    /// a wake inside the quantum, so the ratio of the two is the structural
+    /// win on idle-heavy workloads. Deterministic: independent of the worker
+    /// count and of thread scheduling.
+    pub nodes_executed: u64,
 }
 
 impl ShardedRunResult {
@@ -224,7 +234,18 @@ impl LinkSlot {
 struct ShardObsSlot {
     s_count: AtomicU64,
     s_max: AtomicU64,
+    /// Nodes this shard executed during the quantum (active-set size).
+    active: AtomicU64,
 }
+
+/// Floor for a worker pool's retain watermark (see
+/// [`MailboxPool::set_retain`]). Each quantum boundary sets the watermark
+/// to the worker's own routed-fragment count for that quantum, floored
+/// here: a worker keeps what it pushes — self-sufficient under balanced
+/// traffic, no depot round trips — while a net receiver (incast) donates
+/// its drain surplus to the depot within a couple of quanta instead of
+/// hoarding it while the sending workers fall back on the heap.
+const POOL_RETAIN_FLOOR: usize = 256;
 
 /// Per-worker accounting, entirely thread-private.
 struct WorkerCtx {
@@ -240,15 +261,59 @@ struct WorkerCtx {
     pool: MailboxPool<ShardInFlight>,
 }
 
-/// One node simulator's cross-quantum state inside a shard.
-struct NodeSlot {
-    exec: NodeExecutor,
-    global: usize,
-    sim: SimTime,
-    msg_seq: u64,
-    /// Remainder of an op that did not fit in the previous quantum.
-    pending: Option<SimDuration>,
-    done_reported: bool,
+/// A shard's node simulators in struct-of-arrays layout.
+///
+/// The hot per-quantum scalars (`sim`, `pending_ns`) live in dense parallel
+/// vectors so the active-set scan touches cache-linear memory; the
+/// executors — which carry the cold per-node state (program, mailbox,
+/// region records) out of line — are only dereferenced for nodes that
+/// actually execute. Local index `l` addresses every lane; the global
+/// node index is `base + l` (shards are contiguous).
+struct ShardNodes {
+    /// Global index of local node 0.
+    base: usize,
+    execs: Vec<NodeExecutor>,
+    /// Per-node simulated position.
+    sim: Vec<SimTime>,
+    /// Per-node send sequence counter.
+    msg_seq: Vec<u64>,
+    /// Remainder (ns) of an op that did not fit in the previous quantum;
+    /// 0 means none ([`Action::Advance`] durations are never zero — the
+    /// executor consumes zero-cost ops internally).
+    pending_ns: Vec<u64>,
+    done_reported: Vec<bool>,
+}
+
+/// Per-shard wake wheel: which locals run in the current quantum, and when
+/// parked-with-a-deadline locals become due. Entirely worker-private.
+struct WakeWheel {
+    /// Bitmap over local indices: bit set ⇒ the node executes this quantum.
+    /// Stable during the scan — same-quantum sends land in mailboxes that
+    /// drain at the *next* boundary, so executing a node never arms another.
+    ready_words: Vec<u64>,
+    /// Scheduled polls as `(wake_ns, local)` min-entries. Every entry arms
+    /// exactly one poll, in the first quantum whose edge lies beyond
+    /// `wake_ns` — unconditionally, with no staleness check. An entry that
+    /// was superseded (the node already woke earlier and re-slept) arms a
+    /// side-effect-free re-poll, which is harmless and — crucially —
+    /// *deterministic*: the entry multiset is a pure function of the
+    /// simulated history, never of cross-worker drain timing, so the
+    /// executed-node count is identical for every shard count.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl WakeWheel {
+    fn new(len: usize) -> Self {
+        Self {
+            ready_words: vec![0u64; len.div_ceil(64)],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn arm_now(&mut self, l: usize) {
+        self.ready_words[l >> 6] |= 1u64 << (l & 63);
+    }
 }
 
 /// Shared state across worker threads.
@@ -261,6 +326,12 @@ struct SharedSharded<R> {
     shard_of: Vec<u32>,
     /// Per-shard incoming fragment queues (lock-free MPSC).
     mailboxes: Vec<Mailbox<ShardInFlight>>,
+    /// Shared overflow depot recirculating mailbox nodes between worker
+    /// pools. Incast traffic is directional — every drained node lands in
+    /// the receiver's pool — so without the depot the sending workers would
+    /// re-allocate every fragment at steady state while the receiver's
+    /// overflow was freed.
+    depot: Arc<PoolDepot<ShardInFlight>>,
     /// Per-shard packets routed this quantum; the leader sums these.
     np_slots: Vec<CachePadded<AtomicU64>>,
     /// Per-shard straggler deltas for the quantum (observability only).
@@ -387,6 +458,54 @@ pub(crate) fn partition(n: usize, m: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
+/// Contiguous partition of `weights.len()` nodes over `m` shards that
+/// balances *expected-active* work instead of node count.
+///
+/// The weight is each node's program length (op count) — a cheap static
+/// proxy for how often the node is hot: on idle-heavy workloads the
+/// sleepers are the short single-`recv` programs, so an op-count split
+/// hands shards with many sleepers proportionally more nodes and keeps the
+/// per-quantum active-set scan balanced across workers. The split is the
+/// greedy cumulative-weight quantile cut, clamped so every shard keeps at
+/// least one node.
+///
+/// Two properties matter more than the balance itself:
+///
+/// * **Stability**: the split is a pure function of `(weights, m)`, so a
+///   resumed run and a rerun partition identically and cross-M identity
+///   artifacts stay byte-reproducible.
+/// * **Uniform weights reproduce [`partition`] exactly** (remainder-first,
+///   the historical layout), pinning every artifact produced before
+///   weighting existed.
+pub(crate) fn partition_weighted(weights: &[u64], m: usize) -> Vec<std::ops::Range<usize>> {
+    let n = weights.len();
+    // Clamp to ≥ 1 so zero-weight (empty-program) nodes still consume
+    // quantile room — coverage of 0..n must never depend on the weights.
+    let weight = |i: usize| weights[i].max(1);
+    if (1..n).all(|i| weight(i) == weight(0)) {
+        return partition(n, m);
+    }
+    let total: u64 = (0..n).map(weight).sum();
+    let mut ranges = Vec::with_capacity(m);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for s in 0..m {
+        // Cumulative weight the end of shard s aims for; the clamp leaves
+        // one node for each of the m-1-s shards still to come.
+        let target = (u128::from(total) * (s as u128 + 1) / m as u128) as u64;
+        let max_end = n - (m - 1 - s);
+        let mut end = start + 1;
+        acc += weight(start);
+        while end < max_end && acc < target {
+            acc += weight(end);
+            end += 1;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
 /// Initial state of one node simulator inside a shard: a fresh executor at
 /// sim time zero, or a restored executor at the snapshot's cut point.
 struct ShardNodeInit {
@@ -503,7 +622,8 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
         }
     }
     let m = workers.unwrap_or_else(default_workers).clamp(1, n);
-    let ranges = partition(n, m);
+    let weights: Vec<u64> = programs.iter().map(|p| p.ops().len() as u64).collect();
+    let ranges = partition_weighted(&weights, m);
     let mut shard_of = vec![0u32; n];
     for (s, range) in ranges.iter().enumerate() {
         for slot in &mut shard_of[range.clone()] {
@@ -570,6 +690,7 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
         waits: Vec::with_capacity(n),
         lags: Vec::with_capacity(n),
         link_load: LinkLoad::new(n_links),
+        shard_actives: Vec::with_capacity(m),
     };
     let start = Instant::now();
     let shared = SharedSharded {
@@ -578,14 +699,20 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
         start,
         shard_of,
         mailboxes: (0..m).map(|_| Mailbox::new()).collect(),
+        depot: Arc::new(PoolDepot::new()),
         np_slots: (0..m)
             .map(|_| CachePadded::new(AtomicU64::new(0)))
             .collect(),
         shard_obs: (0..m)
             .map(|_| CachePadded::new(ShardObsSlot::default()))
             .collect(),
+        // The lag sentinel: `u64::MAX` means "not executed this quantum".
+        // Workers store a node's real lag when they execute it; the leader
+        // swaps the sentinel back in each quantum and substitutes the full
+        // quantum length for skipped nodes — exactly the lag the full sweep
+        // computes for a node it re-polls while parked.
         lag_slots: (0..n)
-            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .map(|_| CachePadded::new(AtomicU64::new(u64::MAX)))
             .collect(),
         fabric_slots: if n_links > 0 {
             (0..m).map(|_| LinkSlot::new(n_links)).collect()
@@ -603,7 +730,7 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
             shared.mailboxes[s].push_pooled(f, &mut inject_pool);
         }
     }
-    type WorkerOutput = (Vec<ParallelNodeResult>, StragglerStats, u64);
+    type WorkerOutput = (Vec<ParallelNodeResult>, StragglerStats, u64, u64);
     let joined: Vec<WorkerOutput> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
@@ -635,10 +762,12 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
     stragglers.merge(&inject_stragglers);
     let mut per_node = Vec::with_capacity(n);
     let mut pool_heap_allocs = 0;
-    for (nodes, worker_stragglers, worker_allocs) in joined {
+    let mut nodes_executed = 0;
+    for (nodes, worker_stragglers, worker_allocs, worker_executed) in joined {
         stragglers.merge(&worker_stragglers);
         per_node.extend(nodes);
         pool_heap_allocs += worker_allocs;
+        nodes_executed += worker_executed;
     }
     let sim_end = per_node
         .iter()
@@ -655,104 +784,229 @@ pub(crate) fn run_sharded_impl<R: Recorder>(
         per_node,
         workers: m,
         pool_heap_allocs,
+        nodes_executed,
     };
     Ok((result, leader.rec))
 }
 
 /// Runs one shard to completion; returns its nodes' results (in rank
-/// order), the worker's run-total straggler tally, and its packet pool's
-/// heap-allocation count.
+/// order), the worker's run-total straggler tally, its packet pool's
+/// heap-allocation count, and the number of node executions it performed.
+///
+/// The active-set scheduler (the default) executes only nodes with a
+/// scheduled wake inside the quantum; a quantum where the whole shard is
+/// parked touches no node memory at all and fast-forwards straight to the
+/// barrier. With [`ParallelConfig::full_sweep`] the worker executes every
+/// node every quantum — the legacy behavior, kept as the differential
+/// baseline the active set must match bit for bit.
 fn worker_thread<R: Recorder>(
     w: usize,
     shard: Vec<ShardNodeInit>,
     config: &ParallelConfig,
     shared: &SharedSharded<R>,
-) -> (Vec<ParallelNodeResult>, StragglerStats, u64) {
+) -> (Vec<ParallelNodeResult>, StragglerStats, u64, u64) {
     let base = shard.first().map(|init| init.global).unwrap_or(0);
-    let mut slots: Vec<NodeSlot> = shard
-        .into_iter()
-        .map(|init| NodeSlot {
-            exec: init.exec,
-            global: init.global,
-            sim: init.sim,
-            msg_seq: init.msg_seq,
-            pending: init.pending,
-            done_reported: init.done,
-        })
-        .collect();
+    let len = shard.len();
+    let q_start0 = shard.first().map(|init| init.sim).unwrap_or(SimTime::ZERO);
+    let mut nodes = ShardNodes {
+        base,
+        execs: Vec::with_capacity(len),
+        sim: Vec::with_capacity(len),
+        msg_seq: Vec::with_capacity(len),
+        pending_ns: Vec::with_capacity(len),
+        done_reported: Vec::with_capacity(len),
+    };
+    for init in shard {
+        nodes.execs.push(init.exec);
+        nodes.sim.push(init.sim);
+        nodes.msg_seq.push(init.msg_seq);
+        nodes
+            .pending_ns
+            .push(init.pending.map_or(0, |d| d.as_nanos()));
+        nodes.done_reported.push(init.done);
+    }
     let mut ctx = WorkerCtx {
         w,
         stragglers: StragglerStats::default(),
         run_stragglers: StragglerStats::default(),
         quantum_packets: 0,
-        pool: MailboxPool::new(),
+        pool: MailboxPool::with_depot(
+            MailboxPool::<ShardInFlight>::DEFAULT_CAP,
+            Arc::clone(&shared.depot),
+        ),
     };
+    let full_sweep = config.full_sweep;
+    // Every node starts armed (a fresh run must poll everyone at least
+    // once; a resumed run re-polls everyone on the first quantum, exactly
+    // as the pre-active-set engine did). The wake wheel takes over from
+    // the first execution onward.
+    let mut wheel = WakeWheel::new(len);
+    for l in 0..len {
+        wheel.arm_now(l);
+    }
+    let mut nodes_executed = 0u64;
     // Reusable scratch: capacity persists across quanta.
     let mut inbox: Vec<ShardInFlight> = Vec::new();
+    let mut q_start = q_start0;
     let mut q_end = SimTime::from_nanos(shared.q_end.load(Ordering::Acquire));
     loop {
+        let q_end_ns = q_end.as_nanos();
         // Quantum boundary: drain this shard's mailbox once and deliver.
         // Effective timestamps were fixed at route time, so delivery order
         // within the batch is irrelevant (matching is timestamp-based).
         shared.mailboxes[w].drain_into_pooled(&mut inbox, &mut ctx.pool);
         for f in inbox.drain(..) {
-            let slot = &mut slots[f.dst as usize - base];
-            slot.exec.deliver_fragment(f.meta, f.frag_index, f.arrival);
-        }
-        // Advance every node in the shard to the quantum edge.
-        for slot in &mut slots {
-            let lag_ns = advance_node(slot, shared, config, &mut ctx, q_end);
-            if R::ENABLED {
-                shared.lag_slots[slot.global].store(lag_ns, Ordering::Relaxed);
+            let l = f.dst as usize - base;
+            nodes.execs[l].deliver_fragment(f.meta, f.frag_index, f.arrival);
+            if full_sweep {
+                continue;
+            }
+            // Re-arm the receiver in O(1): a delivery inside this quantum
+            // sets its ready bit directly, a future delivery schedules a
+            // poll through the heap. Strictness matters twice over: an
+            // event at exactly `q_end` belongs to the *next* quantum
+            // (execution covers `[q_start, q_end)`), and a fragment routed
+            // by a peer shard during this very quantum carries
+            // `eff >= q_end` — whether this drain races ahead of the peer's
+            // push (seeing it now) or picks it up a boundary later, the
+            // poll lands in the same quantum either way. The push is
+            // unconditional for the same reason: guarding it on the node's
+            // current wake would drop the entry exactly when the receiver
+            // is about to execute and re-park, making the poll schedule
+            // depend on drain timing.
+            let eff_ns = f.arrival.as_nanos();
+            if eff_ns < q_end_ns {
+                wheel.arm_now(l);
+            } else {
+                #[cfg(feature = "fault-inject")]
+                if crate::fault::armed(crate::fault::Fault::WakeRearmSkip) {
+                    // Armed bug: the delivery happened, but the wake wheel
+                    // forgets to re-arm the sleeper.
+                    continue;
+                }
+                wheel.heap.push(Reverse((eff_ns, l as u32)));
             }
         }
-        match next_quantum(shared, &mut ctx, w) {
-            Some(qe) => q_end = qe,
+        let mut active = 0u64;
+        if full_sweep {
+            for l in 0..len {
+                let (lag_ns, _wake) =
+                    advance_node(&mut nodes, l, shared, config, &mut ctx, q_start, q_end);
+                if R::ENABLED {
+                    shared.lag_slots[base + l].store(lag_ns, Ordering::Relaxed);
+                }
+            }
+            active = len as u64;
+        } else {
+            // Promote sleepers whose scheduled wake falls strictly inside
+            // this quantum (a wake at exactly `q_end` is the next quantum's
+            // first instant). Every popped entry arms its node: a stale
+            // entry — the node already woke earlier and re-slept — arms a
+            // side-effect-free re-poll, identical under every shard count.
+            while let Some(&Reverse((t, l))) = wheel.heap.peek() {
+                if t >= q_end_ns {
+                    break;
+                }
+                wheel.heap.pop();
+                wheel.arm_now(l as usize);
+            }
+            // Execute the active set in ascending local order (bit order =
+            // rank order within the shard, matching the full sweep).
+            for wi in 0..wheel.ready_words.len() {
+                let mut word = std::mem::take(&mut wheel.ready_words[wi]);
+                while word != 0 {
+                    let l = (wi << 6) + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let (lag_ns, wake) =
+                        advance_node(&mut nodes, l, shared, config, &mut ctx, q_start, q_end);
+                    if wake != u64::MAX {
+                        wheel.heap.push(Reverse((wake, l as u32)));
+                    }
+                    if R::ENABLED {
+                        shared.lag_slots[base + l].store(lag_ns, Ordering::Relaxed);
+                    }
+                    active += 1;
+                }
+            }
+        }
+        nodes_executed += active;
+        match next_quantum(shared, &mut ctx, w, active) {
+            Some(qe) => {
+                q_start = q_end;
+                q_end = qe;
+            }
             None => break,
         }
     }
-    let results = slots
-        .into_iter()
-        .map(|slot| ParallelNodeResult {
-            rank: slot.exec.rank(),
-            finish_sim: slot.exec.finish_time().unwrap_or(slot.sim),
-            ops: slot.exec.ops_executed(),
-            messages_received: slot.exec.messages_received(),
-            regions: slot.exec.regions().to_vec(),
+    let results = (0..len)
+        .map(|l| ParallelNodeResult {
+            rank: nodes.execs[l].rank(),
+            finish_sim: nodes.execs[l].finish_time().unwrap_or_else(|| {
+                // A parked node's `sim` lane may lag the last quantum edge
+                // (fast-forwarding is lazy); the full sweep would have
+                // dragged it to the edge every quantum.
+                nodes.sim[l].max(q_end)
+            }),
+            ops: nodes.execs[l].ops_executed(),
+            messages_received: nodes.execs[l].messages_received(),
+            regions: nodes.execs[l].regions().to_vec(),
         })
         .collect();
-    (results, ctx.run_stragglers, ctx.pool.heap_allocs())
+    (
+        results,
+        ctx.run_stragglers,
+        ctx.pool.heap_allocs(),
+        nodes_executed,
+    )
 }
 
 /// Advances one node to the quantum edge — the same inner loop as the
 /// threaded engine's `node_thread`, minus mid-quantum drains (deliveries
 /// are never consumable before the boundary by construction) and minus
-/// position publication (nothing reads it). Returns the node's idle-tail
-/// lag for observability (0 when busy to the edge).
+/// position publication (nothing reads it).
+///
+/// Returns `(lag_ns, wake_ns)`: the node's idle-tail lag for observability
+/// (0 when busy to the edge) and its next wake time — `q_end` when the node
+/// must run again next quantum (mid-op remainder, or more program to poll),
+/// the wait deadline for a timed sleeper, or `u64::MAX` to park it until a
+/// delivery re-arms it (blocked or finished).
 fn advance_node<R: Recorder>(
-    slot: &mut NodeSlot,
+    nodes: &mut ShardNodes,
+    l: usize,
     shared: &SharedSharded<R>,
     config: &ParallelConfig,
     ctx: &mut WorkerCtx,
+    q_start: SimTime,
     q_end: SimTime,
-) -> u64 {
+) -> (u64, u64) {
+    // Fast-forward a woken sleeper: the full sweep dragged `sim` to every
+    // intervening quantum edge (`sim = max(sim, q_end)` below); skipping
+    // those quanta and taking one `max` against the current quantum start
+    // lands in the identical state, because a parked node's re-polls are
+    // side-effect-free.
+    if nodes.sim[l] < q_start {
+        nodes.sim[l] = q_start;
+    }
     let mut lag_ns = 0u64;
-    while slot.sim < q_end {
-        if let Some(remaining) = slot.pending.take() {
-            let step = remaining.min(q_end - slot.sim);
-            slot.sim += step;
+    let mut wake = q_end.as_nanos();
+    while nodes.sim[l] < q_end {
+        if nodes.pending_ns[l] != 0 {
+            let remaining = SimDuration::from_nanos(nodes.pending_ns[l]);
+            let step = remaining.min(q_end - nodes.sim[l]);
+            nodes.sim[l] += step;
             if step < remaining {
-                slot.pending = Some(remaining - step);
+                nodes.pending_ns[l] = (remaining - step).as_nanos();
                 break; // quantum boundary reached mid-op
             }
+            nodes.pending_ns[l] = 0;
             continue;
         }
-        match slot.exec.next_action(slot.sim) {
+        match nodes.execs[l].next_action(nodes.sim[l]) {
             Action::Advance { dur, ops, idle } => {
                 if !idle && config.host_work_per_op > 0.0 && ops > 0 {
                     busy_work(ops as f64 * config.host_work_per_op);
                 }
-                slot.pending = Some(dur);
+                nodes.pending_ns[l] = dur.as_nanos();
             }
             Action::Send { dst, bytes, tag } => {
                 let dest = match dst {
@@ -762,51 +1016,55 @@ fn advance_node<R: Recorder>(
                 let frag_count = shared.nic.fragment_count(bytes);
                 let meta = MessageMeta {
                     id: MessageId {
-                        src: slot.exec.rank(),
-                        seq: slot.msg_seq,
+                        src: nodes.execs[l].rank(),
+                        seq: nodes.msg_seq[l],
                     },
                     tag,
                     bytes,
                     frag_count,
                 };
-                slot.msg_seq += 1;
+                nodes.msg_seq[l] += 1;
                 for k in 0..frag_count {
                     let sz = shared.nic.fragment_size(bytes, k);
-                    slot.sim += shared.nic.serialization_delay(sz);
-                    shared.route(ctx, slot.global, dest, sz, slot.sim, q_end, meta, k);
+                    nodes.sim[l] += shared.nic.serialization_delay(sz);
+                    shared.route(ctx, nodes.base + l, dest, sz, nodes.sim[l], q_end, meta, k);
                 }
             }
             Action::WaitUntil(t) => {
-                if R::ENABLED && t >= q_end {
-                    lag_ns = (q_end - slot.sim).as_nanos();
-                }
-                slot.sim = t.min(q_end);
                 if t >= q_end {
+                    if R::ENABLED {
+                        lag_ns = (q_end - nodes.sim[l]).as_nanos();
+                    }
+                    wake = t.as_nanos();
+                    nodes.sim[l] = q_end;
                     break;
                 }
+                nodes.sim[l] = t;
             }
             Action::Blocked => {
                 if R::ENABLED {
-                    lag_ns = (q_end - slot.sim).as_nanos();
+                    lag_ns = (q_end - nodes.sim[l]).as_nanos();
                 }
-                slot.sim = q_end;
+                wake = u64::MAX;
+                nodes.sim[l] = q_end;
                 break;
             }
             Action::Finished => {
-                if !slot.done_reported {
-                    slot.done_reported = true;
+                if !nodes.done_reported[l] {
+                    nodes.done_reported[l] = true;
                     shared.done.fetch_add(1, Ordering::AcqRel);
                 }
                 if R::ENABLED {
-                    lag_ns = (q_end - slot.sim).as_nanos();
+                    lag_ns = (q_end - nodes.sim[l]).as_nanos();
                 }
-                slot.sim = q_end;
+                wake = u64::MAX;
+                nodes.sim[l] = q_end;
                 break;
             }
         }
     }
-    slot.sim = slot.sim.max(q_end);
-    lag_ns
+    nodes.sim[l] = nodes.sim[l].max(q_end);
+    (lag_ns, wake)
 }
 
 /// Meets the tree barrier; the root leader advances the policy and publishes
@@ -816,8 +1074,14 @@ fn next_quantum<R: Recorder>(
     shared: &SharedSharded<R>,
     ctx: &mut WorkerCtx,
     w: usize,
+    active: u64,
 ) -> Option<SimTime> {
     shared.np_slots[w].store(ctx.quantum_packets, Ordering::Relaxed);
+    // Tune the pool's donation watermark to this worker's own push demand
+    // (floored): keep roughly one quantum's worth of sends local, donate
+    // drain surplus beyond that to the shared depot.
+    ctx.pool
+        .set_retain((ctx.quantum_packets as usize).max(POOL_RETAIN_FLOOR));
     ctx.quantum_packets = 0;
     if R::ENABLED {
         let slot = &shared.shard_obs[w];
@@ -825,6 +1089,7 @@ fn next_quantum<R: Recorder>(
             .store(ctx.stragglers.count(), Ordering::Relaxed);
         slot.s_max
             .store(ctx.stragglers.max_delay().as_nanos(), Ordering::Relaxed);
+        slot.active.store(active, Ordering::Relaxed);
     }
     if ctx.stragglers.count() > 0 {
         ctx.run_stragglers.merge(&ctx.stragglers);
@@ -869,32 +1134,45 @@ fn leader_step<R: Recorder>(
         // shard shares its worker's barrier wait) so the flight recorder's
         // per-node layout holds for any M.
         let latest = (0..ts.len()).map(|k| ts.get(k)).max().unwrap_or(0);
+        let q_len_nanos = leader.q_end_nanos - leader.q_start_nanos;
         leader.waits.clear();
         leader.lags.clear();
         for (node, &shard) in shared.shard_of.iter().enumerate() {
             leader
                 .waits
                 .push(latest.saturating_sub(ts.get(shard as usize)));
+            // Swap the sentinel back in for next quantum. A node the active
+            // set skipped (sentinel still present) idled through the whole
+            // quantum: its lag is the full quantum length, exactly what the
+            // full sweep computes when it re-polls a parked node.
+            let lag = shared.lag_slots[node].swap(u64::MAX, Ordering::Relaxed);
             leader
                 .lags
-                .push(shared.lag_slots[node].load(Ordering::Relaxed));
+                .push(if lag == u64::MAX { q_len_nanos } else { lag });
         }
         let mut s_count = 0u64;
         let mut s_max = 0u64;
+        let mut active_total = 0u64;
+        leader.shard_actives.clear();
         for slot in &shared.shard_obs {
             s_count += slot.s_count.load(Ordering::Relaxed);
             s_max = s_max.max(slot.s_max.load(Ordering::Relaxed));
+            let a = slot.active.load(Ordering::Relaxed);
+            active_total += a;
+            leader.shard_actives.push(a);
         }
         leader.rec.record_quantum(&QuantumObs {
             index: leader.quanta,
             start: SimTime::from_nanos(leader.q_start_nanos),
             len: SimDuration::from_nanos(leader.q_end_nanos - leader.q_start_nanos),
             packets: np,
+            active_nodes: active_total,
             stragglers: s_count,
             max_straggler_delay: SimDuration::from_nanos(s_max),
             barrier_wait_ns: &leader.waits,
             vt_lag_ns: &leader.lags,
         });
+        leader.rec.record_shard_activity(&leader.shard_actives);
         if !shared.fabric_slots.is_empty() {
             // Drain every slice's per-link counters into the merge scratch.
             // Safe: the leader runs inside the barrier's exclusive section,
@@ -983,6 +1261,131 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn weighted_partition_is_stable_and_balances_op_weight() {
+        // Uniform weights must reproduce the historical remainder-first
+        // split exactly — the pin that keeps pre-weighting artifacts valid.
+        assert_eq!(partition_weighted(&[3; 10], 4), partition(10, 4));
+        assert_eq!(partition_weighted(&[0; 6], 4), partition(6, 4));
+        // Pinned non-uniform split: heavy programs at both ends, the m = 2
+        // cut lands at the cumulative-weight midpoint (13 | 13), not the
+        // node-count midpoint.
+        let w = [10, 1, 1, 1, 1, 1, 1, 10];
+        assert_eq!(partition_weighted(&w, 2), vec![0..4, 4..8]);
+        // Extreme skew still leaves every shard at least one node, and
+        // coverage/contiguity hold.
+        let ranges = partition_weighted(&[100, 0, 0, 0], 4);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3, 3..4]);
+    }
+
+    /// Hub-and-sleepers workload: rank 0 computes then broadcasts; every
+    /// other rank blocks on that single message for the whole run. Only one
+    /// of `n` nodes is hot per quantum until the final fan-out.
+    fn mostly_idle(n: usize) -> Vec<Program> {
+        let mut programs = vec![ProgramBuilder::new(Rank::new(0))
+            .compute(500_000)
+            .send_all(64, Tag::new(0))
+            .build()];
+        for r in 1..n {
+            programs.push(
+                ProgramBuilder::new(Rank::new(r as u32))
+                    .recv(Some(Rank::new(0)), Tag::new(0))
+                    .build(),
+            );
+        }
+        programs
+    }
+
+    #[test]
+    fn active_set_matches_full_sweep_bit_for_bit() {
+        // The active-set scheduler is an optimization, not a semantics
+        // change: for safe and unsafe quanta, idle-heavy and chatty
+        // workloads, every observable of the run must equal the legacy
+        // full-sweep path's, for every worker count.
+        let cases: Vec<(Vec<Program>, SyncConfig)> = vec![
+            (mostly_idle(16), SyncConfig::ground_truth()),
+            (mostly_idle(16), SyncConfig::paper_dyn1()),
+            (
+                ping_pong(4, 25, 4096).programs,
+                SyncConfig::fixed_micros(1000),
+            ),
+            (burst(5, 50_000, 1024).programs, SyncConfig::paper_dyn2()),
+        ];
+        for (programs, sync) in cases {
+            let full = run_sharded(
+                programs.clone(),
+                &cfg(sync.clone()).with_full_sweep(true),
+                Some(2),
+            );
+            for m in 1..=4 {
+                let r = run_sharded(programs.clone(), &cfg(sync.clone()), Some(m));
+                assert_eq!(r.sim_end, full.sim_end, "workers={m}");
+                assert_eq!(r.total_quanta, full.total_quanta, "workers={m}");
+                assert_eq!(r.total_packets, full.total_packets, "workers={m}");
+                assert_eq!(r.stragglers.count(), full.stragglers.count(), "workers={m}");
+                assert_eq!(
+                    r.stragglers.total_delay(),
+                    full.stragglers.total_delay(),
+                    "workers={m}"
+                );
+                for (a, b) in r.per_node.iter().zip(full.per_node.iter()) {
+                    assert_eq!(a.finish_sim, b.finish_sim, "workers={m}");
+                    assert_eq!(a.messages_received, b.messages_received, "workers={m}");
+                    assert_eq!(a.ops, b.ops, "workers={m}");
+                }
+                assert!(
+                    r.nodes_executed <= full.nodes_executed,
+                    "active set must never do more work: {} vs {}",
+                    r.nodes_executed,
+                    full.nodes_executed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn active_set_skips_sleepers_and_counts_are_m_independent() {
+        let programs = mostly_idle(32);
+        let full = run_sharded(
+            programs.clone(),
+            &cfg(SyncConfig::ground_truth()).with_full_sweep(true),
+            Some(2),
+        );
+        // The full sweep executes every node every quantum, by definition.
+        assert_eq!(full.nodes_executed, 32 * full.total_quanta);
+        let reference = run_sharded(programs.clone(), &cfg(SyncConfig::ground_truth()), Some(1));
+        assert!(
+            reference.nodes_executed < full.nodes_executed / 4,
+            "31 sleepers must be skipped almost every quantum: {} vs {}",
+            reference.nodes_executed,
+            full.nodes_executed
+        );
+        // The work metric is part of the deterministic outcome: same count
+        // for every M.
+        for m in 2..=4 {
+            let r = run_sharded(programs.clone(), &cfg(SyncConfig::ground_truth()), Some(m));
+            assert_eq!(r.nodes_executed, reference.nodes_executed, "workers={m}");
+        }
+    }
+
+    #[test]
+    fn active_set_run_records_activity_per_quantum_and_per_shard() {
+        use aqs_obs::{FlightRecorder, ObsConfig};
+        let programs = mostly_idle(8);
+        let (r, fr) = run_sharded_impl(
+            programs,
+            &cfg(SyncConfig::ground_truth()),
+            Some(2),
+            FlightRecorder::new(8, ObsConfig::new()),
+            None,
+        )
+        .expect("run succeeds");
+        assert_eq!(fr.total_active_nodes(), r.nodes_executed);
+        let lanes = fr.shard_activity().expect("sharded run records activity");
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes.iter().sum::<u64>(), r.nodes_executed);
     }
 
     #[test]

@@ -254,6 +254,10 @@ struct SharedOpt<R> {
     /// [`CTRL_STOP`]. Written by the leader inside the barrier's exclusive
     /// section, ordered for workers by the epoch handshake.
     control: AtomicU64,
+    /// Per-shard executed-node counters for the current window (repeat
+    /// rounds accumulate). Only maintained when recording is enabled; the
+    /// leader drains them at commit for the [`QuantumObs`] activity field.
+    active: Vec<AtomicU64>,
     /// Deadlock/divergence guard (checked after join, where panicking is
     /// safe).
     overflow: AtomicBool,
@@ -314,6 +318,8 @@ struct OptLeader<R> {
     reexec_trace: Vec<u32>,
     traces_truncated: bool,
     mode_events: Vec<ModeEvent>,
+    /// Scratch for draining the per-shard activity counters at commit.
+    shard_actives: Vec<u64>,
 }
 
 fn push_capped<T>(v: &mut Vec<T>, x: T, truncated: &mut bool) {
@@ -532,6 +538,7 @@ pub(crate) fn run_sharded_optimistic_impl<R: Recorder>(
         reexec_trace: Vec::new(),
         traces_truncated: false,
         mode_events: Vec::new(),
+        shard_actives: Vec::with_capacity(m),
     };
     // Partition the injected fragments by the first window edge exactly
     // like `commit_window`'s open-next-window path: arrivals inside the
@@ -575,6 +582,7 @@ pub(crate) fn run_sharded_optimistic_impl<R: Recorder>(
         cells,
         gvt: GvtReduction::new(m),
         control: AtomicU64::new(q_end0),
+        active: (0..m).map(|_| AtomicU64::new(0)).collect(),
         overflow: AtomicBool::new(false),
         barrier: TreeBarrier::new(m, leader),
     };
@@ -647,21 +655,33 @@ fn worker_thread<R: Recorder>(
 ) -> Vec<ParallelNodeResult> {
     let mut states: Vec<OptNodeState> = shard;
     let mut ring: VecDeque<Vec<OptNodeState>> = VecDeque::new();
+    let mut window_start = SimTime::ZERO;
     let mut window_end = SimTime::ZERO;
+    // Per local node: next sim time the node can act on its own
+    // (`u64::MAX` = parked until a delivery, 0 = run unconditionally).
+    // Refreshed by every execution; the first window runs everyone.
+    let mut wakes: Vec<u64> = vec![0; states.len()];
     loop {
         let ctrl = shared.control.load(Ordering::Relaxed);
         if ctrl == CTRL_STOP {
             break;
         }
         let repeat = ctrl == CTRL_REPEAT;
+        let mut executed = 0u64;
         {
             let mut cell = shared.cells[w].lock().expect("shard cell poisoned");
             if !repeat {
+                window_start = window_end;
                 window_end = SimTime::from_nanos(ctrl);
                 if !cell.conservative {
                     // Copy-on-advance: snapshot the shard at the window
                     // start. Conservative shards never roll back and skip
-                    // the clone — the hybrid's checkpoint saving.
+                    // the clone — the hybrid's checkpoint saving. The clone
+                    // is deliberately eager (it includes nodes the
+                    // active-set skip below will not execute): the
+                    // checkpoint accounting and the rollback restore path
+                    // both assume every optimistic window snapshots the
+                    // whole shard.
                     ring.push_back(states.clone());
                     while ring.len() > shared.opts.ring_depth.max(1) {
                         ring.pop_front();
@@ -673,6 +693,20 @@ fn worker_thread<R: Recorder>(
                     continue;
                 }
                 cell.run[l] = false;
+                // Active-set skip: a node whose own next wake lies at or
+                // beyond the window edge (an event at exactly `window_end`
+                // is the next window's first instant), with nothing inbound,
+                // can only poll — its sends stay empty and its done flag
+                // keeps its previous value, which is exactly what the leader
+                // reads for an unexecuted node. Repeat rounds never skip: a
+                // dirty node's rebuilt inbound set may legitimately be empty.
+                if !repeat
+                    && !config.full_sweep
+                    && cell.inbound[l].is_empty()
+                    && wakes[l] >= window_end.as_nanos()
+                {
+                    continue;
+                }
                 if repeat {
                     #[allow(unused_mut)]
                     let mut idx = ring.len() - 1;
@@ -686,20 +720,35 @@ fn worker_thread<R: Recorder>(
                     }
                     states[l] = ring[idx][l].clone();
                 }
+                // Fast-forward a node that slept through earlier windows
+                // (or was restored from a checkpoint cloned while it
+                // slept): its sim still sits at the edge of its last
+                // executed window, where a full sweep would have dragged it
+                // to every edge since. Skipped time is idle by
+                // construction, so the jump is exact.
+                if states[l].sim < window_start {
+                    states[l].sim = window_start;
+                }
                 let inbound = std::mem::take(&mut cell.inbound[l]);
                 for f in &inbound {
                     states[l]
                         .exec
                         .deliver_fragment(f.meta.to_meta(), f.frag_index, f.arrival);
                 }
-                cell.sends[l] = run_node_window(
+                let (sends, wake) = run_node_window(
                     &mut states[l],
                     window_end,
                     &shared.nic,
                     config.host_work_per_op,
                 );
+                cell.sends[l] = sends;
+                wakes[l] = wake;
                 cell.done[l] = states[l].exec.finished();
+                executed += 1;
             }
+        }
+        if R::ENABLED {
+            shared.active[w].fetch_add(executed, Ordering::Relaxed);
         }
         shared.gvt.publish_lvt(w, window_end.as_nanos());
         shared
@@ -721,13 +770,19 @@ fn worker_thread<R: Recorder>(
 /// Advances one node to the window edge — the sharded engine's inner loop
 /// (sends complete atomically, ops pend across edges), except that sends
 /// are captured for the leader to route instead of being routed in place.
+///
+/// Also returns the node's next wake time in sim nanoseconds: `u64::MAX`
+/// for a node that can only proceed on a delivery (blocked or finished),
+/// the wait target for a timer parked past the window edge, and 0 (run
+/// unconditionally) otherwise.
 fn run_node_window(
     state: &mut OptNodeState,
     window_end: SimTime,
     nic: &aqs_net::NicModel,
     host_work_per_op: f64,
-) -> Vec<WindowSend> {
+) -> (Vec<WindowSend>, u64) {
     let mut sends = Vec::new();
+    let mut wake = 0u64;
     while state.sim < window_end {
         if let Some(remaining) = state.pending.take() {
             let step = remaining.min(window_end - state.sim);
@@ -772,21 +827,24 @@ fn run_node_window(
             Action::WaitUntil(t) => {
                 state.sim = t.min(window_end);
                 if t >= window_end {
+                    wake = t.as_nanos();
                     break;
                 }
             }
             Action::Blocked => {
                 state.sim = window_end;
+                wake = u64::MAX;
                 break;
             }
             Action::Finished => {
                 state.sim = window_end;
+                wake = u64::MAX;
                 break;
             }
         }
     }
     state.sim = state.sim.max(window_end);
-    sends
+    (sends, wake)
 }
 
 /// Fan-out targets of one send (unicast or broadcast-to-all-but-self).
@@ -1016,16 +1074,25 @@ fn commit_window<R: Recorder>(
     }
     leader.total_packets += routed;
     if R::ENABLED {
+        leader.shard_actives.clear();
+        for slot in &shared.active {
+            leader.shard_actives.push(slot.swap(0, Ordering::Relaxed));
+        }
+        let active_total: u64 = leader.shard_actives.iter().sum();
         leader.rec.record_quantum(&QuantumObs {
             index: leader.windows,
             start: SimTime::from_nanos(leader.q_start_nanos),
             len: SimDuration::from_nanos(window_len),
             packets: routed,
+            // Node executions charged to this window, re-execution rounds
+            // included — can exceed the node count under rollback.
+            active_nodes: active_total,
             stragglers: window_stragglers.count(),
             max_straggler_delay: window_stragglers.max_delay(),
             barrier_wait_ns: &[],
             vt_lag_ns: &[],
         });
+        leader.rec.record_shard_activity(&leader.shard_actives);
         leader.rec.record_shard_rollbacks(
             &leader.shard_ckpt,
             &leader.shard_rb,

@@ -590,6 +590,7 @@ pub struct Sim {
     hybrid_policy: HybridPolicy,
     obs: Option<ObsConfig>,
     chaos: Option<ChaosConfig>,
+    full_sweep: bool,
 }
 
 impl Sim {
@@ -616,6 +617,7 @@ impl Sim {
             hybrid_policy: HybridPolicy::default(),
             obs: None,
             chaos: None,
+            full_sweep: false,
         }
     }
 
@@ -744,6 +746,18 @@ impl Sim {
     #[must_use]
     pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Sharded engines: disable active-set scheduling and execute every
+    /// node every quantum (the legacy full sweep). A debug/differential
+    /// knob: active-set runs must be bit-identical to full-sweep runs, and
+    /// the conformance oracles prove it by running both. Deliberately
+    /// excluded from [`Sim::fingerprint`] — like the engine choice, it
+    /// cannot change the simulated world.
+    #[must_use]
+    pub fn force_full_sweep(mut self, on: bool) -> Self {
+        self.full_sweep = on;
         self
     }
 
@@ -889,6 +903,7 @@ impl Sim {
             hybrid_policy,
             obs: _,
             chaos,
+            full_sweep,
         } = self;
         let overlay = chaos.map(|c| ChaosOverlay::new(c).expect("chaos validated before dispatch"));
         // The parallel engines resume from a routed seed (the cut's
@@ -928,6 +943,7 @@ impl Sim {
                     switch: par_switch,
                     host_work_per_op,
                     max_quanta,
+                    full_sweep,
                 };
                 let sync_label = pcfg.sync.build().label();
                 let (r, rec) = run_parallel_impl(programs, &pcfg, rec, seed.as_ref())?;
@@ -967,6 +983,7 @@ impl Sim {
                     switch: par_switch,
                     host_work_per_op,
                     max_quanta,
+                    full_sweep,
                 };
                 let sync_label = pcfg.sync.build().label();
                 let (r, rec) = run_sharded_impl(programs, &pcfg, shards, rec, seed.as_ref())?;
@@ -1006,6 +1023,7 @@ impl Sim {
                     switch: par_switch,
                     host_work_per_op,
                     max_quanta,
+                    full_sweep,
                 };
                 let opts = ShardedOptimisticOpts {
                     cascade_bound,

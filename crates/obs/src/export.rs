@@ -13,6 +13,7 @@ fn sample_value(s: &crate::QuantumObs<'_>) -> Value {
         ("start_ns".into(), Value::U64(s.start.as_nanos())),
         ("len_ns".into(), Value::U64(s.len.as_nanos())),
         ("packets".into(), Value::U64(s.packets)),
+        ("active_nodes".into(), Value::U64(s.active_nodes)),
         ("stragglers".into(), Value::U64(s.stragglers)),
         (
             "max_straggler_delay_ns".into(),
@@ -67,7 +68,7 @@ impl FlightRecorder {
     /// mean (full per-node detail is in the JSONL export).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "index,start_ns,len_ns,packets,stragglers,max_straggler_delay_ns,\
+            "index,start_ns,len_ns,packets,active_nodes,stragglers,max_straggler_delay_ns,\
              max_barrier_wait_ns,mean_barrier_wait_ns,max_vt_lag_ns,mean_vt_lag_ns\n",
         );
         let reduce = |lane: &[u64]| -> (u64, f64) {
@@ -84,11 +85,12 @@ impl FlightRecorder {
             let (lmax, lmean) = reduce(s.vt_lag_ns);
             writeln!(
                 out,
-                "{},{},{},{},{},{},{},{:.1},{},{:.1}",
+                "{},{},{},{},{},{},{},{},{:.1},{},{:.1}",
                 s.index,
                 s.start.as_nanos(),
                 s.len.as_nanos(),
                 s.packets,
+                s.active_nodes,
                 s.stragglers,
                 s.max_straggler_delay.as_nanos(),
                 wmax,
@@ -114,6 +116,7 @@ mod tests {
             start: SimTime::ZERO,
             len: SimDuration::from_micros(1),
             packets: 7,
+            active_nodes: 2,
             stragglers: 1,
             max_straggler_delay: SimDuration::from_nanos(123),
             barrier_wait_ns: &[40, 0],

@@ -45,6 +45,7 @@ struct SampleFixed {
     start_ns: u64,
     len_ns: u64,
     packets: u64,
+    active_nodes: u64,
     stragglers: u64,
     max_straggler_delay_ns: u64,
 }
@@ -69,6 +70,7 @@ struct SampleFixed {
 ///     start: SimTime::ZERO,
 ///     len: SimDuration::from_micros(1),
 ///     packets: 3,
+///     active_nodes: 2,
 ///     stragglers: 0,
 ///     max_straggler_delay: SimDuration::ZERO,
 ///     barrier_wait_ns: &[10, 0],
@@ -92,6 +94,7 @@ pub struct FlightRecorder {
     lanes: Vec<u64>,
     total_quanta: u64,
     total_packets: u64,
+    total_active_nodes: u64,
     total_stragglers: u64,
     quantum_len: Log2Histogram,
     straggler_delay: Log2Histogram,
@@ -114,6 +117,10 @@ pub struct FlightRecorder {
     shard_checkpoints: Vec<u64>,
     shard_rollbacks: Vec<u64>,
     shard_wasted_ns: Vec<u64>,
+    /// Per-shard active-node attribution, lazily sized on the first
+    /// [`Recorder::record_shard_activity`] call (empty when the run had no
+    /// active-set engine): cumulative executed-node counts per shard.
+    shard_active_nodes: Vec<u64>,
 }
 
 /// Per-link load aggregates captured from a modeled fabric, borrowed from a
@@ -205,6 +212,7 @@ impl FlightRecorder {
             lanes: vec![0; cap * n_nodes * 2],
             total_quanta: 0,
             total_packets: 0,
+            total_active_nodes: 0,
             total_stragglers: 0,
             quantum_len: Log2Histogram::new(),
             straggler_delay: Log2Histogram::new(),
@@ -219,6 +227,7 @@ impl FlightRecorder {
             shard_checkpoints: Vec::new(),
             shard_rollbacks: Vec::new(),
             shard_wasted_ns: Vec::new(),
+            shard_active_nodes: Vec::new(),
         }
     }
 
@@ -256,6 +265,21 @@ impl FlightRecorder {
     /// Stragglers summed over every recorded quantum.
     pub fn total_stragglers(&self) -> u64 {
         self.total_stragglers
+    }
+
+    /// Executed-node counts summed over every recorded quantum. Dividing by
+    /// `total_quanta × n_nodes` gives the run's activity ratio.
+    pub fn total_active_nodes(&self) -> u64 {
+        self.total_active_nodes
+    }
+
+    /// Per-shard cumulative executed-node counts, when the run used an
+    /// active-set engine (`None` otherwise). Indexed by shard.
+    pub fn shard_activity(&self) -> Option<&[u64]> {
+        if self.shard_active_nodes.is_empty() {
+            return None;
+        }
+        Some(&self.shard_active_nodes)
     }
 
     /// Histogram of quantum lengths (ns).
@@ -332,6 +356,7 @@ impl FlightRecorder {
                 start: SimTime::from_nanos(f.start_ns),
                 len: SimDuration::from_nanos(f.len_ns),
                 packets: f.packets,
+                active_nodes: f.active_nodes,
                 stragglers: f.stragglers,
                 max_straggler_delay: SimDuration::from_nanos(f.max_straggler_delay_ns),
                 barrier_wait_ns: &self.lanes[base..base + self.n_nodes],
@@ -359,6 +384,7 @@ impl Recorder for FlightRecorder {
             start_ns: obs.start.as_nanos(),
             len_ns: obs.len.as_nanos(),
             packets: obs.packets,
+            active_nodes: obs.active_nodes,
             stragglers: obs.stragglers,
             max_straggler_delay_ns: obs.max_straggler_delay.as_nanos(),
         };
@@ -378,6 +404,7 @@ impl Recorder for FlightRecorder {
         self.len = (self.len + 1).min(self.cap);
         self.total_quanta += 1;
         self.total_packets += obs.packets;
+        self.total_active_nodes += obs.active_nodes;
         self.total_stragglers += obs.stragglers;
         self.quantum_len.record(obs.len.as_nanos());
         if obs.stragglers > 0 {
@@ -394,6 +421,16 @@ impl Recorder for FlightRecorder {
 
     fn record_checkpoints(&mut self, n: u64) {
         self.checkpoints += n;
+    }
+
+    fn record_shard_activity(&mut self, active: &[u64]) {
+        if self.shard_active_nodes.is_empty() {
+            self.shard_active_nodes = vec![0; active.len()];
+        }
+        debug_assert_eq!(self.shard_active_nodes.len(), active.len());
+        for (slot, &a) in self.shard_active_nodes.iter_mut().zip(active) {
+            *slot += a;
+        }
     }
 
     fn record_link_load(&mut self, link_bytes: &[u64], link_packets: &[u64]) {
@@ -460,6 +497,7 @@ mod tests {
             start: SimTime::from_nanos(index * 1000),
             len: SimDuration::from_nanos(1000),
             packets,
+            active_nodes: 2,
             stragglers: 0,
             max_straggler_delay: SimDuration::ZERO,
             barrier_wait_ns: waits,
@@ -504,6 +542,7 @@ mod tests {
             start: SimTime::ZERO,
             len: SimDuration::from_micros(1),
             packets: 2,
+            active_nodes: 1,
             stragglers: 3,
             max_straggler_delay: SimDuration::from_nanos(700),
             barrier_wait_ns: &[5, 9],
@@ -552,6 +591,19 @@ mod tests {
         assert_eq!(st.total_rollbacks(), 4);
         assert_eq!(st.total_wasted_ns(), 1400);
         assert_eq!(st.worst_shard(), Some((1, 3)));
+    }
+
+    #[test]
+    fn active_node_counts_accumulate_per_run_and_per_shard() {
+        let mut fr = FlightRecorder::new(4, ObsConfig::new());
+        assert!(fr.shard_activity().is_none(), "no active-set engine yet");
+        fr.record_quantum(&obs(0, 1, &[], &[]));
+        fr.record_quantum(&obs(1, 1, &[], &[]));
+        assert_eq!(fr.total_active_nodes(), 4);
+        assert_eq!(fr.samples().next().unwrap().active_nodes, 2);
+        fr.record_shard_activity(&[2, 0]);
+        fr.record_shard_activity(&[1, 1]);
+        assert_eq!(fr.shard_activity(), Some(&[3, 1][..]));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //!     start: SimTime::ZERO,
 //!     len: SimDuration::from_micros(1),
 //!     packets: 4,
+//!     active_nodes: 2,
 //!     stragglers: 1,
 //!     max_straggler_delay: SimDuration::from_nanos(250),
 //!     barrier_wait_ns: &[120, 0],

@@ -23,6 +23,9 @@ pub struct QuantumObs<'a> {
     pub len: SimDuration,
     /// Packets routed during the quantum (the policy's `np` signal).
     pub packets: u64,
+    /// Nodes that actually executed during the quantum (the active set).
+    /// Engines without active-set scheduling report the full node count.
+    pub active_nodes: u64,
     /// Stragglers recorded during the quantum.
     pub stragglers: u64,
     /// Largest straggler delay in the quantum (zero if none).
@@ -73,6 +76,14 @@ pub trait Recorder: Send + 'static {
         wasted_ns: &[u64],
     ) {
         let _ = (checkpoints, rollbacks, wasted_ns);
+    }
+
+    /// Called once per quantum by active-set engines with the number of
+    /// nodes each shard executed during the quantum, indexed by shard. The
+    /// slice always has the worker count as length. Commutative per-shard
+    /// counts merged at the quantum barrier — observation only.
+    fn record_shard_activity(&mut self, active: &[u64]) {
+        let _ = active;
     }
 
     /// Called once per quantum by engines routing through a modeled fabric,

@@ -117,6 +117,7 @@ mod tests {
                 start: SimTime::from_nanos(i * 1000),
                 len: SimDuration::from_nanos(1000 + i * 100),
                 packets: i % 3,
+                active_nodes: 2,
                 stragglers: u64::from(i % 5 == 0),
                 max_straggler_delay: SimDuration::from_nanos(i * 37),
                 barrier_wait_ns: &[i, 2 * i],
@@ -138,6 +139,7 @@ mod tests {
             start: SimTime::ZERO,
             len: SimDuration::from_micros(1),
             packets: 0,
+            active_nodes: 0,
             stragglers: 0,
             max_straggler_delay: SimDuration::ZERO,
             barrier_wait_ns: &[0, 0],

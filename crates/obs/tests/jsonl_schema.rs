@@ -24,6 +24,7 @@ fn fixed_recorder() -> FlightRecorder {
         start: SimTime::ZERO,
         len: SimDuration::from_micros(1),
         packets: 0,
+        active_nodes: 0,
         stragglers: 0,
         max_straggler_delay: SimDuration::ZERO,
         barrier_wait_ns: &[0, 250],
@@ -34,6 +35,7 @@ fn fixed_recorder() -> FlightRecorder {
         start: SimTime::ZERO + SimDuration::from_micros(1),
         len: SimDuration::from_nanos(1_200),
         packets: 7,
+        active_nodes: 2,
         stragglers: 2,
         max_straggler_delay: SimDuration::from_nanos(321),
         barrier_wait_ns: &[90, 0],
@@ -44,6 +46,7 @@ fn fixed_recorder() -> FlightRecorder {
         start: SimTime::ZERO + SimDuration::from_nanos(2_200),
         len: SimDuration::from_micros(1),
         packets: 1,
+        active_nodes: 1,
         stragglers: 0,
         max_straggler_delay: SimDuration::ZERO,
         barrier_wait_ns: &[0, 0],
@@ -77,6 +80,7 @@ fn golden_file_is_valid_jsonl_with_documented_fields() {
         "start_ns",
         "len_ns",
         "packets",
+        "active_nodes",
         "stragglers",
         "max_straggler_delay_ns",
         "barrier_wait_ns",

@@ -47,6 +47,6 @@ mod workload;
 pub use background::with_background_traffic;
 pub use micro::{burst, ping_pong, uniform_compute};
 pub use mpi::MpiBuilder;
-pub use production::{gossip, ml_allreduce, parameter_server, rpc_fanout};
+pub use production::{gossip, ml_allreduce, parameter_server, rpc_fanout, rpc_incast};
 pub use spec::{MetricKind, Scale, WorkloadSpec};
 pub use workload::{NasBench, Workload};

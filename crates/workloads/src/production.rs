@@ -140,6 +140,70 @@ pub fn rpc_fanout(
     WorkloadSpec::new("rpc-fanout", m.build(), MetricKind::KernelTime)
 }
 
+/// [`rpc_fanout`] with a fixed set of frontends issuing sequential request
+/// *waves*: frontend `f ∈ [0, fronts)` fans out to `fanout` fresh seeded
+/// backends, collects every response, and only then issues its next
+/// request, `waves` times over.
+///
+/// The recv-all between waves is the point: peak in-flight traffic is one
+/// request per frontend regardless of `waves`, so doubling `waves` doubles
+/// simulated work and packet count *without* widening the working set.
+/// That makes this the steady-state workload for allocation differentials
+/// (a longer run must not allocate beyond the warm-up peak) — `rpc_fanout`
+/// can't serve there, because its rotating frontends all start at t=0 and
+/// more requests mean more *concurrent* requests.
+///
+/// # Examples
+///
+/// ```
+/// let spec = aqs_workloads::rpc_incast(16, 2, 3, 4, 2_048, 16_384, 50_000, 11);
+/// assert_eq!(spec.name, "rpc-incast");
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn rpc_incast(
+    n: usize,
+    fronts: usize,
+    waves: usize,
+    fanout: usize,
+    request_bytes: u64,
+    response_bytes: u64,
+    service_ops: u64,
+    seed: u64,
+) -> WorkloadSpec {
+    assert!(fronts > 0 && fronts < n, "fronts must be in [1, n)");
+    assert!(waves > 0, "waves must be nonzero");
+    assert!(
+        fanout >= 1 && fanout <= n - fronts,
+        "fanout must be in [1, n - fronts], got {fanout} for n={n}, fronts={fronts}"
+    );
+    let mut m = MpiBuilder::new(n);
+    let mut rng = SplitMix64::new(seed ^ 0x0052_5043); // "RPC"
+    m.region_start_all(RegionId::KERNEL);
+    for _wave in 0..waves {
+        for front in 0..fronts {
+            // Sample `fanout` distinct backends != front, avoiding the other
+            // frontends so concurrent requests never serialize on a shared
+            // backend.
+            let mut targets: Vec<(usize, u64)> = Vec::with_capacity(fanout);
+            while targets.len() < fanout {
+                let b = (rng.next_u64() % n as u64) as usize;
+                if b >= fronts && !targets.iter().any(|&(t, _)| t == b) {
+                    // Heavy tail: 1 in 8 calls is a 10× outlier.
+                    let ops = if rng.next_u64().is_multiple_of(8) {
+                        service_ops * 10
+                    } else {
+                        service_ops / 2 + rng.next_u64() % service_ops.max(1)
+                    };
+                    targets.push((b, ops));
+                }
+            }
+            m.rpc_fanout(front, &targets, request_bytes, response_bytes);
+        }
+    }
+    m.region_end_all(RegionId::KERNEL);
+    WorkloadSpec::new("rpc-incast", m.build(), MetricKind::KernelTime)
+}
+
 /// Gossip replication: every round, each node pushes a `digest_bytes`
 /// digest to `fanout` seeded peers; every `sync_every` rounds one seeded
 /// pair runs a large anti-entropy exchange. The low-rate all-to-all

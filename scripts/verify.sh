@@ -63,4 +63,7 @@ cargo bench --workspace --no-run
 echo "==> shard_scaling smoke sweep (results-match + allocation + 4k-node fabric + hybrid asserts, no timing gate)"
 cargo run --release -q -p aqs-bench --bin shard_scaling -- --smoke
 
+echo "==> obs_overhead counter gate (active-set scan + pool allocs vs checked-in baselines)"
+cargo run --release -q -p aqs-bench --bin obs_overhead -- --smoke
+
 echo "verify: OK"
